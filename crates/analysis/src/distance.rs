@@ -1,0 +1,139 @@
+//! Distances between empirical distributions.
+//!
+//! Used to quantify Fig. 6's claim: the *same* score set mapped under two
+//! different keys produces two *differently randomized* value distributions
+//! (large distance between the two encrypted histograms), while the raw
+//! distribution is key-independent (distance zero).
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two empirical
+/// distributions given as counts. The count vectors must have equal length.
+///
+/// Returns `None` if lengths differ or either distribution is empty.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::total_variation;
+///
+/// let d = total_variation(&[10, 0], &[0, 10]).unwrap();
+/// assert!((d - 1.0).abs() < 1e-12); // disjoint supports
+/// assert_eq!(total_variation(&[5, 5], &[5, 5]).unwrap(), 0.0);
+/// ```
+pub fn total_variation(a: &[u64], b: &[u64]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    if ta == 0 || tb == 0 {
+        return None;
+    }
+    let mut d = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        d += (x as f64 / ta as f64 - y as f64 / tb as f64).abs();
+    }
+    Some(d / 2.0)
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic `max_k |F_a(k) − F_b(k)|` over
+/// binned counts.
+///
+/// Returns `None` on length mismatch or empty input.
+pub fn ks_statistic(a: &[u64], b: &[u64]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    if ta == 0 || tb == 0 {
+        return None;
+    }
+    let mut ca = 0.0;
+    let mut cb = 0.0;
+    let mut d: f64 = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        ca += x as f64 / ta as f64;
+        cb += y as f64 / tb as f64;
+        d = d.max((ca - cb).abs());
+    }
+    Some(d)
+}
+
+/// Pearson chi-square statistic of `observed` against `expected`
+/// probabilities. Cells with `expected` probability 0 are skipped.
+///
+/// Returns `None` on length mismatch or empty observation.
+pub fn chi_square(observed: &[u64], expected_probs: &[f64]) -> Option<f64> {
+    if observed.len() != expected_probs.len() {
+        return None;
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut chi2 = 0.0;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        if p > 0.0 {
+            let e = p * total as f64;
+            chi2 += (o as f64 - e).powi(2) / e;
+        }
+    }
+    Some(chi2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_identical_is_zero() {
+        assert_eq!(total_variation(&[3, 4, 5], &[3, 4, 5]).unwrap(), 0.0);
+        // Scaled versions of the same distribution are also distance 0.
+        assert!(total_variation(&[3, 4, 5], &[6, 8, 10]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn tv_bounds() {
+        let d = total_variation(&[7, 3], &[2, 8]).unwrap();
+        assert!((0.0..=1.0).contains(&d));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_rejects_mismatch_and_empty() {
+        assert!(total_variation(&[1], &[1, 2]).is_none());
+        assert!(total_variation(&[0, 0], &[1, 1]).is_none());
+    }
+
+    #[test]
+    fn ks_simple() {
+        // All mass at the left vs all at the right: max CDF gap = 1 at bin 0.
+        assert_eq!(ks_statistic(&[10, 0], &[0, 10]).unwrap(), 1.0);
+        assert_eq!(ks_statistic(&[5, 5], &[5, 5]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ks_le_one() {
+        let d = ks_statistic(&[1, 2, 3, 4], &[4, 3, 2, 1]).unwrap();
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn chi_square_perfect_fit_small() {
+        let chi2 = chi_square(&[25, 25, 25, 25], &[0.25; 4]).unwrap();
+        assert_eq!(chi2, 0.0);
+    }
+
+    #[test]
+    fn chi_square_detects_deviation() {
+        let good = chi_square(&[26, 24, 25, 25], &[0.25; 4]).unwrap();
+        let bad = chi_square(&[70, 10, 10, 10], &[0.25; 4]).unwrap();
+        assert!(bad > good * 10.0);
+    }
+
+    #[test]
+    fn chi_square_skips_zero_expected() {
+        let chi2 = chi_square(&[10, 0], &[1.0, 0.0]).unwrap();
+        assert_eq!(chi2, 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Entropy measures over empirical distributions.
+//!
+//! The paper's range-size criterion is stated in terms of **min-entropy**:
+//! `H∞(X) = −log2 max_a Pr[X = a]`. High min-entropy of the mapped score
+//! distribution is what defeats histogram fingerprinting.
+
+/// Min-entropy `H∞ = −log2(max_count / total)` of an empirical distribution
+/// given per-outcome counts.
+///
+/// Returns `None` for an empty distribution.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::min_entropy;
+///
+/// // Uniform over 8 outcomes: H∞ = 3 bits.
+/// let h = min_entropy(&[1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+/// assert!((h - 3.0).abs() < 1e-12);
+/// // A point mass has zero min-entropy.
+/// assert_eq!(min_entropy(&[5, 0, 0]).unwrap(), 0.0);
+/// ```
+pub fn min_entropy(counts: &[u64]) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let max = counts.iter().copied().max()?;
+    if max == 0 {
+        return None;
+    }
+    Some(-((max as f64 / total as f64).log2()))
+}
+
+/// Shannon entropy `H = −Σ p log2 p` in bits.
+///
+/// Returns `None` for an empty distribution.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::shannon_entropy;
+/// let h = shannon_entropy(&[1, 1, 1, 1]).unwrap();
+/// assert!((h - 2.0).abs() < 1e-12);
+/// ```
+pub fn shannon_entropy(counts: &[u64]) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    Some(h)
+}
+
+/// Checks the paper's "high min-entropy" requirement
+/// `H∞(X) ∈ ω(log k)`, instantiated as `H∞ ≥ (log2 k)^c`, where `k` is the
+/// bit-length of the outcome space.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::has_high_min_entropy;
+/// // A perfectly uniform 16-outcome distribution over a 4-bit space:
+/// // H∞ = 4 ≥ (log2 4)^1.1 = 2^1.1 ≈ 2.14.
+/// assert!(has_high_min_entropy(&[1; 16], 4, 1.1));
+/// ```
+pub fn has_high_min_entropy(counts: &[u64], space_bits: u32, c: f64) -> bool {
+    match min_entropy(counts) {
+        Some(h) => h >= (space_bits as f64).log2().powf(c),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_entropy_uniform() {
+        assert!((min_entropy(&[10; 16]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_entropy_skewed_below_uniform() {
+        let skewed = min_entropy(&[100, 1, 1, 1]).unwrap();
+        let uniform = min_entropy(&[26, 26, 26, 25]).unwrap();
+        assert!(skewed < uniform);
+    }
+
+    #[test]
+    fn empty_distributions() {
+        assert!(min_entropy(&[]).is_none());
+        assert!(min_entropy(&[0, 0]).is_none());
+        assert!(shannon_entropy(&[]).is_none());
+    }
+
+    #[test]
+    fn shannon_bounds_min_entropy() {
+        // H∞ ≤ H always.
+        for counts in [&[5u64, 3, 2, 1][..], &[10, 10], &[7, 1, 1, 1, 1]] {
+            let h_inf = min_entropy(counts).unwrap();
+            let h = shannon_entropy(counts).unwrap();
+            assert!(h_inf <= h + 1e-12, "{counts:?}: {h_inf} > {h}");
+        }
+    }
+
+    #[test]
+    fn shannon_point_mass_is_zero() {
+        assert_eq!(shannon_entropy(&[42]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn high_min_entropy_check() {
+        // Point mass never passes.
+        assert!(!has_high_min_entropy(&[100, 0, 0, 0], 10, 1.1));
+        // Near-uniform over a big space passes.
+        assert!(has_high_min_entropy(&[1; 4096], 12, 1.1));
+        // Empty never passes.
+        assert!(!has_high_min_entropy(&[], 10, 1.1));
+    }
+}

@@ -1,0 +1,197 @@
+//! Equal-width histograms over `u64` or `f64` samples.
+//!
+//! The paper presents its security story as histograms: the skewed raw-score
+//! distribution of Fig. 4 versus the flattened mapped distributions of
+//! Fig. 6 ("the distribution ... is obtained with putting encrypted values
+//! into 128 equally spaced containers").
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram with `bins` containers spanning `[lo, hi]`.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::Histogram;
+///
+/// let h = Histogram::of_u64(&[1, 2, 2, 3, 100], 10, 1, 100);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.counts().len(), 10);
+/// assert_eq!(h.counts()[0], 4); // 1, 2, 2, 3 land in the first bin
+/// assert_eq!(h.counts()[9], 1); // 100 lands in the last bin
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram of integer samples over the inclusive range
+    /// `[lo, hi]`. Samples outside the range clamp into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo > hi`.
+    pub fn of_u64(samples: &[u64], bins: usize, lo: u64, hi: u64) -> Self {
+        Self::of_f64(
+            &samples.iter().map(|&s| s as f64).collect::<Vec<_>>(),
+            bins,
+            lo as f64,
+            hi as f64,
+        )
+    }
+
+    /// Builds a histogram of float samples over `[lo, hi]`. Samples outside
+    /// the range clamp into the edge bins; non-finite samples are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo > hi`.
+    pub fn of_f64(samples: &[f64], bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo <= hi, "invalid histogram range");
+        let mut counts = vec![0u64; bins];
+        let width = if hi > lo { hi - lo } else { 1.0 };
+        for &s in samples {
+            if !s.is_finite() {
+                continue;
+            }
+            let t = ((s - lo) / width * bins as f64).floor();
+            let bin = (t as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[bin] += 1;
+        }
+        Histogram { counts, lo, hi }
+    }
+
+    /// Builds a histogram spanning the sample min/max.
+    ///
+    /// Returns `None` if `samples` is empty.
+    pub fn spanning(samples: &[u64], bins: usize) -> Option<Self> {
+        let lo = *samples.iter().min()?;
+        let hi = *samples.iter().max()?;
+        Some(Self::of_u64(samples, bins, lo, hi))
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Normalized probabilities per bin (empty histogram → all zeros).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// The largest bin count.
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Peak-to-uniform ratio: how many times the fullest bin exceeds the
+    /// uniform share. 1.0 means perfectly flat; large values mean skew.
+    pub fn peak_to_uniform(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.peak() as f64 * self.counts.len() as f64 / total as f64
+    }
+
+    /// Number of non-empty bins.
+    pub fn occupied_bins(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The histogram's range `[lo, hi]`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment_basics() {
+        // Bins are half-open: [0,5) and [5,10]; 5 lands in the second bin.
+        let h = Histogram::of_u64(&[0, 5, 10], 2, 0, 10);
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let h = Histogram::of_f64(&[-5.0, 50.0], 4, 0.0, 10.0);
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let h = Histogram::of_f64(&[f64::NAN, f64::INFINITY, 1.0], 2, 0.0, 2.0);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let h = Histogram::of_u64(&[1, 2, 3, 4, 5, 6, 7], 3, 1, 7);
+        let p: f64 = h.probabilities().iter().sum();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::of_u64(&[], 4, 0, 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.peak(), 0);
+        assert_eq!(h.peak_to_uniform(), 0.0);
+        assert!(h.probabilities().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn peak_to_uniform_flat_vs_spiked() {
+        let flat = Histogram::of_u64(&[1, 2, 3, 4], 4, 1, 4);
+        assert!((flat.peak_to_uniform() - 1.0).abs() < 1e-12);
+        let spiked = Histogram::of_u64(&[1, 1, 1, 1], 4, 1, 4);
+        assert!((spiked.peak_to_uniform() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spanning_uses_min_max() {
+        let h = Histogram::spanning(&[10, 20, 30], 2).unwrap();
+        assert_eq!(h.range(), (10.0, 30.0));
+        assert!(Histogram::spanning(&[], 2).is_none());
+    }
+
+    #[test]
+    fn occupied_bins_counted() {
+        let h = Histogram::of_u64(&[1, 1, 1, 9], 9, 1, 9);
+        assert_eq!(h.occupied_bins(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::of_u64(&[1], 0, 0, 1);
+    }
+
+    #[test]
+    fn single_value_range() {
+        // lo == hi must not divide by zero.
+        let h = Histogram::of_u64(&[5, 5, 5], 3, 5, 5);
+        assert_eq!(h.total(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Statistical analysis toolkit for the RSSE security experiments.
+//!
+//! The paper's security argument is statistical: the deterministic OPSE
+//! leaks the keyword-specific score histogram (Fig. 4), while the
+//! one-to-many mapping flattens it and randomizes it per key (Fig. 6). This
+//! crate supplies the measurement instruments:
+//!
+//! * [`Histogram`] — equal-width binning ("128 equally spaced containers");
+//! * [`min_entropy`] / [`shannon_entropy`] — the §IV-C min-entropy criterion;
+//! * [`total_variation`] / [`ks_statistic`] / [`chi_square`] — distances
+//!   between raw and mapped distributions;
+//! * [`duplicate_stats`] / [`skewness`] — the `max`/`λ` inputs of eq. (3)
+//!   and the shape diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use rsse_analysis::{min_entropy, Histogram};
+//!
+//! let skewed = Histogram::of_u64(&[50, 50, 50, 50, 51, 52], 4, 50, 53);
+//! let flat = Histogram::of_u64(&[50, 51, 52, 53, 50, 51], 4, 50, 53);
+//! assert!(min_entropy(flat.counts()) > min_entropy(skewed.counts()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod entropy;
+pub mod histogram;
+pub mod stats;
+
+pub use distance::{chi_square, ks_statistic, total_variation};
+pub use entropy::{has_high_min_entropy, min_entropy, shannon_entropy};
+pub use histogram::Histogram;
+pub use stats::{duplicate_stats, mean, skewness, variance, DuplicateStats};

@@ -1,0 +1,141 @@
+//! Scalar sample statistics and duplicate accounting.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sample mean. Returns `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance. Returns `None` for empty input.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample skewness `E[(X−μ)³]/σ³`. Returns `None` for fewer than 3 samples
+/// or zero variance.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::skewness;
+/// // A long right tail produces positive skew.
+/// let right_tailed = [1.0, 1.0, 1.0, 1.0, 10.0];
+/// assert!(skewness(&right_tailed).unwrap() > 1.0);
+/// ```
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 3 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = variance(xs)?;
+    if var == 0.0 {
+        return None;
+    }
+    let m3 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / xs.len() as f64;
+    Some(m3 / var.powf(1.5))
+}
+
+/// Duplicate statistics of a value multiset — the `max` (largest number of
+/// duplicates of any single value) and `λ`-related counts the range-size
+/// selection needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateStats {
+    /// Total number of values.
+    pub total: usize,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Largest multiplicity of any value (the paper's `max`).
+    pub max_duplicates: usize,
+}
+
+impl DuplicateStats {
+    /// Fraction of values that collide with at least one other value.
+    pub fn collision_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.total - self.distinct) as f64 / self.total as f64
+    }
+}
+
+/// Computes [`DuplicateStats`] over any hashable values.
+///
+/// # Example
+///
+/// ```
+/// use rsse_analysis::duplicate_stats;
+///
+/// let stats = duplicate_stats(&[1u64, 1, 1, 2, 3]);
+/// assert_eq!(stats.total, 5);
+/// assert_eq!(stats.distinct, 3);
+/// assert_eq!(stats.max_duplicates, 3);
+/// ```
+pub fn duplicate_stats<T: Hash + Eq>(values: &[T]) -> DuplicateStats {
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    DuplicateStats {
+        total: values.len(),
+        distinct: counts.len(),
+        max_duplicates: counts.values().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs).unwrap(), 2.5);
+        assert_eq!(variance(&xs).unwrap(), 1.25);
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[]).is_none());
+    }
+
+    #[test]
+    fn skewness_sign() {
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).unwrap().abs() < 1e-12);
+        let right = [1.0, 1.0, 1.0, 2.0, 20.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        let left = [20.0, 20.0, 20.0, 19.0, 1.0];
+        assert!(skewness(&left).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn skewness_degenerate() {
+        assert!(skewness(&[1.0, 2.0]).is_none());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn duplicate_stats_all_unique() {
+        let s = duplicate_stats(&[1u64, 2, 3]);
+        assert_eq!(s.max_duplicates, 1);
+        assert_eq!(s.collision_fraction(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_stats_empty() {
+        let s = duplicate_stats::<u64>(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.max_duplicates, 0);
+        assert_eq!(s.collision_fraction(), 0.0);
+    }
+
+    #[test]
+    fn collision_fraction_partial() {
+        let s = duplicate_stats(&["a", "a", "b", "c"]);
+        assert_eq!(s.distinct, 3);
+        assert!((s.collision_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the statistical toolkit.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_analysis::{
+    duplicate_stats, ks_statistic, mean, min_entropy, shannon_entropy, skewness,
+    total_variation, variance, Histogram,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Entropy bounds: 0 ≤ H∞ ≤ H ≤ log2(#outcomes).
+    #[test]
+    fn entropy_bounds(counts in vec(0u64..1000, 1..64)) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let h_inf = min_entropy(&counts).unwrap();
+        let h = shannon_entropy(&counts).unwrap();
+        let occupied = counts.iter().filter(|&&c| c > 0).count() as f64;
+        prop_assert!(h_inf >= 0.0);
+        prop_assert!(h_inf <= h + 1e-9);
+        prop_assert!(h <= occupied.log2() + 1e-9);
+    }
+
+    /// Total variation is a metric on the probability simplex: symmetric,
+    /// zero iff proportional, bounded by 1, triangle inequality.
+    #[test]
+    fn tv_metric_properties(
+        a in vec(0u64..100, 4..16),
+        b in vec(0u64..100, 4..16),
+        c in vec(0u64..100, 4..16),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+        prop_assume!(a.iter().sum::<u64>() > 0);
+        prop_assume!(b.iter().sum::<u64>() > 0);
+        prop_assume!(c.iter().sum::<u64>() > 0);
+        let dab = total_variation(a, b).unwrap();
+        let dba = total_variation(b, a).unwrap();
+        let dac = total_variation(a, c).unwrap();
+        let dcb = total_variation(c, b).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab));
+        prop_assert!(dab <= dac + dcb + 1e-9, "triangle violated");
+        prop_assert!(total_variation(a, a).unwrap() < 1e-12);
+    }
+
+    /// KS ≤ TV·2 ... actually KS ≤ 2·TV always and both are 0 on identical
+    /// inputs; check consistency bounds.
+    #[test]
+    fn ks_vs_tv(a in vec(0u64..100, 4..16), b in vec(0u64..100, 4..16)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assume!(a.iter().sum::<u64>() > 0 && b.iter().sum::<u64>() > 0);
+        let ks = ks_statistic(a, b).unwrap();
+        let tv = total_variation(a, b).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ks));
+        // The max CDF gap cannot exceed the L1 mass difference.
+        prop_assert!(ks <= 2.0 * tv + 1e-9);
+    }
+
+    /// Histogram mass conservation and peak consistency for float input.
+    #[test]
+    fn histogram_peak_consistency(
+        samples in vec(-1e3f64..1e3, 1..200),
+        bins in 1usize..64,
+    ) {
+        let h = Histogram::of_f64(&samples, bins, -1e3, 1e3);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert!(h.peak() as usize <= samples.len());
+        prop_assert_eq!(
+            h.peak(),
+            h.counts().iter().copied().max().unwrap()
+        );
+        let p: f64 = h.probabilities().iter().sum();
+        prop_assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    /// Duplicate stats: totals add up; max multiplicity is consistent.
+    #[test]
+    fn duplicate_stats_consistency(values in vec(0u64..32, 0..200)) {
+        let s = duplicate_stats(&values);
+        prop_assert_eq!(s.total, values.len());
+        prop_assert!(s.distinct <= s.total.max(1));
+        if !values.is_empty() {
+            prop_assert!(s.max_duplicates >= 1);
+            prop_assert!(s.max_duplicates <= s.total);
+            prop_assert!((0.0..=1.0).contains(&s.collision_fraction()));
+        }
+    }
+
+    /// Mean/variance/skewness basic sanity on arbitrary samples.
+    #[test]
+    fn moments_sanity(xs in vec(-1e6f64..1e6, 3..100)) {
+        let m = mean(&xs).unwrap();
+        let v = variance(&xs).unwrap();
+        prop_assert!(v >= 0.0);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        if let Some(sk) = skewness(&xs) {
+            prop_assert!(sk.is_finite());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A from-scratch Bloom filter, substrate for the Goh-style per-file index.
+
+use rsse_crypto::hmac_sha256;
+
+/// A fixed-size Bloom filter with `k` keyed hash functions.
+///
+/// Hashes are derived from HMAC-SHA-256 of the item under per-function
+/// indices, so membership bits are unlinkable without the item bytes.
+///
+/// # Example
+///
+/// ```
+/// use rsse_baselines::bloom::BloomFilter;
+///
+/// let mut f = BloomFilter::new(1024, 4);
+/// f.insert(b"network");
+/// assert!(f.contains(b"network"));
+/// assert!(!f.contains(b"absent-word")); // w.h.p.
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `num_hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(num_bits: usize, num_hashes: u32) -> Self {
+        assert!(num_bits > 0, "empty filter");
+        assert!(num_hashes > 0, "at least one hash function");
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            num_hashes,
+        }
+    }
+
+    /// Sizes a filter for `items` expected insertions at roughly the given
+    /// false-positive rate.
+    pub fn with_capacity(items: usize, fp_rate: f64) -> Self {
+        let items = items.max(1);
+        let fp = fp_rate.clamp(1e-9, 0.5);
+        let ln2 = core::f64::consts::LN_2;
+        let bits = (-(items as f64) * fp.ln() / (ln2 * ln2)).ceil() as usize;
+        let hashes = ((bits as f64 / items as f64) * ln2).round().max(1.0) as u32;
+        Self::new(bits.max(64), hashes)
+    }
+
+    fn positions<'a>(&'a self, item: &'a [u8]) -> impl Iterator<Item = usize> + 'a {
+        (0..self.num_hashes).map(move |i| {
+            let mut input = Vec::with_capacity(item.len() + 4);
+            input.extend_from_slice(&i.to_be_bytes());
+            input.extend_from_slice(item);
+            let digest = hmac_sha256(b"bloom", &input);
+            let v = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+            (v % self.num_bits as u64) as usize
+        })
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: &[u8]) {
+        let positions: Vec<usize> = self.positions(item).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1 << (p % 64);
+        }
+    }
+
+    /// Tests membership (no false negatives; false positives at the
+    /// configured rate).
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.positions(item)
+            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+    }
+
+    /// Number of bits in the filter.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Fraction of set bits (fill ratio).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.num_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000u32 {
+            f.insert(format!("item-{i}").as_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.contains(format!("item-{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_in_the_ballpark() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000u32 {
+            f.insert(format!("item-{i}").as_bytes());
+        }
+        let fps = (0..10_000u32)
+            .filter(|i| f.contains(format!("absent-{i}").as_bytes()))
+            .count();
+        // Expect ~100; allow generous slack.
+        assert!(fps < 400, "false positives: {fps}/10000");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(256, 3);
+        assert!(!f.contains(b"anything"));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fill_ratio_grows() {
+        let mut f = BloomFilter::new(256, 3);
+        f.insert(b"a");
+        let one = f.fill_ratio();
+        f.insert(b"b");
+        assert!(f.fill_ratio() >= one);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty filter")]
+    fn zero_bits_rejected() {
+        BloomFilter::new(0, 3);
+    }
+
+    #[test]
+    fn capacity_sizing_monotone() {
+        let small = BloomFilter::with_capacity(100, 0.01);
+        let large = BloomFilter::with_capacity(10_000, 0.01);
+        assert!(large.num_bits() > small.num_bits());
+        let loose = BloomFilter::with_capacity(100, 0.1);
+        assert!(loose.num_bits() < small.num_bits());
+    }
+}

@@ -1,0 +1,185 @@
+//! Goh's secure index (Z-IDX, ePrint 2003/216) — a per-file Bloom-filter
+//! index, the paper's reference \[7\].
+//!
+//! Each document gets a Bloom filter containing *codewords* derived in two
+//! steps: a keyed word trapdoor `t = f(k, w)`, then a per-document codeword
+//! `c = f(t, id)` — so filters of different documents set uncorrelated bits
+//! for the same word. A query touches every document's filter: per-query
+//! work is `O(n)` in the number of files (better than SWP's scan of every
+//! word, still worse than a per-keyword inverted index).
+
+use crate::bloom::BloomFilter;
+use rsse_crypto::{hmac_sha256, SecretKey};
+use rsse_ir::{Document, FileId, Tokenizer};
+
+/// The per-document secure index entry.
+#[derive(Debug, Clone)]
+pub struct DocIndex {
+    id: FileId,
+    filter: BloomFilter,
+}
+
+impl DocIndex {
+    /// The document's identifier.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+}
+
+/// The word trapdoor `f(k, w)`.
+#[derive(Clone)]
+pub struct GohTrapdoor {
+    word_key: [u8; 32],
+}
+
+impl core::fmt::Debug for GohTrapdoor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GohTrapdoor {{ <redacted> }}")
+    }
+}
+
+/// The Z-IDX scheme.
+///
+/// # Example
+///
+/// ```
+/// use rsse_baselines::goh::GohIndex;
+/// use rsse_ir::{Document, FileId};
+///
+/// let scheme = GohIndex::new(b"seed", 0.01);
+/// let docs = vec![
+///     Document::new(FileId::new(1), "network routing"),
+///     Document::new(FileId::new(2), "storage arrays"),
+/// ];
+/// let index = scheme.build(&docs);
+/// let t = scheme.trapdoor("network").unwrap();
+/// assert_eq!(scheme.search(&index, &t), vec![FileId::new(1)]);
+/// ```
+#[derive(Debug)]
+pub struct GohIndex {
+    key: SecretKey,
+    fp_rate: f64,
+    tokenizer: Tokenizer,
+}
+
+impl GohIndex {
+    /// Creates the scheme with a target per-filter false-positive rate.
+    pub fn new(master_seed: &[u8], fp_rate: f64) -> Self {
+        GohIndex {
+            key: SecretKey::derive(master_seed, "goh/word"),
+            fp_rate,
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    fn codeword(trapdoor: &GohTrapdoor, id: FileId) -> [u8; 32] {
+        hmac_sha256(&trapdoor.word_key, &id.to_bytes())
+    }
+
+    /// Builds the per-document filters for a collection.
+    pub fn build(&self, docs: &[Document]) -> Vec<DocIndex> {
+        docs.iter()
+            .map(|doc| {
+                let words = self.tokenizer.tokenize(doc.text());
+                let distinct: std::collections::HashSet<&str> =
+                    words.iter().map(String::as_str).collect();
+                let mut filter = BloomFilter::with_capacity(distinct.len().max(8), self.fp_rate);
+                for w in distinct {
+                    let t = GohTrapdoor {
+                        word_key: hmac_sha256(self.key.as_bytes(), w.as_bytes()),
+                    };
+                    filter.insert(&Self::codeword(&t, doc.id()));
+                }
+                DocIndex {
+                    id: doc.id(),
+                    filter,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates the trapdoor for a raw query word.
+    pub fn trapdoor(&self, query: &str) -> Option<GohTrapdoor> {
+        let word = self.tokenizer.tokenize(query).into_iter().next()?;
+        Some(GohTrapdoor {
+            word_key: hmac_sha256(self.key.as_bytes(), word.as_bytes()),
+        })
+    }
+
+    /// Server-side search: test every document's filter.
+    pub fn search(&self, index: &[DocIndex], trapdoor: &GohTrapdoor) -> Vec<FileId> {
+        index
+            .iter()
+            .filter(|d| d.filter.contains(&Self::codeword(trapdoor, d.id)))
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Document> {
+        (0..50)
+            .map(|i| {
+                let text = if i % 5 == 0 {
+                    "network routing tables"
+                } else {
+                    "storage compression dedup"
+                };
+                Document::new(FileId::new(i), text)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_matching_documents() {
+        let s = GohIndex::new(b"seed", 0.001);
+        let idx = s.build(&docs());
+        let t = s.trapdoor("network").unwrap();
+        let hits = s.search(&idx, &t);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|f| f.as_u64() % 5 == 0));
+    }
+
+    #[test]
+    fn absent_word_rarely_matches() {
+        let s = GohIndex::new(b"seed", 0.001);
+        let idx = s.build(&docs());
+        let t = s.trapdoor("nonexistent").unwrap();
+        assert!(s.search(&idx, &t).len() <= 2, "bloom fp rate too high");
+    }
+
+    #[test]
+    fn per_document_codewords_are_uncorrelated() {
+        // The same word sets different bits in different documents, so two
+        // filters of identical documents still differ bit-wise... they have
+        // different file ids, hence different codewords.
+        let s = GohIndex::new(b"seed", 0.01);
+        let idx = s.build(&[
+            Document::new(FileId::new(1), "alpha"),
+            Document::new(FileId::new(2), "alpha"),
+        ]);
+        let t = s.trapdoor("alpha").unwrap();
+        let c1 = GohIndex::codeword(&t, FileId::new(1));
+        let c2 = GohIndex::codeword(&t, FileId::new(2));
+        assert_ne!(c1, c2);
+        assert_eq!(s.search(&idx, &t).len(), 2);
+    }
+
+    #[test]
+    fn wrong_key_matches_nothing() {
+        let s1 = GohIndex::new(b"seed-a", 0.001);
+        let s2 = GohIndex::new(b"seed-b", 0.001);
+        let idx = s1.build(&docs());
+        let t = s2.trapdoor("network").unwrap();
+        assert!(s1.search(&idx, &t).len() <= 2);
+    }
+
+    #[test]
+    fn empty_query() {
+        let s = GohIndex::new(b"seed", 0.01);
+        assert!(s.trapdoor("of the").is_none());
+    }
+}

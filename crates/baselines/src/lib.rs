@@ -1,0 +1,29 @@
+//! Related-work baselines the RSSE paper positions itself against (§VII).
+//!
+//! * [`song`] — Song–Wagner–Perrig sequential scan (S&P'00): per-query work
+//!   linear in total corpus length;
+//! * [`goh`] / [`bloom`] — Goh's per-file Bloom-filter index (Z-IDX):
+//!   per-query work linear in the number of files;
+//! * [`bucket`] — static equi-depth bucketization (Swaminathan et al., StorageSS'07): order-preserving but requires full rebuild on score
+//!   insertion outside the fitted domain;
+//! * [`cdf`] — sampling/training empirical-CDF transform (Zerber+r,
+//!   EDBT'09): flattens the trained distribution but must be retrained when
+//!   the score distribution shifts.
+//!
+//! The contrast tests and `cargo bench -p rsse-bench --bench baselines`
+//! quantify each scheme against the RSSE design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod bucket;
+pub mod cdf;
+pub mod goh;
+pub mod song;
+
+pub use bloom::BloomFilter;
+pub use bucket::{BucketError, BucketMapper};
+pub use cdf::{CdfError, CdfMapper};
+pub use goh::{GohIndex, GohTrapdoor};
+pub use song::{SongScheme, SongTrapdoor};

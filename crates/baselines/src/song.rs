@@ -1,0 +1,254 @@
+//! The sequential-scan searchable encryption of Song, Wagner & Perrig
+//! (S&P 2000), in its word-block form — the paper's reference \[6\].
+//!
+//! Every word of every file is encrypted independently; a search trapdoor
+//! lets the server test each ciphertext word in place, so the per-query
+//! work is linear in the *total corpus length* (the inefficiency that
+//! per-keyword indexes later removed). Implemented here as the oldest
+//! baseline in the comparison suite.
+//!
+//! Construction (per word `W` at position `i` of document `d`):
+//!
+//! ```text
+//! X  = PreEnc(W)           (deterministic word encryption, 32 bytes L‖R)
+//! S  = G(k_gen, d, i)      (16-byte pseudorandom pad)
+//! kw = f(k_f, L)           (word-derived check key)
+//! C  = X ⊕ (S ‖ F(kw, S))  (ciphertext word)
+//! ```
+//!
+//! The trapdoor for `W` is `(X, kw)`. The server XORs each stored word with
+//! `X` and accepts when the right half equals `F(kw, left half)`.
+
+use rsse_crypto::{hmac_sha256, SecretKey};
+use rsse_ir::{Document, FileId, Tokenizer};
+use std::collections::HashMap;
+
+/// Byte length of one encrypted word block.
+pub const WORD_BLOCK_LEN: usize = 32;
+
+/// A searchable ciphertext of one document: a sequence of 32-byte encrypted
+/// word blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedDoc {
+    id: FileId,
+    blocks: Vec<[u8; WORD_BLOCK_LEN]>,
+}
+
+impl EncryptedDoc {
+    /// The document's identifier.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// Number of encrypted word positions.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the document encrypts zero words.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The search trapdoor `(X, kw)` for one word.
+#[derive(Clone)]
+pub struct SongTrapdoor {
+    word_ct: [u8; WORD_BLOCK_LEN],
+    check_key: [u8; 32],
+}
+
+impl core::fmt::Debug for SongTrapdoor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SongTrapdoor {{ <redacted> }}")
+    }
+}
+
+/// The SWP'00 scheme.
+///
+/// # Example
+///
+/// ```
+/// use rsse_baselines::song::SongScheme;
+/// use rsse_ir::{Document, FileId};
+///
+/// let scheme = SongScheme::new(b"seed");
+/// let docs = vec![Document::new(FileId::new(1), "attack at dawn")];
+/// let encrypted = scheme.encrypt_collection(&docs);
+/// let t = scheme.trapdoor("attack").unwrap();
+/// let hits = scheme.search(&encrypted, &t);
+/// assert_eq!(hits.get(&FileId::new(1)), Some(&1));
+/// ```
+#[derive(Debug)]
+pub struct SongScheme {
+    k_pre: SecretKey,
+    k_gen: SecretKey,
+    k_f: SecretKey,
+    tokenizer: Tokenizer,
+}
+
+impl SongScheme {
+    /// Derives the scheme's three keys from a master seed.
+    pub fn new(master_seed: &[u8]) -> Self {
+        SongScheme {
+            k_pre: SecretKey::derive(master_seed, "song/pre"),
+            k_gen: SecretKey::derive(master_seed, "song/gen"),
+            k_f: SecretKey::derive(master_seed, "song/f"),
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    fn pre_encrypt(&self, word: &str) -> [u8; WORD_BLOCK_LEN] {
+        hmac_sha256(self.k_pre.as_bytes(), word.as_bytes())
+    }
+
+    fn pad(&self, doc: FileId, position: u64) -> [u8; 16] {
+        let mut input = [0u8; 16];
+        input[..8].copy_from_slice(&doc.to_bytes());
+        input[8..].copy_from_slice(&position.to_be_bytes());
+        let d = hmac_sha256(self.k_gen.as_bytes(), &input);
+        d[..16].try_into().expect("16 bytes")
+    }
+
+    fn check_key(&self, left: &[u8]) -> [u8; 32] {
+        hmac_sha256(self.k_f.as_bytes(), left)
+    }
+
+    /// Encrypts one document word-by-word.
+    pub fn encrypt_document(&self, doc: &Document) -> EncryptedDoc {
+        let blocks = self
+            .tokenizer
+            .tokenize(doc.text())
+            .into_iter()
+            .enumerate()
+            .map(|(i, word)| {
+                let x = self.pre_encrypt(&word);
+                let s = self.pad(doc.id(), i as u64);
+                let kw = self.check_key(&x[..16]);
+                let check = hmac_sha256(&kw, &s);
+                let mut c = [0u8; WORD_BLOCK_LEN];
+                for j in 0..16 {
+                    c[j] = x[j] ^ s[j];
+                    c[16 + j] = x[16 + j] ^ check[j];
+                }
+                c
+            })
+            .collect();
+        EncryptedDoc {
+            id: doc.id(),
+            blocks,
+        }
+    }
+
+    /// Encrypts a whole collection.
+    pub fn encrypt_collection(&self, docs: &[Document]) -> Vec<EncryptedDoc> {
+        docs.iter().map(|d| self.encrypt_document(d)).collect()
+    }
+
+    /// Generates the trapdoor for a (raw) query word.
+    ///
+    /// Returns `None` when the query reduces to no searchable token.
+    pub fn trapdoor(&self, query: &str) -> Option<SongTrapdoor> {
+        let word = self.tokenizer.tokenize(query).into_iter().next()?;
+        let x = self.pre_encrypt(&word);
+        Some(SongTrapdoor {
+            check_key: self.check_key(&x[..16]),
+            word_ct: x,
+        })
+    }
+
+    /// Server-side sequential scan: every word position of every document is
+    /// tested. Returns matched documents with their match counts (term
+    /// frequencies).
+    pub fn search(
+        &self,
+        collection: &[EncryptedDoc],
+        trapdoor: &SongTrapdoor,
+    ) -> HashMap<FileId, u32> {
+        let mut hits: HashMap<FileId, u32> = HashMap::new();
+        for doc in collection {
+            for block in &doc.blocks {
+                let mut t = [0u8; WORD_BLOCK_LEN];
+                for j in 0..WORD_BLOCK_LEN {
+                    t[j] = block[j] ^ trapdoor.word_ct[j];
+                }
+                let expected = hmac_sha256(&trapdoor.check_key, &t[..16]);
+                if expected[..16] == t[16..] {
+                    *hits.entry(doc.id).or_insert(0) += 1;
+                }
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> SongScheme {
+        SongScheme::new(b"song test seed")
+    }
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::new(FileId::new(1), "attack at dawn attack"),
+            Document::new(FileId::new(2), "retreat at dusk"),
+            Document::new(FileId::new(3), "attack the castle walls"),
+        ]
+    }
+
+    #[test]
+    fn finds_all_occurrences() {
+        let s = scheme();
+        let enc = s.encrypt_collection(&docs());
+        let t = s.trapdoor("attack").unwrap();
+        let hits = s.search(&enc, &t);
+        assert_eq!(hits.get(&FileId::new(1)), Some(&2));
+        assert_eq!(hits.get(&FileId::new(2)), None);
+        assert_eq!(hits.get(&FileId::new(3)), Some(&1));
+    }
+
+    #[test]
+    fn no_hits_for_absent_word() {
+        let s = scheme();
+        let enc = s.encrypt_collection(&docs());
+        let t = s.trapdoor("surrender").unwrap();
+        assert!(s.search(&enc, &t).is_empty());
+    }
+
+    #[test]
+    fn ciphertexts_hide_equal_words_across_positions() {
+        // The position-dependent pad S makes two encryptions of the same
+        // word differ.
+        let s = scheme();
+        let enc = s.encrypt_document(&Document::new(FileId::new(1), "echo echo"));
+        assert_eq!(enc.len(), 2);
+        assert_ne!(enc.blocks[0], enc.blocks[1]);
+    }
+
+    #[test]
+    fn stemming_applies_to_trapdoors() {
+        let s = scheme();
+        let enc = s.encrypt_collection(&docs());
+        let t = s.trapdoor("attacking").unwrap(); // stems to "attack"
+        assert_eq!(s.search(&enc, &t).len(), 2);
+    }
+
+    #[test]
+    fn wrong_key_finds_nothing() {
+        let s1 = scheme();
+        let s2 = SongScheme::new(b"other seed");
+        let enc = s1.encrypt_collection(&docs());
+        let t = s2.trapdoor("attack").unwrap();
+        assert!(s1.search(&enc, &t).is_empty());
+    }
+
+    #[test]
+    fn empty_query_and_empty_docs() {
+        let s = scheme();
+        assert!(s.trapdoor("the").is_none());
+        let enc = s.encrypt_document(&Document::new(FileId::new(9), ""));
+        assert!(enc.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion comparison of search cost across schemes (the paper's §VII
+//! positioning): SWP sequential scan `O(total words)`, Goh per-file Bloom
+//! filters `O(files)`, and the RSSE per-keyword index `O(N_i log k)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsse_baselines::goh::GohIndex;
+use rsse_baselines::song::SongScheme;
+use rsse_core::{Rsse, RsseParams};
+use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse_ir::InvertedIndex;
+use std::hint::black_box;
+
+fn bench_search_comparison(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(42));
+    let docs = corpus.documents();
+    let index = InvertedIndex::build(docs);
+
+    let song = SongScheme::new(b"bench seed");
+    let song_collection = song.encrypt_collection(docs);
+    let song_trapdoor = song.trapdoor("network").unwrap();
+
+    let goh = GohIndex::new(b"bench seed", 0.01);
+    let goh_index = goh.build(docs);
+    let goh_trapdoor = goh.trapdoor("network").unwrap();
+
+    let rsse = Rsse::new(b"bench seed", RsseParams::default());
+    let rsse_index = rsse.build_index_from(&index).unwrap();
+    let rsse_trapdoor = rsse.trapdoor("network").unwrap();
+
+    let mut group = c.benchmark_group("search_200_docs");
+    group.bench_function("song_sequential_scan", |b| {
+        b.iter(|| black_box(song.search(&song_collection, &song_trapdoor)))
+    });
+    group.bench_function("goh_bloom_per_file", |b| {
+        b.iter(|| black_box(goh.search(&goh_index, &goh_trapdoor)))
+    });
+    group.bench_function("rsse_top10_ranked", |b| {
+        b.iter(|| black_box(rsse_index.search(&rsse_trapdoor, Some(10))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_comparison);
+criterion_main!(benches);

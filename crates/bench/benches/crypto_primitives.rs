@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the from-scratch crypto primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rsse_crypto::{hmac_sha256, Digest, SecretKey, SemanticCipher, Sha1, Sha256, Tape};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    let mut group = c.benchmark_group("hash_4k");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256", |b| b.iter(|| black_box(Sha256::digest(&data))));
+    group.bench_function("sha1", |b| b.iter(|| black_box(Sha1::digest(&data))));
+    group.bench_function("hmac_sha256", |b| {
+        b.iter(|| black_box(hmac_sha256(b"key", &data)))
+    });
+    group.finish();
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let cipher = SemanticCipher::new(&SecretKey::derive(b"bench", "ctr"));
+    let data = vec![0x11u8; 4096];
+    let mut group = c.benchmark_group("aes_ctr_4k");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("encrypt", |b| {
+        b.iter(|| black_box(cipher.encrypt_with_nonce([7; 16], &data)))
+    });
+    group.finish();
+}
+
+fn bench_tape(c: &mut Criterion) {
+    c.bench_function("tape_setup_plus_64_bytes", |b| {
+        let key = SecretKey::derive(b"bench", "tape");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut tape = Tape::new(&key, &i.to_be_bytes());
+            let mut out = [0u8; 64];
+            tape.fill_bytes(&mut out);
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench_hashes, bench_ctr, bench_tape);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! The §VII score-dynamics claim, priced: inserting a document into a live
+//! RSSE index (a handful of OPM operations) versus the full posting-list
+//! rebuild the static order-preserving baselines require.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsse_baselines::bucket::BucketMapper;
+use rsse_core::{Rsse, RsseParams};
+use rsse_crypto::SecretKey;
+use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse_ir::score::scores_for_term;
+use rsse_ir::{Document, FileId, InvertedIndex};
+use std::hint::black_box;
+
+fn bench_dynamics(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(42));
+    let index = InvertedIndex::build(corpus.documents());
+    let scheme = Rsse::new(b"dynamics bench", RsseParams::default());
+    let updater = scheme.updater_for(&index).unwrap();
+    let new_doc = Document::new(
+        FileId::new(99_999),
+        "network incident postmortem with network traces and network graphs",
+    );
+
+    // The scores a static mapper must re-encode on rebuild: every posting
+    // of the keyword the new document perturbs.
+    let network_scores: Vec<f64> = scores_for_term(&index, "network")
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+
+    let mut group = c.benchmark_group("score_dynamics");
+    group.sample_size(20);
+    group.bench_function("rsse_incremental_add_document", |b| {
+        b.iter(|| black_box(updater.add_document(&new_doc).unwrap()))
+    });
+    group.bench_function("bucketization_refit_plus_remap_one_list", |b| {
+        // The [18]-style baseline: refit the bucket boundaries and remap
+        // every existing posting of the affected list.
+        b.iter(|| {
+            let mut extended = network_scores.clone();
+            extended.push(0.9); // the new, out-of-domain score
+            let mapper = BucketMapper::fit(
+                &extended,
+                16,
+                1 << 40,
+                SecretKey::derive(b"refit", "k"),
+            )
+            .unwrap();
+            let remapped: Vec<u64> = extended
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| mapper.map(s, &(i as u64).to_be_bytes()).unwrap())
+                .collect();
+            black_box(remapped)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamics);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the hypergeometric sampler — the inner loop of
+//! every OPSE/OPM operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsse_crypto::{SecretKey, Tape};
+use rsse_hgd::Hypergeometric;
+use std::hint::black_box;
+
+fn bench_hygeinv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hygeinv");
+    for &(pop_bits, m) in &[(20u32, 128u64), (34, 128), (46, 128), (46, 256), (46, 32)] {
+        let n = 1u64 << pop_bits;
+        let h = Hypergeometric::new(n, m, n / 2).unwrap();
+        let key = SecretKey::derive(b"bench", "hgd");
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N2^{pop_bits}_M{m}")),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    i += 1;
+                    let mut tape = Tape::new(&key, &i.to_be_bytes());
+                    black_box(h.sample(&mut tape))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pmf(c: &mut Criterion) {
+    let h = Hypergeometric::new(1 << 46, 128, 1 << 45).unwrap();
+    c.bench_function("pmf_full_support_M128", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..=128 {
+                acc += h.pmf(k);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_hygeinv, bench_pmf);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The security/efficiency trade-off quantified: keyword search over
+//! Path ORAM (no leakage, §III-A) versus the RSSE per-keyword index
+//! (access/search-pattern + order leakage, one cheap lookup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsse_core::{Rsse, RsseParams};
+use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse_ir::InvertedIndex;
+use rsse_oram::{ObliviousIndex, PathOram};
+use std::hint::black_box;
+
+fn bench_oram_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_oram_access");
+    for capacity in [256u64, 4096] {
+        let mut oram = PathOram::new(capacity, b"bench secret");
+        for i in 0..capacity.min(256) {
+            oram.write(i, b"warm block");
+        }
+        let mut i = 0u64;
+        group.bench_function(format!("capacity_{capacity}"), |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(oram.read(i % capacity.min(256)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_tradeoff(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(42));
+    let index = InvertedIndex::build(corpus.documents());
+
+    let mut oblivious = ObliviousIndex::build(&index, 256, b"bench secret").unwrap();
+    let rsse = Rsse::new(b"bench secret", RsseParams::default());
+    let rsse_index = rsse.build_index_from(&index).unwrap();
+    let trapdoor = rsse.trapdoor("network").unwrap();
+
+    let mut group = c.benchmark_group("search_leakage_tradeoff");
+    group.sample_size(20);
+    group.bench_function("oblivious_index_no_leakage", |b| {
+        b.iter(|| black_box(oblivious.search("network")))
+    });
+    group.bench_function("rsse_pattern_and_order_leakage", |b| {
+        b.iter(|| black_box(rsse_index.search(&trapdoor, Some(10))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oram_access, bench_search_tradeoff);
+criterion_main!(benches);

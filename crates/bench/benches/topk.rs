@@ -1,0 +1,28 @@
+//! Criterion benchmark behind Fig. 8: server-side top-k retrieval over a
+//! 1000-entry posting list, versus k and versus the full-sort alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsse_bench::workload::{paper_corpus, HOT_KEYWORD};
+use rsse_core::{Rsse, RsseParams};
+use std::hint::black_box;
+
+fn bench_topk(c: &mut Criterion) {
+    let (_corpus, index) = paper_corpus(42);
+    let scheme = Rsse::new(b"bench seed", RsseParams::default());
+    let enc = scheme.build_index_from(&index).unwrap();
+    let trapdoor = scheme.trapdoor(HOT_KEYWORD).unwrap();
+
+    let mut group = c.benchmark_group("topk_retrieval");
+    for k in [10usize, 50, 100, 200, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(enc.search(&trapdoor, Some(k))))
+        });
+    }
+    group.bench_function("full_sort_1000", |b| {
+        b.iter(|| black_box(enc.search(&trapdoor, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates the paper's tables and figures as CSV on stdout.
+//!
+//! ```text
+//! cargo run --release -p rsse-bench --bin repro -- all
+//! cargo run --release -p rsse-bench --bin repro -- fig4 [seed]
+//! ```
+
+use rsse_bench::figures;
+
+const USAGE: &str = "usage: repro <fig4|fig5|fig6|fig7|fig8|table1|all> [seed]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let seed: u64 = args
+        .get(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    let run = |name: &str| match name {
+        "fig4" => print!("{}", figures::fig4(seed)),
+        "fig5" => print!("{}", figures::fig5()),
+        "fig6" => print!("{}", figures::fig6(seed)),
+        "fig7" => print!("{}", figures::fig7()),
+        "fig8" => print!("{}", figures::fig8(seed)),
+        "table1" => print!("{}", figures::table1(seed)),
+        other => {
+            eprintln!("unknown artifact {other:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if which == "all" {
+        for name in ["fig4", "fig5", "fig6", "fig7", "fig8", "table1"] {
+            run(name);
+            println!();
+        }
+    } else {
+        run(which);
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared experimental workloads.
+//!
+//! All figures run against the paper's measurement configuration: 1000
+//! files with the hot keyword "network" present in every one (a posting
+//! list of length 1000), scores quantized to 128 levels.
+
+use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse_ir::score::scores_for_term;
+use rsse_ir::{FileId, InvertedIndex, ScoreQuantizer};
+
+/// The keyword whose distribution the paper plots.
+pub const HOT_KEYWORD: &str = "network";
+
+/// The paper's score encoding: 128 levels.
+pub const LEVELS: u64 = 128;
+
+/// The paper's 1000-file evaluation corpus plus its plaintext index.
+pub fn paper_corpus(seed: u64) -> (SyntheticCorpus, InvertedIndex) {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::paper_1000(seed));
+    let index = InvertedIndex::build(corpus.documents());
+    (corpus, index)
+}
+
+/// Raw eq.-2 scores of the hot keyword over the corpus.
+pub fn hot_scores(index: &InvertedIndex) -> Vec<(FileId, f64)> {
+    scores_for_term(index, HOT_KEYWORD)
+}
+
+/// The hot keyword's scores quantized into `{1..128}` with a quantizer
+/// fitted to that posting list (the paper encodes the plotted keyword's
+/// scores into 128 levels directly).
+pub fn hot_levels(index: &InvertedIndex) -> Vec<(FileId, u64)> {
+    let scored = hot_scores(index);
+    let raw: Vec<f64> = scored.iter().map(|(_, s)| *s).collect();
+    let q = ScoreQuantizer::fit(&raw, LEVELS).expect("hot keyword has postings");
+    scored.into_iter().map(|(f, s)| (f, q.level(s))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_corpus_shape() {
+        let (corpus, index) = paper_corpus(42);
+        assert_eq!(corpus.documents().len(), 1000);
+        assert_eq!(index.document_frequency(HOT_KEYWORD), 1000);
+    }
+
+    #[test]
+    fn hot_levels_in_domain() {
+        let (_, index) = paper_corpus(42);
+        let levels = hot_levels(&index);
+        assert_eq!(levels.len(), 1000);
+        assert!(levels.iter().all(|(_, l)| (1..=LEVELS).contains(l)));
+        // The top level must be hit (quantizer normalizes to the max).
+        assert!(levels.iter().any(|(_, l)| *l == LEVELS));
+    }
+}

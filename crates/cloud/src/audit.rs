@@ -1,0 +1,231 @@
+//! **Extension** — retrieval integrity via Merkle authentication.
+//!
+//! The paper's server is honest-but-curious, so it always returns the
+//! right files. A deployable system should *verify* that: the owner
+//! publishes a Merkle root over the encrypted collection at Setup; the
+//! server accompanies every returned file with an inclusion proof; users
+//! check proofs against the root they obtained out of band. Combined with
+//! [`rsse_crypto::aead`] this upgrades storage to tamper-evident even
+//! against a server that misbehaves on content (it can still withhold —
+//! completeness needs further machinery).
+
+use crate::files::EncryptedFile;
+use rsse_crypto::{Digest, Sha256};
+
+/// A Merkle tree over the hashes of an encrypted file collection.
+///
+/// Leaves are `H(0x00 ‖ id ‖ ciphertext)`, inner nodes
+/// `H(0x01 ‖ left ‖ right)`; the domain separation prevents
+/// leaf/inner-node confusion attacks. Odd nodes are promoted unchanged.
+///
+/// # Example
+///
+/// ```
+/// use rsse_cloud::audit::MerkleTree;
+/// use rsse_cloud::EncryptedFile;
+/// use rsse_ir::FileId;
+///
+/// let files: Vec<EncryptedFile> = (0..5)
+///     .map(|i| EncryptedFile::new(FileId::new(i), vec![i as u8; 32]))
+///     .collect();
+/// let tree = MerkleTree::build(&files);
+/// let proof = tree.prove(2).unwrap();
+/// assert!(MerkleTree::verify(&tree.root(), &files[2], &proof));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaves, `levels.last()` = [root].
+    levels: Vec<Vec<[u8; 32]>>,
+}
+
+/// An inclusion proof: sibling hashes from leaf to root, each tagged with
+/// whether the sibling sits to the left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// `(sibling_hash, sibling_is_left)` pairs, leaf-level first.
+    pub path: Vec<([u8; 32], bool)>,
+}
+
+fn leaf_hash(file: &EncryptedFile) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(&file.id().to_bytes());
+    h.update(file.ciphertext());
+    h.finalize()
+}
+
+fn inner_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+impl MerkleTree {
+    /// Builds the tree over `files` in the given (canonical) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty collection — there is nothing to commit to.
+    pub fn build(files: &[EncryptedFile]) -> Self {
+        assert!(!files.is_empty(), "cannot commit to an empty collection");
+        let mut levels = vec![files.iter().map(leaf_hash).collect::<Vec<_>>()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                next.push(match pair {
+                    [l, r] => inner_hash(l, r),
+                    [odd] => *odd, // promoted unchanged
+                    _ => unreachable!("chunks(2) yields 1..=2 items"),
+                });
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The published root commitment.
+    pub fn root(&self) -> [u8; 32] {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of committed files.
+    pub fn num_leaves(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces the inclusion proof for the leaf at `index`, or `None` if
+    /// out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.num_leaves() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.levels.len());
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = i ^ 1;
+            if sibling < level.len() {
+                path.push((level[sibling], sibling < i));
+            }
+            // An odd promoted node contributes no sibling at this level.
+            i /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            path,
+        })
+    }
+
+    /// Verifies that `file` is committed under `root` by `proof`.
+    pub fn verify(root: &[u8; 32], file: &EncryptedFile, proof: &MerkleProof) -> bool {
+        let mut acc = leaf_hash(file);
+        for (sibling, sibling_is_left) in &proof.path {
+            acc = if *sibling_is_left {
+                inner_hash(sibling, &acc)
+            } else {
+                inner_hash(&acc, sibling)
+            };
+        }
+        &acc == root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsse_ir::FileId;
+
+    fn files(n: u64) -> Vec<EncryptedFile> {
+        (0..n)
+            .map(|i| EncryptedFile::new(FileId::new(i), vec![i as u8; 24 + (i as usize % 5)]))
+            .collect()
+    }
+
+    #[test]
+    fn every_leaf_proves_for_various_sizes() {
+        for n in [1u64, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let fs = files(n);
+            let tree = MerkleTree::build(&fs);
+            for (i, f) in fs.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(
+                    MerkleTree::verify(&tree.root(), f, &proof),
+                    "n={n} leaf {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_file_fails_verification() {
+        let fs = files(8);
+        let tree = MerkleTree::build(&fs);
+        let proof = tree.prove(3).unwrap();
+        let forged = EncryptedFile::new(fs[3].id(), {
+            let mut c = fs[3].ciphertext().to_vec();
+            c[0] ^= 1;
+            c
+        });
+        assert!(!MerkleTree::verify(&tree.root(), &forged, &proof));
+    }
+
+    #[test]
+    fn wrong_id_fails_verification() {
+        let fs = files(8);
+        let tree = MerkleTree::build(&fs);
+        let proof = tree.prove(3).unwrap();
+        let misattributed = EncryptedFile::new(FileId::new(99), fs[3].ciphertext().to_vec());
+        assert!(!MerkleTree::verify(&tree.root(), &misattributed, &proof));
+    }
+
+    #[test]
+    fn proof_for_one_leaf_rejects_another() {
+        let fs = files(8);
+        let tree = MerkleTree::build(&fs);
+        let proof = tree.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&tree.root(), &fs[4], &proof));
+    }
+
+    #[test]
+    fn truncated_proof_fails() {
+        let fs = files(16);
+        let tree = MerkleTree::build(&fs);
+        let mut proof = tree.prove(5).unwrap();
+        proof.path.pop();
+        assert!(!MerkleTree::verify(&tree.root(), &fs[5], &proof));
+    }
+
+    #[test]
+    fn roots_differ_when_any_file_differs() {
+        let a = MerkleTree::build(&files(8));
+        let mut changed = files(8);
+        changed[7] = EncryptedFile::new(FileId::new(7), vec![0xFF; 10]);
+        let b = MerkleTree::build(&changed);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let tree = MerkleTree::build(&files(4));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn single_file_tree() {
+        let fs = files(1);
+        let tree = MerkleTree::build(&fs);
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.path.is_empty());
+        assert!(MerkleTree::verify(&tree.root(), &fs[0], &proof));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_collection_panics() {
+        MerkleTree::build(&[]);
+    }
+}

@@ -1,0 +1,596 @@
+//! Hand-rolled binary wire codec for the cloud protocol.
+//!
+//! Length-prefixed, tagged frames over [`bytes::BytesMut`]. The codec is
+//! deliberately dependency-free (beyond `bytes`) so every byte on the
+//! simulated wire is accounted for explicitly — the bandwidth numbers in
+//! the protocol experiments are exact frame sizes, not estimates.
+
+use crate::files::EncryptedFile;
+use bytes::{Buf, BufMut, BytesMut};
+use rsse_ir::FileId;
+
+/// A posting-list label on the wire.
+pub type Label = [u8; 20];
+
+/// Posting lists on the wire: `(label, entries)` pairs.
+pub type WireLists = Vec<(Label, Vec<Vec<u8>>)>;
+
+/// Maximum accepted frame body (64 MiB) — guards against malicious length
+/// prefixes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the announced length.
+    UnexpectedEof,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversize(u64),
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "frame truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::Oversize(n) => write!(f, "length prefix {n} exceeds frame cap"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Which retrieval protocol a search request selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// RSSE: the server ranks and returns top-k files in one round.
+    Rsse,
+    /// Basic scheme, naive: the server returns *all* matching files plus
+    /// encrypted scores in one round (huge bandwidth).
+    BasicFull,
+    /// Basic scheme, two-round: round one returns only
+    /// `(id, E_z(S))` pairs; the user ranks and fetches the top-k files in
+    /// a second round.
+    BasicEntries,
+}
+
+impl SearchMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            SearchMode::Rsse => 0,
+            SearchMode::BasicFull => 1,
+            SearchMode::BasicEntries => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, CodecError> {
+        match b {
+            0 => Ok(SearchMode::Rsse),
+            1 => Ok(SearchMode::BasicFull),
+            2 => Ok(SearchMode::BasicEntries),
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+}
+
+/// All protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Owner → server: the encrypted indexes and file collection.
+    Outsource {
+        /// RSSE posting lists `(π_x(w), entries)`.
+        rsse_lists: Vec<(Label, Vec<Vec<u8>>)>,
+        /// Basic-scheme posting lists.
+        basic_lists: Vec<(Label, Vec<Vec<u8>>)>,
+        /// OPSE domain size `M` (public parameter).
+        opse_domain: u64,
+        /// OPSE range size `N` (public parameter).
+        opse_range: u64,
+        /// The encrypted files.
+        files: Vec<EncryptedFile>,
+    },
+    /// User → server: a trapdoor plus protocol selection.
+    SearchRequest {
+        /// The posting-list label `π_x(w)`.
+        label: Label,
+        /// The per-list key `f_y(w)` bytes.
+        list_key: [u8; 32],
+        /// `Some(k)` requests only the top-k results.
+        top_k: Option<u32>,
+        /// Which protocol to run.
+        mode: SearchMode,
+    },
+    /// Server → user (RSSE): ranked files, best first.
+    RsseResponse {
+        /// `(file id, OPM score)` in rank order.
+        ranking: Vec<(u64, u64)>,
+        /// The ranked encrypted files, same order.
+        files: Vec<EncryptedFile>,
+    },
+    /// Server → user (basic, naive): every matching file + encrypted score.
+    BasicFullResponse {
+        /// `(file id, E_z(S))` pairs.
+        scores: Vec<(u64, Vec<u8>)>,
+        /// All matching encrypted files (unranked).
+        files: Vec<EncryptedFile>,
+    },
+    /// Server → user (basic, round one): `(id, E_z(S))` pairs only.
+    BasicEntriesResponse {
+        /// `(file id, E_z(S))` pairs.
+        scores: Vec<(u64, Vec<u8>)>,
+    },
+    /// User → server (basic, round two): fetch these files.
+    FetchFiles {
+        /// Requested file ids, in the user's rank order.
+        ids: Vec<u64>,
+    },
+    /// User → server: conjunctive (multi-keyword) ranked search — the
+    /// §VIII extension. One `(label, list key)` pair per keyword.
+    ConjunctiveRequest {
+        /// Per-keyword trapdoor components, in query order.
+        trapdoors: Vec<(Label, [u8; 32])>,
+        /// `Some(k)` requests only the top-k results.
+        top_k: Option<u32>,
+    },
+    /// Server → user: conjunctive results ranked by mapped-score sum.
+    ConjunctiveResponse {
+        /// `(file id, per-keyword mapped scores)` in rank order.
+        ranking: Vec<(u64, Vec<u64>)>,
+        /// The ranked encrypted files, same order.
+        files: Vec<EncryptedFile>,
+    },
+    /// Server → user (basic, round two): the requested files.
+    FilesResponse {
+        /// Files in the requested order (missing ids are skipped).
+        files: Vec<EncryptedFile>,
+    },
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u64(b.len() as u64);
+    buf.put_slice(b);
+}
+
+fn get_len(buf: &mut BytesMut) -> Result<usize, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let n = buf.get_u64();
+    if n > MAX_FRAME_LEN as u64 {
+        return Err(CodecError::Oversize(n));
+    }
+    Ok(n as usize)
+}
+
+fn get_bytes(buf: &mut BytesMut) -> Result<Vec<u8>, CodecError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut out = vec![0u8; n];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+fn get_array<const N: usize>(buf: &mut BytesMut) -> Result<[u8; N], CodecError> {
+    if buf.remaining() < N {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut out = [0u8; N];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+fn get_u64(buf: &mut BytesMut) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_u64())
+}
+
+fn put_lists(buf: &mut BytesMut, lists: &[(Label, Vec<Vec<u8>>)]) {
+    buf.put_u64(lists.len() as u64);
+    for (label, entries) in lists {
+        buf.put_slice(label);
+        buf.put_u64(entries.len() as u64);
+        for e in entries {
+            put_bytes(buf, e);
+        }
+    }
+}
+
+fn get_lists(buf: &mut BytesMut) -> Result<WireLists, CodecError> {
+    let n = get_len(buf)?;
+    let mut lists = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let label: Label = get_array(buf)?;
+        let m = get_len(buf)?;
+        let mut entries = Vec::with_capacity(m.min(4096));
+        for _ in 0..m {
+            entries.push(get_bytes(buf)?);
+        }
+        lists.push((label, entries));
+    }
+    Ok(lists)
+}
+
+fn put_files(buf: &mut BytesMut, files: &[EncryptedFile]) {
+    buf.put_u64(files.len() as u64);
+    for f in files {
+        buf.put_u64(f.id().as_u64());
+        put_bytes(buf, f.ciphertext());
+    }
+}
+
+fn get_files(buf: &mut BytesMut) -> Result<Vec<EncryptedFile>, CodecError> {
+    let n = get_len(buf)?;
+    let mut files = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let id = get_u64(buf)?;
+        let ct = get_bytes(buf)?;
+        files.push(EncryptedFile::new(FileId::new(id), ct));
+    }
+    Ok(files)
+}
+
+fn put_scores(buf: &mut BytesMut, scores: &[(u64, Vec<u8>)]) {
+    buf.put_u64(scores.len() as u64);
+    for (id, ct) in scores {
+        buf.put_u64(*id);
+        put_bytes(buf, ct);
+    }
+}
+
+fn get_scores(buf: &mut BytesMut) -> Result<Vec<(u64, Vec<u8>)>, CodecError> {
+    let n = get_len(buf)?;
+    let mut scores = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let id = get_u64(buf)?;
+        scores.push((id, get_bytes(buf)?));
+    }
+    Ok(scores)
+}
+
+impl Message {
+    /// Serializes the message into a framed byte buffer.
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(256);
+        match self {
+            Message::Outsource {
+                rsse_lists,
+                basic_lists,
+                opse_domain,
+                opse_range,
+                files,
+            } => {
+                buf.put_u8(1);
+                put_lists(&mut buf, rsse_lists);
+                put_lists(&mut buf, basic_lists);
+                buf.put_u64(*opse_domain);
+                buf.put_u64(*opse_range);
+                put_files(&mut buf, files);
+            }
+            Message::SearchRequest {
+                label,
+                list_key,
+                top_k,
+                mode,
+            } => {
+                buf.put_u8(2);
+                buf.put_slice(label);
+                buf.put_slice(list_key);
+                match top_k {
+                    Some(k) => {
+                        buf.put_u8(1);
+                        buf.put_u32(*k);
+                    }
+                    None => buf.put_u8(0),
+                }
+                buf.put_u8(mode.to_byte());
+            }
+            Message::RsseResponse { ranking, files } => {
+                buf.put_u8(3);
+                buf.put_u64(ranking.len() as u64);
+                for (id, score) in ranking {
+                    buf.put_u64(*id);
+                    buf.put_u64(*score);
+                }
+                put_files(&mut buf, files);
+            }
+            Message::BasicFullResponse { scores, files } => {
+                buf.put_u8(4);
+                put_scores(&mut buf, scores);
+                put_files(&mut buf, files);
+            }
+            Message::BasicEntriesResponse { scores } => {
+                buf.put_u8(5);
+                put_scores(&mut buf, scores);
+            }
+            Message::FetchFiles { ids } => {
+                buf.put_u8(6);
+                buf.put_u64(ids.len() as u64);
+                for id in ids {
+                    buf.put_u64(*id);
+                }
+            }
+            Message::FilesResponse { files } => {
+                buf.put_u8(7);
+                put_files(&mut buf, files);
+            }
+            Message::ConjunctiveRequest { trapdoors, top_k } => {
+                buf.put_u8(8);
+                buf.put_u64(trapdoors.len() as u64);
+                for (label, key) in trapdoors {
+                    buf.put_slice(label);
+                    buf.put_slice(key);
+                }
+                match top_k {
+                    Some(k) => {
+                        buf.put_u8(1);
+                        buf.put_u32(*k);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            Message::ConjunctiveResponse { ranking, files } => {
+                buf.put_u8(9);
+                buf.put_u64(ranking.len() as u64);
+                for (id, scores) in ranking {
+                    buf.put_u64(*id);
+                    buf.put_u64(scores.len() as u64);
+                    for s in scores {
+                        buf.put_u64(*s);
+                    }
+                }
+                put_files(&mut buf, files);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a message, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    pub fn decode(mut buf: BytesMut) -> Result<Self, CodecError> {
+        if buf.remaining() < 1 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let tag = buf.get_u8();
+        let msg = match tag {
+            1 => Message::Outsource {
+                rsse_lists: get_lists(&mut buf)?,
+                basic_lists: get_lists(&mut buf)?,
+                opse_domain: get_u64(&mut buf)?,
+                opse_range: get_u64(&mut buf)?,
+                files: get_files(&mut buf)?,
+            },
+            2 => {
+                let label: Label = get_array(&mut buf)?;
+                let list_key: [u8; 32] = get_array(&mut buf)?;
+                let has_k = get_array::<1>(&mut buf)?[0];
+                let top_k = if has_k == 1 {
+                    if buf.remaining() < 4 {
+                        return Err(CodecError::UnexpectedEof);
+                    }
+                    Some(buf.get_u32())
+                } else {
+                    None
+                };
+                let mode = SearchMode::from_byte(get_array::<1>(&mut buf)?[0])?;
+                Message::SearchRequest {
+                    label,
+                    list_key,
+                    top_k,
+                    mode,
+                }
+            }
+            3 => {
+                let n = get_len(&mut buf)?;
+                let mut ranking = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let id = get_u64(&mut buf)?;
+                    let score = get_u64(&mut buf)?;
+                    ranking.push((id, score));
+                }
+                Message::RsseResponse {
+                    ranking,
+                    files: get_files(&mut buf)?,
+                }
+            }
+            4 => Message::BasicFullResponse {
+                scores: get_scores(&mut buf)?,
+                files: get_files(&mut buf)?,
+            },
+            5 => Message::BasicEntriesResponse {
+                scores: get_scores(&mut buf)?,
+            },
+            6 => {
+                let n = get_len(&mut buf)?;
+                let mut ids = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ids.push(get_u64(&mut buf)?);
+                }
+                Message::FetchFiles { ids }
+            }
+            7 => Message::FilesResponse {
+                files: get_files(&mut buf)?,
+            },
+            8 => {
+                let n = get_len(&mut buf)?;
+                let mut trapdoors = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let label: Label = get_array(&mut buf)?;
+                    let key: [u8; 32] = get_array(&mut buf)?;
+                    trapdoors.push((label, key));
+                }
+                let has_k = get_array::<1>(&mut buf)?[0];
+                let top_k = if has_k == 1 {
+                    if buf.remaining() < 4 {
+                        return Err(CodecError::UnexpectedEof);
+                    }
+                    Some(buf.get_u32())
+                } else {
+                    None
+                };
+                Message::ConjunctiveRequest { trapdoors, top_k }
+            }
+            9 => {
+                let n = get_len(&mut buf)?;
+                let mut ranking = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let id = get_u64(&mut buf)?;
+                    let m = get_len(&mut buf)?;
+                    let mut scores = Vec::with_capacity(m.min(64));
+                    for _ in 0..m {
+                        scores.push(get_u64(&mut buf)?);
+                    }
+                    ranking.push((id, scores));
+                }
+                Message::ConjunctiveResponse {
+                    ranking,
+                    files: get_files(&mut buf)?,
+                }
+            }
+            other => return Err(CodecError::BadTag(other)),
+        };
+        if buf.remaining() > 0 {
+            return Err(CodecError::TrailingBytes(buf.remaining()));
+        }
+        Ok(msg)
+    }
+
+    /// Size of the encoded message in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Outsource {
+                rsse_lists: vec![([1u8; 20], vec![vec![1, 2, 3], vec![4, 5]])],
+                basic_lists: vec![([2u8; 20], vec![vec![9; 40]])],
+                opse_domain: 128,
+                opse_range: 1 << 46,
+                files: vec![EncryptedFile::new(FileId::new(7), vec![0xaa; 100])],
+            },
+            Message::SearchRequest {
+                label: [3u8; 20],
+                list_key: [4u8; 32],
+                top_k: Some(10),
+                mode: SearchMode::Rsse,
+            },
+            Message::SearchRequest {
+                label: [3u8; 20],
+                list_key: [4u8; 32],
+                top_k: None,
+                mode: SearchMode::BasicEntries,
+            },
+            Message::RsseResponse {
+                ranking: vec![(1, 999), (2, 500)],
+                files: vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
+            },
+            Message::BasicFullResponse {
+                scores: vec![(1, vec![5; 24])],
+                files: vec![EncryptedFile::new(FileId::new(1), vec![7; 30])],
+            },
+            Message::BasicEntriesResponse {
+                scores: vec![(1, vec![5; 24]), (9, vec![6; 24])],
+            },
+            Message::FetchFiles { ids: vec![3, 1, 2] },
+            Message::FilesResponse {
+                files: vec![
+                    EncryptedFile::new(FileId::new(3), vec![1]),
+                    EncryptedFile::new(FileId::new(1), vec![]),
+                ],
+            },
+            Message::ConjunctiveRequest {
+                trapdoors: vec![([7u8; 20], [8u8; 32]), ([9u8; 20], [10u8; 32])],
+                top_k: Some(4),
+            },
+            Message::ConjunctiveResponse {
+                ranking: vec![(1, vec![100, 200]), (2, vec![50, 60])],
+                files: vec![EncryptedFile::new(FileId::new(1), vec![0xde, 0xad])],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in sample_messages() {
+            let encoded = msg.encode();
+            let decoded = Message::decode(encoded).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_an_error_not_a_panic() {
+        for msg in sample_messages() {
+            let encoded = msg.encode();
+            for cut in 0..encoded.len() {
+                let mut truncated = encoded.clone();
+                truncated.truncate(cut);
+                assert!(
+                    Message::decode(truncated).is_err(),
+                    "cut at {cut} must fail for {msg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut encoded = Message::FetchFiles { ids: vec![1] }.encode();
+        encoded.put_u8(0xff);
+        assert_eq!(
+            Message::decode(encoded),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99);
+        assert_eq!(Message::decode(buf), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(6); // FetchFiles
+        buf.put_u64(u64::MAX); // absurd count
+        assert!(matches!(
+            Message::decode(buf),
+            Err(CodecError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        assert_eq!(
+            Message::decode(BytesMut::new()),
+            Err(CodecError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        for msg in sample_messages() {
+            assert_eq!(msg.wire_len(), msg.encode().len());
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! The three protocol entities of the paper's Fig. 1 — data owner, cloud
+//! server, data user — and a [`Deployment`] harness that wires them through
+//! the metered channel.
+//!
+//! Three retrieval protocols are implemented, matching the paper's
+//! discussion:
+//!
+//! 1. **RSSE** (§IV): one round; the server ranks on OPM values and returns
+//!    only the top-k files.
+//! 2. **Basic, naive** (§III-C): one round; the server returns *every*
+//!    matching file plus its semantically encrypted score; the user ranks.
+//! 3. **Basic, two-round top-k** (§III-C discussion): round one transfers
+//!    only `(id, E_z(S))` pairs; the user ranks and fetches top-k files in
+//!    round two — saving bandwidth, paying an extra round trip.
+
+use crate::codec::{Message, SearchMode};
+use crate::error::CloudError;
+use crate::files::{EncryptedFile, FileCrypter, FileStore};
+use crate::network::{MeteredChannel, TrafficReport};
+use parking_lot::RwLock;
+use rsse_core::{Rsse, RsseIndex, RsseParams, RsseTrapdoor};
+use rsse_crypto::SecretKey;
+use rsse_ir::{Document, FileId, InvertedIndex};
+use rsse_opse::OpseParams;
+use rsse_sse::scheme::open_entries;
+use rsse_sse::{BasicEncryptedIndex, BasicScheme};
+use std::sync::Arc;
+
+/// The data owner: holds the master secret, builds both secure indexes,
+/// encrypts the collection, and authorizes users by sharing the seed
+/// (standing in for the paper's broadcast-encryption key distribution).
+#[derive(Debug)]
+pub struct DataOwner {
+    master_seed: Vec<u8>,
+    rsse: Rsse,
+    basic: BasicScheme,
+    files: FileCrypter,
+}
+
+impl DataOwner {
+    /// Creates the owner from a master seed and RSSE parameters.
+    pub fn new(master_seed: &[u8], params: RsseParams) -> Self {
+        DataOwner {
+            master_seed: master_seed.to_vec(),
+            rsse: Rsse::new(master_seed, params),
+            basic: BasicScheme::new(master_seed),
+            files: FileCrypter::new(master_seed),
+        }
+    }
+
+    /// The `Setup` phase: build both indexes, encrypt all files, and emit
+    /// the `Outsource` message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn outsource(&self, docs: &[Document]) -> Result<Message, CloudError> {
+        let plaintext_index = InvertedIndex::build(docs);
+        let rsse_index = self.rsse.build_index_from(&plaintext_index)?;
+        let opse = *rsse_index
+            .opse_params()
+            .expect("freshly built index carries parameters");
+        let basic_index = self.basic.build_index(&plaintext_index, Default::default())?;
+        Ok(Message::Outsource {
+            rsse_lists: rsse_index.export_parts(),
+            basic_lists: basic_index.export_parts(),
+            opse_domain: opse.domain_size(),
+            opse_range: opse.range_size(),
+            files: self.files.encrypt_collection(docs),
+        })
+    }
+
+    /// Authorizes a user: in the paper, the trapdoor-generation key is
+    /// distributed via public-key crypto or broadcast encryption; here the
+    /// credential is the master seed itself.
+    pub fn authorize_user(&self) -> User {
+        User::new(&self.master_seed, *self.rsse.params())
+    }
+}
+
+/// The honest-but-curious cloud server.
+#[derive(Debug)]
+pub struct CloudServer {
+    rsse_index: RsseIndex,
+    basic_index: BasicEncryptedIndex,
+    files: FileStore,
+}
+
+impl CloudServer {
+    /// Boots the server from the owner's `Outsource` message.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnexpectedMessage`] for any other message type, or an
+    /// OPSE parameter error for inconsistent public parameters.
+    pub fn from_outsource(msg: Message) -> Result<Self, CloudError> {
+        let Message::Outsource {
+            rsse_lists,
+            basic_lists,
+            opse_domain,
+            opse_range,
+            files,
+        } = msg
+        else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "Outsource",
+            });
+        };
+        let opse = OpseParams::new(opse_domain, opse_range)
+            .map_err(|e| CloudError::Rsse(rsse_core::RsseError::Opse(e)))?;
+        let mut store = FileStore::new();
+        store.ingest(files);
+        Ok(CloudServer {
+            rsse_index: RsseIndex::from_parts(rsse_lists, opse),
+            basic_index: BasicEncryptedIndex::from_parts(basic_lists),
+            files: store,
+        })
+    }
+
+    /// Dispatches one request message to one response message.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnexpectedMessage`] for non-request messages.
+    pub fn handle(&self, msg: Message) -> Result<Message, CloudError> {
+        match msg {
+            Message::SearchRequest {
+                label,
+                list_key,
+                top_k,
+                mode,
+            } => {
+                let key = SecretKey::from_bytes(list_key);
+                match mode {
+                    SearchMode::Rsse => {
+                        let trapdoor = RsseTrapdoor::from_parts(label, key);
+                        let results = self
+                            .rsse_index
+                            .search(&trapdoor, top_k.map(|k| k as usize));
+                        let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+                        Ok(Message::RsseResponse {
+                            ranking: results
+                                .iter()
+                                .map(|r| (r.file.as_u64(), r.encrypted_score))
+                                .collect(),
+                            files: self.files.fetch_many(&ids),
+                        })
+                    }
+                    SearchMode::BasicFull => {
+                        let entries = self.basic_index.search(&label).unwrap_or(&[]);
+                        let opened = open_entries(&key, entries);
+                        let ids: Vec<FileId> = opened.iter().map(|(f, _)| *f).collect();
+                        Ok(Message::BasicFullResponse {
+                            scores: opened
+                                .into_iter()
+                                .map(|(f, ct)| (f.as_u64(), ct))
+                                .collect(),
+                            files: self.files.fetch_many(&ids),
+                        })
+                    }
+                    SearchMode::BasicEntries => {
+                        let entries = self.basic_index.search(&label).unwrap_or(&[]);
+                        let opened = open_entries(&key, entries);
+                        Ok(Message::BasicEntriesResponse {
+                            scores: opened
+                                .into_iter()
+                                .map(|(f, ct)| (f.as_u64(), ct))
+                                .collect(),
+                        })
+                    }
+                }
+            }
+            Message::FetchFiles { ids } => {
+                let ids: Vec<FileId> = ids.into_iter().map(FileId::new).collect();
+                Ok(Message::FilesResponse {
+                    files: self.files.fetch_many(&ids),
+                })
+            }
+            Message::ConjunctiveRequest { trapdoors, top_k } => {
+                let parts: Vec<RsseTrapdoor> = trapdoors
+                    .into_iter()
+                    .map(|(label, key)| {
+                        RsseTrapdoor::from_parts(label, SecretKey::from_bytes(key))
+                    })
+                    .collect();
+                let multi = rsse_core::multi::MultiTrapdoor::from_parts(parts);
+                let results = self
+                    .rsse_index
+                    .search_conjunctive(&multi, top_k.map(|k| k as usize));
+                let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+                Ok(Message::ConjunctiveResponse {
+                    ranking: results
+                        .into_iter()
+                        .map(|r| (r.file.as_u64(), r.mapped_scores))
+                        .collect(),
+                    files: self.files.fetch_many(&ids),
+                })
+            }
+            _ => Err(CloudError::UnexpectedMessage {
+                expected: "SearchRequest or FetchFiles",
+            }),
+        }
+    }
+
+    /// The curious server's raw view of a posting list (for the adversary
+    /// experiments).
+    pub fn rsse_index(&self) -> &RsseIndex {
+        &self.rsse_index
+    }
+
+    /// Applies an owner-issued score-dynamics update.
+    pub fn apply_update(&mut self, update: rsse_core::IndexUpdate, new_files: Vec<EncryptedFile>) {
+        update.apply_to(&mut self.rsse_index);
+        self.files.ingest(new_files);
+    }
+
+    /// Number of stored files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// An authorized data user.
+#[derive(Debug)]
+pub struct User {
+    rsse: Rsse,
+    basic: BasicScheme,
+    files: FileCrypter,
+}
+
+impl User {
+    /// Derives the user's keys from the distributed credential.
+    pub fn new(master_seed: &[u8], params: RsseParams) -> Self {
+        User {
+            rsse: Rsse::new(master_seed, params),
+            basic: BasicScheme::new(master_seed),
+            files: FileCrypter::new(master_seed),
+        }
+    }
+
+    /// Builds a search request for `keyword` under the chosen protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures (e.g. stop-word-only queries).
+    pub fn search_request(
+        &self,
+        keyword: &str,
+        top_k: Option<u32>,
+        mode: SearchMode,
+    ) -> Result<Message, CloudError> {
+        let (label, key) = match mode {
+            SearchMode::Rsse => {
+                let t = self.rsse.trapdoor(keyword)?;
+                (*t.label(), *t.list_key().as_bytes())
+            }
+            SearchMode::BasicFull | SearchMode::BasicEntries => {
+                let t = self.basic.trapdoor(keyword)?;
+                (*t.label(), *t.list_key().as_bytes())
+            }
+        };
+        Ok(Message::SearchRequest {
+            label,
+            list_key: key,
+            top_k,
+            mode,
+        })
+    }
+
+    /// Decrypts the files of an RSSE response (already ranked by the
+    /// server).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnexpectedMessage`] on any other message type.
+    pub fn read_rsse_response(&self, msg: Message) -> Result<Vec<Document>, CloudError> {
+        let Message::RsseResponse { files, .. } = msg else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "RsseResponse",
+            });
+        };
+        files
+            .iter()
+            .map(|f| self.files.decrypt(f).map_err(CloudError::from))
+            .collect()
+    }
+
+    /// Ranks a basic-scheme response client-side (decrypting the scores
+    /// with `z`) and returns `(ranked ids, decrypted files by id)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnexpectedMessage`] on other message types.
+    pub fn rank_basic_scores(
+        &self,
+        scores: &[(u64, Vec<u8>)],
+    ) -> Result<Vec<FileId>, CloudError> {
+        use rsse_crypto::SemanticCipher;
+        let cipher = SemanticCipher::new(self.basic.keys().score_key());
+        let mut scored: Vec<(FileId, f64)> = scores
+            .iter()
+            .filter_map(|(id, ct)| {
+                let plain = cipher.decrypt(ct).ok()?;
+                let bytes: [u8; 8] = plain.try_into().ok()?;
+                let s = f64::from_be_bytes(bytes);
+                s.is_finite().then_some((FileId::new(*id), s))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        Ok(scored.into_iter().map(|(f, _)| f).collect())
+    }
+
+    /// Decrypts fetched files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decryption failures.
+    pub fn decrypt_files(&self, files: &[EncryptedFile]) -> Result<Vec<Document>, CloudError> {
+        files
+            .iter()
+            .map(|f| self.files.decrypt(f).map_err(CloudError::from))
+            .collect()
+    }
+
+    /// Builds a conjunctive (multi-keyword) search request — the §VIII
+    /// extension over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures (all-stop-word queries).
+    pub fn conjunctive_request(
+        &self,
+        query: &str,
+        top_k: Option<u32>,
+    ) -> Result<Message, CloudError> {
+        let multi = self.rsse.multi_trapdoor(query)?;
+        Ok(Message::ConjunctiveRequest {
+            trapdoors: multi
+                .parts()
+                .iter()
+                .map(|t| (*t.label(), *t.list_key().as_bytes()))
+                .collect(),
+            top_k,
+        })
+    }
+}
+
+/// A complete wired deployment: owner, shared server, one authorized user,
+/// with all traffic metered.
+pub struct Deployment {
+    server: Arc<RwLock<CloudServer>>,
+    user: User,
+    owner: DataOwner,
+    /// Traffic of the Setup (outsourcing) phase.
+    pub setup_traffic: TrafficReport,
+}
+
+impl core::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Deployment {{ files: {} }}", self.server.read().num_files())
+    }
+}
+
+impl Deployment {
+    /// Bootstraps the whole system over `docs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn bootstrap(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let mut channel = MeteredChannel::new();
+        let outsource = owner.outsource(docs)?;
+        // Encode/decode across the metered wire, exactly as deployed.
+        let frame = outsource.encode();
+        channel.send_up(frame.len());
+        let server = CloudServer::from_outsource(Message::decode(frame)?)?;
+        let user = owner.authorize_user();
+        Ok(Deployment {
+            server: Arc::new(RwLock::new(server)),
+            user,
+            owner,
+            setup_traffic: channel.report(),
+        })
+    }
+
+    /// The authorized user.
+    pub fn user(&self) -> &User {
+        &self.user
+    }
+
+    /// The data owner.
+    pub fn owner(&self) -> &DataOwner {
+        &self.owner
+    }
+
+    /// Shared handle to the server (read-locked per request), for
+    /// multi-user experiments.
+    pub fn server(&self) -> Arc<RwLock<CloudServer>> {
+        Arc::clone(&self.server)
+    }
+
+    fn round(
+        &self,
+        channel: &mut MeteredChannel,
+        request: Message,
+    ) -> Result<Message, CloudError> {
+        let up = request.encode();
+        channel.send_up(up.len());
+        let response = self.server.read().handle(Message::decode(up)?)?;
+        let down = response.encode();
+        channel.send_down(down.len());
+        Message::decode(down).map_err(CloudError::from)
+    }
+
+    /// Protocol 1 — RSSE one-round top-k retrieval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor/protocol failures.
+    pub fn rsse_search(
+        &self,
+        keyword: &str,
+        top_k: Option<u32>,
+    ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
+        let mut channel = MeteredChannel::new();
+        let request = self
+            .user
+            .search_request(keyword, top_k, SearchMode::Rsse)?;
+        let response = self.round(&mut channel, request)?;
+        Ok((self.user.read_rsse_response(response)?, channel.report()))
+    }
+
+    /// Extension — conjunctive multi-keyword ranked search (one round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor/protocol failures.
+    pub fn conjunctive_search(
+        &self,
+        query: &str,
+        top_k: Option<u32>,
+    ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
+        let mut channel = MeteredChannel::new();
+        let request = self.user.conjunctive_request(query, top_k)?;
+        let response = self.round(&mut channel, request)?;
+        let Message::ConjunctiveResponse { files, .. } = response else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "ConjunctiveResponse",
+            });
+        };
+        Ok((self.user.decrypt_files(&files)?, channel.report()))
+    }
+
+    /// Protocol 2 — basic scheme, naive: all matching files in one round,
+    /// ranked client-side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor/protocol failures.
+    pub fn basic_search_full(
+        &self,
+        keyword: &str,
+    ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
+        let mut channel = MeteredChannel::new();
+        let request = self
+            .user
+            .search_request(keyword, None, SearchMode::BasicFull)?;
+        let response = self.round(&mut channel, request)?;
+        let Message::BasicFullResponse { scores, files } = response else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "BasicFullResponse",
+            });
+        };
+        let order = self.user.rank_basic_scores(&scores)?;
+        let mut by_id: std::collections::HashMap<FileId, EncryptedFile> =
+            files.into_iter().map(|f| (f.id(), f)).collect();
+        let ranked_files: Vec<EncryptedFile> =
+            order.iter().filter_map(|id| by_id.remove(id)).collect();
+        Ok((self.user.decrypt_files(&ranked_files)?, channel.report()))
+    }
+
+    /// Protocol 3 — basic scheme, two-round top-k.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor/protocol failures.
+    pub fn basic_search_top_k(
+        &self,
+        keyword: &str,
+        k: usize,
+    ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
+        let mut channel = MeteredChannel::new();
+        let request = self
+            .user
+            .search_request(keyword, None, SearchMode::BasicEntries)?;
+        let response = self.round(&mut channel, request)?;
+        let Message::BasicEntriesResponse { scores } = response else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "BasicEntriesResponse",
+            });
+        };
+        let mut order = self.user.rank_basic_scores(&scores)?;
+        order.truncate(k);
+        let fetch = Message::FetchFiles {
+            ids: order.iter().map(|f| f.as_u64()).collect(),
+        };
+        let response = self.round(&mut channel, fetch)?;
+        let Message::FilesResponse { files } = response else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "FilesResponse",
+            });
+        };
+        Ok((self.user.decrypt_files(&files)?, channel.report()))
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the cloud deployment simulation.
+
+use crate::codec::CodecError;
+use core::fmt;
+use rsse_core::RsseError;
+use rsse_crypto::CryptoError;
+use rsse_sse::SseError;
+
+/// Errors from the simulated deployment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// Wire decoding failed.
+    Codec(CodecError),
+    /// The peer sent a message the handler does not expect in this state.
+    UnexpectedMessage {
+        /// What the handler expected.
+        expected: &'static str,
+    },
+    /// RSSE scheme failure.
+    Rsse(RsseError),
+    /// Basic scheme failure.
+    Sse(SseError),
+    /// Cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::Codec(e) => write!(f, "wire decoding failed: {e}"),
+            CloudError::UnexpectedMessage { expected } => {
+                write!(f, "unexpected message; expected {expected}")
+            }
+            CloudError::Rsse(e) => write!(f, "rsse failure: {e}"),
+            CloudError::Sse(e) => write!(f, "sse failure: {e}"),
+            CloudError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CloudError::Codec(e) => Some(e),
+            CloudError::Rsse(e) => Some(e),
+            CloudError::Sse(e) => Some(e),
+            CloudError::Crypto(e) => Some(e),
+            CloudError::UnexpectedMessage { .. } => None,
+        }
+    }
+}
+
+impl From<CodecError> for CloudError {
+    fn from(e: CodecError) -> Self {
+        CloudError::Codec(e)
+    }
+}
+
+impl From<RsseError> for CloudError {
+    fn from(e: RsseError) -> Self {
+        CloudError::Rsse(e)
+    }
+}
+
+impl From<SseError> for CloudError {
+    fn from(e: SseError) -> Self {
+        CloudError::Sse(e)
+    }
+}
+
+impl From<CryptoError> for CloudError {
+    fn from(e: CryptoError) -> Self {
+        CloudError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CloudError::Codec(CodecError::UnexpectedEof);
+        assert!(e.to_string().contains("wire decoding"));
+        assert!(e.source().is_some());
+        let u = CloudError::UnexpectedMessage { expected: "files" };
+        assert!(u.source().is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! **Extension** — trapdoor-key distribution for authorized users.
+//!
+//! The paper's Setup phase says the owner "distribute\[s\] the necessary
+//! secret parameters (the trapdoor generation key) to a group of
+//! authorized users by employing off-the-shelf public key cryptography or
+//! more efficient primitive such as broadcast encryption". This module
+//! implements the key-wrapping registry that stands in for that machinery:
+//!
+//! * each enrolled user shares a key-encryption key (KEK) with the owner
+//!   (the artifact a PKI or broadcast-encryption scheme would establish);
+//! * `grant` wraps the current master credential under a user's KEK;
+//! * `revoke` + `rotate` implement the coarse-grained revocation the
+//!   symmetric setting allows: rotating re-keys the whole system, and only
+//!   still-enrolled users receive the new wrapped credential.
+
+use rsse_crypto::ctr::Sealer;
+use rsse_crypto::{CryptoError, SecretKey, SemanticCipher};
+use std::collections::HashMap;
+
+/// An opaque wrapped credential handed to one user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrappedCredential {
+    /// Credential epoch (bumped by each rotation).
+    pub epoch: u64,
+    ciphertext: Vec<u8>,
+}
+
+/// The owner-side user registry.
+#[derive(Debug)]
+pub struct KeyDistributor {
+    master_seed: Vec<u8>,
+    epoch: u64,
+    users: HashMap<String, SecretKey>,
+}
+
+impl KeyDistributor {
+    /// Creates a distributor over the owner's current master seed.
+    pub fn new(master_seed: &[u8]) -> Self {
+        KeyDistributor {
+            master_seed: master_seed.to_vec(),
+            epoch: 0,
+            users: HashMap::new(),
+        }
+    }
+
+    /// The current epoch (bumped by [`Self::rotate`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current master seed (what an authorized user reconstructs).
+    pub fn master_seed(&self) -> &[u8] {
+        &self.master_seed
+    }
+
+    /// Enrolls a user with an established KEK and returns their wrapped
+    /// credential.
+    pub fn enroll(&mut self, user_id: &str, kek: SecretKey) -> WrappedCredential {
+        self.users.insert(user_id.to_string(), kek.clone());
+        self.wrap(&kek)
+    }
+
+    /// Re-issues the current credential to an already-enrolled user.
+    pub fn grant(&self, user_id: &str) -> Option<WrappedCredential> {
+        self.users.get(user_id).map(|kek| self.wrap(kek))
+    }
+
+    /// Removes a user from the registry. Their existing credential keeps
+    /// working until the owner rotates — the inherent limitation of
+    /// symmetric-key authorization the paper inherits.
+    pub fn revoke(&mut self, user_id: &str) -> bool {
+        self.users.remove(user_id).is_some()
+    }
+
+    /// Rotates the master credential: derives a fresh seed, bumps the
+    /// epoch, and returns new wrapped credentials for every still-enrolled
+    /// user. The owner must rebuild/re-encrypt the outsourced index under
+    /// the new seed for revocation to take effect.
+    pub fn rotate(&mut self) -> Vec<(String, WrappedCredential)> {
+        self.epoch += 1;
+        self.master_seed =
+            SecretKey::derive(&self.master_seed, &format!("rotate/{}", self.epoch))
+                .as_bytes()
+                .to_vec();
+        let mut out: Vec<(String, WrappedCredential)> = self
+            .users
+            .iter()
+            .map(|(id, kek)| (id.clone(), self.wrap(kek)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn wrap(&self, kek: &SecretKey) -> WrappedCredential {
+        let mut sealer = Sealer::new(SemanticCipher::new(kek), self.epoch);
+        WrappedCredential {
+            epoch: self.epoch,
+            ciphertext: sealer.seal(&self.master_seed),
+        }
+    }
+}
+
+/// User-side unwrap: recover the master seed with the shared KEK.
+///
+/// # Errors
+///
+/// Propagates decryption failures (truncated credential).
+pub fn unwrap_credential(
+    kek: &SecretKey,
+    credential: &WrappedCredential,
+) -> Result<Vec<u8>, CryptoError> {
+    SemanticCipher::new(kek).decrypt(&credential.ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kek(label: &str) -> SecretKey {
+        SecretKey::derive(b"user kek material", label)
+    }
+
+    #[test]
+    fn enrolled_user_recovers_the_master_seed() {
+        let mut dist = KeyDistributor::new(b"the master seed");
+        let cred = dist.enroll("alice", kek("alice"));
+        let seed = unwrap_credential(&kek("alice"), &cred).unwrap();
+        assert_eq!(seed, b"the master seed");
+    }
+
+    #[test]
+    fn wrong_kek_does_not_recover_the_seed() {
+        let mut dist = KeyDistributor::new(b"the master seed");
+        let cred = dist.enroll("alice", kek("alice"));
+        let got = unwrap_credential(&kek("mallory"), &cred).unwrap();
+        assert_ne!(got, b"the master seed");
+    }
+
+    #[test]
+    fn rotation_changes_the_seed_and_skips_revoked_users() {
+        let mut dist = KeyDistributor::new(b"seed v0");
+        dist.enroll("alice", kek("alice"));
+        dist.enroll("bob", kek("bob"));
+        assert!(dist.revoke("bob"));
+        assert!(!dist.revoke("bob"), "double revoke is a no-op");
+
+        let reissued = dist.rotate();
+        assert_eq!(dist.epoch(), 1);
+        let names: Vec<&str> = reissued.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alice"]);
+
+        // Alice's new credential unwraps to the *new* seed.
+        let (_, cred) = &reissued[0];
+        assert_eq!(cred.epoch, 1);
+        let new_seed = unwrap_credential(&kek("alice"), cred).unwrap();
+        assert_ne!(new_seed, b"seed v0");
+        assert_eq!(new_seed, dist.master_seed());
+    }
+
+    #[test]
+    fn grant_reissues_current_epoch_only_to_enrolled_users() {
+        let mut dist = KeyDistributor::new(b"seed");
+        dist.enroll("alice", kek("alice"));
+        assert!(dist.grant("alice").is_some());
+        assert!(dist.grant("nobody").is_none());
+    }
+
+    #[test]
+    fn rotated_system_rejects_old_credentials_end_to_end() {
+        use rsse_core::{Rsse, RsseParams};
+        use rsse_ir::{Document, FileId};
+
+        let mut dist = KeyDistributor::new(b"epoch zero seed");
+        let cred_old = dist.enroll("alice", kek("alice"));
+        dist.rotate();
+
+        // The owner rebuilds the index under the rotated seed.
+        let docs = vec![Document::new(FileId::new(1), "network notes")];
+        let owner = Rsse::new(dist.master_seed(), RsseParams::default());
+        let index = owner.build_index(&docs).unwrap();
+
+        // A user stuck with the pre-rotation credential derives stale keys.
+        let stale_seed = unwrap_credential(&kek("alice"), &cred_old).unwrap();
+        let stale = Rsse::new(&stale_seed, RsseParams::default());
+        let t = stale.trapdoor("network").unwrap();
+        assert!(index.search(&t, None).is_empty());
+
+        // A refreshed credential works.
+        let cred_new = dist.grant("alice").unwrap();
+        let fresh_seed = unwrap_credential(&kek("alice"), &cred_new).unwrap();
+        let fresh = Rsse::new(&fresh_seed, RsseParams::default());
+        let t = fresh.trapdoor("network").unwrap();
+        assert_eq!(index.search(&t, None).len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulated cloud deployment of the RSSE system (the paper's Fig. 1).
+//!
+//! * [`entities`] — data owner, honest-but-curious cloud server, and
+//!   authorized users, wired through an exact-byte metered channel;
+//! * [`codec`] — the hand-rolled binary wire format (every bandwidth number
+//!   is a real frame size);
+//! * [`network`] — latency/bandwidth cost model for comparing the one-round
+//!   RSSE protocol against the basic scheme's naive and two-round variants;
+//! * [`files`] — encrypted file storage;
+//! * [`adversary`] — the statistical keyword-fingerprinting attack the
+//!   one-to-many mapping defends against (Fig. 4 vs Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use rsse_cloud::entities::Deployment;
+//! use rsse_core::RsseParams;
+//! use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+//!
+//! # fn main() -> Result<(), rsse_cloud::CloudError> {
+//! let corpus = SyntheticCorpus::generate(&CorpusParams::small(3));
+//! let cloud = Deployment::bootstrap(b"seed", RsseParams::default(), corpus.documents())?;
+//! let (docs, traffic) = cloud.rsse_search("network", Some(5))?;
+//! assert_eq!(docs.len(), 5);
+//! assert_eq!(traffic.round_trips, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod audit;
+pub mod codec;
+pub mod entities;
+pub mod error;
+pub mod files;
+pub mod keydist;
+pub mod network;
+pub mod server_loop;
+
+pub use codec::{CodecError, Message, SearchMode};
+pub use entities::{CloudServer, DataOwner, Deployment, User};
+pub use error::CloudError;
+pub use files::{EncryptedFile, FileCrypter, FileStore};
+pub use network::{MeteredChannel, NetworkParams, TrafficReport};

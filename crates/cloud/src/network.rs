@@ -1,0 +1,158 @@
+//! The simulated network: latency/bandwidth cost model and traffic
+//! accounting.
+//!
+//! The paper's efficiency argument is about *protocol shape*: one round
+//! with top-k-sized responses (RSSE) versus one round with everything
+//! (basic, naive) versus two rounds (basic, top-k). This module prices each
+//! message so the trade-off becomes a number.
+
+use std::time::Duration;
+
+/// Link parameters of the simulated owner/user ↔ cloud connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// One-way propagation latency.
+    pub one_way_latency: Duration,
+    /// Link throughput in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkParams {
+    /// A WAN-ish default: 40 ms one-way, 100 Mbit/s.
+    pub fn wan() -> Self {
+        NetworkParams {
+            one_way_latency: Duration::from_millis(40),
+            bandwidth_bytes_per_sec: 12.5e6,
+        }
+    }
+
+    /// A LAN-ish profile: 0.5 ms one-way, 1 Gbit/s.
+    pub fn lan() -> Self {
+        NetworkParams {
+            one_way_latency: Duration::from_micros(500),
+            bandwidth_bytes_per_sec: 125e6,
+        }
+    }
+
+    /// Transfer time of `bytes` over this link (latency excluded).
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self::wan()
+    }
+}
+
+/// Accumulated traffic of one protocol run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Bytes sent client → server.
+    pub bytes_up: usize,
+    /// Bytes sent server → client.
+    pub bytes_down: usize,
+    /// Number of round trips (request/response pairs).
+    pub round_trips: u32,
+}
+
+impl TrafficReport {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Simulated wall-clock completion time over `net`: per round trip two
+    /// propagation delays, plus serialization time of every byte.
+    pub fn simulated_time(&self, net: &NetworkParams) -> Duration {
+        let propagation = net.one_way_latency * (2 * self.round_trips);
+        propagation + net.transfer_time(self.total_bytes())
+    }
+}
+
+/// A metered channel that tallies every frame.
+#[derive(Debug, Clone, Default)]
+pub struct MeteredChannel {
+    report: TrafficReport,
+}
+
+impl MeteredChannel {
+    /// Creates a channel with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client → server frame.
+    pub fn send_up(&mut self, bytes: usize) {
+        self.report.bytes_up += bytes;
+    }
+
+    /// Records a server → client frame and closes one round trip.
+    pub fn send_down(&mut self, bytes: usize) {
+        self.report.bytes_down += bytes;
+        self.report.round_trips += 1;
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> TrafficReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let net = NetworkParams::lan();
+        let t1 = net.transfer_time(1_000_000);
+        let t2 = net.transfer_time(2_000_000);
+        assert!((t2.as_secs_f64() - 2.0 * t1.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trips_dominate_small_messages_on_wan() {
+        let net = NetworkParams::wan();
+        let one_round = TrafficReport {
+            bytes_up: 100,
+            bytes_down: 100,
+            round_trips: 1,
+        };
+        let two_rounds = TrafficReport {
+            bytes_up: 100,
+            bytes_down: 100,
+            round_trips: 2,
+        };
+        let d1 = one_round.simulated_time(&net);
+        let d2 = two_rounds.simulated_time(&net);
+        assert!(d2 > d1);
+        assert!((d2 - d1).as_millis() >= 79, "extra RTT ≈ 80 ms");
+    }
+
+    #[test]
+    fn bandwidth_dominates_bulk_transfers() {
+        let net = NetworkParams::wan();
+        let bulky = TrafficReport {
+            bytes_up: 200,
+            bytes_down: 100_000_000, // ~8 s at 100 Mbit/s
+            round_trips: 1,
+        };
+        assert!(bulky.simulated_time(&net) > Duration::from_secs(7));
+    }
+
+    #[test]
+    fn metered_channel_accumulates() {
+        let mut ch = MeteredChannel::new();
+        ch.send_up(10);
+        ch.send_down(20);
+        ch.send_up(5);
+        ch.send_down(5);
+        let r = ch.report();
+        assert_eq!(r.bytes_up, 15);
+        assert_eq!(r.bytes_down, 25);
+        assert_eq!(r.round_trips, 2);
+        assert_eq!(r.total_bytes(), 40);
+    }
+}

@@ -1,0 +1,257 @@
+//! A threaded request/response server loop over the wire codec.
+//!
+//! [`Deployment`](crate::entities::Deployment) calls the server in-process;
+//! this module runs the [`CloudServer`] on its own thread behind crossbeam
+//! channels, so many client threads can talk to it concurrently through
+//! real encoded frames — the closest this simulation gets to a deployed
+//! service, and the harness for the multi-user experiments.
+
+use crate::codec::Message;
+use crate::entities::CloudServer;
+use crate::error::CloudError;
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A request frame paired with the channel to answer on, or the shutdown
+/// sentinel. Clients hold cloned senders, so the channel never disconnects
+/// on its own — the sentinel is what actually stops the loop.
+enum Envelope {
+    Request {
+        frame: Vec<u8>,
+        reply: Sender<Result<Vec<u8>, String>>,
+    },
+    Shutdown,
+}
+
+/// Handle to a running server thread.
+///
+/// Dropping the handle shuts the server down ([`ServerHandle::shutdown`]
+/// does so explicitly and joins the thread).
+///
+/// # Example
+///
+/// ```
+/// use rsse_cloud::entities::{CloudServer, DataOwner};
+/// use rsse_cloud::server_loop::ServerHandle;
+/// use rsse_cloud::{Message, SearchMode};
+/// use rsse_core::RsseParams;
+/// use rsse_ir::{Document, FileId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let owner = DataOwner::new(b"seed", RsseParams::default());
+/// let docs = vec![Document::new(FileId::new(1), "network notes")];
+/// let server = CloudServer::from_outsource(owner.outsource(&docs)?)?;
+/// let handle = ServerHandle::spawn(server, 8);
+///
+/// let client = handle.client();
+/// let user = owner.authorize_user();
+/// let request = user.search_request("network", Some(1), SearchMode::Rsse)?;
+/// let response = client.call(request)?;
+/// assert!(matches!(response, Message::RsseResponse { .. }));
+///
+/// handle.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServerHandle {
+    requests: Sender<Envelope>,
+    thread: Option<JoinHandle<u64>>,
+}
+
+/// A cheap, cloneable client endpoint for one server.
+#[derive(Debug, Clone)]
+pub struct ServerClient {
+    requests: Sender<Envelope>,
+}
+
+impl ServerHandle {
+    /// Spawns the server thread with a bounded request queue of `backlog`.
+    pub fn spawn(server: CloudServer, backlog: usize) -> Self {
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(backlog.max(1));
+        let thread = std::thread::spawn(move || {
+            let mut served = 0u64;
+            while let Ok(envelope) = rx.recv() {
+                let (frame, reply) = match envelope {
+                    Envelope::Request { frame, reply } => (frame, reply),
+                    Envelope::Shutdown => break,
+                };
+                let outcome = Message::decode(BytesMut::from(&frame[..]))
+                    .map_err(CloudError::from)
+                    .and_then(|msg| server.handle(msg))
+                    .map(|resp| resp.encode().to_vec())
+                    .map_err(|e| e.to_string());
+                served += 1;
+                // A client that hung up is not the server's problem.
+                let _ = reply.send(outcome);
+            }
+            served
+        });
+        ServerHandle {
+            requests: tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Creates a client endpoint.
+    pub fn client(&self) -> ServerClient {
+        ServerClient {
+            requests: self.requests.clone(),
+        }
+    }
+
+    /// Stops accepting requests and joins the server thread, returning the
+    /// number of requests served. Requests still queued behind the
+    /// shutdown sentinel are dropped (their clients see a transport error).
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.requests.send(Envelope::Shutdown);
+        self.thread
+            .take()
+            .expect("thread present until shutdown")
+            .join()
+            .expect("server thread panicked")
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = self.requests.send(Envelope::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl ServerClient {
+    /// Sends a request message and waits for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::UnexpectedMessage`] style failures are stringified by
+    /// the server; transport loss (server shut down) maps to an
+    /// `UnexpectedMessage` as well.
+    pub fn call(&self, request: Message) -> Result<Message, CloudError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let envelope = Envelope::Request {
+            frame: request.encode().to_vec(),
+            reply: reply_tx,
+        };
+        self.requests
+            .send(envelope)
+            .map_err(|_| CloudError::UnexpectedMessage {
+                expected: "running server",
+            })?;
+        let frame = reply_rx
+            .recv()
+            .map_err(|_| CloudError::UnexpectedMessage {
+                expected: "server response",
+            })?
+            .map_err(|_| CloudError::UnexpectedMessage {
+                expected: "successful response",
+            })?;
+        Message::decode(BytesMut::from(&frame[..])).map_err(CloudError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::SearchMode;
+    use crate::entities::DataOwner;
+    use rsse_core::RsseParams;
+    use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+
+    fn spawn_server() -> (DataOwner, ServerHandle, usize) {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(55));
+        let owner = DataOwner::new(b"loop seed", RsseParams::default());
+        let server =
+            CloudServer::from_outsource(owner.outsource(corpus.documents()).unwrap()).unwrap();
+        let n = corpus.documents().len();
+        (owner, ServerHandle::spawn(server, 16), n)
+    }
+
+    #[test]
+    fn serves_one_request() {
+        let (owner, handle, _) = spawn_server();
+        let client = handle.client();
+        let user = owner.authorize_user();
+        let req = user
+            .search_request("network", Some(3), SearchMode::Rsse)
+            .unwrap();
+        let resp = client.call(req).unwrap();
+        let Message::RsseResponse { ranking, files } = resp else {
+            panic!("wrong response type");
+        };
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(files.len(), 3);
+        assert_eq!(handle.shutdown(), 1);
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let (owner, handle, _) = spawn_server();
+        let reference: Vec<u64> = {
+            let client = handle.client();
+            let user = owner.authorize_user();
+            let req = user
+                .search_request("network", Some(5), SearchMode::Rsse)
+                .unwrap();
+            match client.call(req).unwrap() {
+                Message::RsseResponse { ranking, .. } => {
+                    ranking.into_iter().map(|(id, _)| id).collect()
+                }
+                _ => panic!("wrong response type"),
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let client = handle.client();
+                let user = owner.authorize_user();
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let req = user
+                            .search_request("network", Some(5), SearchMode::Rsse)
+                            .unwrap();
+                        let Message::RsseResponse { ranking, .. } = client.call(req).unwrap()
+                        else {
+                            panic!("wrong response type");
+                        };
+                        let ids: Vec<u64> = ranking.into_iter().map(|(id, _)| id).collect();
+                        assert_eq!(&ids, reference);
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.shutdown(), 81);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_fatal() {
+        let (owner, handle, _) = spawn_server();
+        let client = handle.client();
+        // A raw out-of-protocol message: server must answer with an error
+        // and keep serving.
+        let err = client.call(Message::FilesResponse { files: vec![] });
+        assert!(err.is_err());
+        let user = owner.authorize_user();
+        let req = user
+            .search_request("network", Some(1), SearchMode::Rsse)
+            .unwrap();
+        assert!(client.call(req).is_ok());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_fail_cleanly() {
+        let (owner, handle, _) = spawn_server();
+        let client = handle.client();
+        handle.shutdown();
+        let user = owner.authorize_user();
+        let req = user
+            .search_request("network", Some(1), SearchMode::Rsse)
+            .unwrap();
+        assert!(client.call(req).is_err());
+    }
+}

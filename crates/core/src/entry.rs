@@ -1,0 +1,69 @@
+//! Posting-entry wire layout of the RSSE index.
+//!
+//! Unlike the basic scheme — whose entries carry a semantically encrypted
+//! score the server can never read — RSSE entries carry the OPM-mapped
+//! score as a plain `u64` *inside* the per-list encryption. Once the server
+//! holds the trapdoor it unwraps the entry and can compare scores by
+//! numeric order.
+
+use rsse_crypto::ctr::NONCE_LEN;
+use rsse_ir::FileId;
+
+/// Length of the all-zero validity marker (`0^l` in Fig. 3).
+pub const MARKER_LEN: usize = 8;
+/// Length of the encoded file identifier.
+pub const ID_LEN: usize = 8;
+/// Length of the OPM-mapped score (fits in a `u64`; ranges cap at `2^52`).
+pub const SCORE_LEN: usize = 8;
+/// Plaintext length of one posting entry.
+pub const ENTRY_PLAIN_LEN: usize = MARKER_LEN + ID_LEN + SCORE_LEN;
+/// Ciphertext length of one posting entry (nonce + body).
+pub const ENTRY_CT_LEN: usize = NONCE_LEN + ENTRY_PLAIN_LEN;
+
+/// Encodes the entry plaintext `0^l ‖ id ‖ opm_score`.
+pub fn encode_entry(file: FileId, opm_score: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENTRY_PLAIN_LEN);
+    out.extend_from_slice(&[0u8; MARKER_LEN]);
+    out.extend_from_slice(&file.to_bytes());
+    out.extend_from_slice(&opm_score.to_be_bytes());
+    out
+}
+
+/// Decodes an entry plaintext, returning `(file, opm_score)` if the
+/// validity marker checks out, `None` for padding/garbage.
+pub fn decode_entry(plain: &[u8]) -> Option<(FileId, u64)> {
+    if plain.len() != ENTRY_PLAIN_LEN || plain[..MARKER_LEN] != [0u8; MARKER_LEN] {
+        return None;
+    }
+    let id_bytes: [u8; ID_LEN] = plain[MARKER_LEN..MARKER_LEN + ID_LEN]
+        .try_into()
+        .expect("length checked");
+    let score_bytes: [u8; SCORE_LEN] = plain[MARKER_LEN + ID_LEN..]
+        .try_into()
+        .expect("length checked");
+    Some((
+        FileId::from_bytes(id_bytes),
+        u64::from_be_bytes(score_bytes),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let plain = encode_entry(FileId::new(9), 123_456_789);
+        assert_eq!(plain.len(), ENTRY_PLAIN_LEN);
+        assert_eq!(decode_entry(&plain), Some((FileId::new(9), 123_456_789)));
+    }
+
+    #[test]
+    fn padding_and_garbage_rejected() {
+        let mut broken = encode_entry(FileId::new(9), 1);
+        broken[3] = 0xff;
+        assert!(decode_entry(&broken).is_none());
+        assert!(decode_entry(&[]).is_none());
+        assert!(decode_entry(&[0u8; ENTRY_PLAIN_LEN - 1]).is_none());
+    }
+}

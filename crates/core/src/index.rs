@@ -1,0 +1,259 @@
+//! The RSSE encrypted index and server-side ranked search.
+//!
+//! Each posting list is stored under the label `π_x(w)`; entries are
+//! `Enc_{f_y(w)}(0^l ‖ id(F) ‖ OPM_{f_z(w)}(S))`. At query time the server
+//! uses the trapdoor's list key to unwrap entries, *sees the order-preserved
+//! encrypted scores*, and ranks — the whole point of the scheme: ranking
+//! happens server-side without revealing the scores themselves.
+
+use crate::entry::{decode_entry, ENTRY_CT_LEN};
+use rsse_crypto::{SecretKey, SemanticCipher};
+use rsse_ir::FileId;
+use rsse_opse::OpseParams;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// A posting-list label `π_x(w)` (160 bits).
+pub type Label = [u8; 20];
+
+/// The search trapdoor `T_w = (π_x(w), f_y(w))`.
+#[derive(Clone)]
+pub struct RsseTrapdoor {
+    label: Label,
+    list_key: SecretKey,
+}
+
+impl core::fmt::Debug for RsseTrapdoor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "RsseTrapdoor {{ label: {:02x?}.., key: <redacted> }}",
+            &self.label[..4]
+        )
+    }
+}
+
+impl RsseTrapdoor {
+    /// Builds a trapdoor from its wire components.
+    pub fn from_parts(label: Label, list_key: SecretKey) -> Self {
+        RsseTrapdoor { label, list_key }
+    }
+
+    /// The posting-list label `π_x(w)`.
+    pub fn label(&self) -> &Label {
+        &self.label
+    }
+
+    /// The per-list entry key `f_y(w)`.
+    pub fn list_key(&self) -> &SecretKey {
+        &self.list_key
+    }
+}
+
+/// One ranked search result as the *server* sees it: a file identifier and
+/// its order-preserved encrypted score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedResult {
+    /// The matching file.
+    pub file: FileId,
+    /// The OPM-mapped relevance score (orderable, not decryptable by the
+    /// server).
+    pub encrypted_score: u64,
+}
+
+impl PartialOrd for RankedResult {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedResult {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Higher encrypted score = more relevant; ties broken by file id so
+        // results are fully deterministic.
+        self.encrypted_score
+            .cmp(&other.encrypted_score)
+            .then_with(|| other.file.cmp(&self.file))
+    }
+}
+
+/// The encrypted searchable index held by the cloud server.
+#[derive(Debug, Clone, Default)]
+pub struct RsseIndex {
+    lists: HashMap<Label, Vec<Vec<u8>>>,
+    opse_params: Option<OpseParams>,
+}
+
+impl RsseIndex {
+    pub(crate) fn from_lists(lists: HashMap<Label, Vec<Vec<u8>>>, opse: OpseParams) -> Self {
+        RsseIndex {
+            lists,
+            opse_params: Some(opse),
+        }
+    }
+
+    /// Reassembles an index from its wire parts (what the cloud server does
+    /// on receiving the owner's `Outsource` message).
+    pub fn from_parts(parts: Vec<(Label, Vec<Vec<u8>>)>, opse: OpseParams) -> Self {
+        RsseIndex {
+            lists: parts.into_iter().collect(),
+            opse_params: Some(opse),
+        }
+    }
+
+    /// Exports the index as `(label, entries)` pairs in label order (the
+    /// owner's side of the `Outsource` message).
+    pub fn export_parts(&self) -> Vec<(Label, Vec<Vec<u8>>)> {
+        let mut parts: Vec<(Label, Vec<Vec<u8>>)> = self
+            .lists
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        parts.sort_by_key(|a| a.0);
+        parts
+    }
+
+    /// The OPSE parameters the index was built with (published alongside the
+    /// index so users and the owner agree on the domain; the range size is
+    /// not secret).
+    pub fn opse_params(&self) -> Option<&OpseParams> {
+        self.opse_params.as_ref()
+    }
+
+    /// `SearchIndex(I, T_w)`: locate the list via `π_x(w)`, unwrap entries
+    /// with `f_y(w)`, drop padding, and return results ranked best-first.
+    ///
+    /// With `top_k = Some(k)` a size-k min-heap is used, so the cost is
+    /// `O(N_i log k)` rather than a full sort — this is the Fig. 8
+    /// operation. Returns an empty vector for unknown labels.
+    pub fn search(&self, trapdoor: &RsseTrapdoor, top_k: Option<usize>) -> Vec<RankedResult> {
+        let Some(entries) = self.lists.get(trapdoor.label()) else {
+            return Vec::new();
+        };
+        let cipher = SemanticCipher::new(trapdoor.list_key());
+        let decrypted = entries.iter().filter_map(|ct| {
+            let plain = cipher.decrypt(ct).ok()?;
+            let (file, score) = decode_entry(&plain)?;
+            Some(RankedResult {
+                file,
+                encrypted_score: score,
+            })
+        });
+        match top_k {
+            Some(k) => top_k_desc(decrypted, k),
+            None => {
+                let mut all: Vec<RankedResult> = decrypted.collect();
+                all.sort_by(|a, b| b.cmp(a));
+                all
+            }
+        }
+    }
+
+    /// Whether a list with this label exists (the access-pattern leakage of
+    /// any SSE scheme — exposed explicitly for the adversary experiments).
+    pub fn contains_label(&self, label: &Label) -> bool {
+        self.lists.contains_key(label)
+    }
+
+    /// Number of posting lists (`m`, the number of distinct keywords).
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Length of the list stored under `label`, if present.
+    pub fn list_len(&self, label: &Label) -> Option<usize> {
+        self.lists.get(label).map(Vec::len)
+    }
+
+    /// Total index size in bytes (labels + entries).
+    pub fn size_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|(k, v)| k.len() + v.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Appends freshly encrypted entries to a (possibly new) posting list —
+    /// the *score dynamics* operation of §VII. Existing entries are never
+    /// touched; OPM guarantees their order relative to the new ones stays
+    /// correct.
+    ///
+    /// Note: growth of a list is visible to the server (an inherent leakage
+    /// of dynamic updates, acknowledged by the update literature).
+    pub fn append_entries(&mut self, label: Label, entries: Vec<Vec<u8>>) {
+        debug_assert!(entries.iter().all(|e| e.len() == ENTRY_CT_LEN));
+        self.lists.entry(label).or_default().extend(entries);
+    }
+
+    /// Raw encrypted entries of one list (what an adversary observes
+    /// *before* any trapdoor is issued).
+    pub fn raw_list(&self, label: &Label) -> Option<&[Vec<u8>]> {
+        self.lists.get(label).map(|v| v.as_slice())
+    }
+}
+
+/// Collects the `k` largest items of `iter` using a min-heap of size `k`.
+fn top_k_desc(iter: impl Iterator<Item = RankedResult>, k: usize) -> Vec<RankedResult> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // BinaryHeap is a max-heap; wrap in Reverse for a min-heap of the best k.
+    let mut heap: BinaryHeap<core::cmp::Reverse<RankedResult>> = BinaryHeap::with_capacity(k + 1);
+    for item in iter {
+        if heap.len() < k {
+            heap.push(core::cmp::Reverse(item));
+        } else if let Some(min) = heap.peek() {
+            if item > min.0 {
+                heap.pop();
+                heap.push(core::cmp::Reverse(item));
+            }
+        }
+    }
+    let mut out: Vec<RankedResult> = heap.into_iter().map(|r| r.0).collect();
+    out.sort_by(|a, b| b.cmp(a));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(file: u64, score: u64) -> RankedResult {
+        RankedResult {
+            file: FileId::new(file),
+            encrypted_score: score,
+        }
+    }
+
+    #[test]
+    fn ranked_result_ordering() {
+        assert!(rr(1, 100) > rr(2, 50));
+        // Equal scores: smaller file id ranks higher (compares greater).
+        assert!(rr(1, 100) > rr(2, 100));
+    }
+
+    #[test]
+    fn top_k_matches_sort_then_truncate() {
+        let items: Vec<RankedResult> = (0..100)
+            .map(|i| rr(i, (i * 7919) % 101))
+            .collect();
+        for k in [0usize, 1, 5, 50, 100, 150] {
+            let via_heap = top_k_desc(items.iter().copied(), k);
+            let mut via_sort = items.clone();
+            via_sort.sort_by(|a, b| b.cmp(a));
+            via_sort.truncate(k);
+            assert_eq!(via_heap, via_sort, "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let idx = RsseIndex::default();
+        let t = RsseTrapdoor::from_parts([0u8; 20], SecretKey::derive(b"k", "t"));
+        assert!(idx.search(&t, None).is_empty());
+        assert!(idx.search(&t, Some(5)).is_empty());
+        assert_eq!(idx.size_bytes(), 0);
+        assert!(idx.opse_params().is_none());
+    }
+}

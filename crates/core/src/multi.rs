@@ -1,0 +1,311 @@
+//! **Extension** — multi-keyword (conjunctive) ranked search.
+//!
+//! The paper's future-work section (§VIII) names this "the most promising"
+//! direction and flags the open problem: once several keywords are
+//! involved, the IDF factor matters and *sums of per-keyword
+//! order-preserved values do not exactly preserve the order of summed
+//! plaintext scores*. This module implements the construction the paper
+//! sketches, with that caveat made explicit:
+//!
+//! * the server intersects the posting lists of all queried keywords and
+//!   ranks by the **sum of per-keyword mapped scores** — a heuristic whose
+//!   quality the tests quantify, not a guarantee;
+//! * an authorized party holding the score key can *exactly* re-rank the
+//!   candidate set by recovering quantized levels and applying the eq. (1)
+//!   IDF weighting ([`Rsse::rerank_conjunctive`]).
+
+use crate::error::RsseError;
+use crate::index::{RsseIndex, RsseTrapdoor};
+use crate::scheme::Rsse;
+use rsse_ir::FileId;
+use rsse_opse::OpseParams;
+use std::collections::HashMap;
+
+/// A trapdoor per conjunctive query keyword.
+#[derive(Debug, Clone)]
+pub struct MultiTrapdoor {
+    parts: Vec<RsseTrapdoor>,
+}
+
+impl MultiTrapdoor {
+    /// Reassembles a conjunctive trapdoor from per-keyword parts (the wire
+    /// path: the server receives the components, not the query).
+    pub fn from_parts(parts: Vec<RsseTrapdoor>) -> Self {
+        MultiTrapdoor { parts }
+    }
+
+    /// The per-keyword trapdoors, in query order.
+    pub fn parts(&self) -> &[RsseTrapdoor] {
+        &self.parts
+    }
+
+    /// Number of keywords in the conjunction.
+    pub fn arity(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// One conjunctive search result as the server sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveResult {
+    /// The file matching *all* keywords.
+    pub file: FileId,
+    /// Per-keyword mapped scores, in trapdoor order.
+    pub mapped_scores: Vec<u64>,
+    /// The ranking key: sum of mapped scores (heuristic, see module docs).
+    pub score_sum: u128,
+}
+
+impl Rsse {
+    /// `TrapdoorGen` for a conjunctive query: one trapdoor per distinct
+    /// keyword surviving tokenization, in first-appearance order.
+    ///
+    /// # Errors
+    ///
+    /// [`RsseError::EmptyQuery`] if no keyword survives.
+    pub fn multi_trapdoor(&self, query: &str) -> Result<MultiTrapdoor, RsseError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut parts = Vec::new();
+        for word in query.split_whitespace() {
+            if let Ok(t) = self.trapdoor(word) {
+                if seen.insert(*t.label()) {
+                    parts.push(t);
+                }
+            }
+        }
+        if parts.is_empty() {
+            return Err(RsseError::EmptyQuery);
+        }
+        Ok(MultiTrapdoor { parts })
+    }
+
+    /// Owner/user-side exact re-ranking of a conjunctive candidate set
+    /// (the paper's eq. 1): recover each per-keyword quantized level with
+    /// the score key and weight it by the IDF factor `ln(1 + N/f_t)`,
+    /// where `f_t` is taken from the observed per-keyword match counts.
+    ///
+    /// `keywords` must align with the trapdoor order used for the search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates level-decryption failures.
+    pub fn rerank_conjunctive(
+        &self,
+        keywords: &[&str],
+        results: &[ConjunctiveResult],
+        opse: OpseParams,
+        doc_frequencies: &[u64],
+        num_docs: u64,
+    ) -> Result<Vec<(FileId, f64)>, RsseError> {
+        let mut exact: Vec<(FileId, f64)> = Vec::with_capacity(results.len());
+        for r in results {
+            let mut total = 0.0f64;
+            for ((kw, &mapped), &df) in keywords
+                .iter()
+                .zip(&r.mapped_scores)
+                .zip(doc_frequencies)
+            {
+                let level = self.decrypt_level(kw, opse, mapped)? as f64;
+                let idf = if df > 0 {
+                    (1.0 + num_docs as f64 / df as f64).ln()
+                } else {
+                    0.0
+                };
+                total += level * idf;
+            }
+            exact.push((r.file, total));
+        }
+        exact.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        Ok(exact)
+    }
+}
+
+impl RsseIndex {
+    /// Conjunctive ranked search: intersect the posting lists of every
+    /// trapdoor, rank by the sum of mapped scores, return the top-k.
+    ///
+    /// Returns an empty vector when any keyword matches nothing (empty
+    /// intersection) or the trapdoor set is empty.
+    pub fn search_conjunctive(
+        &self,
+        trapdoor: &MultiTrapdoor,
+        top_k: Option<usize>,
+    ) -> Vec<ConjunctiveResult> {
+        let Some((first, rest)) = trapdoor.parts().split_first() else {
+            return Vec::new();
+        };
+        // Seed with the first keyword's matches.
+        let mut acc: HashMap<FileId, Vec<u64>> = self
+            .search(first, None)
+            .into_iter()
+            .map(|r| (r.file, vec![r.encrypted_score]))
+            .collect();
+        // Intersect with each further keyword.
+        for t in rest {
+            let matches: HashMap<FileId, u64> = self
+                .search(t, None)
+                .into_iter()
+                .map(|r| (r.file, r.encrypted_score))
+                .collect();
+            acc.retain(|file, scores| {
+                if let Some(&s) = matches.get(file) {
+                    scores.push(s);
+                    true
+                } else {
+                    false
+                }
+            });
+            if acc.is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut results: Vec<ConjunctiveResult> = acc
+            .into_iter()
+            .map(|(file, mapped_scores)| ConjunctiveResult {
+                score_sum: mapped_scores.iter().map(|&s| s as u128).sum(),
+                file,
+                mapped_scores,
+            })
+            .collect();
+        results.sort_by(|a, b| b.score_sum.cmp(&a.score_sum).then(a.file.cmp(&b.file)));
+        if let Some(k) = top_k {
+            results.truncate(k);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RsseParams;
+    use rsse_ir::{Document, InvertedIndex};
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::new(FileId::new(1), "network storage network storage network"),
+            Document::new(FileId::new(2), "network only here"),
+            Document::new(FileId::new(3), "storage only here"),
+            Document::new(FileId::new(4), "network storage balanced pair words"),
+            Document::new(FileId::new(5), "irrelevant filler content"),
+        ]
+    }
+
+    fn scheme() -> Rsse {
+        Rsse::new(b"multi seed", RsseParams::default())
+    }
+
+    #[test]
+    fn conjunction_intersects_posting_lists() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        let t = s.multi_trapdoor("network storage").unwrap();
+        assert_eq!(t.arity(), 2);
+        let hits = enc.search_conjunctive(&t, None);
+        let mut files: Vec<u64> = hits.iter().map(|r| r.file.as_u64()).collect();
+        files.sort_unstable();
+        assert_eq!(files, vec![1, 4]);
+        for r in &hits {
+            assert_eq!(r.mapped_scores.len(), 2);
+            assert_eq!(
+                r.score_sum,
+                r.mapped_scores.iter().map(|&s| s as u128).sum::<u128>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_intersection_and_unknown_keyword() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        let t = s.multi_trapdoor("network zebra").unwrap();
+        assert!(enc.search_conjunctive(&t, None).is_empty());
+        // "filler" and "network" never co-occur in the corpus.
+        let t = s.multi_trapdoor("filler network").unwrap();
+        assert_eq!(t.arity(), 2);
+        assert!(enc.search_conjunctive(&t, None).is_empty());
+    }
+
+    #[test]
+    fn single_keyword_conjunction_matches_plain_search() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        let multi = s.multi_trapdoor("network").unwrap();
+        let single = s.trapdoor("network").unwrap();
+        let a: Vec<FileId> = enc
+            .search_conjunctive(&multi, None)
+            .into_iter()
+            .map(|r| r.file)
+            .collect();
+        let b: Vec<FileId> = enc.search(&single, None).into_iter().map(|r| r.file).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_keywords_deduplicated() {
+        let s = scheme();
+        let t = s.multi_trapdoor("network Network networks").unwrap();
+        assert_eq!(t.arity(), 1);
+    }
+
+    #[test]
+    fn stop_word_only_query_rejected() {
+        let s = scheme();
+        assert!(matches!(
+            s.multi_trapdoor("the of and"),
+            Err(RsseError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn top_k_truncates_conjunctive_results() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        let t = s.multi_trapdoor("network storage").unwrap();
+        let all = enc.search_conjunctive(&t, None);
+        let top1 = enc.search_conjunctive(&t, Some(1));
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0], all[0]);
+    }
+
+    #[test]
+    fn exact_rerank_orders_by_idf_weighted_levels() {
+        let s = scheme();
+        let index = InvertedIndex::build(&docs());
+        let enc = s.build_index_from(&index).unwrap();
+        let opse = *enc.opse_params().unwrap();
+        let t = s.multi_trapdoor("network storage").unwrap();
+        let hits = enc.search_conjunctive(&t, None);
+        let dfs = [
+            index.document_frequency("network"),
+            index.document_frequency("storage"),
+        ];
+        let exact = s
+            .rerank_conjunctive(
+                &["network", "storage"],
+                &hits,
+                opse,
+                &dfs,
+                index.num_docs(),
+            )
+            .unwrap();
+        assert_eq!(exact.len(), hits.len());
+        // Doc 1 dominates doc 4 in *both* per-keyword scores (higher tf,
+        // same length), so every correct ranking puts it first.
+        assert_eq!(exact[0].0, FileId::new(1));
+        // Exact scores are strictly ordered.
+        assert!(exact[0].1 > exact[1].1);
+    }
+
+    #[test]
+    fn sum_heuristic_respects_dominance() {
+        // If file A beats file B on every keyword, the mapped-sum ranking
+        // must put A first (order preservation holds per keyword).
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        let t = s.multi_trapdoor("network storage").unwrap();
+        let hits = enc.search_conjunctive(&t, None);
+        let pos = |f: u64| hits.iter().position(|r| r.file.as_u64() == f).unwrap();
+        assert!(pos(1) < pos(4), "dominated file ranked above dominating one");
+    }
+}

@@ -1,0 +1,162 @@
+//! RSSE scheme parameters.
+
+use rsse_ir::ScoringFunction;
+use rsse_opse::range::{HalvingBound, RangeSelector};
+use rsse_opse::{OpseParams, MAX_RANGE};
+use serde::{Deserialize, Serialize};
+
+/// How the OPM ciphertext range `|R|` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RangePolicy {
+    /// A fixed range size.
+    Fixed(u64),
+    /// Derive the range from the built index's duplicate statistics via the
+    /// min-entropy criterion of §IV-C (eq. 4).
+    Auto {
+        /// Min-entropy exponent `c > 1` (paper uses 1.1).
+        c: f64,
+        /// The `O(log M)` halving bound to use.
+        bound: HalvingBound,
+    },
+}
+
+/// Padding policy for the secure index (ν of Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Padding {
+    /// Pad every list to the longest observed posting list.
+    MaxPostingLen,
+    /// Pad to a fixed ν (fails if any list is longer).
+    Fixed(usize),
+    /// No padding (leaks list lengths; useful for measurement only).
+    None,
+}
+
+/// Full parameter set of the RSSE scheme.
+///
+/// # Example
+///
+/// ```
+/// use rsse_core::RsseParams;
+///
+/// let p = RsseParams::default();
+/// assert_eq!(p.levels, 128); // the paper's score encoding
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RsseParams {
+    /// Number of score quantization levels `M` (the OPSE domain size).
+    pub levels: u64,
+    /// Range selection policy.
+    pub range: RangePolicy,
+    /// Index padding policy.
+    pub padding: Padding,
+    /// Relevance scoring function (the paper's eq. 2 by default; any
+    /// TF-monotone variant works under order-preserving encryption).
+    pub scoring: ScoringFunction,
+}
+
+impl Default for RsseParams {
+    /// The paper's configuration: `M = 128`, `|R| = 2^46`, padding to ν,
+    /// eq. (2) scoring.
+    fn default() -> Self {
+        RsseParams {
+            levels: 128,
+            range: RangePolicy::Fixed(1 << 46),
+            padding: Padding::MaxPostingLen,
+            scoring: ScoringFunction::PaperEq2,
+        }
+    }
+}
+
+impl RsseParams {
+    /// Parameters with automatic range selection (paper §IV-C, `c = 1.1`).
+    pub fn auto_range() -> Self {
+        RsseParams {
+            range: RangePolicy::Auto {
+                c: 1.1,
+                bound: HalvingBound::FiveLogMPlus12,
+            },
+            ..RsseParams::default()
+        }
+    }
+
+    /// The paper's parameters with a different scoring function.
+    pub fn with_scoring(scoring: ScoringFunction) -> Self {
+        RsseParams {
+            scoring,
+            ..RsseParams::default()
+        }
+    }
+
+    /// Resolves the OPSE parameters given the built index's duplicate
+    /// statistics (`max/λ`).
+    ///
+    /// The resolved range is always clamped to `[levels, 2^52]`.
+    pub fn resolve_opse(&self, max_over_lambda: f64) -> OpseParams {
+        let range = match self.range {
+            RangePolicy::Fixed(r) => r,
+            RangePolicy::Auto { c, bound } => {
+                let ratio = if max_over_lambda > 0.0 {
+                    max_over_lambda
+                } else {
+                    // Degenerate statistics: fall back to the paper's 0.06.
+                    0.06
+                };
+                let bits = RangeSelector::new(ratio, self.levels, c)
+                    .min_range_bits(bound)
+                    .unwrap_or(52)
+                    .min(52);
+                1u64 << bits
+            }
+        };
+        let range = range.clamp(self.levels, MAX_RANGE);
+        OpseParams::new(self.levels, range).expect("clamped parameters are always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = RsseParams::default();
+        let opse = p.resolve_opse(0.06);
+        assert_eq!(opse.domain_size(), 128);
+        assert_eq!(opse.range_size(), 1 << 46);
+    }
+
+    #[test]
+    fn auto_range_scales_with_duplicates() {
+        let p = RsseParams::auto_range();
+        let small = p.resolve_opse(0.01).range_size();
+        let large = p.resolve_opse(0.9).range_size();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn auto_range_degenerate_ratio_falls_back() {
+        let p = RsseParams::auto_range();
+        let opse = p.resolve_opse(0.0);
+        assert!(opse.range_size() >= 1 << 40);
+    }
+
+    #[test]
+    fn range_clamped_to_domain() {
+        let p = RsseParams {
+            range: RangePolicy::Fixed(2),
+            padding: Padding::None,
+            ..RsseParams::default()
+        };
+        assert_eq!(p.resolve_opse(0.06).range_size(), 128);
+    }
+
+    #[test]
+    fn range_clamped_to_sampler_cap() {
+        let p = RsseParams {
+            range: RangePolicy::Fixed(u64::MAX),
+            padding: Padding::None,
+            ..RsseParams::default()
+        };
+        assert_eq!(p.resolve_opse(0.06).range_size(), MAX_RANGE);
+    }
+}

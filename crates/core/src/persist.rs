@@ -1,0 +1,247 @@
+//! Index persistence: a stable on-disk format for the encrypted index.
+//!
+//! The owner builds an index once and may want to re-upload, back up, or
+//! version it; the server wants to survive restarts. The format is a
+//! simple length-prefixed binary layout (independent of the wire codec so
+//! the two can evolve separately):
+//!
+//! ```text
+//! magic "RSSEIDX1" | u64 domain | u64 range | u64 list-count
+//!   then per list: 20-byte label | u64 entry-count
+//!     then per entry: u64 len | bytes
+//! ```
+//!
+//! Readers take `R: Read` and writers `W: Write` by value (a `&mut`
+//! reference also works, per the std blanket impls).
+
+use crate::index::{Label, RsseIndex};
+use rsse_opse::OpseParams;
+use std::io::{self, Read, Write};
+
+/// Format magic, versioned.
+pub const MAGIC: &[u8; 8] = b"RSSEIDX1";
+
+/// Cap on any single length field (1 GiB) — guards hostile files.
+const MAX_LEN: u64 = 1 << 30;
+
+/// Errors from loading a persisted index.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic/version.
+    BadMagic([u8; 8]),
+    /// A length field exceeds the sanity cap.
+    Oversize(u64),
+    /// Stored OPSE parameters are inconsistent.
+    BadParameters {
+        /// Stored domain.
+        domain: u64,
+        /// Stored range.
+        range: u64,
+    },
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o failure: {e}"),
+            PersistError::BadMagic(m) => write!(f, "not an RSSE index file (magic {m:02x?})"),
+            PersistError::Oversize(n) => write!(f, "length field {n} exceeds sanity cap"),
+            PersistError::BadParameters { domain, range } => {
+                write!(f, "inconsistent OPSE parameters: M={domain}, N={range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn read_u64(mut r: impl Read) -> Result<u64, PersistError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_be_bytes(buf))
+}
+
+fn read_len(r: impl Read) -> Result<u64, PersistError> {
+    let n = read_u64(r)?;
+    if n > MAX_LEN {
+        return Err(PersistError::Oversize(n));
+    }
+    Ok(n)
+}
+
+impl RsseIndex {
+    /// Serializes the index to `writer`.
+    ///
+    /// Lists are written in label order, so equal indexes produce
+    /// byte-identical files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let opse = self
+            .opse_params()
+            .copied()
+            .unwrap_or_else(|| OpseParams::new(1, 1).expect("1/1 is valid"));
+        writer.write_all(MAGIC)?;
+        writer.write_all(&opse.domain_size().to_be_bytes())?;
+        writer.write_all(&opse.range_size().to_be_bytes())?;
+        let parts = self.export_parts();
+        writer.write_all(&(parts.len() as u64).to_be_bytes())?;
+        for (label, entries) in parts {
+            writer.write_all(&label)?;
+            writer.write_all(&(entries.len() as u64).to_be_bytes())?;
+            for e in entries {
+                writer.write_all(&(e.len() as u64).to_be_bytes())?;
+                writer.write_all(&e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes an index from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] on malformed or truncated input.
+    pub fn load<R: Read>(mut reader: R) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic(magic));
+        }
+        let domain = read_u64(&mut reader)?;
+        let range = read_u64(&mut reader)?;
+        let opse =
+            OpseParams::new(domain, range).map_err(|_| PersistError::BadParameters { domain, range })?;
+        let num_lists = read_len(&mut reader)?;
+        let mut parts = Vec::with_capacity(num_lists.min(1 << 20) as usize);
+        for _ in 0..num_lists {
+            let mut label: Label = [0u8; 20];
+            reader.read_exact(&mut label)?;
+            let num_entries = read_len(&mut reader)?;
+            let mut entries = Vec::with_capacity(num_entries.min(1 << 20) as usize);
+            for _ in 0..num_entries {
+                let len = read_len(&mut reader)? as usize;
+                let mut e = vec![0u8; len];
+                reader.read_exact(&mut e)?;
+                entries.push(e);
+            }
+            parts.push((label, entries));
+        }
+        Ok(RsseIndex::from_parts(parts, opse))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RsseParams;
+    use crate::scheme::Rsse;
+    use rsse_ir::{Document, FileId};
+
+    fn sample_index() -> (Rsse, RsseIndex) {
+        let docs = vec![
+            Document::new(FileId::new(1), "network storage network"),
+            Document::new(FileId::new(2), "network packet"),
+            Document::new(FileId::new(3), "storage arrays"),
+        ];
+        let scheme = Rsse::new(b"persist seed", RsseParams::default());
+        let index = scheme.build_index(&docs).unwrap();
+        (scheme, index)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_search_results() {
+        let (scheme, index) = sample_index();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = RsseIndex::load(&buf[..]).unwrap();
+        assert_eq!(loaded.opse_params(), index.opse_params());
+        assert_eq!(loaded.num_lists(), index.num_lists());
+        for kw in ["network", "storage", "packet"] {
+            let t = scheme.trapdoor(kw).unwrap();
+            assert_eq!(loaded.search(&t, None), index.search(&t, None), "{kw}");
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let (_, index) = sample_index();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        index.save(&mut a).unwrap();
+        index.save(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = RsseIndex::load(&b"NOTANIDXrest"[..]).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic(_)));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error() {
+        let (_, index) = sample_index();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let step = (buf.len() / 50).max(1);
+        for cut in (0..buf.len()).step_by(step) {
+            assert!(RsseIndex::load(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_fields_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&128u64.to_be_bytes());
+        buf.extend_from_slice(&(1u64 << 46).to_be_bytes());
+        buf.extend_from_slice(&u64::MAX.to_be_bytes()); // absurd list count
+        assert!(matches!(
+            RsseIndex::load(&buf[..]).unwrap_err(),
+            PersistError::Oversize(_)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_parameters_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&128u64.to_be_bytes());
+        buf.extend_from_slice(&2u64.to_be_bytes()); // range < domain
+        buf.extend_from_slice(&0u64.to_be_bytes());
+        assert!(matches!(
+            RsseIndex::load(&buf[..]).unwrap_err(),
+            PersistError::BadParameters { .. }
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (scheme, index) = sample_index();
+        let path = std::env::temp_dir().join("rsse_persist_test.idx");
+        index.save(std::fs::File::create(&path).unwrap()).unwrap();
+        let loaded = RsseIndex::load(std::fs::File::open(&path).unwrap()).unwrap();
+        let t = scheme.trapdoor("network").unwrap();
+        assert_eq!(loaded.search(&t, Some(1)), index.search(&t, Some(1)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,501 @@
+//! The RSSE scheme proper: `KeyGen` / `BuildIndex` / `TrapdoorGen`, the
+//! owner-side decryption of mapped scores, and score dynamics.
+
+use crate::entry::{encode_entry, ENTRY_CT_LEN};
+use crate::error::RsseError;
+use crate::index::{Label, RsseIndex, RsseTrapdoor};
+use crate::params::{Padding, RsseParams};
+use rsse_crypto::ctr::NONCE_LEN;
+use rsse_crypto::tape::Transcript;
+use rsse_crypto::{KeyMaterial, KeyedLabel, Prf, SemanticCipher, Tape};
+use rsse_ir::score::{scores_for_term_with, CollectionStats};
+use rsse_ir::{Document, InvertedIndex, ScoreQuantizer, Tokenizer};
+use rsse_opse::{Opm, OpseParams};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Statistics reported by [`Rsse::build_index_with_report`] — the Table I
+/// quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildReport {
+    /// Number of distinct keywords `m`.
+    pub num_keywords: usize,
+    /// Number of documents `N`.
+    pub num_docs: u64,
+    /// Padded posting-list length ν (0 with [`Padding::None`]).
+    pub padded_len: usize,
+    /// Total index size in bytes.
+    pub index_bytes: usize,
+    /// One-to-many mapping operations performed.
+    pub opm_operations: u64,
+    /// Resolved OPSE range size in bits.
+    pub range_bits: u32,
+    /// Wall-clock time of the whole build.
+    pub build_time: Duration,
+    /// Portion spent scoring/encoding (the "raw index" cost, without OPM).
+    pub raw_index_time: Duration,
+}
+
+impl BuildReport {
+    /// Average per-keyword posting-list size in bytes (Table I row 2).
+    pub fn per_keyword_bytes(&self) -> f64 {
+        if self.num_keywords == 0 {
+            return 0.0;
+        }
+        self.index_bytes as f64 / self.num_keywords as f64
+    }
+
+    /// Average per-keyword build time (Table I row 3).
+    pub fn per_keyword_time(&self) -> Duration {
+        if self.num_keywords == 0 {
+            return Duration::ZERO;
+        }
+        self.build_time / self.num_keywords as u32
+    }
+}
+
+/// The efficient ranked searchable symmetric encryption scheme (paper §IV).
+///
+/// # Example
+///
+/// ```
+/// use rsse_core::{Rsse, RsseParams};
+/// use rsse_ir::{Document, FileId};
+///
+/// # fn main() -> Result<(), rsse_core::RsseError> {
+/// let docs = vec![
+///     Document::new(FileId::new(1), "network routing network"),
+///     Document::new(FileId::new(2), "network"),
+///     Document::new(FileId::new(3), "storage systems"),
+/// ];
+/// let scheme = Rsse::new(b"owner master secret", RsseParams::default());
+/// let index = scheme.build_index(&docs)?;
+///
+/// // The *server* ranks: doc 2 (tf=1 over 1 term) outranks doc 1.
+/// let t = scheme.trapdoor("network")?;
+/// let top = index.search(&t, Some(1));
+/// assert_eq!(top[0].file, FileId::new(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Rsse {
+    keys: KeyMaterial,
+    params: RsseParams,
+    tokenizer: Tokenizer,
+}
+
+impl Rsse {
+    /// `KeyGen`: derives the key triple from a master seed.
+    pub fn new(master_seed: &[u8], params: RsseParams) -> Self {
+        Rsse {
+            keys: KeyMaterial::from_master_seed(master_seed),
+            params,
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// Builds the scheme from explicit key material.
+    pub fn with_keys(keys: KeyMaterial, params: RsseParams) -> Self {
+        Rsse {
+            keys,
+            params,
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// The scheme's key material (distributed to authorized users during
+    /// Setup).
+    pub fn keys(&self) -> &KeyMaterial {
+        &self.keys
+    }
+
+    /// The scheme's parameters.
+    pub fn params(&self) -> &RsseParams {
+        &self.params
+    }
+
+    fn canonical_keyword(&self, query: &str) -> Result<String, RsseError> {
+        self.tokenizer
+            .tokenize(query)
+            .into_iter()
+            .next()
+            .ok_or(RsseError::EmptyQuery)
+    }
+
+    /// `TrapdoorGen(w)`: `(π_x(w), f_y(w))` after case folding/stemming.
+    ///
+    /// # Errors
+    ///
+    /// [`RsseError::EmptyQuery`] if the query reduces to nothing.
+    pub fn trapdoor(&self, query: &str) -> Result<RsseTrapdoor, RsseError> {
+        let keyword = self.canonical_keyword(query)?;
+        Ok(RsseTrapdoor::from_parts(
+            KeyedLabel::new(self.keys.label_key()).label(keyword.as_bytes()),
+            Prf::new(self.keys.entry_key()).derive_key(keyword.as_bytes()),
+        ))
+    }
+
+    /// The per-keyword OPM instance `OPM_{f_z(w)}` (owner-side).
+    pub fn opm_for(&self, keyword: &str, opse: OpseParams) -> Opm {
+        let key = Prf::new(self.keys.score_key()).derive_key(keyword.as_bytes());
+        Opm::new(key, opse)
+    }
+
+    /// Fits the score quantizer over a plaintext index — the owner's
+    /// precomputation pass.
+    ///
+    /// # Errors
+    ///
+    /// [`RsseError::UnscorableCollection`] when no postings are scorable.
+    pub fn fit_quantizer(&self, index: &InvertedIndex) -> Result<ScoreQuantizer, RsseError> {
+        ScoreQuantizer::fit_index_with(index, self.params.levels, self.params.scoring)
+            .ok_or(RsseError::UnscorableCollection)
+    }
+
+    /// `BuildIndex(K, C)` from raw documents (tokenizes and scores
+    /// internally).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and padding failures.
+    pub fn build_index(&self, documents: &[Document]) -> Result<RsseIndex, RsseError> {
+        let plaintext_index = InvertedIndex::build(documents);
+        self.build_index_from(&plaintext_index)
+    }
+
+    /// `BuildIndex` from an existing plaintext inverted index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and padding failures.
+    pub fn build_index_from(&self, index: &InvertedIndex) -> Result<RsseIndex, RsseError> {
+        self.build_index_with_report(index).map(|(idx, _)| idx)
+    }
+
+    /// `BuildIndex` with full timing/size statistics (the Table I
+    /// measurement entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and padding failures.
+    pub fn build_index_with_report(
+        &self,
+        index: &InvertedIndex,
+    ) -> Result<(RsseIndex, BuildReport), RsseError> {
+        let started = Instant::now();
+        let quantizer = self.fit_quantizer(index)?;
+        let opse = self.resolve_opse(index);
+        let nu = self.padding_target(index)?;
+
+        let mut raw_time = Duration::ZERO;
+        let mut opm_ops = 0u64;
+        let mut lists: HashMap<Label, Vec<Vec<u8>>> = HashMap::with_capacity(index.num_keywords());
+        for (term, _) in index.iter() {
+            let (label, list, stats) =
+                self.build_posting_list(index, term, &quantizer, opse, nu)?;
+            raw_time += stats.raw_time;
+            opm_ops += stats.opm_ops;
+            lists.insert(label, list);
+        }
+        let built = RsseIndex::from_lists(lists, opse);
+        let report = BuildReport {
+            num_keywords: index.num_keywords(),
+            num_docs: index.num_docs(),
+            padded_len: nu,
+            index_bytes: built.size_bytes(),
+            opm_operations: opm_ops,
+            range_bits: opse.range_bits(),
+            build_time: started.elapsed(),
+            raw_index_time: raw_time,
+        };
+        Ok((built, report))
+    }
+
+    /// Parallel `BuildIndex` using `threads` worker threads (crossbeam
+    /// scoped threads; keywords are partitioned across workers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer and padding failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn build_index_parallel(
+        &self,
+        index: &InvertedIndex,
+        threads: usize,
+    ) -> Result<RsseIndex, RsseError> {
+        assert!(threads > 0, "at least one worker thread required");
+        let quantizer = self.fit_quantizer(index)?;
+        let opse = self.resolve_opse(index);
+        let nu = self.padding_target(index)?;
+        let terms: Vec<&str> = index.iter().map(|(t, _)| t).collect();
+        let chunk = terms.len().div_ceil(threads).max(1);
+
+        type BuiltLists = Vec<(Label, Vec<Vec<u8>>)>;
+        let results: Vec<Result<BuiltLists, RsseError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = terms
+                    .chunks(chunk)
+                    .map(|part| {
+                        let quantizer = &quantizer;
+                        scope.spawn(move |_| {
+                            part.iter()
+                                .map(|term| {
+                                    self.build_posting_list(index, term, quantizer, opse, nu)
+                                        .map(|(label, list, _)| (label, list))
+                                })
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("index build worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+
+        let mut lists = HashMap::with_capacity(terms.len());
+        for part in results {
+            for (label, list) in part? {
+                lists.insert(label, list);
+            }
+        }
+        Ok(RsseIndex::from_lists(lists, opse))
+    }
+
+    /// Owner-side inversion: recover the quantized score level behind a
+    /// mapped value returned by the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPSE decryption failures and [`RsseError::EmptyQuery`].
+    pub fn decrypt_level(
+        &self,
+        keyword: &str,
+        opse: OpseParams,
+        encrypted_score: u64,
+    ) -> Result<u64, RsseError> {
+        let keyword = self.canonical_keyword(keyword)?;
+        Ok(self.opm_for(&keyword, opse).decrypt(encrypted_score)?)
+    }
+
+    /// Prepares the score-dynamics updater: holds the quantizer fitted at
+    /// build time so later insertions are quantized consistently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer fitting failures.
+    pub fn updater_for(&self, index: &InvertedIndex) -> Result<IndexUpdater<'_>, RsseError> {
+        let doc_frequencies = index
+            .iter()
+            .map(|(term, postings)| (term.to_string(), postings.len() as u64))
+            .collect();
+        Ok(IndexUpdater {
+            scheme: self,
+            quantizer: self.fit_quantizer(index)?,
+            opse: self.resolve_opse(index),
+            stats: CollectionStats::of(index),
+            doc_frequencies,
+        })
+    }
+
+    fn resolve_opse(&self, index: &InvertedIndex) -> OpseParams {
+        // Duplicate statistics: per paper §IV-C, `max` is the largest number
+        // of identical quantized scores within any posting list, λ the
+        // average posting-list length.
+        let quantizer =
+            ScoreQuantizer::fit_index_with(index, self.params.levels, self.params.scoring);
+        let ratio = match quantizer {
+            Some(q) => {
+                let mut max_dup = 0usize;
+                for (term, _) in index.iter() {
+                    let levels: Vec<u64> = scores_for_term_with(index, term, self.params.scoring)
+                        .into_iter()
+                        .map(|(_, s)| q.level(s))
+                        .collect();
+                    let stats = rsse_analysis_free_duplicates(&levels);
+                    max_dup = max_dup.max(stats);
+                }
+                let lambda = index.avg_posting_len();
+                if lambda > 0.0 {
+                    max_dup as f64 / lambda
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        self.params.resolve_opse(ratio)
+    }
+
+    fn padding_target(&self, index: &InvertedIndex) -> Result<usize, RsseError> {
+        match self.params.padding {
+            Padding::MaxPostingLen => Ok(index.max_posting_len()),
+            Padding::Fixed(nu) => {
+                if index.max_posting_len() > nu {
+                    Err(RsseError::PaddingTooSmall {
+                        configured: nu,
+                        longest_list: index.max_posting_len(),
+                    })
+                } else {
+                    Ok(nu)
+                }
+            }
+            Padding::None => Ok(0),
+        }
+    }
+
+    fn build_posting_list(
+        &self,
+        index: &InvertedIndex,
+        term: &str,
+        quantizer: &ScoreQuantizer,
+        opse: OpseParams,
+        nu: usize,
+    ) -> Result<(Label, Vec<Vec<u8>>, ListStats), RsseError> {
+        let raw_started = Instant::now();
+        let label = KeyedLabel::new(self.keys.label_key()).label(term.as_bytes());
+        let list_key = Prf::new(self.keys.entry_key()).derive_key(term.as_bytes());
+        let entry_cipher = SemanticCipher::new(&list_key);
+        let mut tape = Tape::new(
+            self.keys.score_key(),
+            &Transcript::new("rsse/build").bytes(term.as_bytes()).finish(),
+        );
+        let scored = scores_for_term_with(index, term, self.params.scoring);
+        let raw_time = raw_started.elapsed();
+
+        let opm = self.opm_for(term, opse);
+        let mut list = Vec::with_capacity(nu.max(scored.len()));
+        let mut opm_ops = 0u64;
+        for (file, score) in scored {
+            let level = quantizer.level(score);
+            let mapped = opm.encrypt(level, &file.to_bytes())?;
+            opm_ops += 1;
+            let plain = encode_entry(file, mapped);
+            let mut nonce = [0u8; NONCE_LEN];
+            tape.fill_bytes(&mut nonce);
+            list.push(entry_cipher.encrypt_with_nonce(nonce, &plain));
+        }
+        while list.len() < nu {
+            let mut pad = vec![0u8; ENTRY_CT_LEN];
+            tape.fill_bytes(&mut pad);
+            list.push(pad);
+        }
+        Ok((label, list, ListStats { raw_time, opm_ops }))
+    }
+}
+
+struct ListStats {
+    raw_time: Duration,
+    opm_ops: u64,
+}
+
+/// Largest multiplicity within a slice of levels (avoids a dependency on
+/// the analysis crate from core).
+fn rsse_analysis_free_duplicates(levels: &[u64]) -> usize {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &l in levels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+/// Owner-side score-dynamics helper: encrypts postings for newly added
+/// documents without touching the existing index (§VII).
+#[derive(Debug)]
+pub struct IndexUpdater<'a> {
+    scheme: &'a Rsse,
+    quantizer: ScoreQuantizer,
+    opse: OpseParams,
+    /// Collection statistics frozen at fit time (BM25 normalization).
+    stats: CollectionStats,
+    /// Per-term document frequencies frozen at fit time; unseen terms
+    /// default to 1 (most selective) when scoring an update.
+    doc_frequencies: HashMap<String, u64>,
+}
+
+/// A batch of encrypted posting-list appends produced by the owner.
+#[derive(Debug, Clone, Default)]
+pub struct IndexUpdate {
+    ops: Vec<(Label, Vec<Vec<u8>>)>,
+}
+
+impl IndexUpdate {
+    /// Number of `(label, entries)` operations in the batch.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Applies the batch to a server-held index.
+    pub fn apply_to(self, index: &mut RsseIndex) {
+        for (label, entries) in self.ops {
+            index.append_entries(label, entries);
+        }
+    }
+}
+
+impl IndexUpdater<'_> {
+    /// The OPSE parameters updates are mapped under (must match the built
+    /// index).
+    pub fn opse_params(&self) -> OpseParams {
+        self.opse
+    }
+
+    /// Encrypts the postings of a new document into an [`IndexUpdate`].
+    ///
+    /// # Errors
+    ///
+    /// [`RsseError::UnknownDocument`] when the document tokenizes to
+    /// nothing.
+    pub fn add_document(&self, doc: &Document) -> Result<IndexUpdate, RsseError> {
+        let tokens = self.scheme.tokenizer.tokenize(doc.text());
+        if tokens.is_empty() {
+            return Err(RsseError::UnknownDocument);
+        }
+        let doc_len = tokens.len() as u32;
+        let mut tf: HashMap<&str, u32> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut ops = Vec::with_capacity(tf.len());
+        let mut terms: Vec<(&str, u32)> = tf.into_iter().collect();
+        terms.sort_unstable(); // deterministic op order
+        for (term, count) in terms {
+            let label = KeyedLabel::new(self.scheme.keys.label_key()).label(term.as_bytes());
+            let list_key = Prf::new(self.scheme.keys.entry_key()).derive_key(term.as_bytes());
+            let entry_cipher = SemanticCipher::new(&list_key);
+            let mut tape = Tape::new(
+                self.scheme.keys.score_key(),
+                &Transcript::new("rsse/update")
+                    .bytes(term.as_bytes())
+                    .u64(doc.id().as_u64())
+                    .finish(),
+            );
+            let df = self.doc_frequencies.get(term).copied().unwrap_or(1);
+            let score = self
+                .scheme
+                .params
+                .scoring
+                .score(count, doc_len, df, &self.stats);
+            let level = self.quantizer.level(score);
+            let mapped = self
+                .scheme
+                .opm_for(term, self.opse)
+                .encrypt(level, &doc.id().to_bytes())?;
+            let plain = encode_entry(doc.id(), mapped);
+            let mut nonce = [0u8; NONCE_LEN];
+            tape.fill_bytes(&mut nonce);
+            ops.push((label, vec![entry_cipher.encrypt_with_nonce(nonce, &plain)]));
+        }
+        Ok(IndexUpdate { ops })
+    }
+}
+
+// Tests live in scheme_tests.rs to keep this file focused.
+#[cfg(test)]
+#[path = "scheme_tests.rs"]
+mod tests;

@@ -1,0 +1,368 @@
+//! AES-128 / AES-256 block cipher (FIPS 197), implemented from the
+//! specification with computed S-boxes.
+//!
+//! This is the block cipher behind [`crate::SemanticCipher`] (AES-CTR), the
+//! semantically secure encryption `E` of the paper's basic scheme. The
+//! implementation favours clarity and portability over raw speed: S-boxes are
+//! table lookups built at construction time, the round function operates on a
+//! 16-byte column-major state, and no architecture-specific intrinsics are
+//! used.
+
+/// AES block length in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+/// The AES S-box, generated once from the multiplicative inverse in GF(2^8)
+/// followed by the affine transform.
+fn sbox_tables() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: std::sync::OnceLock<([u8; 256], [u8; 256])> = std::sync::OnceLock::new();
+    TABLES.get_or_init(compute_sbox_tables)
+}
+
+#[allow(clippy::needless_range_loop)] // i doubles as the field element value
+fn compute_sbox_tables() -> ([u8; 256], [u8; 256]) {
+    // GF(2^8) multiplication by x modulo the AES polynomial x^8+x^4+x^3+x+1.
+    fn xtime(a: u8) -> u8 {
+        (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+    }
+    fn gmul(mut a: u8, mut b: u8) -> u8 {
+        let mut p = 0u8;
+        for _ in 0..8 {
+            if b & 1 == 1 {
+                p ^= a;
+            }
+            a = xtime(a);
+            b >>= 1;
+        }
+        p
+    }
+    // Multiplicative inverse via exponentiation: a^254 = a^-1 in GF(2^8).
+    fn ginv(a: u8) -> u8 {
+        if a == 0 {
+            return 0;
+        }
+        let mut result = 1u8;
+        let mut base = a;
+        let mut exp = 254u16;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = gmul(result, base);
+            }
+            base = gmul(base, base);
+            exp >>= 1;
+        }
+        result
+    }
+    let mut sbox = [0u8; 256];
+    let mut inv_sbox = [0u8; 256];
+    for i in 0..256 {
+        let x = ginv(i as u8);
+        let s = x
+            ^ x.rotate_left(1)
+            ^ x.rotate_left(2)
+            ^ x.rotate_left(3)
+            ^ x.rotate_left(4)
+            ^ 0x63;
+        sbox[i] = s;
+        inv_sbox[s as usize] = i as u8;
+    }
+    (sbox, inv_sbox)
+}
+
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+fn gmul(a: u8, b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut a = a;
+    let mut b = b;
+    for _ in 0..8 {
+        if b & 1 == 1 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Expanded-key AES cipher with `NR` rounds (10 for AES-128, 14 for AES-256).
+#[derive(Clone)]
+struct AesCore {
+    round_keys: Vec<[u8; 16]>,
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+impl AesCore {
+    fn new(key: &[u8]) -> Self {
+        let nk = key.len() / 4; // 4 for AES-128, 8 for AES-256
+        let nr = nk + 6;
+        let &(sbox, inv_sbox) = sbox_tables();
+        // Key expansion (FIPS 197 section 5.2), word oriented.
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (j, word) in c.iter().enumerate() {
+                    rk[4 * j..4 * j + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        AesCore {
+            round_keys,
+            sbox,
+            inv_sbox,
+        }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.inv_sbox[*b as usize];
+        }
+    }
+
+    // State layout: state[r + 4c] is row r, column c (column-major like FIPS).
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+            state[4 * c + 1] =
+                gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+            state[4 * c + 2] =
+                gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+            state[4 * c + 3] =
+                gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        }
+    }
+
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.round_keys.len() - 1;
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..nr {
+            self.sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        self.sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[nr]);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.round_keys.len() - 1;
+        Self::add_round_key(block, &self.round_keys[nr]);
+        for round in (1..nr).rev() {
+            Self::inv_shift_rows(block);
+            self.inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        self.inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+macro_rules! aes_variant {
+    ($name:ident, $key_len:expr, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// # Example
+        ///
+        /// ```
+        /// use rsse_crypto::aes::Aes128;
+        ///
+        /// let cipher = Aes128::new(&[0u8; 16]);
+        /// let mut block = [0u8; 16];
+        /// cipher.encrypt_block(&mut block);
+        /// cipher.decrypt_block(&mut block);
+        /// assert_eq!(block, [0u8; 16]);
+        /// ```
+        #[derive(Clone)]
+        pub struct $name {
+            core: AesCore,
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!(stringify!($name), " {{ key: <redacted> }}"))
+            }
+        }
+
+        impl $name {
+            /// Expands `key` into round keys.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `key.len() != ` the variant's key length.
+            pub fn new(key: &[u8]) -> Self {
+                assert_eq!(key.len(), $key_len, "wrong key length for AES");
+                $name {
+                    core: AesCore::new(key),
+                }
+            }
+
+            /// Encrypts one 16-byte block in place.
+            pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+                self.core.encrypt_block(block);
+            }
+
+            /// Decrypts one 16-byte block in place.
+            pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+                self.core.decrypt_block(block);
+            }
+        }
+    };
+}
+
+aes_variant!(Aes128, 16, "AES with a 128-bit key (10 rounds).");
+aes_variant!(Aes256, 32, "AES with a 256-bit key (14 rounds).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // FIPS 197 Appendix C.1 (AES-128).
+    #[test]
+    fn fips197_aes128() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f");
+        let cipher = Aes128::new(&key);
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    // FIPS 197 Appendix C.3 (AES-256).
+    #[test]
+    fn fips197_aes256() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let cipher = Aes256::new(&key);
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("8ea2b7ca516745bfeafc49904b496089"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("00112233445566778899aabbccddeeff"));
+    }
+
+    // NIST SP 800-38A F.1.1 ECB-AES128 first block.
+    #[test]
+    fn sp800_38a_ecb128() {
+        let key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let cipher = Aes128::new(&key);
+        let mut block: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a")
+            .try_into()
+            .unwrap();
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), from_hex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let cipher = Aes128::new(&[0x42; 16]);
+        for i in 0u8..32 {
+            let mut block = [i; 16];
+            let original = block;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original, "encryption must change the block");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong key length")]
+    fn wrong_key_length_panics() {
+        let _ = Aes128::new(&[0u8; 17]);
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let c = Aes128::new(&[0u8; 16]);
+        assert_eq!(format!("{c:?}"), "Aes128 { key: <redacted> }");
+    }
+}

@@ -1,0 +1,58 @@
+//! Constant-time byte comparison.
+
+/// Compares `a` and `b` in time independent of where they differ.
+///
+/// Returns `false` immediately only on length mismatch (lengths are public
+/// in all our uses: labels and tags are fixed-size).
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn differing_slices() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0], &[255]));
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(!ct_eq(&[1], &[1, 2]));
+    }
+
+    #[test]
+    fn difference_position_does_not_matter() {
+        let base = [0u8; 64];
+        for pos in 0..64 {
+            let mut other = base;
+            other[pos] = 1;
+            assert!(!ct_eq(&base, &other));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Semantically secure symmetric encryption `E` (AES-128-CTR).
+//!
+//! This is the cipher the paper calls
+//! `E : {0,1}^l' x {0,1}^r -> {0,1}^r` — used for `E_z(S_ij)` score
+//! encryption in the basic scheme and for file-content encryption in the
+//! cloud simulation. CTR mode with a fresh nonce per message gives IND-CPA
+//! security; the nonce is carried in the ciphertext header.
+
+use crate::aes::{Aes128, BLOCK_LEN};
+use crate::error::CryptoError;
+use crate::keys::SecretKey;
+
+/// Byte length of the per-message nonce prepended to each ciphertext.
+pub const NONCE_LEN: usize = BLOCK_LEN;
+
+/// AES-128-CTR cipher with explicit nonces.
+///
+/// The 256-bit [`SecretKey`] is compressed to the AES-128 key by taking its
+/// first 16 bytes (the key is uniform, so any 128-bit substring is uniform).
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::{SecretKey, SemanticCipher};
+///
+/// let cipher = SemanticCipher::new(&SecretKey::derive(b"seed", "z"));
+/// let ct = cipher.encrypt_with_nonce([9u8; 16], b"score=13.42");
+/// assert_eq!(cipher.decrypt(&ct).unwrap(), b"score=13.42");
+/// ```
+#[derive(Clone)]
+pub struct SemanticCipher {
+    aes: Aes128,
+}
+
+impl core::fmt::Debug for SemanticCipher {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SemanticCipher {{ key: <redacted> }}")
+    }
+}
+
+impl SemanticCipher {
+    /// Creates the cipher from a [`SecretKey`].
+    pub fn new(key: &SecretKey) -> Self {
+        SemanticCipher {
+            aes: Aes128::new(&key.as_bytes()[..16]),
+        }
+    }
+
+    fn keystream_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        let mut counter = u128::from_be_bytes(*nonce);
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let mut block = counter.to_be_bytes();
+            self.aes.encrypt_block(&mut block);
+            for (d, k) in chunk.iter_mut().zip(block.iter()) {
+                *d ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    /// Encrypts `plaintext` under the given `nonce`.
+    ///
+    /// The ciphertext layout is `nonce || plaintext ^ keystream`. The caller
+    /// must never reuse a nonce under the same key; higher layers draw nonces
+    /// from a [`crate::Tape`] or an OS RNG.
+    pub fn encrypt_with_nonce(&self, nonce: [u8; NONCE_LEN], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len());
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        let (_, body) = out.split_at_mut(NONCE_LEN);
+        self.keystream_xor(&nonce, body);
+        out
+    }
+
+    /// Decrypts a ciphertext produced by [`Self::encrypt_with_nonce`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::CiphertextTooShort`] if `ciphertext` does not
+    /// even contain the nonce header.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext.len() < NONCE_LEN {
+            return Err(CryptoError::CiphertextTooShort {
+                got: ciphertext.len(),
+                need: NONCE_LEN,
+            });
+        }
+        let nonce: [u8; NONCE_LEN] = ciphertext[..NONCE_LEN].try_into().expect("checked above");
+        let mut body = ciphertext[NONCE_LEN..].to_vec();
+        self.keystream_xor(&nonce, &mut body);
+        Ok(body)
+    }
+}
+
+/// A stateful sealer guaranteeing unique nonces for one cipher instance.
+///
+/// Each [`Sealer`] combines a caller-chosen 64-bit `instance_id` with a
+/// monotone message counter, so two sealers with distinct instance IDs never
+/// collide, and one sealer never repeats. The data owner derives instance
+/// IDs from its coin tape.
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::ctr::Sealer;
+/// use rsse_crypto::{SecretKey, SemanticCipher};
+///
+/// let cipher = SemanticCipher::new(&SecretKey::derive(b"seed", "z"));
+/// let mut sealer = Sealer::new(cipher.clone(), 7);
+/// let c1 = sealer.seal(b"same message");
+/// let c2 = sealer.seal(b"same message");
+/// assert_ne!(c1, c2, "semantic security: equal plaintexts, distinct ciphertexts");
+/// assert_eq!(cipher.decrypt(&c1).unwrap(), cipher.decrypt(&c2).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sealer {
+    cipher: SemanticCipher,
+    instance_id: u64,
+    counter: u64,
+}
+
+impl Sealer {
+    /// Creates a sealer over `cipher` with a unique `instance_id`.
+    pub fn new(cipher: SemanticCipher, instance_id: u64) -> Self {
+        Sealer {
+            cipher,
+            instance_id,
+            counter: 0,
+        }
+    }
+
+    /// Encrypts `plaintext` with the next unique nonce.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 2^64 messages (counter exhaustion), which is unreachable
+    /// in practice.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[..8].copy_from_slice(&self.instance_id.to_be_bytes());
+        nonce[8..].copy_from_slice(&self.counter.to_be_bytes());
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("sealer counter exhausted");
+        self.cipher.encrypt_with_nonce(nonce, plaintext)
+    }
+
+    /// Number of messages sealed so far.
+    pub fn sealed_count(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt.
+    #[test]
+    fn sp800_38a_ctr_aes128() {
+        let key_bytes = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&key_bytes);
+        // SemanticCipher uses the first 16 bytes of the 256-bit key.
+        let cipher = SemanticCipher::new(&SecretKey::from_bytes(key));
+        let nonce: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
+        let pt = from_hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        let ct = cipher.encrypt_with_nonce(nonce, &pt);
+        assert_eq!(
+            ct[NONCE_LEN..].to_vec(),
+            from_hex(
+                "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff\
+                 5ae4df3edbd5d35e5b4f09020db03eab1e031dda2fbe03d1792170a0f3009cee"
+            )
+        );
+        assert_eq!(cipher.decrypt(&ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let cipher = SemanticCipher::new(&SecretKey::derive(b"k", "ctr"));
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = cipher.encrypt_with_nonce([len as u8; 16], &pt);
+            assert_eq!(cipher.decrypt(&ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn too_short_ciphertext_is_an_error() {
+        let cipher = SemanticCipher::new(&SecretKey::derive(b"k", "ctr"));
+        let err = cipher.decrypt(&[0u8; 5]).unwrap_err();
+        assert_eq!(err, CryptoError::CiphertextTooShort { got: 5, need: 16 });
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let cipher = SemanticCipher::new(&SecretKey::derive(b"k", "ctr"));
+        let ct = cipher.encrypt_with_nonce([1; 16], b"");
+        assert_eq!(ct.len(), NONCE_LEN);
+        assert_eq!(cipher.decrypt(&ct).unwrap(), b"");
+    }
+
+    #[test]
+    fn sealer_nonces_never_repeat() {
+        let cipher = SemanticCipher::new(&SecretKey::derive(b"k", "ctr"));
+        let mut s = Sealer::new(cipher, 42);
+        let mut headers = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let ct = s.seal(b"x");
+            assert!(headers.insert(ct[..NONCE_LEN].to_vec()));
+        }
+        assert_eq!(s.sealed_count(), 100);
+    }
+
+    #[test]
+    fn distinct_instances_distinct_nonces() {
+        let cipher = SemanticCipher::new(&SecretKey::derive(b"k", "ctr"));
+        let mut a = Sealer::new(cipher.clone(), 1);
+        let mut b = Sealer::new(cipher, 2);
+        assert_ne!(a.seal(b"m")[..NONCE_LEN], b.seal(b"m")[..NONCE_LEN]);
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let c1 = SemanticCipher::new(&SecretKey::derive(b"k1", "ctr"));
+        let c2 = SemanticCipher::new(&SecretKey::derive(b"k2", "ctr"));
+        let ct = c1.encrypt_with_nonce([3; 16], b"hello world!");
+        assert_ne!(c2.decrypt(&ct).unwrap(), b"hello world!");
+    }
+}

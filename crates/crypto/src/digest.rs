@@ -1,0 +1,48 @@
+//! The [`Digest`] trait abstracting over the hash functions in this crate.
+//!
+//! Both [`crate::Sha1`] and [`crate::Sha256`] implement it, which lets
+//! [`crate::Hmac`] be generic over the underlying compression function.
+
+/// A streaming cryptographic hash function.
+///
+/// Implementors process input incrementally via [`Digest::update`] and produce
+/// a fixed-size output via [`Digest::finalize`].
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::digest::Digest;
+/// use rsse_crypto::Sha256;
+///
+/// fn hash_twice<D: Digest>(data: &[u8]) -> Vec<u8> {
+///     let first = D::digest(data);
+///     D::digest(first.as_ref()).as_ref().to_vec()
+/// }
+///
+/// let h = hash_twice::<Sha256>(b"abc");
+/// assert_eq!(h.len(), 32);
+/// ```
+pub trait Digest: Clone {
+    /// Size of the digest output in bytes.
+    const OUTPUT_LEN: usize;
+    /// Size of the internal message block in bytes (64 for SHA-1/SHA-256).
+    const BLOCK_LEN: usize;
+    /// Fixed-size output type, e.g. `[u8; 32]`.
+    type Output: AsRef<[u8]> + Clone;
+
+    /// Creates a fresh hasher in its initial state.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest.
+    fn finalize(self) -> Self::Output;
+
+    /// Convenience one-shot digest of `data`.
+    fn digest(data: &[u8]) -> Self::Output {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

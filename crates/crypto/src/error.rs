@@ -1,0 +1,68 @@
+//! Error type for cryptographic operations.
+
+use core::fmt;
+
+/// Errors produced by the primitives in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A ciphertext was too short to contain its nonce/header.
+    CiphertextTooShort {
+        /// Bytes actually present.
+        got: usize,
+        /// Minimum bytes required.
+        need: usize,
+    },
+    /// An authentication or integrity check failed.
+    IntegrityCheckFailed,
+    /// A key had an unsupported length.
+    InvalidKeyLength {
+        /// Bytes actually provided.
+        got: usize,
+        /// Bytes expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::CiphertextTooShort { got, need } => {
+                write!(f, "ciphertext too short: got {got} bytes, need at least {need}")
+            }
+            CryptoError::IntegrityCheckFailed => write!(f, "integrity check failed"),
+            CryptoError::InvalidKeyLength { got, expected } => {
+                write!(f, "invalid key length: got {got} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CryptoError::CiphertextTooShort { got: 3, need: 16 }.to_string(),
+            "ciphertext too short: got 3 bytes, need at least 16"
+        );
+        assert_eq!(
+            CryptoError::IntegrityCheckFailed.to_string(),
+            "integrity check failed"
+        );
+        assert_eq!(
+            CryptoError::InvalidKeyLength { got: 5, expected: 32 }.to_string(),
+            "invalid key length: got 5 bytes, expected 32"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<CryptoError>();
+    }
+}

@@ -1,0 +1,130 @@
+//! The paper's two keyed functions: the PRF `f` and the label hash `pi`.
+
+use crate::hmac::{hmac_sha1, hmac_sha256};
+use crate::keys::SecretKey;
+
+/// The pseudo-random function `f : {0,1}^k x {0,1}* -> {0,1}^256`.
+///
+/// The paper uses `f_y(w)` to derive the per-posting-list entry-encryption
+/// key and `f_z(w)` to derive per-list OPM keys. Instantiated as
+/// HMAC-SHA-256.
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::{Prf, SecretKey};
+///
+/// let prf = Prf::new(&SecretKey::derive(b"seed", "y"));
+/// let per_list_key = prf.derive_key(b"network");
+/// assert_eq!(per_list_key.as_bytes().len(), 32);
+/// ```
+#[derive(Clone)]
+pub struct Prf {
+    key: SecretKey,
+}
+
+impl core::fmt::Debug for Prf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Prf {{ key: <redacted> }}")
+    }
+}
+
+impl Prf {
+    /// Creates the PRF keyed with `key`.
+    pub fn new(key: &SecretKey) -> Self {
+        Prf { key: key.clone() }
+    }
+
+    /// Evaluates `f_key(input)` to 32 bytes.
+    pub fn eval(&self, input: &[u8]) -> [u8; 32] {
+        hmac_sha256(self.key.as_bytes(), input)
+    }
+
+    /// Evaluates the PRF and wraps the output as a [`SecretKey`] — the
+    /// `f_y(w_i)` / `f_z(w_i)` per-list key derivations of the paper.
+    pub fn derive_key(&self, input: &[u8]) -> SecretKey {
+        SecretKey::from_bytes(self.eval(input))
+    }
+}
+
+/// The collision-resistant keyed label function
+/// `pi : {0,1}^k x {0,1}* -> {0,1}^p` with `p = 160` bits.
+///
+/// The paper instantiates `pi` with SHA-1 ("in which case p is 160 bits");
+/// we key it as HMAC-SHA-1 so labels are unlinkable without the key `x`.
+/// The server locates a posting list by exact match on this label.
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::{KeyedLabel, SecretKey};
+///
+/// let pi = KeyedLabel::new(&SecretKey::derive(b"seed", "x"));
+/// let l1 = pi.label(b"network");
+/// assert_eq!(l1, pi.label(b"network"));
+/// assert_ne!(l1, pi.label(b"networks"));
+/// ```
+#[derive(Clone)]
+pub struct KeyedLabel {
+    key: SecretKey,
+}
+
+impl core::fmt::Debug for KeyedLabel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "KeyedLabel {{ key: <redacted> }}")
+    }
+}
+
+/// A 160-bit posting-list label `pi_x(w)`.
+pub type Label = [u8; 20];
+
+impl KeyedLabel {
+    /// Creates the label function keyed with `key` (the paper's `x`).
+    pub fn new(key: &SecretKey) -> Self {
+        KeyedLabel { key: key.clone() }
+    }
+
+    /// Computes the 160-bit label `pi_x(word)`.
+    pub fn label(&self, word: &[u8]) -> Label {
+        hmac_sha1(self.key.as_bytes(), word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_deterministic_and_input_sensitive() {
+        let prf = Prf::new(&SecretKey::derive(b"s", "y"));
+        assert_eq!(prf.eval(b"a"), prf.eval(b"a"));
+        assert_ne!(prf.eval(b"a"), prf.eval(b"b"));
+    }
+
+    #[test]
+    fn prf_key_sensitive() {
+        let p1 = Prf::new(&SecretKey::derive(b"s", "y1"));
+        let p2 = Prf::new(&SecretKey::derive(b"s", "y2"));
+        assert_ne!(p1.eval(b"a"), p2.eval(b"a"));
+    }
+
+    #[test]
+    fn labels_are_160_bits_and_key_sensitive() {
+        let pi1 = KeyedLabel::new(&SecretKey::derive(b"s", "x1"));
+        let pi2 = KeyedLabel::new(&SecretKey::derive(b"s", "x2"));
+        let l = pi1.label(b"network");
+        assert_eq!(l.len(), 20);
+        assert_ne!(l, pi2.label(b"network"));
+    }
+
+    #[test]
+    fn no_label_collisions_over_small_vocabulary() {
+        // p > log m must hold; with p = 160 collisions over a realistic
+        // vocabulary would indicate a broken implementation.
+        let pi = KeyedLabel::new(&SecretKey::derive(b"s", "x"));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            assert!(seen.insert(pi.label(format!("kw{i}").as_bytes())));
+        }
+    }
+}

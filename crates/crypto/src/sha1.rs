@@ -1,0 +1,206 @@
+//! SHA-1 (FIPS 180-4), implemented from the specification.
+//!
+//! The paper instantiates its posting-list label function `pi` with an
+//! "off-the-shelf hash function like SHA-1, in which case `p` is 160 bits".
+//! We keep SHA-1 for that role for fidelity to the paper (label collision
+//! resistance at the index level, not long-term signature security), while
+//! all key derivation uses SHA-256.
+
+use crate::digest::Digest;
+
+const H0: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+
+/// Streaming SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::{Digest, Sha1};
+///
+/// let d = Sha1::digest(b"abc");
+/// assert_eq!(d[..4], [0xa9, 0x99, 0x3e, 0x36]);
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sha1")
+            .field("bytes_absorbed", &(self.len + self.buf_len as u64))
+            .finish()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    fn compress(state: &mut [u32; 5], block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = *state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a827999),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+    const BLOCK_LEN: usize = 64;
+    type Output = [u8; 20];
+
+    fn new() -> Self {
+        Sha1::new()
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let buf = self.buf;
+                Self::compress(&mut self.state, &buf);
+                self.len += 64;
+                self.buf_len = 0;
+            } else {
+                // Buffer still partial, so the input ran out.
+                debug_assert!(data.is_empty());
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            Self::compress(&mut self.state, block);
+            self.len += 64;
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    fn finalize(mut self) -> [u8; 20] {
+        let bit_len = (self.len + self.buf_len as u64) * 8;
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..pad_len + 8]);
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_abc() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn fips_empty() {
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn fips_two_block() {
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 10_000];
+        for _ in 0..100 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(777).collect();
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 776, 777] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split at {split}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the crypto primitives.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_crypto::ctr::NONCE_LEN;
+use rsse_crypto::{
+    ct_eq, AuthenticatedCipher, Digest, Hmac, SecretKey, SemanticCipher, Sha1, Sha256,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental hashing equals one-shot hashing for arbitrary splits.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in vec(any::<u8>(), 0..2000),
+        splits in vec(any::<u16>(), 0..8),
+    ) {
+        let mut h = Sha256::new();
+        let mut offset = 0usize;
+        for s in splits {
+            let cut = offset + (s as usize % (data.len() - offset + 1));
+            h.update(&data[offset..cut]);
+            offset = cut;
+        }
+        h.update(&data[offset..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// Same for SHA-1.
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in vec(any::<u8>(), 0..1000),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let cut = (data.len() as f64 * cut_frac) as usize;
+        let mut h = Sha1::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+
+    /// HMAC distinguishes any pair of distinct (key, message) inputs.
+    #[test]
+    fn hmac_collision_freedom_smoke(
+        k1 in vec(any::<u8>(), 1..64),
+        k2 in vec(any::<u8>(), 1..64),
+        m in vec(any::<u8>(), 0..200),
+    ) {
+        let t1 = Hmac::<Sha256>::mac(&k1, &m);
+        let t2 = Hmac::<Sha256>::mac(&k2, &m);
+        if k1 != k2 {
+            prop_assert_ne!(t1, t2);
+        } else {
+            prop_assert_eq!(t1, t2);
+        }
+    }
+
+    /// CTR decryption inverts encryption for arbitrary data and nonce.
+    #[test]
+    fn ctr_roundtrip(
+        seed in any::<u64>(),
+        nonce in any::<[u8; NONCE_LEN]>(),
+        data in vec(any::<u8>(), 0..500),
+    ) {
+        let cipher = SemanticCipher::new(&SecretKey::derive(&seed.to_be_bytes(), "p"));
+        let ct = cipher.encrypt_with_nonce(nonce, &data);
+        prop_assert_eq!(cipher.decrypt(&ct).unwrap(), data.clone());
+        // Ciphertext differs from plaintext for non-trivial inputs.
+        if data.len() >= 16 {
+            prop_assert_ne!(&ct[NONCE_LEN..], &data[..]);
+        }
+    }
+
+    /// AEAD rejects any single-bit corruption.
+    #[test]
+    fn aead_detects_corruption(
+        seed in any::<u64>(),
+        data in vec(any::<u8>(), 0..200),
+        ad in vec(any::<u8>(), 0..32),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let aead = AuthenticatedCipher::new(&SecretKey::derive(&seed.to_be_bytes(), "a"));
+        let ct = aead.seal([1; NONCE_LEN], &data, &ad);
+        prop_assert_eq!(aead.open(&ct, &ad).unwrap(), data);
+        let mut forged = ct.clone();
+        let idx = flip_byte % forged.len();
+        forged[idx] ^= 1 << flip_bit;
+        prop_assert!(aead.open(&forged, &ad).is_err());
+    }
+
+    /// ct_eq agrees with == on arbitrary byte strings.
+    #[test]
+    fn ct_eq_matches_eq(a in vec(any::<u8>(), 0..64), b in vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+}

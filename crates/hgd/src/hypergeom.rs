@@ -1,0 +1,493 @@
+//! Exact hypergeometric distribution and the `HYGEINV` inverse-CDF sampler.
+//!
+//! The OPSE binary search draws
+//! `x <- HYGEINV(coin, M, N, n)`: sampling how many of the `M` domain points
+//! (successes) land in a draw of `n` items from a population of `N` range
+//! points. The paper uses MATLAB's `HYGEINV`; this module is the exact,
+//! deterministic, pure-Rust equivalent.
+//!
+//! # Numerical strategy
+//!
+//! Populations reach `N = 2^46`, where `ln Γ` differences lose all precision
+//! (`ln Γ(2^46) ≈ 1.5e15` leaves < 1 ulp for the fractional part). Instead we
+//! exploit that the *support* of the distribution spans at most `M + 1`
+//! points (`M` ≤ a few hundred for score domains): unnormalized weights are
+//! built outward from the mode with the exact PMF ratio
+//!
+//! ```text
+//! pmf(k+1)/pmf(k) = (M-k)(n-k) / ((k+1)(N-M-n+k+1))
+//! ```
+//!
+//! then normalized and inverted. Every factor fits an `f64` with ≤ 2^-52
+//! relative error, so the computation is stable and fully reproducible.
+
+use crate::gamma::ln_binomial;
+use rsse_crypto::Tape;
+
+/// Largest population this module accepts (keeps every intermediate product
+/// exactly representable in `f64` with negligible rounding).
+pub const MAX_POPULATION: u64 = 1 << 52;
+
+/// Errors from constructing a [`Hypergeometric`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HgdError {
+    /// `successes > population` or `draws > population`.
+    InconsistentCounts {
+        /// Total population `N`.
+        population: u64,
+        /// Marked items `M`.
+        successes: u64,
+        /// Sample size `n`.
+        draws: u64,
+    },
+    /// Population exceeds [`MAX_POPULATION`].
+    PopulationTooLarge {
+        /// Offending population.
+        population: u64,
+    },
+}
+
+impl core::fmt::Display for HgdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HgdError::InconsistentCounts {
+                population,
+                successes,
+                draws,
+            } => write!(
+                f,
+                "inconsistent hypergeometric parameters: N={population}, M={successes}, n={draws}"
+            ),
+            HgdError::PopulationTooLarge { population } => {
+                write!(f, "population {population} exceeds 2^52")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HgdError {}
+
+/// The hypergeometric distribution `HGD(N, M, n)`.
+///
+/// `N` = population size, `M` = number of marked items ("successes"),
+/// `n` = sample size. The random variate is the number of marked items in
+/// the sample.
+///
+/// # Example
+///
+/// ```
+/// use rsse_hgd::Hypergeometric;
+///
+/// let h = Hypergeometric::new(100, 10, 50)?;
+/// assert_eq!(h.support(), (0, 10));
+/// assert!((h.mean() - 5.0).abs() < 1e-12);
+/// # Ok::<(), rsse_hgd::HgdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    population: u64,
+    successes: u64,
+    draws: u64,
+}
+
+impl Hypergeometric {
+    /// Creates the distribution, validating parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`HgdError::InconsistentCounts`] if `successes > population` or
+    ///   `draws > population`;
+    /// * [`HgdError::PopulationTooLarge`] if `population > 2^52`.
+    pub fn new(population: u64, successes: u64, draws: u64) -> Result<Self, HgdError> {
+        if successes > population || draws > population {
+            return Err(HgdError::InconsistentCounts {
+                population,
+                successes,
+                draws,
+            });
+        }
+        if population > MAX_POPULATION {
+            return Err(HgdError::PopulationTooLarge { population });
+        }
+        Ok(Hypergeometric {
+            population,
+            successes,
+            draws,
+        })
+    }
+
+    /// Population size `N`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of marked items `M`.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Sample size `n`.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Inclusive support `[lo, hi]` of the variate.
+    pub fn support(&self) -> (u64, u64) {
+        let lo = (self.draws + self.successes).saturating_sub(self.population);
+        let hi = self.successes.min(self.draws);
+        (lo, hi)
+    }
+
+    /// Mean `n·M/N`.
+    pub fn mean(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        self.draws as f64 * self.successes as f64 / self.population as f64
+    }
+
+    /// Variance `n·(M/N)·(1-M/N)·(N-n)/(N-1)`.
+    pub fn variance(&self) -> f64 {
+        if self.population <= 1 {
+            return 0.0;
+        }
+        let n = self.draws as f64;
+        let big_n = self.population as f64;
+        let p = self.successes as f64 / big_n;
+        n * p * (1.0 - p) * (big_n - n) / (big_n - 1.0)
+    }
+
+    /// Mode `floor((n+1)(M+1)/(N+2))`, clamped to the support.
+    pub fn mode(&self) -> u64 {
+        let raw = ((self.draws as u128 + 1) * (self.successes as u128 + 1))
+            / (self.population as u128 + 2);
+        let (lo, hi) = self.support();
+        (raw as u64).clamp(lo, hi)
+    }
+
+    /// Ratio `pmf(k+1)/pmf(k)` — exact in `f64` for our parameter sizes.
+    fn ratio_up(&self, k: u64) -> f64 {
+        let m = self.successes as f64;
+        let n = self.draws as f64;
+        let big_n = self.population as f64;
+        let kf = k as f64;
+        ((m - kf) * (n - kf)) / ((kf + 1.0) * (big_n - m - n + kf + 1.0))
+    }
+
+    /// Unnormalized weights over the support, anchored at the mode, plus the
+    /// support lower bound. Weight at the mode is 1.
+    fn weights(&self) -> (Vec<f64>, u64) {
+        let (lo, hi) = self.support();
+        let mode = self.mode();
+        let len = (hi - lo + 1) as usize;
+        let mut w = vec![0.0f64; len];
+        let mode_idx = (mode - lo) as usize;
+        w[mode_idx] = 1.0;
+        // Walk up from the mode.
+        let mut cur = 1.0f64;
+        for k in mode..hi {
+            cur *= self.ratio_up(k);
+            w[(k + 1 - lo) as usize] = cur;
+        }
+        // Walk down from the mode.
+        cur = 1.0;
+        for k in (lo..mode).rev() {
+            cur /= self.ratio_up(k);
+            w[(k - lo) as usize] = cur;
+        }
+        (w, lo)
+    }
+
+    /// Probability mass at `k`, computed from the normalized ratio weights.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rsse_hgd::Hypergeometric;
+    /// let h = Hypergeometric::new(10, 4, 5)?;
+    /// let total: f64 = (0..=4).map(|k| h.pmf(k)).sum();
+    /// assert!((total - 1.0).abs() < 1e-12);
+    /// # Ok::<(), rsse_hgd::HgdError>(())
+    /// ```
+    pub fn pmf(&self, k: u64) -> f64 {
+        let (lo, hi) = self.support();
+        if k < lo || k > hi {
+            return 0.0;
+        }
+        let (w, base) = self.weights();
+        let total: f64 = w.iter().sum();
+        w[(k - base) as usize] / total
+    }
+
+    /// Probability mass at `k` via the closed-form log-binomial expression.
+    ///
+    /// Only accurate for moderate populations (≤ ~2^31); used in tests to
+    /// cross-validate the ratio method.
+    pub fn pmf_closed_form(&self, k: u64) -> f64 {
+        let (lo, hi) = self.support();
+        if k < lo || k > hi {
+            return 0.0;
+        }
+        (ln_binomial(self.successes, k) + ln_binomial(self.population - self.successes, self.draws - k)
+            - ln_binomial(self.population, self.draws))
+        .exp()
+    }
+
+    /// Cumulative distribution `P[X <= k]`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        let (lo, hi) = self.support();
+        if k < lo {
+            return 0.0;
+        }
+        if k >= hi {
+            return 1.0;
+        }
+        let (w, base) = self.weights();
+        let total: f64 = w.iter().sum();
+        let partial: f64 = w[..=(k - base) as usize].iter().sum();
+        partial / total
+    }
+
+    /// Inverse CDF: the smallest `k` in the support with `CDF(k) >= u`.
+    ///
+    /// This is the `HYGEINV` primitive: feeding a uniform `u in [0,1)`
+    /// yields an exact hypergeometric variate.
+    pub fn inverse_cdf(&self, u: f64) -> u64 {
+        let (lo, hi) = self.support();
+        if lo == hi {
+            return lo;
+        }
+        let (w, base) = self.weights();
+        let total: f64 = w.iter().sum();
+        let target = u.clamp(0.0, 1.0) * total;
+        let mut acc = 0.0f64;
+        for (i, wi) in w.iter().enumerate() {
+            acc += wi;
+            if acc > target {
+                return base + i as u64;
+            }
+        }
+        hi // numerical tail: u was ~1.0
+    }
+
+    /// Draws one variate using coins from `tape`.
+    pub fn sample(&self, tape: &mut Tape) -> u64 {
+        self.inverse_cdf(tape.next_f64())
+    }
+}
+
+/// Convenience: the paper's `HYGEINV(coin, M, N, n)` call — `M` domain
+/// points among `N` range points, sample `n`, driven by the coin tape.
+///
+/// # Errors
+///
+/// Propagates [`HgdError`] on invalid parameters.
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::{SecretKey, Tape};
+/// use rsse_hgd::hygeinv;
+///
+/// let key = SecretKey::derive(b"seed", "hgd");
+/// let mut tape = Tape::new(&key, b"node-transcript");
+/// let x = hygeinv(&mut tape, 128, 1 << 46, 1 << 45)?;
+/// assert!(x <= 128);
+/// # Ok::<(), rsse_hgd::HgdError>(())
+/// ```
+pub fn hygeinv(tape: &mut Tape, m: u64, n_population: u64, n_draws: u64) -> Result<u64, HgdError> {
+    Ok(Hypergeometric::new(n_population, m, n_draws)?.sample(tape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsse_crypto::SecretKey;
+
+    fn tape(label: &[u8]) -> Tape {
+        Tape::new(&SecretKey::derive(b"hgd tests", "k"), label)
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(matches!(
+            Hypergeometric::new(10, 11, 5),
+            Err(HgdError::InconsistentCounts { .. })
+        ));
+        assert!(matches!(
+            Hypergeometric::new(10, 5, 11),
+            Err(HgdError::InconsistentCounts { .. })
+        ));
+        assert!(matches!(
+            Hypergeometric::new((1 << 52) + 1, 5, 5),
+            Err(HgdError::PopulationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn support_bounds() {
+        let h = Hypergeometric::new(10, 7, 6).unwrap();
+        // lo = n + M - N = 6 + 7 - 10 = 3, hi = min(7, 6) = 6.
+        assert_eq!(h.support(), (3, 6));
+    }
+
+    #[test]
+    fn pmf_sums_to_one_various_params() {
+        for &(n, m, d) in &[(10u64, 4u64, 5u64), (100, 30, 50), (1000, 7, 999), (50, 50, 25)] {
+            let h = Hypergeometric::new(n, m, d).unwrap();
+            let (lo, hi) = h.support();
+            let total: f64 = (lo..=hi).map(|k| h.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "N={n} M={m} n={d}: {total}");
+        }
+    }
+
+    #[test]
+    fn ratio_method_matches_closed_form_moderate_population() {
+        for &(n, m, d) in &[(1000u64, 12u64, 500u64), (100_000, 64, 50_000), (4096, 128, 2048)] {
+            let h = Hypergeometric::new(n, m, d).unwrap();
+            let (lo, hi) = h.support();
+            for k in lo..=hi {
+                let a = h.pmf(k);
+                let b = h.pmf_closed_form(k);
+                assert!(
+                    (a - b).abs() < 1e-9 * b.max(1e-300) + 1e-12,
+                    "N={n} M={m} n={d} k={k}: ratio={a} closed={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_distribution() {
+        // Urn: N=10, M=4 white, draw n=3.
+        // P[X=0] = C(4,0)C(6,3)/C(10,3) = 20/120 = 1/6.
+        // P[X=1] = C(4,1)C(6,2)/C(10,3) = 60/120 = 1/2.
+        let h = Hypergeometric::new(10, 4, 3).unwrap();
+        assert!((h.pmf(0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((h.pmf(1) - 0.5).abs() < 1e-12);
+        assert!((h.pmf(2) - 0.3).abs() < 1e-12);
+        assert!((h.pmf(3) - 1.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // n = 0: always 0 marked drawn.
+        let h = Hypergeometric::new(100, 30, 0).unwrap();
+        assert_eq!(h.support(), (0, 0));
+        assert_eq!(h.inverse_cdf(0.99), 0);
+        // n = N: all marked drawn.
+        let h = Hypergeometric::new(100, 30, 100).unwrap();
+        assert_eq!(h.support(), (30, 30));
+        assert_eq!(h.inverse_cdf(0.01), 30);
+        // M = 0.
+        let h = Hypergeometric::new(100, 0, 50).unwrap();
+        assert_eq!(h.inverse_cdf(0.5), 0);
+        // M = N: every draw is marked.
+        let h = Hypergeometric::new(100, 100, 37).unwrap();
+        assert_eq!(h.inverse_cdf(0.5), 37);
+    }
+
+    #[test]
+    fn inverse_cdf_edges() {
+        let h = Hypergeometric::new(100, 10, 50).unwrap();
+        let (lo, hi) = h.support();
+        assert_eq!(h.inverse_cdf(0.0), lo);
+        assert_eq!(h.inverse_cdf(1.0), hi);
+        assert_eq!(h.inverse_cdf(-1.0), lo);
+        assert_eq!(h.inverse_cdf(2.0), hi);
+    }
+
+    #[test]
+    fn inverse_cdf_is_monotone() {
+        let h = Hypergeometric::new(1000, 40, 500).unwrap();
+        let mut prev = 0;
+        for i in 0..=100 {
+            let u = i as f64 / 100.0;
+            let k = h.inverse_cdf(u);
+            assert!(k >= prev, "inverse CDF must be monotone in u");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn sample_mean_near_expectation_huge_population() {
+        // The OPSE regime: N = 2^46, n = N/2, M = 128.
+        let n_pop = 1u64 << 46;
+        let h = Hypergeometric::new(n_pop, 128, n_pop / 2).unwrap();
+        let mut t = tape(b"huge");
+        let trials = 3000;
+        let sum: u64 = (0..trials).map(|_| h.sample(&mut t)).sum();
+        let mean = sum as f64 / trials as f64;
+        // E[X] = 64, sd ≈ 5.66, so the sample mean of 3000 trials is within
+        // ~4·sd/sqrt(trials) ≈ 0.41 with overwhelming probability.
+        assert!((mean - 64.0).abs() < 0.6, "mean {mean}");
+    }
+
+    #[test]
+    fn sample_variance_sane() {
+        let h = Hypergeometric::new(10_000, 100, 5_000).unwrap();
+        let mut t = tape(b"var");
+        let trials = 4000;
+        let xs: Vec<f64> = (0..trials).map(|_| h.sample(&mut t) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / trials as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
+        let expected = h.variance();
+        assert!(
+            (var - expected).abs() / expected < 0.15,
+            "sample var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_tape() {
+        let h = Hypergeometric::new(1 << 40, 200, 1 << 39).unwrap();
+        let a: Vec<u64> = {
+            let mut t = tape(b"det");
+            (0..50).map(|_| h.sample(&mut t)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut t = tape(b"det");
+            (0..50).map(|_| h.sample(&mut t)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chi_square_goodness_of_fit_small() {
+        // N=60, M=12, n=30: compare 6000 samples against exact pmf.
+        let h = Hypergeometric::new(60, 12, 30).unwrap();
+        let (lo, hi) = h.support();
+        let mut counts = vec![0u64; (hi - lo + 1) as usize];
+        let trials = 6000u64;
+        let mut t = tape(b"chi2");
+        for _ in 0..trials {
+            counts[(h.sample(&mut t) - lo) as usize] += 1;
+        }
+        let mut chi2 = 0.0;
+        let mut dof = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            let e = h.pmf(lo + i as u64) * trials as f64;
+            if e >= 5.0 {
+                chi2 += (c as f64 - e).powi(2) / e;
+                dof += 1;
+            }
+        }
+        // 99.9% quantile of chi2 with ~12 dof is ~32.9; allow generous slack.
+        assert!(chi2 < 40.0, "chi2 {chi2} over {dof} cells");
+    }
+
+    #[test]
+    fn hygeinv_wrapper() {
+        let mut t = tape(b"wrap");
+        let x = hygeinv(&mut t, 16, 1 << 20, 1 << 19).unwrap();
+        assert!(x <= 16);
+        assert!(hygeinv(&mut t, 17, 16, 8).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Hypergeometric::new(10, 11, 5).unwrap_err();
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Exact hypergeometric sampling for order-preserving encryption.
+//!
+//! The OPSE construction of Boldyreva et al. (Eurocrypt'09), which the RSSE
+//! paper builds on, walks a lazily-sampled binary search tree whose splits
+//! are hypergeometric variates. The authors called MATLAB's `HYGEINV`; this
+//! crate is the deterministic pure-Rust replacement:
+//!
+//! * [`gamma`] — `ln Γ` (Lanczos), log-factorials, log-binomials;
+//! * [`hypergeom`] — the [`Hypergeometric`] distribution with an exact
+//!   inverse-CDF sampler ([`hygeinv`]) stable up to populations of `2^52`.
+//!
+//! # Example
+//!
+//! ```
+//! use rsse_crypto::{SecretKey, Tape};
+//! use rsse_hgd::Hypergeometric;
+//!
+//! # fn main() -> Result<(), rsse_hgd::HgdError> {
+//! // How many of 128 marked items land in half of a 2^46 population?
+//! let h = Hypergeometric::new(1 << 46, 128, 1 << 45)?;
+//! let mut tape = Tape::new(&SecretKey::derive(b"seed", "hgd"), b"node");
+//! let x = h.sample(&mut tape);
+//! assert!(x <= 128);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gamma;
+pub mod hypergeom;
+
+pub use hypergeom::{hygeinv, HgdError, Hypergeometric, MAX_POPULATION};

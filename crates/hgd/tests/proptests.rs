@@ -1,0 +1,85 @@
+//! Property-based tests of the hypergeometric sampler.
+
+use proptest::prelude::*;
+use rsse_crypto::{SecretKey, Tape};
+use rsse_hgd::Hypergeometric;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PMF sums to 1 over the support for arbitrary valid parameters.
+    #[test]
+    fn pmf_normalizes(
+        population in 1u64..=100_000,
+        successes_frac in 0.0f64..=1.0,
+        draws_frac in 0.0f64..=1.0,
+    ) {
+        let successes = ((population as f64) * successes_frac) as u64;
+        let draws = ((population as f64) * draws_frac) as u64;
+        let h = Hypergeometric::new(population, successes, draws).unwrap();
+        let (lo, hi) = h.support();
+        prop_assume!(hi - lo <= 2000); // keep the sweep cheap
+        let total: f64 = (lo..=hi).map(|k| h.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    /// CDF is monotone and hits 0/1 at the support edges.
+    #[test]
+    fn cdf_monotone(
+        population in 2u64..=10_000,
+        successes in 1u64..=64,
+        draws in 1u64..=10_000,
+    ) {
+        let successes = successes.min(population);
+        let draws = draws.min(population);
+        let h = Hypergeometric::new(population, successes, draws).unwrap();
+        let (lo, hi) = h.support();
+        let mut prev = 0.0;
+        for k in lo..=hi {
+            let c = h.cdf(k);
+            prop_assert!(c + 1e-12 >= prev, "cdf not monotone at {k}");
+            prev = c;
+        }
+        prop_assert!((h.cdf(hi) - 1.0).abs() < 1e-12);
+        if lo > 0 {
+            prop_assert_eq!(h.cdf(lo - 1), 0.0);
+        }
+    }
+
+    /// inverse_cdf(cdf boundary) is consistent: the sampled value's CDF
+    /// brackets the input u.
+    #[test]
+    fn inverse_cdf_brackets_u(
+        population_bits in 2u32..=46,
+        successes in 1u64..=128,
+        u in 0.0001f64..0.9999,
+    ) {
+        let population = 1u64 << population_bits;
+        let successes = successes.min(population);
+        let h = Hypergeometric::new(population, successes, population / 2).unwrap();
+        let k = h.inverse_cdf(u);
+        let (lo, _) = h.support();
+        prop_assert!(h.cdf(k) >= u - 1e-9, "cdf({k}) < u");
+        if k > lo {
+            prop_assert!(h.cdf(k - 1) < u + 1e-9, "not the smallest k");
+        }
+    }
+
+    /// Samples are deterministic per tape and stay within the support.
+    #[test]
+    fn samples_in_support(
+        population in 2u64..=1_000_000,
+        successes in 0u64..=200,
+        seed in any::<u64>(),
+    ) {
+        let successes = successes.min(population);
+        let h = Hypergeometric::new(population, successes, population / 2).unwrap();
+        let key = SecretKey::derive(&seed.to_be_bytes(), "hgd");
+        let mut tape = Tape::new(&key, b"prop");
+        let (lo, hi) = h.support();
+        for _ in 0..20 {
+            let k = h.sample(&mut tape);
+            prop_assert!((lo..=hi).contains(&k));
+        }
+    }
+}

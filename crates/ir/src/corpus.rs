@@ -1,0 +1,382 @@
+//! Deterministic synthetic corpus generation.
+//!
+//! The paper evaluates on the RFC collection (5563 plain-text files,
+//! ~277 MB) which cannot be shipped here. This module generates a synthetic
+//! stand-in with the statistics the experiments actually consume:
+//!
+//! * Zipf-distributed background vocabulary (natural-language-like term
+//!   frequencies and posting-list lengths);
+//! * log-normal document lengths (the `|F_d|` normalization factor);
+//! * configurable **hot keywords** ("network", …) planted in a chosen
+//!   fraction of documents with exponentially bursty term frequencies — this
+//!   reproduces the skewed per-keyword score histogram of the paper's
+//!   Fig. 4.
+//!
+//! Generation is fully deterministic given the seed.
+
+use crate::document::{Document, FileId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A keyword planted into the corpus with controlled statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotKeyword {
+    /// The term itself (should survive stemming, e.g. "network").
+    pub term: String,
+    /// Fraction of documents that contain the term (1.0 = every document,
+    /// giving the paper's posting list of length = collection size).
+    pub doc_fraction: f64,
+    /// Mean of the exponential term-frequency burst (higher = more skew).
+    pub mean_burst: f64,
+}
+
+impl HotKeyword {
+    /// Convenience constructor.
+    pub fn new(term: impl Into<String>, doc_fraction: f64, mean_burst: f64) -> Self {
+        HotKeyword {
+            term: term.into(),
+            doc_fraction,
+            mean_burst,
+        }
+    }
+}
+
+/// Parameters of the synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusParams {
+    /// Number of documents to generate.
+    pub num_docs: usize,
+    /// Background vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent of the background vocabulary (≈1.0 for natural text).
+    pub zipf_exponent: f64,
+    /// Mean document length in tokens (log-normal distributed).
+    pub mean_doc_len: usize,
+    /// Keywords planted with controlled statistics.
+    pub hot_keywords: Vec<HotKeyword>,
+    /// RNG seed: same seed, same corpus.
+    pub seed: u64,
+}
+
+impl CorpusParams {
+    /// A tiny corpus for unit tests and doc examples (~200 docs).
+    pub fn small(seed: u64) -> Self {
+        CorpusParams {
+            num_docs: 200,
+            vocab_size: 2_000,
+            zipf_exponent: 1.05,
+            mean_doc_len: 120,
+            hot_keywords: vec![
+                HotKeyword::new("network", 1.0, 8.0),
+                HotKeyword::new("protocol", 0.5, 4.0),
+                HotKeyword::new("cipher", 0.1, 2.0),
+            ],
+            seed,
+        }
+    }
+
+    /// The paper's measurement configuration: 1000 files, with "network"
+    /// present in every file (posting list of length 1000, the Fig. 4 / 8 /
+    /// Table I workload).
+    pub fn paper_1000(seed: u64) -> Self {
+        CorpusParams {
+            num_docs: 1_000,
+            vocab_size: 8_000,
+            zipf_exponent: 1.05,
+            mean_doc_len: 300,
+            hot_keywords: vec![
+                HotKeyword::new("network", 1.0, 10.0),
+                HotKeyword::new("protocol", 0.6, 6.0),
+                HotKeyword::new("header", 0.4, 4.0),
+                HotKeyword::new("datagram", 0.15, 3.0),
+                HotKeyword::new("checksum", 0.08, 2.0),
+            ],
+            seed,
+        }
+    }
+
+    /// An RFC-database-scale corpus (5563 documents, matching the paper's
+    /// full collection size).
+    pub fn rfc_like(seed: u64) -> Self {
+        CorpusParams {
+            num_docs: 5_563,
+            vocab_size: 30_000,
+            zipf_exponent: 1.05,
+            mean_doc_len: 400,
+            hot_keywords: vec![
+                HotKeyword::new("network", 0.9, 10.0),
+                HotKeyword::new("protocol", 0.7, 8.0),
+                HotKeyword::new("header", 0.5, 5.0),
+                HotKeyword::new("octet", 0.3, 4.0),
+                HotKeyword::new("gateway", 0.2, 3.0),
+                HotKeyword::new("multicast", 0.05, 2.0),
+            ],
+            seed,
+        }
+    }
+}
+
+/// Syllables used to synthesize pronounceable, stemmer-stable vocabulary.
+/// None ends in `s`/`e` and none forms common English suffixes, so distinct
+/// vocabulary indices stay distinct through the Porter stemmer.
+const SYLLABLES: [&str; 40] = [
+    "bak", "bor", "dat", "dov", "fal", "fin", "gam", "gor", "hak", "hil", "jat", "jun", "kab",
+    "kol", "lam", "lim", "mak", "mon", "nag", "nol", "pag", "pin", "quam", "rok", "ral", "sog",
+    "sum", "tak", "tol", "ulm", "urt", "vak", "vol", "wam", "wix", "yat", "yol", "zam", "zot",
+    "drin",
+];
+
+/// Deterministic pronounceable word for background-vocabulary index `i`.
+///
+/// Unique for `i < 64_000` (40³ combinations).
+pub fn vocab_word(i: usize) -> String {
+    assert!(i < 64_000, "vocabulary index out of range");
+    let a = SYLLABLES[i / 1600];
+    let b = SYLLABLES[(i / 40) % 40];
+    let c = SYLLABLES[i % 40];
+    format!("{a}{b}{c}")
+}
+
+/// A generated document collection.
+///
+/// # Example
+///
+/// ```
+/// use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+///
+/// let corpus = SyntheticCorpus::generate(&CorpusParams::small(7));
+/// assert_eq!(corpus.documents().len(), 200);
+/// // Determinism: the same seed regenerates the identical corpus.
+/// let again = SyntheticCorpus::generate(&CorpusParams::small(7));
+/// assert_eq!(corpus.documents()[0].text(), again.documents()[0].text());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    params: CorpusParams,
+    documents: Vec<Document>,
+}
+
+impl SyntheticCorpus {
+    /// Generates the corpus described by `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size` exceeds the 64 000 synthesizable words or any
+    /// parameter is degenerate (zero documents, zero vocabulary).
+    pub fn generate(params: &CorpusParams) -> Self {
+        assert!(params.num_docs > 0, "corpus must contain documents");
+        assert!(
+            (1..=64_000).contains(&params.vocab_size),
+            "vocabulary size out of range"
+        );
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let zipf = ZipfSampler::new(params.vocab_size, params.zipf_exponent);
+        let vocab: Vec<String> = (0..params.vocab_size).map(vocab_word).collect();
+
+        let documents = (0..params.num_docs)
+            .map(|i| {
+                let id = FileId::new(i as u64 + 1);
+                let len = sample_doc_len(&mut rng, params.mean_doc_len);
+                let mut tokens: Vec<&str> = (0..len)
+                    .map(|_| vocab[zipf.sample(&mut rng)].as_str())
+                    .collect();
+                for hot in &params.hot_keywords {
+                    if rng.gen::<f64>() < hot.doc_fraction {
+                        let tf = sample_burst(&mut rng, hot.mean_burst);
+                        for _ in 0..tf {
+                            tokens.push(hot.term.as_str());
+                        }
+                    }
+                }
+                Document::new(id, tokens.join(" "))
+            })
+            .collect();
+        SyntheticCorpus {
+            params: params.clone(),
+            documents,
+        }
+    }
+
+    /// The generated documents.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// The parameters this corpus was generated from.
+    pub fn params(&self) -> &CorpusParams {
+        &self.params
+    }
+
+    /// Total corpus size in bytes (for Table-I-style reporting).
+    pub fn total_bytes(&self) -> usize {
+        self.documents.iter().map(Document::byte_len).sum()
+    }
+}
+
+/// Log-normal document length, clamped to `[30, 20·mean]`.
+fn sample_doc_len(rng: &mut SmallRng, mean: usize) -> usize {
+    // Box-Muller for a standard normal.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+    let sigma = 0.5;
+    // E[lognormal(μ,σ)] = exp(μ + σ²/2) — shift μ so the mean comes out right.
+    let mu = (mean as f64).ln() - sigma * sigma / 2.0;
+    let len = (mu + sigma * z).exp();
+    (len.round() as usize).clamp(30, mean * 20)
+}
+
+/// Exponentially bursty term frequency, minimum 1.
+fn sample_burst(rng: &mut SmallRng, mean: f64) -> u32 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    (1.0 + (-u.ln()) * (mean - 1.0).max(0.0)).round().clamp(1.0, 1e6) as u32
+}
+
+/// Zipf(s) sampler over ranks `0..n` via inverse-CDF binary search.
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::InvertedIndex;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticCorpus::generate(&CorpusParams::small(1));
+        let b = SyntheticCorpus::generate(&CorpusParams::small(1));
+        let c = SyntheticCorpus::generate(&CorpusParams::small(2));
+        assert_eq!(a.documents(), b.documents());
+        assert_ne!(a.documents(), c.documents());
+    }
+
+    #[test]
+    fn vocab_words_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5000 {
+            assert!(seen.insert(vocab_word(i)), "duplicate at {i}");
+        }
+        assert_eq!(vocab_word(0), vocab_word(0));
+    }
+
+    #[test]
+    fn vocab_words_survive_stemming_distinctly() {
+        use crate::stem::porter_stem;
+        let mut stems = std::collections::HashSet::new();
+        for i in 0..2000 {
+            let w = vocab_word(i);
+            let s = porter_stem(&w);
+            assert!(stems.insert(s.clone()), "stem collision: {w} -> {s}");
+        }
+    }
+
+    #[test]
+    fn hot_keyword_with_fraction_one_hits_every_document() {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(3));
+        let index = InvertedIndex::build(corpus.documents());
+        assert_eq!(
+            index.document_frequency("network"),
+            corpus.documents().len() as u64
+        );
+    }
+
+    #[test]
+    fn hot_keyword_fractions_respected() {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(4));
+        let index = InvertedIndex::build(corpus.documents());
+        let n = corpus.documents().len() as f64;
+        let protocol = index.document_frequency("protocol") as f64 / n;
+        assert!((0.35..0.65).contains(&protocol), "protocol df {protocol}");
+        let cipher = index.document_frequency("cipher") as f64 / n;
+        assert!((0.02..0.25).contains(&cipher), "cipher df {cipher}");
+    }
+
+    #[test]
+    fn doc_lengths_are_plausible() {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(5));
+        let index = InvertedIndex::build(corpus.documents());
+        let mean: f64 = corpus
+            .documents()
+            .iter()
+            .map(|d| index.doc_length(d.id()).unwrap() as f64)
+            .sum::<f64>()
+            / corpus.documents().len() as f64;
+        // Stop-word removal and stemming shrink the raw token count a bit;
+        // the mean should remain within a factor ~2 of the target.
+        assert!(
+            (60.0..260.0).contains(&mean),
+            "mean indexed length {mean} for target 120"
+        );
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(6));
+        let index = InvertedIndex::build(corpus.documents());
+        // The most common background word must out-document a mid-rank word.
+        let head = index.document_frequency(&vocab_word(0));
+        let tail = index.document_frequency(&vocab_word(1500));
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn score_distribution_for_hot_keyword_is_skewed() {
+        // The Fig. 4 precondition: the per-keyword quantized score histogram
+        // is skewed (its peak bin holds far more than the uniform share).
+        use crate::score::{scores_for_term, ScoreQuantizer};
+        let corpus = SyntheticCorpus::generate(&CorpusParams::paper_1000(42));
+        let index = InvertedIndex::build(corpus.documents());
+        let scores = scores_for_term(&index, "network");
+        assert_eq!(scores.len(), 1000);
+        let raw: Vec<f64> = scores.iter().map(|(_, s)| *s).collect();
+        let q = ScoreQuantizer::fit(&raw, 128).unwrap();
+        let mut hist = [0u32; 128];
+        for &s in &raw {
+            hist[(q.level(s) - 1) as usize] += 1;
+        }
+        let max_bin = *hist.iter().max().unwrap() as f64;
+        let uniform = 1000.0 / 128.0;
+        assert!(
+            max_bin > 4.0 * uniform,
+            "histogram too flat: peak {max_bin} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary size")]
+    fn rejects_oversized_vocabulary() {
+        let mut p = CorpusParams::small(0);
+        p.vocab_size = 100_000;
+        SyntheticCorpus::generate(&p);
+    }
+
+    #[test]
+    fn total_bytes_positive() {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(9));
+        assert!(corpus.total_bytes() > 10_000);
+    }
+}

@@ -1,0 +1,121 @@
+//! Documents and file identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// The identifier `id(F_j)` that uniquely locates a file.
+///
+/// A thin wrapper over `u64`; the byte representation feeds the OPM seed
+/// (`TapeGen(K, (D, R, 1‖m, id(F)))`), so it must be stable and canonical.
+///
+/// # Example
+///
+/// ```
+/// use rsse_ir::FileId;
+///
+/// let id = FileId::new(42);
+/// assert_eq!(id.as_u64(), 42);
+/// assert_eq!(FileId::from_bytes(id.to_bytes()), id);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FileId(u64);
+
+impl FileId {
+    /// Wraps a raw identifier.
+    pub fn new(id: u64) -> Self {
+        FileId(id)
+    }
+
+    /// The raw identifier.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Canonical 8-byte big-endian encoding (the OPM seed material).
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes the canonical encoding.
+    pub fn from_bytes(bytes: [u8; 8]) -> Self {
+        FileId(u64::from_be_bytes(bytes))
+    }
+}
+
+impl core::fmt::Display for FileId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl From<u64> for FileId {
+    fn from(v: u64) -> Self {
+        FileId(v)
+    }
+}
+
+/// A plaintext file in the owner's collection `C`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    id: FileId,
+    text: String,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(id: FileId, text: impl Into<String>) -> Self {
+        Document {
+            id,
+            text: text.into(),
+        }
+    }
+
+    /// The document's identifier.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// The document's plaintext body.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Body length in bytes (used by the bandwidth accounting of the cloud
+    /// simulation).
+    pub fn byte_len(&self) -> usize {
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            let id = FileId::new(v);
+            assert_eq!(FileId::from_bytes(id.to_bytes()), id);
+            assert_eq!(id.as_u64(), v);
+        }
+    }
+
+    #[test]
+    fn file_id_display() {
+        assert_eq!(FileId::new(7).to_string(), "F7");
+    }
+
+    #[test]
+    fn file_id_ordering_matches_u64() {
+        assert!(FileId::new(1) < FileId::new(2));
+    }
+
+    #[test]
+    fn document_accessors() {
+        let d = Document::new(FileId::new(3), "hello world");
+        assert_eq!(d.id(), FileId::new(3));
+        assert_eq!(d.text(), "hello world");
+        assert_eq!(d.byte_len(), 11);
+    }
+}

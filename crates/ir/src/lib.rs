@@ -1,0 +1,39 @@
+//! Information-retrieval substrate for ranked searchable encryption.
+//!
+//! Implements everything the RSSE paper borrows from the IR community:
+//!
+//! * [`text`] — tokenizer with case folding, stop-word removal, and the
+//!   Porter stemmer ([`stem`]);
+//! * [`index`] — the classical inverted index (posting lists, Fig. 2);
+//! * [`score`] — TF×IDF relevance scoring (paper eq. 1 and eq. 2) and
+//!   quantization of scores into the OPSE plaintext domain;
+//! * [`corpus`] — a deterministic synthetic stand-in for the paper's RFC
+//!   test collection.
+//!
+//! # Example
+//!
+//! ```
+//! use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+//! use rsse_ir::score::scores_for_term;
+//! use rsse_ir::InvertedIndex;
+//!
+//! let corpus = SyntheticCorpus::generate(&CorpusParams::small(1));
+//! let index = InvertedIndex::build(corpus.documents());
+//! let scored = scores_for_term(&index, "network");
+//! assert_eq!(scored.len() as u64, index.document_frequency("network"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod document;
+pub mod index;
+pub mod score;
+pub mod stem;
+pub mod text;
+
+pub use document::{Document, FileId};
+pub use index::{InvertedIndex, Posting};
+pub use score::{score_query, score_single, ScoreQuantizer, ScoringFunction};
+pub use text::{Tokenizer, TokenizerConfig};

@@ -1,0 +1,464 @@
+//! Relevance scoring: the TF×IDF formulas of the paper (eq. 1 and eq. 2)
+//! and the quantization of scores into the OPSE domain.
+
+use crate::index::InvertedIndex;
+use crate::FileId;
+use serde::{Deserialize, Serialize};
+
+/// Single-keyword relevance score — the paper's equation (2):
+///
+/// ```text
+/// Score(t, F_d) = (1 / |F_d|) · (1 + ln f_{d,t})
+/// ```
+///
+/// For single-keyword search the IDF factor is constant per query, so this
+/// suffices for correct ranking.
+///
+/// # Example
+///
+/// ```
+/// use rsse_ir::score::score_single;
+///
+/// // tf = 1 in a 100-term document
+/// let s = score_single(1, 100);
+/// assert!((s - 0.01).abs() < 1e-12);
+/// // Higher tf in the same document scores strictly higher.
+/// assert!(score_single(5, 100) > s);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `doc_len == 0` or `term_frequency == 0` (a posting with zero
+/// occurrences cannot exist).
+pub fn score_single(term_frequency: u32, doc_len: u32) -> f64 {
+    assert!(term_frequency > 0, "postings always have tf >= 1");
+    assert!(doc_len > 0, "documents in the index are non-empty");
+    (1.0 + (term_frequency as f64).ln()) / doc_len as f64
+}
+
+/// Multi-keyword relevance score — the paper's equation (1):
+///
+/// ```text
+/// Score(Q, F_d) = (1/|F_d|) · Σ_{t∈Q} (1 + ln f_{d,t}) · ln(1 + N/f_t)
+/// ```
+///
+/// `terms` supplies, for each query keyword present in the document, the
+/// pair `(f_{d,t}, f_t)` — term frequency in the document and document
+/// frequency in the collection.
+///
+/// # Panics
+///
+/// Panics if `doc_len == 0`, or any `f_t == 0` with a matching posting.
+pub fn score_query(terms: &[(u32, u64)], doc_len: u32, num_docs: u64) -> f64 {
+    assert!(doc_len > 0, "documents in the index are non-empty");
+    let mut acc = 0.0;
+    for &(tf, df) in terms {
+        if tf == 0 {
+            continue;
+        }
+        assert!(df > 0, "a matched term must occur in >= 1 document");
+        acc += (1.0 + (tf as f64).ln()) * (1.0 + num_docs as f64 / df as f64).ln();
+    }
+    acc / doc_len as f64
+}
+
+/// Computes eq. (2) for every posting of `term` in `index`.
+///
+/// Returns `(file, raw score)` pairs in posting order, or an empty vector
+/// for unknown terms.
+pub fn scores_for_term(index: &InvertedIndex, term: &str) -> Vec<(FileId, f64)> {
+    scores_for_term_with(index, term, ScoringFunction::PaperEq2)
+}
+
+/// Like [`scores_for_term`] with an explicit [`ScoringFunction`].
+pub fn scores_for_term_with(
+    index: &InvertedIndex,
+    term: &str,
+    scoring: ScoringFunction,
+) -> Vec<(FileId, f64)> {
+    let Some(postings) = index.postings(term) else {
+        return Vec::new();
+    };
+    let stats = CollectionStats::of(index);
+    let df = postings.len() as u64;
+    postings
+        .iter()
+        .map(|p| {
+            let len = index
+                .doc_length(p.file)
+                .expect("posting refers to an indexed document");
+            (p.file, scoring.score(p.term_frequency, len, df, &stats))
+        })
+        .collect()
+}
+
+/// Collection-level statistics some scoring functions need.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Total number of documents `N`.
+    pub num_docs: u64,
+    /// Mean indexed document length.
+    pub avg_doc_len: f64,
+}
+
+impl CollectionStats {
+    /// Reads the statistics off a built index.
+    pub fn of(index: &InvertedIndex) -> Self {
+        CollectionStats {
+            num_docs: index.num_docs(),
+            avg_doc_len: index.avg_doc_len(),
+        }
+    }
+}
+
+/// The relevance-scoring function used for posting scores.
+///
+/// The paper notes that "among several hundred variations of the TF×IDF
+/// weighting scheme, no single combination of them outperforms any of the
+/// others universally" and picks eq. (2) as its example; this enum makes
+/// the choice explicit while keeping the paper's formula the default.
+/// Every variant is monotone in term frequency for a fixed document, so
+/// order-preserving encryption applies to all of them unchanged.
+///
+/// # Example
+///
+/// ```
+/// use rsse_ir::score::{CollectionStats, ScoringFunction};
+///
+/// let stats = CollectionStats { num_docs: 1000, avg_doc_len: 300.0 };
+/// let eq2 = ScoringFunction::PaperEq2.score(5, 300, 100, &stats);
+/// let bm25 = ScoringFunction::bm25().score(5, 300, 100, &stats);
+/// assert!(eq2 > 0.0 && bm25 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ScoringFunction {
+    /// The paper's eq. (2): `(1 + ln tf) / |F_d|` (single-keyword ranking;
+    /// IDF is constant per query).
+    #[default]
+    PaperEq2,
+    /// Okapi BM25 with parameters `k1` and `b`.
+    Bm25 {
+        /// Term-frequency saturation (`k1`, commonly 1.2).
+        k1: f64,
+        /// Length-normalization strength (`b`, commonly 0.75).
+        b: f64,
+    },
+    /// Sublinear TF × IDF: `(1 + ln tf) · ln(1 + N/df)` without length
+    /// normalization.
+    SublinearTfIdf,
+}
+
+
+impl ScoringFunction {
+    /// BM25 with the standard `k1 = 1.2`, `b = 0.75`.
+    pub fn bm25() -> Self {
+        ScoringFunction::Bm25 { k1: 1.2, b: 0.75 }
+    }
+
+    /// Evaluates the function for one posting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tf == 0` or `doc_len == 0` (no such posting can exist).
+    pub fn score(&self, tf: u32, doc_len: u32, df: u64, stats: &CollectionStats) -> f64 {
+        assert!(tf > 0, "postings always have tf >= 1");
+        assert!(doc_len > 0, "documents in the index are non-empty");
+        match *self {
+            ScoringFunction::PaperEq2 => score_single(tf, doc_len),
+            ScoringFunction::Bm25 { k1, b } => {
+                let tf = tf as f64;
+                let len_ratio = if stats.avg_doc_len > 0.0 {
+                    doc_len as f64 / stats.avg_doc_len
+                } else {
+                    1.0
+                };
+                // Standard BM25 IDF with the +1 smoothing so it stays
+                // positive even for very common terms.
+                let idf = (1.0
+                    + (stats.num_docs as f64 - df as f64 + 0.5) / (df as f64 + 0.5))
+                    .ln();
+                idf * tf * (k1 + 1.0) / (tf + k1 * (1.0 - b + b * len_ratio))
+            }
+            ScoringFunction::SublinearTfIdf => {
+                let idf = (1.0 + stats.num_docs as f64 / df.max(1) as f64).ln();
+                (1.0 + (tf as f64).ln()) * idf
+            }
+        }
+    }
+}
+
+/// Quantizes raw floating-point relevance scores into the integer domain
+/// `{1..M}` consumed by OPSE/OPM ("we encode the actual score into 128
+/// levels", paper §IV-A).
+///
+/// Fitting records the observed maximum; levels are assigned by linear
+/// scaling. Scores above the fitted maximum (e.g. from documents inserted
+/// later) clamp to level `M`.
+///
+/// # Example
+///
+/// ```
+/// use rsse_ir::score::ScoreQuantizer;
+///
+/// let q = ScoreQuantizer::fit(&[0.5, 0.25, 1.0], 128).unwrap();
+/// assert_eq!(q.level(1.0), 128);
+/// assert_eq!(q.level(0.5), 64);
+/// assert_eq!(q.level(0.0), 1);
+/// assert_eq!(q.level(99.0), 128); // clamped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreQuantizer {
+    max_score: f64,
+    levels: u64,
+}
+
+impl ScoreQuantizer {
+    /// Fits the quantizer to the observed `scores` with `levels = M`.
+    ///
+    /// Returns `None` if `scores` is empty, contains non-finite values, or
+    /// `levels == 0`.
+    pub fn fit(scores: &[f64], levels: u64) -> Option<Self> {
+        if levels == 0 || scores.is_empty() {
+            return None;
+        }
+        let mut max_score = 0.0f64;
+        for &s in scores {
+            if !s.is_finite() || s < 0.0 {
+                return None;
+            }
+            max_score = max_score.max(s);
+        }
+        if max_score == 0.0 {
+            return None;
+        }
+        Some(ScoreQuantizer { max_score, levels })
+    }
+
+    /// Fits the quantizer to every score in `index` (the owner's one pass
+    /// over the collection before building the secure index).
+    pub fn fit_index(index: &InvertedIndex, levels: u64) -> Option<Self> {
+        Self::fit_index_with(index, levels, ScoringFunction::PaperEq2)
+    }
+
+    /// Like [`Self::fit_index`] with an explicit [`ScoringFunction`].
+    pub fn fit_index_with(
+        index: &InvertedIndex,
+        levels: u64,
+        scoring: ScoringFunction,
+    ) -> Option<Self> {
+        let mut all = Vec::new();
+        for (term, _) in index.iter() {
+            all.extend(
+                scores_for_term_with(index, term, scoring)
+                    .into_iter()
+                    .map(|(_, s)| s),
+            );
+        }
+        Self::fit(&all, levels)
+    }
+
+    /// Number of quantization levels `M`.
+    pub fn levels(&self) -> u64 {
+        self.levels
+    }
+
+    /// The fitted maximum raw score (level `M`'s lower edge).
+    pub fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    /// Maps a raw score to its level in `{1..M}`.
+    pub fn level(&self, score: f64) -> u64 {
+        if !score.is_finite() || score <= 0.0 {
+            return 1;
+        }
+        let scaled = (score / self.max_score * self.levels as f64).ceil() as u64;
+        scaled.clamp(1, self.levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    #[test]
+    fn eq2_monotone_in_tf() {
+        let mut prev = 0.0;
+        for tf in 1..100 {
+            let s = score_single(tf, 500);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn eq2_normalized_by_length() {
+        assert!(score_single(5, 100) > score_single(5, 1000));
+        // Exactly 10x difference: the length is a pure divisor.
+        let ratio = score_single(5, 100) / score_single(5, 1000);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_reduces_to_tf_weight_per_term() {
+        // A single term with N/f_t fixed: eq. (1) ∝ eq. (2)'s tf part.
+        let s = score_query(&[(3, 10)], 100, 1000);
+        let expected = (1.0 + 3f64.ln()) * 101f64.ln() / 100.0;
+        assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_rare_terms_weighted_higher() {
+        // Same tf, rarer term (smaller f_t) must contribute more.
+        let rare = score_query(&[(2, 5)], 100, 1000);
+        let common = score_query(&[(2, 900)], 100, 1000);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn eq1_sums_over_terms() {
+        let both = score_query(&[(2, 10), (4, 20)], 100, 1000);
+        let first = score_query(&[(2, 10)], 100, 1000);
+        let second = score_query(&[(4, 20)], 100, 1000);
+        assert!((both - first - second).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_skips_absent_terms() {
+        let s = score_query(&[(0, 10), (2, 10)], 100, 1000);
+        assert!((s - score_query(&[(2, 10)], 100, 1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scores_for_term_over_index() {
+        let docs = vec![
+            Document::new(FileId::new(1), "network network network packet"),
+            Document::new(FileId::new(2), "network"),
+        ];
+        let idx = InvertedIndex::build(&docs);
+        let scores = scores_for_term(&idx, "network");
+        assert_eq!(scores.len(), 2);
+        // Doc 2 is one term long with tf=1 → score 1.0; doc 1 has tf=3 over
+        // 4 terms → (1+ln3)/4 ≈ 0.525. Doc 2 ranks higher.
+        let s1 = scores.iter().find(|(f, _)| *f == FileId::new(1)).unwrap().1;
+        let s2 = scores.iter().find(|(f, _)| *f == FileId::new(2)).unwrap().1;
+        assert!(s2 > s1);
+        assert!(scores_for_term(&idx, "absent").is_empty());
+    }
+
+    #[test]
+    fn quantizer_levels_and_clamping() {
+        let q = ScoreQuantizer::fit(&[2.0], 128).unwrap();
+        assert_eq!(q.level(2.0), 128);
+        assert_eq!(q.level(2.0 / 128.0), 1);
+        assert_eq!(q.level(-1.0), 1);
+        assert_eq!(q.level(f64::NAN), 1);
+        assert_eq!(q.level(1e9), 128);
+    }
+
+    #[test]
+    fn quantizer_preserves_order_up_to_level_resolution() {
+        let scores: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+        let q = ScoreQuantizer::fit(&scores, 128).unwrap();
+        let mut prev = 0;
+        for &s in &scores {
+            let l = q.level(s);
+            assert!(l >= prev, "quantization must be monotone");
+            prev = l;
+        }
+        assert_eq!(q.level(scores[999]), 128);
+    }
+
+    #[test]
+    fn quantizer_rejects_bad_input() {
+        assert!(ScoreQuantizer::fit(&[], 128).is_none());
+        assert!(ScoreQuantizer::fit(&[1.0], 0).is_none());
+        assert!(ScoreQuantizer::fit(&[f64::NAN], 128).is_none());
+        assert!(ScoreQuantizer::fit(&[-0.5], 128).is_none());
+        assert!(ScoreQuantizer::fit(&[0.0, 0.0], 128).is_none());
+    }
+
+    #[test]
+    fn bm25_saturates_in_tf() {
+        let stats = CollectionStats {
+            num_docs: 1000,
+            avg_doc_len: 300.0,
+        };
+        let f = ScoringFunction::bm25();
+        let s1 = f.score(1, 300, 100, &stats);
+        let s10 = f.score(10, 300, 100, &stats);
+        let s100 = f.score(100, 300, 100, &stats);
+        assert!(s10 > s1 && s100 > s10, "monotone");
+        // Diminishing returns: the 10→100 gain is smaller than 1→10.
+        assert!(s100 - s10 < s10 - s1, "saturation");
+        // Bounded by idf·(k1+1).
+        let bound = (1.0 + (1000.0 - 100.0 + 0.5) / 100.5f64).ln() * 2.2;
+        assert!(s100 < bound);
+    }
+
+    #[test]
+    fn bm25_penalizes_long_documents() {
+        let stats = CollectionStats {
+            num_docs: 1000,
+            avg_doc_len: 300.0,
+        };
+        let f = ScoringFunction::bm25();
+        assert!(f.score(5, 100, 50, &stats) > f.score(5, 900, 50, &stats));
+    }
+
+    #[test]
+    fn all_scorers_monotone_in_tf() {
+        let stats = CollectionStats {
+            num_docs: 500,
+            avg_doc_len: 200.0,
+        };
+        for f in [
+            ScoringFunction::PaperEq2,
+            ScoringFunction::bm25(),
+            ScoringFunction::SublinearTfIdf,
+        ] {
+            let mut prev = 0.0;
+            for tf in 1..50 {
+                let s = f.score(tf, 200, 40, &stats);
+                assert!(s > prev, "{f:?} not monotone at tf={tf}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn sublinear_tfidf_weighs_rare_terms() {
+        let stats = CollectionStats {
+            num_docs: 1000,
+            avg_doc_len: 300.0,
+        };
+        let f = ScoringFunction::SublinearTfIdf;
+        assert!(f.score(3, 300, 2, &stats) > f.score(3, 300, 900, &stats));
+    }
+
+    #[test]
+    fn scores_for_term_with_bm25_over_index() {
+        let docs = vec![
+            Document::new(FileId::new(1), "network network network padding words here now"),
+            Document::new(FileId::new(2), "network"),
+        ];
+        let idx = InvertedIndex::build(&docs);
+        let scored = scores_for_term_with(&idx, "network", ScoringFunction::bm25());
+        assert_eq!(scored.len(), 2);
+        assert!(scored.iter().all(|(_, s)| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn quantizer_fit_index() {
+        let docs = vec![
+            Document::new(FileId::new(1), "alpha beta alpha"),
+            Document::new(FileId::new(2), "alpha gamma"),
+        ];
+        let idx = InvertedIndex::build(&docs);
+        let q = ScoreQuantizer::fit_index(&idx, 64).unwrap();
+        assert_eq!(q.levels(), 64);
+        assert!(q.max_score() > 0.0);
+    }
+}

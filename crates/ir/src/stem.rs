@@ -1,0 +1,409 @@
+//! The Porter stemming algorithm (Porter, 1980), from the original paper.
+//!
+//! The RSSE paper's index-construction step applies "a list of standard IR
+//! techniques … including case folding, stemming, and stop words" before
+//! keyword extraction; this module supplies the stemming stage.
+
+/// Stems an English word with Porter's algorithm.
+///
+/// Input is expected to be lowercase ASCII; non-ASCII input is returned
+/// unchanged. Words of length ≤ 2 are returned unchanged, per the original
+/// algorithm.
+///
+/// # Example
+///
+/// ```
+/// use rsse_ir::stem::porter_stem;
+///
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("ponies"), "poni");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("networks"), "network");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if !word.is_ascii() || word.len() <= 2 {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.bytes().collect();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Is `w[i]` a consonant (Porter's definition: `y` is a consonant when it
+/// follows a vowel position rule)?
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure `m` of the stem `w[..len]`: the number of VC sequences
+/// in the form `[C](VC)^m[V]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip the initial consonant run.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Vowel run.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Consonant run ends one VC block.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// Does the stem `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// Does `w[..len]` end with a double consonant?
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// Does `w[..len]` end consonant-vowel-consonant, where the final consonant
+/// is not `w`, `x`, or `y`? (Porter's `*o` condition.)
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let c = w[len - 1];
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && c != b'w'
+        && c != b'x'
+        && c != b'y'
+}
+
+fn ends_with(w: &[u8], suffix: &[u8]) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix
+}
+
+/// Replaces `suffix` with `replacement` if the remaining stem has
+/// `measure > threshold`. Returns whether the suffix matched (regardless of
+/// whether the replacement fired).
+fn replace_if_measure(
+    w: &mut Vec<u8>,
+    suffix: &[u8],
+    replacement: &[u8],
+    threshold: usize,
+) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > threshold {
+        w.truncate(stem_len);
+        w.extend_from_slice(replacement);
+    }
+    true
+}
+
+#[allow(clippy::if_same_then_else)] // distinct Porter rules sharing an action
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, b"sses") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, b"ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, b"ss") {
+        // unchanged
+    } else if ends_with(w, b"s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, b"eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1);
+        }
+        return;
+    }
+    let matched = if ends_with(w, b"ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, b"ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if matched {
+        if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w, w.len()) {
+            let last = w[w.len() - 1];
+            if last != b'l' && last != b's' && last != b'z' {
+                w.truncate(w.len() - 1);
+            }
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
+        let last = w.len() - 1;
+        w[last] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_measure(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_measure(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const RULES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+    ];
+    for suffix in RULES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    // Special case: -ion only drops after s or t.
+    if ends_with(w, b"ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0
+            && (w[stem_len - 1] == b's' || w[stem_len - 1] == b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, b"e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if ends_with(w, b"ll") && measure(w, w.len()) > 1 {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pairs_from_porters_paper() {
+        // Examples drawn from Porter (1980).
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(porter_stem(input), want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn ir_vocabulary() {
+        assert_eq!(porter_stem("networks"), "network");
+        assert_eq!(porter_stem("networking"), "network");
+        assert_eq!(porter_stem("protocols"), "protocol");
+        assert_eq!(porter_stem("routing"), "rout");
+        assert_eq!(porter_stem("routed"), "rout");
+        assert_eq!(porter_stem("encryption"), "encrypt");
+        assert_eq!(porter_stem("encrypted"), "encrypt");
+        assert_eq!(porter_stem("searching"), "search");
+        assert_eq!(porter_stem("searches"), "search");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("as"), "as");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem(""), "");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(porter_stem("café"), "café");
+    }
+
+    #[test]
+    fn idempotent_on_common_stems() {
+        for word in ["network", "protocol", "search", "cloud", "server"] {
+            let once = porter_stem(word);
+            assert_eq!(porter_stem(&once), once, "{word}");
+        }
+    }
+
+    #[test]
+    fn measure_examples() {
+        // From the paper: tr=0, ee=0, tree=0, y=0, by=0;
+        // trouble=1, oats=1, trees=1, ivy=1;
+        // troubles=2, private=2, oaten=2, orrery=2.
+        let m = |s: &str| measure(s.as_bytes(), s.len());
+        assert_eq!(m("tr"), 0);
+        assert_eq!(m("ee"), 0);
+        assert_eq!(m("tree"), 0);
+        assert_eq!(m("y"), 0);
+        assert_eq!(m("by"), 0);
+        assert_eq!(m("trouble"), 1);
+        assert_eq!(m("oats"), 1);
+        assert_eq!(m("trees"), 1);
+        assert_eq!(m("ivy"), 1);
+        assert_eq!(m("troubles"), 2);
+        assert_eq!(m("private"), 2);
+        assert_eq!(m("oaten"), 2);
+        assert_eq!(m("orrery"), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the IR substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_ir::score::{score_single, scores_for_term};
+use rsse_ir::stem::porter_stem;
+use rsse_ir::{Document, FileId, InvertedIndex, ScoreQuantizer, Tokenizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The stemmer never panics, never grows a word, and is idempotent for
+    /// the overwhelming majority of outputs (we assert full idempotence on
+    /// its own output — the classical fixed-point property).
+    #[test]
+    fn stemmer_contracts(word in "[a-z]{1,20}") {
+        let once = porter_stem(&word);
+        prop_assert!(once.len() <= word.len() + 1, "{word} grew to {once}");
+        let twice = porter_stem(&once);
+        // Porter is not strictly idempotent on all inputs; allow one more
+        // application to converge, then require a fixed point.
+        let thrice = porter_stem(&twice);
+        prop_assert_eq!(&thrice, &twice, "no fixed point for {}", word);
+    }
+
+    /// Tokenize(join(tokens)) == tokens: the pipeline's output is stable
+    /// under re-tokenization.
+    #[test]
+    fn tokenizer_fixed_point(text in "[a-zA-Z ,.!?]{0,300}") {
+        let t = Tokenizer::new();
+        let tokens = t.tokenize(&text);
+        let rejoined = tokens.join(" ");
+        prop_assert_eq!(t.tokenize(&rejoined), tokens);
+    }
+
+    /// Posting-list invariants over random corpora: document frequency
+    /// equals posting length, tf sums never exceed doc length.
+    #[test]
+    fn index_posting_invariants(
+        texts in vec("[a-z]{2,6}( [a-z]{2,6}){0,30}", 1..12),
+    ) {
+        let docs: Vec<Document> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::new(FileId::new(i as u64 + 1), t.clone()))
+            .collect();
+        let index = InvertedIndex::build(&docs);
+        prop_assert_eq!(index.num_docs(), docs.len() as u64);
+        for (term, postings) in index.iter() {
+            prop_assert_eq!(index.document_frequency(term), postings.len() as u64);
+            // Postings sorted strictly by file id (no duplicates).
+            for w in postings.windows(2) {
+                prop_assert!(w[0].file < w[1].file);
+            }
+        }
+        let max = index.max_posting_len();
+        prop_assert!(index.iter().all(|(_, p)| p.len() <= max));
+    }
+
+    /// Eq.-2 scores are positive, monotone in tf, antitone in length.
+    #[test]
+    fn score_monotonicity(tf in 1u32..10_000, len in 1u32..100_000) {
+        let s = score_single(tf, len);
+        prop_assert!(s > 0.0 && s.is_finite());
+        prop_assert!(score_single(tf + 1, len) > s);
+        prop_assert!(score_single(tf, len + 1) < s);
+    }
+
+    /// Quantizer: levels of index scores always land in 1..=M and the top
+    /// observed score hits level M.
+    #[test]
+    fn quantizer_hits_extremes(
+        texts in vec("[a-z]{2,5}( [a-z]{2,5}){1,20}", 2..8),
+        levels in 2u64..512,
+    ) {
+        let docs: Vec<Document> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::new(FileId::new(i as u64 + 1), t.clone()))
+            .collect();
+        let index = InvertedIndex::build(&docs);
+        prop_assume!(index.num_keywords() > 0);
+        let q = ScoreQuantizer::fit_index(&index, levels).unwrap();
+        let mut top_hit = false;
+        for (term, _) in index.iter() {
+            for (_, s) in scores_for_term(&index, term) {
+                let l = q.level(s);
+                prop_assert!((1..=levels).contains(&l));
+                top_hit |= l == levels;
+            }
+        }
+        prop_assert!(top_hit, "no score reached the top level");
+    }
+}

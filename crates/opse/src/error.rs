@@ -1,0 +1,73 @@
+//! Error types for order-preserving encryption.
+
+use core::fmt;
+
+/// Errors from OPSE/OPM construction and use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OpseError {
+    /// Domain or range sizes are invalid (`range < domain`, zero sizes, or
+    /// range above the sampler's 2^52 population cap).
+    InvalidParameters {
+        /// Domain size `M`.
+        domain: u64,
+        /// Range size `N`.
+        range: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Plaintext outside the domain `{1, ..., M}`.
+    PlaintextOutOfDomain {
+        /// Offending plaintext.
+        plaintext: u64,
+        /// Domain size `M`.
+        domain: u64,
+    },
+    /// Ciphertext outside the range `{1, ..., N}`.
+    CiphertextOutOfRange {
+        /// Offending ciphertext.
+        ciphertext: u64,
+        /// Range size `N`.
+        range: u64,
+    },
+}
+
+impl fmt::Display for OpseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpseError::InvalidParameters {
+                domain,
+                range,
+                reason,
+            } => write!(f, "invalid OPSE parameters (M={domain}, N={range}): {reason}"),
+            OpseError::PlaintextOutOfDomain { plaintext, domain } => {
+                write!(f, "plaintext {plaintext} outside domain 1..={domain}")
+            }
+            OpseError::CiphertextOutOfRange { ciphertext, range } => {
+                write!(f, "ciphertext {ciphertext} outside range 1..={range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OpseError::PlaintextOutOfDomain {
+            plaintext: 200,
+            domain: 128,
+        };
+        assert_eq!(e.to_string(), "plaintext 200 outside domain 1..=128");
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<OpseError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic order-preserving symmetric encryption (Boldyreva et al.).
+//!
+//! `OPSE : {1..M} -> {1..N}` with `m1 < m2  =>  Enc(m1) < Enc(m2)`. The
+//! cipher is deterministic: equal plaintexts yield equal ciphertexts — the
+//! very property that leaks score histograms and motivates the paper's
+//! one-to-many variant ([`crate::Opm`]).
+
+use crate::error::OpseError;
+use crate::params::OpseParams;
+use crate::tree::{Bucket, SearchTree, WalkStats};
+use rsse_crypto::SecretKey;
+
+/// Deterministic OPSE cipher.
+///
+/// # Example
+///
+/// ```
+/// use rsse_crypto::SecretKey;
+/// use rsse_opse::{OpseCipher, OpseParams};
+///
+/// # fn main() -> Result<(), rsse_opse::OpseError> {
+/// let cipher = OpseCipher::new(
+///     SecretKey::derive(b"seed", "opse"),
+///     OpseParams::new(128, 1 << 30)?,
+/// );
+/// let c1 = cipher.encrypt(10)?;
+/// let c2 = cipher.encrypt(20)?;
+/// assert!(c1 < c2);                       // order preserved
+/// assert_eq!(cipher.encrypt(10)?, c1);    // deterministic
+/// assert_eq!(cipher.decrypt(c1)?, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OpseCipher {
+    tree: SearchTree,
+}
+
+impl OpseCipher {
+    /// Creates the cipher with memoized tree splits.
+    pub fn new(key: SecretKey, params: OpseParams) -> Self {
+        OpseCipher {
+            tree: SearchTree::new(key, params),
+        }
+    }
+
+    /// Creates the cipher without the split cache (honest per-op cost, used
+    /// by benchmarks).
+    pub fn new_uncached(key: SecretKey, params: OpseParams) -> Self {
+        OpseCipher {
+            tree: SearchTree::new_uncached(key, params),
+        }
+    }
+
+    /// The cipher's domain/range parameters.
+    pub fn params(&self) -> &OpseParams {
+        self.tree.params()
+    }
+
+    /// Encrypts plaintext `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpseError::PlaintextOutOfDomain`] for `m` outside `{1..M}`.
+    pub fn encrypt(&self, m: u64) -> Result<u64, OpseError> {
+        let (bucket, _) = self.tree.bucket_of_plaintext(m)?;
+        Ok(self.tree.choose_in_bucket(&bucket, None))
+    }
+
+    /// Encrypts and also reports walk statistics (HGD draw counts).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::encrypt`].
+    pub fn encrypt_with_stats(&self, m: u64) -> Result<(u64, WalkStats), OpseError> {
+        let (bucket, stats) = self.tree.bucket_of_plaintext(m)?;
+        Ok((self.tree.choose_in_bucket(&bucket, None), stats))
+    }
+
+    /// Decrypts ciphertext `c` back to its plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpseError::CiphertextOutOfRange`] for values outside the
+    /// range or in dead range space never produced by encryption.
+    pub fn decrypt(&self, c: u64) -> Result<u64, OpseError> {
+        Ok(self.tree.bucket_of_ciphertext(c)?.0.plaintext)
+    }
+
+    /// The bucket assigned to plaintext `m` (exposed for analysis and for
+    /// the security experiments on bucket geometry).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::encrypt`].
+    pub fn bucket(&self, m: u64) -> Result<Bucket, OpseError> {
+        Ok(self.tree.bucket_of_plaintext(m)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher(m: u64, n: u64) -> OpseCipher {
+        OpseCipher::new(
+            SecretKey::derive(b"opse tests", "k"),
+            OpseParams::new(m, n).unwrap(),
+        )
+    }
+
+    #[test]
+    fn order_preserving_over_full_domain() {
+        let c = cipher(128, 1 << 30);
+        let cts: Vec<u64> = (1..=128).map(|m| c.encrypt(m).unwrap()).collect();
+        for w in cts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cipher(64, 1 << 20);
+        for m in [1u64, 7, 33, 64] {
+            assert_eq!(c.encrypt(m).unwrap(), c.encrypt(m).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_domain() {
+        let c = cipher(100, 1 << 24);
+        for m in 1..=100 {
+            assert_eq!(c.decrypt(c.encrypt(m).unwrap()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn ciphertexts_within_range() {
+        let c = cipher(16, 1000);
+        for m in 1..=16 {
+            let ct = c.encrypt(m).unwrap();
+            assert!((1..=1000).contains(&ct));
+        }
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let p = OpseParams::new(64, 1 << 24).unwrap();
+        let c1 = OpseCipher::new(SecretKey::derive(b"k1", "o"), p);
+        let c2 = OpseCipher::new(SecretKey::derive(b"k2", "o"), p);
+        let same = (1..=64)
+            .filter(|&m| c1.encrypt(m).unwrap() == c2.encrypt(m).unwrap())
+            .count();
+        assert!(same < 8, "{same}/64 ciphertexts collide across keys");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let c = cipher(16, 256);
+        assert!(c.encrypt(0).is_err());
+        assert!(c.encrypt(17).is_err());
+        assert!(c.decrypt(0).is_err());
+        assert!(c.decrypt(257).is_err());
+    }
+
+    #[test]
+    fn stats_exposed() {
+        let c = OpseCipher::new_uncached(
+            SecretKey::derive(b"stats", "k"),
+            OpseParams::new(128, 1 << 40).unwrap(),
+        );
+        let (_, stats) = c.encrypt_with_stats(64).unwrap();
+        assert!(stats.hgd_draws >= 7, "at least log2(M) draws expected");
+    }
+
+    #[test]
+    fn identity_like_smallest_params() {
+        let c = cipher(1, 1);
+        assert_eq!(c.encrypt(1).unwrap(), 1);
+        assert_eq!(c.decrypt(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! OPSE domain/range parameters.
+
+use crate::error::OpseError;
+use serde::{Deserialize, Serialize};
+
+/// Largest supported range size (the hypergeometric sampler's population
+/// cap, `2^52`, keeps all arithmetic exact in `f64`).
+pub const MAX_RANGE: u64 = 1 << 52;
+
+/// Validated OPSE parameters: plaintext domain `D = {1..M}` and ciphertext
+/// range `R = {1..N}`.
+///
+/// # Example
+///
+/// ```
+/// use rsse_opse::OpseParams;
+///
+/// let params = OpseParams::new(128, 1 << 46)?;
+/// assert_eq!(params.domain_size(), 128);
+/// assert_eq!(params.range_bits(), 46);
+/// # Ok::<(), rsse_opse::OpseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpseParams {
+    domain: u64,
+    range: u64,
+}
+
+impl OpseParams {
+    /// Creates parameters after validating `1 <= M <= N <= 2^52`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpseError::InvalidParameters`] when the constraint fails.
+    pub fn new(domain: u64, range: u64) -> Result<Self, OpseError> {
+        if domain == 0 {
+            return Err(OpseError::InvalidParameters {
+                domain,
+                range,
+                reason: "domain must be non-empty",
+            });
+        }
+        if range < domain {
+            return Err(OpseError::InvalidParameters {
+                domain,
+                range,
+                reason: "range must be at least as large as the domain",
+            });
+        }
+        if range > MAX_RANGE {
+            return Err(OpseError::InvalidParameters {
+                domain,
+                range,
+                reason: "range exceeds the 2^52 sampler cap",
+            });
+        }
+        Ok(OpseParams { domain, range })
+    }
+
+    /// The paper's running configuration: scores encoded into `M = 128`
+    /// levels, range `|R| = 2^46` (from the min-entropy analysis of Fig. 5).
+    pub fn paper_default() -> Self {
+        OpseParams {
+            domain: 128,
+            range: 1 << 46,
+        }
+    }
+
+    /// Domain size `M`.
+    pub fn domain_size(&self) -> u64 {
+        self.domain
+    }
+
+    /// Range size `N`.
+    pub fn range_size(&self) -> u64 {
+        self.range
+    }
+
+    /// `ceil(log2 N)` — the "range size representation in bit length" axis
+    /// of the paper's Fig. 5.
+    pub fn range_bits(&self) -> u32 {
+        let floor_plus_one = 64 - self.range.leading_zeros();
+        if self.range.is_power_of_two() {
+            floor_plus_one - 1
+        } else {
+            floor_plus_one
+        }
+    }
+
+    /// Checks that `m` lies in the domain.
+    pub(crate) fn check_plaintext(&self, m: u64) -> Result<(), OpseError> {
+        if m == 0 || m > self.domain {
+            return Err(OpseError::PlaintextOutOfDomain {
+                plaintext: m,
+                domain: self.domain,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that `c` lies in the range.
+    pub(crate) fn check_ciphertext(&self, c: u64) -> Result<(), OpseError> {
+        if c == 0 || c > self.range {
+            return Err(OpseError::CiphertextOutOfRange {
+                ciphertext: c,
+                range: self.range,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for OpseParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        let p = OpseParams::new(128, 1 << 46).unwrap();
+        assert_eq!(p.domain_size(), 128);
+        assert_eq!(p.range_size(), 1 << 46);
+    }
+
+    #[test]
+    fn rejects_empty_domain() {
+        assert!(OpseParams::new(0, 100).is_err());
+    }
+
+    #[test]
+    fn rejects_range_smaller_than_domain() {
+        assert!(OpseParams::new(10, 9).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_range() {
+        assert!(OpseParams::new(10, (1 << 52) + 1).is_err());
+    }
+
+    #[test]
+    fn accepts_degenerate_equal_sizes() {
+        // M == N is legal; the mapping becomes a permutation.
+        assert!(OpseParams::new(16, 16).is_ok());
+    }
+
+    #[test]
+    fn range_bits_exact_powers() {
+        assert_eq!(OpseParams::new(2, 1 << 46).unwrap().range_bits(), 46);
+        assert_eq!(OpseParams::new(2, 1 << 10).unwrap().range_bits(), 10);
+    }
+
+    #[test]
+    fn range_bits_non_power() {
+        // ceil(log2 1000) = 10
+        assert_eq!(OpseParams::new(2, 1000).unwrap().range_bits(), 10);
+    }
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let p = OpseParams::paper_default();
+        assert_eq!(p.domain_size(), 128);
+        assert_eq!(p.range_bits(), 46);
+    }
+
+    #[test]
+    fn plaintext_domain_checks() {
+        let p = OpseParams::new(128, 1 << 20).unwrap();
+        assert!(p.check_plaintext(1).is_ok());
+        assert!(p.check_plaintext(128).is_ok());
+        assert!(p.check_plaintext(0).is_err());
+        assert!(p.check_plaintext(129).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! An oblivious keyword index: searchable encryption with *no* access- or
+//! search-pattern leakage, at ORAM cost.
+//!
+//! This is the §III-A alternative the paper trades away: posting lists are
+//! stored in Path ORAM blocks, every keyword owns the same number of
+//! blocks (hiding list lengths), and every search performs the same number
+//! of oblivious accesses (hiding which keyword was searched and whether it
+//! exists). The price — measured by the stats and the comparison bench —
+//! is `blocks_per_keyword × (L+1) × Z` blocks of traffic per query versus
+//! RSSE's single list lookup.
+
+use crate::path_oram::{OramStats, PathOram, PAYLOAD_LEN};
+use rsse_crypto::{KeyedLabel, SecretKey};
+use rsse_ir::{FileId, InvertedIndex, Tokenizer};
+use std::collections::HashMap;
+
+/// File ids per ORAM block: `u16 count ‖ count × u64 id` within the
+/// payload.
+pub const IDS_PER_BLOCK: usize = (PAYLOAD_LEN - 2 - 2) / 8;
+
+/// Errors from building the oblivious index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObliviousIndexError {
+    /// A posting list exceeds the fixed per-keyword capacity.
+    PostingListTooLong {
+        /// The oversized list's length.
+        len: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+}
+
+impl core::fmt::Display for ObliviousIndexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ObliviousIndexError::PostingListTooLong { len, capacity } => {
+                write!(f, "posting list of {len} exceeds the fixed capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObliviousIndexError {}
+
+/// The oblivious keyword index. Holds the ORAM plus the client-side
+/// keyword directory (label → base address), which in the ORAM model
+/// lives with the client.
+pub struct ObliviousIndex {
+    oram: PathOram,
+    directory: HashMap<[u8; 20], u64>,
+    blocks_per_keyword: usize,
+    label: KeyedLabel,
+    tokenizer: Tokenizer,
+}
+
+impl core::fmt::Debug for ObliviousIndex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ObliviousIndex")
+            .field("keywords", &self.directory.len())
+            .field("blocks_per_keyword", &self.blocks_per_keyword)
+            .finish()
+    }
+}
+
+impl ObliviousIndex {
+    /// Builds the index with a fixed per-keyword posting capacity
+    /// (`max_postings` file ids — the uniformity that hides list lengths).
+    ///
+    /// # Errors
+    ///
+    /// [`ObliviousIndexError::PostingListTooLong`] if any list exceeds the
+    /// capacity.
+    pub fn build(
+        index: &InvertedIndex,
+        max_postings: usize,
+        client_secret: &[u8],
+    ) -> Result<Self, ObliviousIndexError> {
+        let blocks_per_keyword = max_postings.div_ceil(IDS_PER_BLOCK).max(1);
+        let capacity = (index.num_keywords().max(1) * blocks_per_keyword) as u64;
+        let mut oram = PathOram::new(capacity.max(2), client_secret);
+        let label = KeyedLabel::new(&SecretKey::derive(client_secret, "oblivious/label"));
+        let mut directory = HashMap::with_capacity(index.num_keywords());
+
+        for (i, (term, postings)) in index.iter().enumerate() {
+            if postings.len() > max_postings {
+                return Err(ObliviousIndexError::PostingListTooLong {
+                    len: postings.len(),
+                    capacity: max_postings,
+                });
+            }
+            let base = (i * blocks_per_keyword) as u64;
+            directory.insert(label.label(term.as_bytes()), base);
+            for (chunk_idx, chunk) in postings.chunks(IDS_PER_BLOCK).enumerate() {
+                let mut payload = Vec::with_capacity(2 + chunk.len() * 8);
+                payload.extend_from_slice(&(chunk.len() as u16).to_be_bytes());
+                for p in chunk {
+                    payload.extend_from_slice(&p.file.to_bytes());
+                }
+                oram.write(base + chunk_idx as u64, &payload);
+            }
+            // Write the remaining blocks too so every keyword owns exactly
+            // blocks_per_keyword written blocks (uniform build footprint).
+            for chunk_idx in postings.chunks(IDS_PER_BLOCK).count()..blocks_per_keyword {
+                oram.write(base + chunk_idx as u64, &0u16.to_be_bytes());
+            }
+        }
+        Ok(ObliviousIndex {
+            oram,
+            directory,
+            blocks_per_keyword,
+            label,
+            tokenizer: Tokenizer::new(),
+        })
+    }
+
+    /// Searches for a keyword. Every call — hit or miss — performs exactly
+    /// `blocks_per_keyword` oblivious accesses.
+    pub fn search(&mut self, query: &str) -> Vec<FileId> {
+        let base = self
+            .tokenizer
+            .tokenize(query)
+            .first()
+            .and_then(|term| self.directory.get(&self.label.label(term.as_bytes())))
+            .copied();
+        let mut out = Vec::new();
+        for chunk_idx in 0..self.blocks_per_keyword as u64 {
+            match base {
+                Some(b) => {
+                    if let Some(block) = self.oram.read(b + chunk_idx) {
+                        if block.len() >= 2 {
+                            let count = u16::from_be_bytes([block[0], block[1]]) as usize;
+                            for j in 0..count {
+                                let off = 2 + j * 8;
+                                if block.len() >= off + 8 {
+                                    let id: [u8; 8] =
+                                        block[off..off + 8].try_into().expect("8 bytes");
+                                    out.push(FileId::from_bytes(id));
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Dummy accesses keep misses indistinguishable from hits.
+                    let dummy = chunk_idx % self.oram_capacity();
+                    let _ = self.oram.read(dummy);
+                }
+            }
+        }
+        out
+    }
+
+    fn oram_capacity(&self) -> u64 {
+        (self.directory.len().max(1) * self.blocks_per_keyword) as u64
+    }
+
+    /// Server-visible traffic statistics.
+    pub fn stats(&self) -> OramStats {
+        self.oram.stats()
+    }
+
+    /// The uniform number of ORAM accesses every search performs.
+    pub fn accesses_per_search(&self) -> usize {
+        self.blocks_per_keyword
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsse_ir::Document;
+
+    fn index() -> InvertedIndex {
+        let docs = vec![
+            Document::new(FileId::new(1), "network routing network"),
+            Document::new(FileId::new(2), "network storage"),
+            Document::new(FileId::new(3), "storage arrays compression"),
+            Document::new(FileId::new(4), "network telemetry"),
+        ];
+        InvertedIndex::build(&docs)
+    }
+
+    #[test]
+    fn search_returns_the_posting_list() {
+        let mut oi = ObliviousIndex::build(&index(), 16, b"secret").unwrap();
+        let mut got = oi.search("network");
+        got.sort();
+        assert_eq!(
+            got,
+            vec![FileId::new(1), FileId::new(2), FileId::new(4)]
+        );
+        assert_eq!(oi.search("compression"), vec![FileId::new(3)]);
+    }
+
+    #[test]
+    fn miss_returns_empty_but_costs_the_same() {
+        let mut oi = ObliviousIndex::build(&index(), 16, b"secret").unwrap();
+        let before = oi.stats().accesses;
+        let hit = oi.search("network");
+        let after_hit = oi.stats().accesses;
+        let miss = oi.search("zebra");
+        let after_miss = oi.stats().accesses;
+        assert!(!hit.is_empty() && miss.is_empty());
+        assert_eq!(after_hit - before, after_miss - after_hit);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let err = ObliviousIndex::build(&index(), 2, b"secret").unwrap_err();
+        assert!(matches!(
+            err,
+            ObliviousIndexError::PostingListTooLong { len: 3, capacity: 2 }
+        ));
+    }
+
+    #[test]
+    fn repeated_searches_stay_correct() {
+        // ORAM reshuffles on every access; results must not decay.
+        let mut oi = ObliviousIndex::build(&index(), 16, b"secret").unwrap();
+        for _ in 0..20 {
+            let mut got = oi.search("storage");
+            got.sort();
+            assert_eq!(got, vec![FileId::new(2), FileId::new(3)]);
+        }
+    }
+
+    #[test]
+    fn multi_block_posting_lists() {
+        // More postings than fit in a single block.
+        let docs: Vec<Document> = (0..40)
+            .map(|i| Document::new(FileId::new(i), "common unique words"))
+            .collect();
+        let idx = InvertedIndex::build(&docs);
+        let mut oi = ObliviousIndex::build(&idx, 64, b"secret").unwrap();
+        assert!(oi.accesses_per_search() >= 2);
+        let got = oi.search("common");
+        assert_eq!(got.len(), 40);
+    }
+}

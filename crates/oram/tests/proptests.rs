@@ -1,0 +1,78 @@
+//! Property-based tests of Path ORAM against a plain map oracle.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_oram::PathOram;
+use std::collections::HashMap;
+
+/// A logical operation in a random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64, Vec<u8>),
+}
+
+fn op_strategy(capacity: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..capacity).prop_map(Op::Read),
+        (0..capacity, vec(any::<u8>(), 0..64)).prop_map(|(a, d)| Op::Write(a, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ORAM semantics equal a plain HashMap under arbitrary workloads.
+    #[test]
+    fn oram_matches_map_oracle(
+        seed in any::<u64>(),
+        ops in vec(op_strategy(48), 1..120),
+    ) {
+        let mut oram = PathOram::new(48, &seed.to_be_bytes());
+        let mut oracle: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Read(a) => {
+                    prop_assert_eq!(oram.read(a), oracle.get(&a).cloned(), "addr {}", a);
+                }
+                Op::Write(a, d) => {
+                    oram.write(a, &d);
+                    oracle.insert(a, d);
+                }
+            }
+        }
+    }
+
+    /// Per-access bucket traffic is constant regardless of the workload.
+    #[test]
+    fn traffic_is_workload_independent(
+        seed in any::<u64>(),
+        ops in vec(op_strategy(32), 1..60),
+    ) {
+        let mut oram = PathOram::new(32, &seed.to_be_bytes());
+        let per_access = 2 * (oram.height() as u64 + 1);
+        let mut prev = oram.stats();
+        for op in ops {
+            match op {
+                Op::Read(a) => { let _ = oram.read(a); }
+                Op::Write(a, d) => oram.write(a, &d),
+            }
+            let now = oram.stats();
+            prop_assert_eq!(now.buckets_touched - prev.buckets_touched, per_access);
+            prev = now;
+        }
+    }
+
+    /// The stash never explodes under arbitrary workloads.
+    #[test]
+    fn stash_bounded(
+        seed in any::<u64>(),
+        addrs in vec(0u64..64, 1..200),
+    ) {
+        let mut oram = PathOram::new(64, &seed.to_be_bytes());
+        for (i, &a) in addrs.iter().enumerate() {
+            oram.write(a, format!("{i}").as_bytes());
+            prop_assert!(oram.stash_len() < 50, "stash {} at step {i}", oram.stash_len());
+        }
+    }
+}

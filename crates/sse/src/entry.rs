@@ -1,0 +1,82 @@
+//! Posting-entry wire layout of the basic scheme.
+//!
+//! Fig. 3 stores each valid posting as `0^l ‖ id(F_ij) ‖ E_z(S_ij)`,
+//! encrypted under the per-list key `f_y(w_i)`. Padding entries are random
+//! strings of the same length, indistinguishable from real ones without the
+//! list key.
+
+use rsse_crypto::ctr::NONCE_LEN;
+use rsse_ir::FileId;
+
+/// Length of the all-zero validity marker (`0^l` in Fig. 3).
+pub const MARKER_LEN: usize = 8;
+/// Length of the encoded file identifier.
+pub const ID_LEN: usize = 8;
+/// Length of the score ciphertext `E_z(S)`: CTR nonce + 8-byte score.
+pub const SCORE_CT_LEN: usize = NONCE_LEN + 8;
+/// Plaintext length of one posting entry.
+pub const ENTRY_PLAIN_LEN: usize = MARKER_LEN + ID_LEN + SCORE_CT_LEN;
+/// Ciphertext length of one posting entry (nonce + body).
+pub const ENTRY_CT_LEN: usize = NONCE_LEN + ENTRY_PLAIN_LEN;
+
+/// Encodes the entry plaintext `0^l ‖ id ‖ score_ct`.
+///
+/// # Panics
+///
+/// Panics if `score_ct` is not exactly [`SCORE_CT_LEN`] bytes.
+pub fn encode_entry(file: FileId, score_ct: &[u8]) -> Vec<u8> {
+    assert_eq!(score_ct.len(), SCORE_CT_LEN, "fixed-width score ciphertext");
+    let mut out = Vec::with_capacity(ENTRY_PLAIN_LEN);
+    out.extend_from_slice(&[0u8; MARKER_LEN]);
+    out.extend_from_slice(&file.to_bytes());
+    out.extend_from_slice(score_ct);
+    out
+}
+
+/// Decodes an entry plaintext, returning `(file, score_ct)` if the validity
+/// marker checks out, `None` for padding/garbage.
+pub fn decode_entry(plain: &[u8]) -> Option<(FileId, &[u8])> {
+    if plain.len() != ENTRY_PLAIN_LEN {
+        return None;
+    }
+    if plain[..MARKER_LEN] != [0u8; MARKER_LEN] {
+        return None;
+    }
+    let id_bytes: [u8; ID_LEN] = plain[MARKER_LEN..MARKER_LEN + ID_LEN]
+        .try_into()
+        .expect("length checked");
+    Some((
+        FileId::from_bytes(id_bytes),
+        &plain[MARKER_LEN + ID_LEN..],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let score_ct = [7u8; SCORE_CT_LEN];
+        let plain = encode_entry(FileId::new(123), &score_ct);
+        assert_eq!(plain.len(), ENTRY_PLAIN_LEN);
+        let (file, ct) = decode_entry(&plain).unwrap();
+        assert_eq!(file, FileId::new(123));
+        assert_eq!(ct, &score_ct);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut plain = encode_entry(FileId::new(1), &[0u8; SCORE_CT_LEN]);
+        plain[0] = 1; // break the marker
+        assert!(decode_entry(&plain).is_none());
+        assert!(decode_entry(&[0u8; 3]).is_none());
+        assert!(decode_entry(&[0u8; ENTRY_PLAIN_LEN + 1]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-width")]
+    fn wrong_score_len_panics() {
+        encode_entry(FileId::new(1), &[0u8; 5]);
+    }
+}

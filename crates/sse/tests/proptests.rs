@@ -1,0 +1,77 @@
+//! Property-based tests of the basic scheme against plaintext oracles.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_ir::{Document, FileId, InvertedIndex};
+use rsse_sse::{BasicScheme, PaddingPolicy};
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Document>> {
+    vec("[a-z]{2,5}( [a-z]{2,5}){0,25}", 1..10).prop_map(|texts| {
+        texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Document::new(FileId::new(i as u64 + 1), t))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every indexed keyword of a random corpus: the retrieved file set
+    /// equals the plaintext posting list, and the ranking is non-increasing
+    /// in the true eq.-2 score.
+    #[test]
+    fn search_matches_plaintext_oracle(docs in corpus_strategy(), seed in any::<u64>()) {
+        let index = InvertedIndex::build(&docs);
+        let scheme = BasicScheme::new(&seed.to_be_bytes());
+        let enc = scheme.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+        for (term, postings) in index.iter() {
+            let t = scheme.trapdoor(term).unwrap();
+            let ranked = scheme.rank_entries(&t, enc.search(t.label()).unwrap());
+            prop_assert_eq!(ranked.len(), postings.len(), "{}", term);
+            let mut prev = f64::INFINITY;
+            for r in &ranked {
+                prop_assert!(r.score <= prev);
+                prev = r.score;
+                prop_assert!(postings.iter().any(|p| p.file == r.file));
+            }
+        }
+    }
+
+    /// Every posting list is padded to exactly ν and all entries share one
+    /// ciphertext size.
+    #[test]
+    fn padding_uniformity(docs in corpus_strategy(), seed in any::<u64>()) {
+        let index = InvertedIndex::build(&docs);
+        prop_assume!(index.num_keywords() > 0);
+        let scheme = BasicScheme::new(&seed.to_be_bytes());
+        let enc = scheme.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+        let nu = index.max_posting_len();
+        let mut entry_sizes = std::collections::HashSet::new();
+        for (term, _) in index.iter() {
+            let t = scheme.trapdoor(term).unwrap();
+            let list = enc.search(t.label()).unwrap();
+            prop_assert_eq!(list.len(), nu);
+            for e in list {
+                entry_sizes.insert(e.len());
+            }
+        }
+        prop_assert_eq!(entry_sizes.len(), 1, "entry sizes leak validity");
+    }
+
+    /// Trapdoors for words absent from the corpus miss; trapdoors under a
+    /// different master seed miss too.
+    #[test]
+    fn unlinkability(docs in corpus_strategy(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let index = InvertedIndex::build(&docs);
+        prop_assume!(index.num_keywords() > 0);
+        let owner = BasicScheme::new(&s1.to_be_bytes());
+        let stranger = BasicScheme::new(&s2.to_be_bytes());
+        let enc = owner.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+        let term = index.iter().next().unwrap().0.to_string();
+        let foreign = stranger.trapdoor(&term).unwrap();
+        prop_assert!(enc.search(foreign.label()).is_none());
+    }
+}

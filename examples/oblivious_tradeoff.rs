@@ -1,0 +1,68 @@
+//! The security/efficiency trade-off of §III-A, measured.
+//!
+//! The paper justifies leaking access pattern, search pattern, and
+//! relevance *order* by pointing at the alternative: oblivious RAM hides
+//! everything but costs a logarithmic number of bucket transfers per
+//! block, per query. This example runs the same keyword workload against
+//! both and prints the bill.
+//!
+//! ```text
+//! cargo run --release --example oblivious_tradeoff
+//! ```
+
+use rsse::core::{Rsse, RsseParams};
+use rsse::ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse::ir::InvertedIndex;
+use rsse::oram::ObliviousIndex;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(11));
+    let index = InvertedIndex::build(corpus.documents());
+    println!(
+        "corpus: {} documents, {} distinct keywords\n",
+        corpus.documents().len(),
+        index.num_keywords()
+    );
+
+    // --- RSSE: pattern + order leakage, single-lookup searches.
+    let rsse = Rsse::new(b"tradeoff secret", RsseParams::default());
+    let rsse_index = rsse.build_index_from(&index)?;
+
+    // --- Oblivious index: no leakage, ORAM-priced searches.
+    let mut oblivious = ObliviousIndex::build(&index, 256, b"tradeoff secret")?;
+
+    let queries = ["network", "protocol", "cipher", "network", "nonexistentword"];
+    let mut rsse_time = std::time::Duration::ZERO;
+    let mut oram_time = std::time::Duration::ZERO;
+    for q in queries {
+        let t = Instant::now();
+        let rsse_hits = match rsse.trapdoor(q) {
+            Ok(td) => rsse_index.search(&td, Some(10)).len(),
+            Err(_) => 0,
+        };
+        rsse_time += t.elapsed();
+
+        let before = oblivious.stats();
+        let t = Instant::now();
+        let oram_hits = oblivious.search(q).len().min(10);
+        oram_time += t.elapsed();
+        let delta = oblivious.stats();
+        println!(
+            "query {q:>15}: rsse {rsse_hits:>2} hits | oblivious {oram_hits:>2} hits, \
+             {} ORAM accesses, {} buckets, {} KiB moved",
+            delta.accesses - before.accesses,
+            delta.buckets_touched - before.buckets_touched,
+            (delta.bytes_transferred - before.bytes_transferred) / 1024,
+        );
+    }
+
+    println!("\ntotal search time: rsse {rsse_time:?} vs oblivious {oram_time:?}");
+    println!(
+        "the oblivious index hides WHICH keyword was searched, WHETHER it exists,\n\
+         and WHICH files matched — at the per-query cost shown above. RSSE leaks\n\
+         those patterns (the paper's 'as-strong-as-possible' trade) and answers\n\
+         from a single posting-list lookup."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! What the accepted leakage actually buys an adversary — an honest
+//! limitations demo.
+//!
+//! RSSE (like all efficient SSE, §III-A) deliberately leaks the *search
+//! pattern*: equal queries produce equal trapdoors, so the server can
+//! count how often each (opaque) label is queried. Under a realistic
+//! Zipf-distributed query workload, label frequencies alone let the server
+//! rank-match labels against publicly known keyword popularity — no
+//! cryptography broken, exactly the trade the paper documents.
+//!
+//! ```text
+//! cargo run --release --example search_pattern_leakage
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsse::core::{Rsse, RsseParams};
+use rsse::ir::corpus::{CorpusParams, SyntheticCorpus};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(17));
+    let scheme = Rsse::new(b"leakage demo secret", RsseParams::default());
+    let index = scheme.build_index(corpus.documents())?;
+
+    // Users query keywords with publicly guessable popularity (Zipf).
+    let keywords = ["network", "protocol", "cipher", "packet", "header"];
+    let weights = [0.45, 0.25, 0.15, 0.10, 0.05];
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut observed: HashMap<[u8; 20], u64> = HashMap::new();
+    for _ in 0..2000 {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut pick = keywords[0];
+        for (kw, w) in keywords.iter().zip(weights) {
+            acc += w;
+            if u < acc {
+                pick = kw;
+                break;
+            }
+        }
+        // The server sees only the trapdoor label — but sees it every time.
+        if let Ok(t) = scheme.trapdoor(pick) {
+            *observed.entry(*t.label()).or_insert(0) += 1;
+            let _ = index.search(&t, Some(5));
+        }
+    }
+
+    // The curious server sorts labels by observed frequency and aligns
+    // them with public popularity ranks.
+    let mut by_freq: Vec<([u8; 20], u64)> = observed.into_iter().collect();
+    by_freq.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("server's view after 2000 queries (labels are opaque 160-bit values):");
+    let mut correct = 0;
+    for (rank, (label, count)) in by_freq.iter().enumerate() {
+        let guessed = keywords[rank.min(keywords.len() - 1)];
+        let actual_label = scheme.trapdoor(guessed)?;
+        let hit = actual_label.label() == label;
+        correct += u32::from(hit);
+        println!(
+            "  rank {} label {:02x?}.. seen {:4} times -> guess {:9} [{}]",
+            rank + 1,
+            &label[..4],
+            count,
+            guessed,
+            if hit { "correct" } else { "wrong" },
+        );
+    }
+    println!(
+        "\nfrequency analysis recovered {correct}/{} keyword identities from the\n\
+         search pattern alone — the leakage every efficient SSE scheme accepts\n\
+         (paper §III-A). Hiding it requires ORAM-class machinery; see\n\
+         `examples/oblivious_tradeoff.rs` for what that costs.",
+        keywords.len(),
+    );
+    assert!(correct >= 4, "Zipf workload should be identifiable");
+    Ok(())
+}

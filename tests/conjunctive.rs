@@ -1,0 +1,103 @@
+//! Conjunctive multi-keyword ranked search (the §VIII extension), end to
+//! end through the deployment.
+
+use rsse::cloud::Deployment;
+use rsse::core::{Rsse, RsseParams};
+use rsse::ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse::ir::InvertedIndex;
+
+fn setup(seed: u64) -> (SyntheticCorpus, Deployment) {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(seed));
+    let cloud = Deployment::bootstrap(
+        b"conjunctive master secret",
+        RsseParams::default(),
+        corpus.documents(),
+    )
+    .unwrap();
+    (corpus, cloud)
+}
+
+#[test]
+fn conjunction_returns_exactly_the_intersection() {
+    let (corpus, cloud) = setup(61);
+    let index = InvertedIndex::build(corpus.documents());
+    let (docs, traffic) = cloud.conjunctive_search("network protocol", None).unwrap();
+    assert_eq!(traffic.round_trips, 1);
+
+    // Oracle: files containing both keywords.
+    let net: std::collections::HashSet<_> = index
+        .postings("network")
+        .unwrap()
+        .iter()
+        .map(|p| p.file)
+        .collect();
+    let proto: std::collections::HashSet<_> = index
+        .postings("protocol")
+        .unwrap()
+        .iter()
+        .map(|p| p.file)
+        .collect();
+    let expected: std::collections::HashSet<_> = net.intersection(&proto).copied().collect();
+    let got: std::collections::HashSet<_> = docs.iter().map(|d| d.id()).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn conjunctive_top_k_is_a_ranking_prefix() {
+    let (_, cloud) = setup(62);
+    let (all, _) = cloud.conjunctive_search("network protocol", None).unwrap();
+    let (top, _) = cloud.conjunctive_search("network protocol", Some(3)).unwrap();
+    assert_eq!(top.len(), 3.min(all.len()));
+    for (a, b) in top.iter().zip(&all) {
+        assert_eq!(a.id(), b.id());
+    }
+}
+
+#[test]
+fn single_keyword_conjunction_equals_plain_search_set() {
+    let (_, cloud) = setup(63);
+    let (conj, _) = cloud.conjunctive_search("network", None).unwrap();
+    let (plain, _) = cloud.rsse_search("network", None).unwrap();
+    let a: std::collections::HashSet<_> = conj.iter().map(|d| d.id()).collect();
+    let b: std::collections::HashSet<_> = plain.iter().map(|d| d.id()).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn disjoint_keywords_yield_empty() {
+    let (_, cloud) = setup(64);
+    let (docs, _) = cloud.conjunctive_search("network zebrawordle", None).unwrap();
+    // "zebrawordle" has no posting list: intersection is empty.
+    assert!(docs.is_empty());
+    assert!(cloud.conjunctive_search("the of", None).is_err());
+}
+
+#[test]
+fn exact_rerank_agrees_with_dominance() {
+    // The owner-side exact re-ranking must respect per-keyword dominance.
+    let (corpus, _) = setup(65);
+    let index = InvertedIndex::build(corpus.documents());
+    let scheme = Rsse::new(b"conjunctive master secret", RsseParams::default());
+    let enc = scheme.build_index_from(&index).unwrap();
+    let opse = *enc.opse_params().unwrap();
+    let t = scheme.multi_trapdoor("network protocol").unwrap();
+    let hits = enc.search_conjunctive(&t, None);
+    if hits.len() < 2 {
+        return; // corpus too sparse for this seed — covered by unit tests
+    }
+    let dfs = [
+        index.document_frequency("network"),
+        index.document_frequency("protocol"),
+    ];
+    let exact = scheme
+        .rerank_conjunctive(&["network", "protocol"], &hits, opse, &dfs, index.num_docs())
+        .unwrap();
+    assert_eq!(exact.len(), hits.len());
+    // Scores are finite and sorted descending.
+    let mut prev = f64::INFINITY;
+    for (_, s) in &exact {
+        assert!(s.is_finite());
+        assert!(*s <= prev);
+        prev = *s;
+    }
+}

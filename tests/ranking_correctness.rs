@@ -1,0 +1,176 @@
+//! Ranking correctness against plaintext oracles.
+//!
+//! The basic scheme ranks on exact scores, so it must reproduce the
+//! plaintext TF/length order exactly. RSSE ranks on quantized levels, so it
+//! must reproduce the plaintext order *up to level resolution* — any
+//! inversion in the server's order must be within the same quantized level.
+
+use rsse::core::{Rsse, RsseParams};
+use rsse::ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse::ir::score::scores_for_term;
+use rsse::ir::{FileId, InvertedIndex};
+use rsse::sse::{BasicScheme, PaddingPolicy};
+use std::collections::HashMap;
+
+fn workload(seed: u64) -> (InvertedIndex, Vec<String>) {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(seed));
+    let index = InvertedIndex::build(corpus.documents());
+    let keywords = vec!["network".into(), "protocol".into(), "cipher".into()];
+    (index, keywords)
+}
+
+/// Plaintext oracle: files ranked by raw score descending, ties by id.
+fn oracle(index: &InvertedIndex, term: &str) -> Vec<(FileId, f64)> {
+    let mut scored = scores_for_term(index, term);
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored
+}
+
+#[test]
+fn basic_scheme_reproduces_exact_plaintext_ranking() {
+    let (index, keywords) = workload(11);
+    let scheme = BasicScheme::new(b"oracle seed");
+    let enc = scheme.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+    for kw in &keywords {
+        let t = scheme.trapdoor(kw).unwrap();
+        let ranked = scheme.rank_entries(&t, enc.search(t.label()).unwrap());
+        let want: Vec<FileId> = oracle(&index, kw).into_iter().map(|(f, _)| f).collect();
+        let got: Vec<FileId> = ranked.into_iter().map(|r| r.file).collect();
+        assert_eq!(got, want, "{kw}");
+    }
+}
+
+#[test]
+fn rsse_ranking_correct_up_to_level_resolution() {
+    let (index, keywords) = workload(12);
+    let scheme = Rsse::new(b"oracle seed", RsseParams::default());
+    let enc = scheme.build_index_from(&index).unwrap();
+    let quantizer = scheme.fit_quantizer(&index).unwrap();
+    for kw in &keywords {
+        let t = scheme.trapdoor(kw).unwrap();
+        let got = enc.search(&t, None);
+        let levels: HashMap<FileId, u64> = oracle(&index, kw)
+            .into_iter()
+            .map(|(f, s)| (f, quantizer.level(s)))
+            .collect();
+        assert_eq!(got.len(), levels.len(), "{kw}: result-set size");
+        // Server order must be non-increasing in the true quantized level.
+        let mut prev = u64::MAX;
+        for r in &got {
+            let lvl = levels[&r.file];
+            assert!(
+                lvl <= prev,
+                "{kw}: file {} (level {lvl}) ranked after level {prev}",
+                r.file
+            );
+            prev = lvl;
+        }
+    }
+}
+
+#[test]
+fn rsse_and_basic_top_k_agree_up_to_level_ties() {
+    let (index, _) = workload(13);
+    let rsse = Rsse::new(b"same seed", RsseParams::default());
+    let basic = BasicScheme::new(b"same seed");
+    let rsse_idx = rsse.build_index_from(&index).unwrap();
+    let basic_idx = basic.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+    let quantizer = rsse.fit_quantizer(&index).unwrap();
+
+    let kw = "network";
+    let rt = rsse.trapdoor(kw).unwrap();
+    let bt = basic.trapdoor(kw).unwrap();
+    let k = 10;
+    let rsse_top: Vec<FileId> = rsse_idx.search(&rt, Some(k)).iter().map(|r| r.file).collect();
+    let basic_top: Vec<FileId> = basic
+        .top_k(&bt, basic_idx.search(bt.label()).unwrap(), k)
+        .iter()
+        .map(|r| r.file)
+        .collect();
+
+    // Both selections must have the same multiset of quantized levels
+    // (they may pick different files *within* a level tie at the cut).
+    let level_of = |f: FileId| {
+        let raw = scores_for_term(&index, kw)
+            .into_iter()
+            .find(|(ff, _)| *ff == f)
+            .unwrap()
+            .1;
+        quantizer.level(raw)
+    };
+    let mut a: Vec<u64> = rsse_top.iter().map(|&f| level_of(f)).collect();
+    let mut b: Vec<u64> = basic_top.iter().map(|&f| level_of(f)).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "top-{k} level multisets diverge");
+}
+
+#[test]
+fn finer_quantization_recovers_exact_order_more_often() {
+    // Ablation: with more levels, RSSE's order approaches the exact one.
+    let (index, _) = workload(14);
+    let kw = "network";
+    let exact: Vec<FileId> = oracle(&index, kw).into_iter().map(|(f, _)| f).collect();
+
+    let raw: HashMap<FileId, f64> = scores_for_term(&index, kw).into_iter().collect();
+    let mut inversions = Vec::new();
+    for levels in [8u64, 128, 4096] {
+        let params = RsseParams {
+            levels,
+            ..RsseParams::default()
+        };
+        let scheme = Rsse::new(b"ablation seed", params);
+        let quantizer = scheme.fit_quantizer(&index).unwrap();
+        let enc = scheme.build_index_from(&index).unwrap();
+        let t = scheme.trapdoor(kw).unwrap();
+        let got: Vec<FileId> = enc.search(&t, None).iter().map(|r| r.file).collect();
+        // Count pairwise order disagreements against the exact ranking,
+        // ignoring exact-score ties (unorderable by any scheme).
+        let pos: HashMap<FileId, usize> =
+            exact.iter().enumerate().map(|(i, f)| (*f, i)).collect();
+        let mut inv = 0usize;
+        for i in 0..got.len() {
+            for j in i + 1..got.len() {
+                if raw[&got[i]] == raw[&got[j]] {
+                    continue;
+                }
+                if pos[&got[i]] > pos[&got[j]] {
+                    inv += 1;
+                    // Every surviving inversion must be a quantization tie:
+                    // the two files share a level at this granularity.
+                    assert_eq!(
+                        quantizer.level(raw[&got[i]]),
+                        quantizer.level(raw[&got[j]]),
+                        "inversion across distinct levels at {levels} levels"
+                    );
+                }
+            }
+        }
+        inversions.push(inv);
+    }
+    assert!(
+        inversions[0] >= inversions[2],
+        "inversions should shrink with finer levels: {inversions:?}"
+    );
+}
+
+#[test]
+fn owner_recovers_levels_for_every_keyword() {
+    let (index, keywords) = workload(15);
+    let scheme = Rsse::new(b"owner seed", RsseParams::default());
+    let enc = scheme.build_index_from(&index).unwrap();
+    let opse = *enc.opse_params().unwrap();
+    let quantizer = scheme.fit_quantizer(&index).unwrap();
+    for kw in &keywords {
+        let t = scheme.trapdoor(kw).unwrap();
+        for r in enc.search(&t, Some(5)) {
+            let lvl = scheme.decrypt_level(kw, opse, r.encrypted_score).unwrap();
+            let raw = scores_for_term(&index, kw)
+                .into_iter()
+                .find(|(f, _)| *f == r.file)
+                .unwrap()
+                .1;
+            assert_eq!(lvl, quantizer.level(raw), "{kw}/{}", r.file);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Scoring-function ablation: the paper picks eq. (2) from "several
+//! hundred variations of the TF×IDF weighting scheme"; this suite checks
+//! that the RSSE machinery is correct under the alternatives too.
+
+use rsse::core::{Rsse, RsseParams};
+use rsse::ir::corpus::{CorpusParams, SyntheticCorpus};
+use rsse::ir::score::{scores_for_term_with, CollectionStats};
+use rsse::ir::{Document, FileId, InvertedIndex, ScoringFunction};
+
+fn functions() -> [ScoringFunction; 3] {
+    [
+        ScoringFunction::PaperEq2,
+        ScoringFunction::bm25(),
+        ScoringFunction::SublinearTfIdf,
+    ]
+}
+
+#[test]
+fn server_order_tracks_each_scoring_function() {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(71));
+    let index = InvertedIndex::build(corpus.documents());
+    for scoring in functions() {
+        let scheme = Rsse::new(b"ablation seed", RsseParams::with_scoring(scoring));
+        let enc = scheme.build_index_from(&index).unwrap();
+        let quantizer = scheme.fit_quantizer(&index).unwrap();
+        let t = scheme.trapdoor("network").unwrap();
+        let got = enc.search(&t, None);
+        assert_eq!(got.len() as u64, index.document_frequency("network"));
+        // The server's order must be non-increasing in the true quantized
+        // level under *this* scoring function.
+        let levels: std::collections::HashMap<FileId, u64> =
+            scores_for_term_with(&index, "network", scoring)
+                .into_iter()
+                .map(|(f, s)| (f, quantizer.level(s)))
+                .collect();
+        let mut prev = u64::MAX;
+        for r in &got {
+            let lvl = levels[&r.file];
+            assert!(lvl <= prev, "{scoring:?}: order violated at {}", r.file);
+            prev = lvl;
+        }
+    }
+}
+
+#[test]
+fn scoring_functions_produce_genuinely_different_rankings() {
+    // tf-heavy short doc vs rare-term doc: eq. 2 (length-normalized, no
+    // IDF) and sublinear TF-IDF (IDF, no length norm) must disagree
+    // somewhere on a crafted corpus.
+    let docs = vec![
+        Document::new(FileId::new(1), "target target target filler filler filler filler filler filler filler filler filler filler filler filler filler filler filler"),
+        Document::new(FileId::new(2), "target unique"),
+    ];
+    let index = InvertedIndex::build(&docs);
+    let stats = CollectionStats::of(&index);
+    let eq2_1 = ScoringFunction::PaperEq2.score(3, 18, 2, &stats);
+    let eq2_2 = ScoringFunction::PaperEq2.score(1, 2, 2, &stats);
+    let tfidf_1 = ScoringFunction::SublinearTfIdf.score(3, 18, 2, &stats);
+    let tfidf_2 = ScoringFunction::SublinearTfIdf.score(1, 2, 2, &stats);
+    // eq2: the tiny doc wins on normalization; tf-idf: the tf-heavy doc
+    // wins because length is ignored.
+    assert!(eq2_2 > eq2_1);
+    assert!(tfidf_1 > tfidf_2);
+}
+
+#[test]
+fn updates_respect_the_configured_scoring() {
+    let corpus = SyntheticCorpus::generate(&CorpusParams::small(72));
+    let index = InvertedIndex::build(corpus.documents());
+    for scoring in functions() {
+        let scheme = Rsse::new(b"update ablation", RsseParams::with_scoring(scoring));
+        let mut enc = scheme.build_index_from(&index).unwrap();
+        let updater = scheme.updater_for(&index).unwrap();
+        let doc = Document::new(FileId::new(4242), "network network network update check");
+        updater.add_document(&doc).unwrap().apply_to(&mut enc);
+        let t = scheme.trapdoor("network").unwrap();
+        let hits = enc.search(&t, None);
+        assert!(hits.iter().any(|r| r.file == FileId::new(4242)), "{scoring:?}");
+        // Global order still valid by owner decryption.
+        let opse = updater.opse_params();
+        let mut prev = u64::MAX;
+        for r in &hits {
+            let lvl = scheme.decrypt_level("network", opse, r.encrypted_score).unwrap();
+            assert!(lvl <= prev, "{scoring:?}");
+            prev = lvl;
+        }
+    }
+}
