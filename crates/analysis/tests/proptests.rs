@@ -3,8 +3,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rsse_analysis::{
-    duplicate_stats, ks_statistic, mean, min_entropy, shannon_entropy, skewness,
-    total_variation, variance, Histogram,
+    duplicate_stats, ks_statistic, mean, min_entropy, shannon_entropy, skewness, total_variation,
+    variance, Histogram,
 };
 
 proptest! {

@@ -40,7 +40,10 @@ impl core::fmt::Display for BucketError {
                 "cannot fit {buckets} buckets from {distinct} distinct scores"
             ),
             BucketError::NeedsRebuild { score } => {
-                write!(f, "score {score} outside fitted domain; mapping must be rebuilt")
+                write!(
+                    f,
+                    "score {score} outside fitted domain; mapping must be rebuilt"
+                )
             }
         }
     }
@@ -86,11 +89,7 @@ impl BucketMapper {
         range: u64,
         key: SecretKey,
     ) -> Result<Self, BucketError> {
-        let mut sorted: Vec<f64> = training
-            .iter()
-            .copied()
-            .filter(|s| s.is_finite())
-            .collect();
+        let mut sorted: Vec<f64> = training.iter().copied().filter(|s| s.is_finite()).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
         sorted.dedup();
         if num_buckets == 0 || sorted.len() < num_buckets {
@@ -196,8 +195,8 @@ mod tests {
 
     #[test]
     fn insufficient_training_rejected() {
-        let err = BucketMapper::fit(&[1.0, 2.0], 16, 1 << 20, SecretKey::derive(b"s", "b"))
-            .unwrap_err();
+        let err =
+            BucketMapper::fit(&[1.0, 2.0], 16, 1 << 20, SecretKey::derive(b"s", "b")).unwrap_err();
         assert!(matches!(err, BucketError::InsufficientTraining { .. }));
     }
 

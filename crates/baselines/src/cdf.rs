@@ -32,7 +32,10 @@ impl core::fmt::Display for CdfError {
         match self {
             CdfError::InsufficientTraining => write!(f, "too few training scores"),
             CdfError::NeedsRetraining { score } => {
-                write!(f, "score {score} outside trained support; transform must be retrained")
+                write!(
+                    f,
+                    "score {score} outside trained support; transform must be retrained"
+                )
             }
         }
     }
@@ -139,7 +142,10 @@ impl CdfMapper {
         // Out-of-support values always force retraining.
         let lo = self.quantiles[0];
         let hi = *self.quantiles.last().expect("non-empty");
-        if new_scores.iter().any(|s| !s.is_finite() || *s < lo || *s > hi) {
+        if new_scores
+            .iter()
+            .any(|s| !s.is_finite() || *s < lo || *s > hi)
+        {
             return true;
         }
         let bins = 64;
@@ -225,9 +231,7 @@ mod tests {
     #[test]
     fn insufficient_training_rejected() {
         assert!(CdfMapper::train(&[1.0], 1 << 20, SecretKey::derive(b"s", "c")).is_err());
-        assert!(
-            CdfMapper::train(&[f64::NAN, 1.0], 1 << 20, SecretKey::derive(b"s", "c")).is_err()
-        );
+        assert!(CdfMapper::train(&[f64::NAN, 1.0], 1 << 20, SecretKey::derive(b"s", "c")).is_err());
     }
 
     #[test]

@@ -39,13 +39,9 @@ fn bench_dynamics(c: &mut Criterion) {
         b.iter(|| {
             let mut extended = network_scores.clone();
             extended.push(0.9); // the new, out-of-domain score
-            let mapper = BucketMapper::fit(
-                &extended,
-                16,
-                1 << 40,
-                SecretKey::derive(b"refit", "k"),
-            )
-            .unwrap();
+            let mapper =
+                BucketMapper::fit(&extended, 16, 1 << 40, SecretKey::derive(b"refit", "k"))
+                    .unwrap();
             let remapped: Vec<u64> = extended
                 .iter()
                 .enumerate()

@@ -1,0 +1,223 @@
+//! Closed-loop multi-client throughput benchmark for the worker-pool
+//! server ([`ServerHandle::spawn_pool`]), over the paper-scale corpus
+//! (1000 files, hot keyword in every one).
+//!
+//! ```text
+//! cargo run --release -p rsse-bench --bin throughput -- [out.json] [seed]
+//! ```
+//!
+//! Eight client threads issue RSSE top-10 searches back to back against
+//! pools of 1/2/4/8 workers, in two regimes:
+//!
+//! * **cpu** — requests are served flat out; on a single-core host the
+//!   pool cannot beat the serial loop (there is only one core to share),
+//!   so this row reports the honest pure-compute scaling of the machine.
+//! * **io_sim** — each request carries a fixed 3 ms stall standing in for
+//!   backend storage I/O (cf. the `NetworkParams` latency model). Stalls
+//!   overlap across workers, so throughput scales with the pool — the
+//!   regime the serving layer is built for.
+//!
+//! Results are written as `BENCH_throughput.json` (requests/s, p50/p99
+//! latency, speedup vs the single-worker loop per scenario).
+
+use rsse_bench::workload::{paper_corpus, HOT_KEYWORD};
+use rsse_cloud::entities::{CloudServer, DataOwner};
+use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
+use rsse_cloud::{Message, SearchMode};
+use rsse_core::RsseParams;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BACKLOG: usize = 64;
+const IO_DELAY: Duration = Duration::from_millis(3);
+
+struct Scenario {
+    name: &'static str,
+    io_delay: Option<Duration>,
+    requests_per_client: usize,
+}
+
+struct ConfigResult {
+    scenario: &'static str,
+    workers: usize,
+    requests: usize,
+    wall_s: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+fn run_config(
+    outsource_frame: &bytes::BytesMut,
+    owner: &DataOwner,
+    scenario: &Scenario,
+    workers: usize,
+) -> ConfigResult {
+    let server = CloudServer::from_outsource(Message::decode(outsource_frame.clone()).unwrap())
+        .expect("outsource frame boots the server");
+    let mut options = PoolOptions::new(workers, BACKLOG);
+    if let Some(delay) = scenario.io_delay {
+        options = options.with_io_delay(delay);
+    }
+    let handle = ServerHandle::spawn_pool_with(server, options);
+
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let client = handle.client();
+                let user = owner.authorize_user();
+                let n = scenario.requests_per_client;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let req = user
+                            .search_request(HOT_KEYWORD, Some(10), SearchMode::Rsse)
+                            .unwrap();
+                        let sent = Instant::now();
+                        let resp = client.call(req).expect("reply lost");
+                        lats.push(sent.elapsed());
+                        assert!(matches!(resp, Message::RsseResponse { .. }));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let requests = CLIENTS * scenario.requests_per_client;
+    let served = handle.shutdown();
+    assert_eq!(
+        served, requests as u64,
+        "pool lost or double-counted requests"
+    );
+
+    latencies.sort_unstable();
+    ConfigResult {
+        scenario: scenario.name,
+        workers,
+        requests,
+        wall_s: wall.as_secs_f64(),
+        rps: requests as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
+fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"server_pool_throughput\",\n");
+    out.push_str("  \"corpus\": \"paper_1000\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    out.push_str(&format!(
+        "  \"io_delay_ms\": {},\n",
+        IO_DELAY.as_secs_f64() * 1e3
+    ));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let baseline = results
+            .iter()
+            .find(|b| b.scenario == r.scenario && b.workers == 1)
+            .expect("single-worker baseline present");
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
+             \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"speedup_vs_1_worker\": {:.2}}}{}\n",
+            r.scenario,
+            r.workers,
+            r.requests,
+            r.wall_s,
+            r.rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.rps / baseline.rps,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_throughput.json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_throughput.json".to_string());
+    let seed: u64 = args
+        .get(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    eprintln!("building paper corpus (seed {seed})...");
+    let (corpus, _) = paper_corpus(seed);
+    let owner = DataOwner::new(b"throughput seed", RsseParams::default());
+    let outsource_frame = owner
+        .outsource(corpus.documents())
+        .expect("outsource")
+        .encode();
+
+    let scenarios = [
+        Scenario {
+            name: "cpu",
+            io_delay: None,
+            requests_per_client: 150,
+        },
+        Scenario {
+            name: "io_sim",
+            io_delay: Some(IO_DELAY),
+            requests_per_client: 60,
+        },
+    ];
+
+    let mut results = Vec::new();
+    println!("scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms");
+    for scenario in &scenarios {
+        for &workers in &WORKER_COUNTS {
+            let r = run_config(&outsource_frame, &owner, scenario, workers);
+            println!(
+                "{},{},{},{:.4},{:.1},{:.3},{:.3}",
+                r.scenario, r.workers, r.requests, r.wall_s, r.rps, r.p50_ms, r.p99_ms
+            );
+            results.push(r);
+        }
+    }
+
+    write_json(&out_path, seed, &results);
+    eprintln!("wrote {out_path}");
+
+    // The acceptance gate: in the I/O-overlap regime a 4-worker pool must
+    // sustain at least 2.5x the single-worker requests/s.
+    let rps = |workers: usize| {
+        results
+            .iter()
+            .find(|r| r.scenario == "io_sim" && r.workers == workers)
+            .map(|r| r.rps)
+            .unwrap_or(0.0)
+    };
+    let speedup = rps(4) / rps(1);
+    eprintln!("io_sim 4-worker speedup vs 1 worker: {speedup:.2}x");
+    assert!(
+        speedup >= 2.5,
+        "4-worker pool must sustain >= 2.5x single-worker throughput, got {speedup:.2}x"
+    );
+}

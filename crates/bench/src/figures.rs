@@ -69,7 +69,10 @@ pub fn fig5() -> String {
             sel.min_range_bits(HalvingBound::FourLogM),
         );
     }
-    let _ = writeln!(out, "k,lhs_5logM_plus12,lhs_5logM,lhs_4logM,rhs_log2,rhs_log10");
+    let _ = writeln!(
+        out,
+        "k,lhs_5logM_plus12,lhs_5logM,lhs_4logM,rhs_log2,rhs_log10"
+    );
     for p in sel2.fig5_series(52) {
         let _ = writeln!(
             out,
@@ -309,7 +312,11 @@ pub fn table1(seed: u64) -> String {
     let _ = writeln!(out, "distinct_keywords,{}", report.num_keywords);
     let _ = writeln!(out, "padded_posting_len,{}", report.padded_len);
     let _ = writeln!(out, "index_bytes,{}", enc.size_bytes());
-    let _ = writeln!(out, "per_keyword_list_bytes,{:.1}", report.per_keyword_bytes());
+    let _ = writeln!(
+        out,
+        "per_keyword_list_bytes,{:.1}",
+        report.per_keyword_bytes()
+    );
     let _ = writeln!(
         out,
         "per_keyword_build_time_us,{:.1}",

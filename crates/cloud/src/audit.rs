@@ -1,4 +1,5 @@
-//! **Extension** — retrieval integrity via Merkle authentication.
+//! **Extension** — retrieval integrity via Merkle authentication, plus the
+//! server-side audit log.
 //!
 //! The paper's server is honest-but-curious, so it always returns the
 //! right files. A deployable system should *verify* that: the owner
@@ -8,9 +9,102 @@
 //! [`rsse_crypto::aead`] this upgrades storage to tamper-evident even
 //! against a server that misbehaves on content (it can still withhold —
 //! completeness needs further machinery).
+//!
+//! [`AuditLog`] is the operational half: the server records every handled
+//! request so operators (and the concurrency tests) can account for
+//! exactly what was served. It lives behind a `parking_lot::RwLock` inside
+//! [`CloudServer`](crate::entities::CloudServer) so worker threads append
+//! without serializing the search path's read locks.
 
 use crate::files::EncryptedFile;
 use rsse_crypto::{Digest, Sha256};
+
+/// What kind of request an audit record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Single-keyword search (any of the three retrieval protocols).
+    Search,
+    /// A round-two file fetch.
+    Fetch,
+    /// Conjunctive multi-keyword search.
+    Conjunctive,
+    /// A §VII score-dynamics update.
+    Update,
+    /// A message the server refused to handle.
+    Rejected,
+}
+
+/// Aggregated serving counters, cheap to copy out of the log.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServingReport {
+    /// Total requests handled (including rejected ones).
+    pub total: u64,
+    /// Single-keyword searches.
+    pub searches: u64,
+    /// Round-two file fetches.
+    pub fetches: u64,
+    /// Conjunctive searches.
+    pub conjunctive: u64,
+    /// Score-dynamics updates applied.
+    pub updates: u64,
+    /// Requests rejected as out-of-protocol.
+    pub rejected: u64,
+}
+
+/// The server's request audit log: aggregate counters plus a bounded
+/// ring of the most recent request kinds.
+#[derive(Debug)]
+pub struct AuditLog {
+    report: ServingReport,
+    recent: std::collections::VecDeque<RequestKind>,
+    capacity: usize,
+}
+
+impl AuditLog {
+    /// Default number of recent records retained.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty log retaining at most `capacity` recent records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AuditLog {
+            report: ServingReport::default(),
+            recent: std::collections::VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one handled request.
+    pub fn record(&mut self, kind: RequestKind) {
+        self.report.total += 1;
+        match kind {
+            RequestKind::Search => self.report.searches += 1,
+            RequestKind::Fetch => self.report.fetches += 1,
+            RequestKind::Conjunctive => self.report.conjunctive += 1,
+            RequestKind::Update => self.report.updates += 1,
+            RequestKind::Rejected => self.report.rejected += 1,
+        }
+        if self.recent.len() == self.capacity {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(kind);
+    }
+
+    /// The aggregate counters.
+    pub fn report(&self) -> ServingReport {
+        self.report
+    }
+
+    /// The retained recent request kinds, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = RequestKind> + '_ {
+        self.recent.iter().copied()
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
 
 /// A Merkle tree over the hashes of an encrypted file collection.
 ///
@@ -227,5 +321,34 @@ mod tests {
     #[should_panic(expected = "empty collection")]
     fn empty_collection_panics() {
         MerkleTree::build(&[]);
+    }
+
+    #[test]
+    fn audit_log_counts_and_caps_recent() {
+        let mut log = AuditLog::with_capacity(4);
+        for _ in 0..3 {
+            log.record(RequestKind::Search);
+        }
+        log.record(RequestKind::Update);
+        log.record(RequestKind::Rejected);
+        log.record(RequestKind::Fetch);
+        let report = log.report();
+        assert_eq!(report.total, 6);
+        assert_eq!(report.searches, 3);
+        assert_eq!(report.updates, 1);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.fetches, 1);
+        assert_eq!(report.conjunctive, 0);
+        // Only the 4 most recent records survive.
+        let recent: Vec<RequestKind> = log.recent().collect();
+        assert_eq!(
+            recent,
+            vec![
+                RequestKind::Search,
+                RequestKind::Update,
+                RequestKind::Rejected,
+                RequestKind::Fetch
+            ]
+        );
     }
 }

@@ -150,6 +150,21 @@ pub enum Message {
         /// Files in the requested order (missing ids are skipped).
         files: Vec<EncryptedFile>,
     },
+    /// Owner → server: a §VII score-dynamics update — new posting entries
+    /// to append plus the newly encrypted files.
+    Update {
+        /// RSSE append operations `(π_x(w), new entries)`.
+        rsse_lists: Vec<(Label, Vec<Vec<u8>>)>,
+        /// Encrypted files for the added documents.
+        files: Vec<EncryptedFile>,
+    },
+    /// Server → owner: acknowledgement of an applied update.
+    UpdateAck {
+        /// Number of posting lists touched by the update.
+        lists_touched: u64,
+        /// Number of files ingested.
+        files_added: u64,
+    },
 }
 
 fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
@@ -350,6 +365,19 @@ impl Message {
                 }
                 put_files(&mut buf, files);
             }
+            Message::Update { rsse_lists, files } => {
+                buf.put_u8(10);
+                put_lists(&mut buf, rsse_lists);
+                put_files(&mut buf, files);
+            }
+            Message::UpdateAck {
+                lists_touched,
+                files_added,
+            } => {
+                buf.put_u8(11);
+                buf.put_u64(*lists_touched);
+                buf.put_u64(*files_added);
+            }
         }
         buf
     }
@@ -459,6 +487,14 @@ impl Message {
                     files: get_files(&mut buf)?,
                 }
             }
+            10 => Message::Update {
+                rsse_lists: get_lists(&mut buf)?,
+                files: get_files(&mut buf)?,
+            },
+            11 => Message::UpdateAck {
+                lists_touched: get_u64(&mut buf)?,
+                files_added: get_u64(&mut buf)?,
+            },
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -524,6 +560,14 @@ mod tests {
                 ranking: vec![(1, vec![100, 200]), (2, vec![50, 60])],
                 files: vec![EncryptedFile::new(FileId::new(1), vec![0xde, 0xad])],
             },
+            Message::Update {
+                rsse_lists: vec![([5u8; 20], vec![vec![1; 40], vec![2; 40]])],
+                files: vec![EncryptedFile::new(FileId::new(12), vec![0xbe; 48])],
+            },
+            Message::UpdateAck {
+                lists_touched: 3,
+                files_added: 1,
+            },
         ]
     }
 
@@ -555,10 +599,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut encoded = Message::FetchFiles { ids: vec![1] }.encode();
         encoded.put_u8(0xff);
-        assert_eq!(
-            Message::decode(encoded),
-            Err(CodecError::TrailingBytes(1))
-        );
+        assert_eq!(Message::decode(encoded), Err(CodecError::TrailingBytes(1)));
     }
 
     #[test]
@@ -573,10 +614,7 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(6); // FetchFiles
         buf.put_u64(u64::MAX); // absurd count
-        assert!(matches!(
-            Message::decode(buf),
-            Err(CodecError::Oversize(_))
-        ));
+        assert!(matches!(Message::decode(buf), Err(CodecError::Oversize(_))));
     }
 
     #[test]

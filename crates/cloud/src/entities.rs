@@ -13,11 +13,12 @@
 //!    only `(id, E_z(S))` pairs; the user ranks and fetches top-k files in
 //!    round two — saving bandwidth, paying an extra round trip.
 
+use crate::audit::{AuditLog, RequestKind, ServingReport};
 use crate::codec::{Message, SearchMode};
 use crate::error::CloudError;
 use crate::files::{EncryptedFile, FileCrypter, FileStore};
 use crate::network::{MeteredChannel, TrafficReport};
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 use rsse_core::{Rsse, RsseIndex, RsseParams, RsseTrapdoor};
 use rsse_crypto::SecretKey;
 use rsse_ir::{Document, FileId, InvertedIndex};
@@ -60,7 +61,9 @@ impl DataOwner {
         let opse = *rsse_index
             .opse_params()
             .expect("freshly built index carries parameters");
-        let basic_index = self.basic.build_index(&plaintext_index, Default::default())?;
+        let basic_index = self
+            .basic
+            .build_index(&plaintext_index, Default::default())?;
         Ok(Message::Outsource {
             rsse_lists: rsse_index.export_parts(),
             basic_lists: basic_index.export_parts(),
@@ -79,11 +82,18 @@ impl DataOwner {
 }
 
 /// The honest-but-curious cloud server.
+///
+/// All mutable state — the RSSE index (§VII score-dynamics appends), the
+/// file store, and the audit log — sits behind `parking_lot::RwLock`s, so
+/// `handle` takes `&self` and an `Arc<CloudServer>` can serve many worker
+/// threads concurrently: searches take read locks and never serialize
+/// against each other; only updates take the write side.
 #[derive(Debug)]
 pub struct CloudServer {
-    rsse_index: RsseIndex,
+    rsse_index: RwLock<RsseIndex>,
     basic_index: BasicEncryptedIndex,
-    files: FileStore,
+    files: RwLock<FileStore>,
+    audit: RwLock<AuditLog>,
 }
 
 impl CloudServer {
@@ -111,18 +121,29 @@ impl CloudServer {
         let mut store = FileStore::new();
         store.ingest(files);
         Ok(CloudServer {
-            rsse_index: RsseIndex::from_parts(rsse_lists, opse),
+            rsse_index: RwLock::new(RsseIndex::from_parts(rsse_lists, opse)),
             basic_index: BasicEncryptedIndex::from_parts(basic_lists),
-            files: store,
+            files: RwLock::new(store),
+            audit: RwLock::new(AuditLog::default()),
         })
     }
 
     /// Dispatches one request message to one response message.
     ///
+    /// Safe to call concurrently from many threads: searches and fetches
+    /// take read locks only, while [`Message::Update`] briefly takes the
+    /// write side.
+    ///
     /// # Errors
     ///
     /// [`CloudError::UnexpectedMessage`] for non-request messages.
     pub fn handle(&self, msg: Message) -> Result<Message, CloudError> {
+        let (kind, outcome) = self.dispatch(msg);
+        self.audit.write().record(kind);
+        outcome
+    }
+
+    fn dispatch(&self, msg: Message) -> (RequestKind, Result<Message, CloudError>) {
         match msg {
             Message::SearchRequest {
                 label,
@@ -131,92 +152,116 @@ impl CloudServer {
                 mode,
             } => {
                 let key = SecretKey::from_bytes(list_key);
-                match mode {
+                let response = match mode {
                     SearchMode::Rsse => {
                         let trapdoor = RsseTrapdoor::from_parts(label, key);
                         let results = self
                             .rsse_index
+                            .read()
                             .search(&trapdoor, top_k.map(|k| k as usize));
                         let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
-                        Ok(Message::RsseResponse {
+                        Message::RsseResponse {
                             ranking: results
                                 .iter()
                                 .map(|r| (r.file.as_u64(), r.encrypted_score))
                                 .collect(),
-                            files: self.files.fetch_many(&ids),
-                        })
+                            files: self.files.read().fetch_many(&ids),
+                        }
                     }
                     SearchMode::BasicFull => {
                         let entries = self.basic_index.search(&label).unwrap_or(&[]);
                         let opened = open_entries(&key, entries);
                         let ids: Vec<FileId> = opened.iter().map(|(f, _)| *f).collect();
-                        Ok(Message::BasicFullResponse {
-                            scores: opened
-                                .into_iter()
-                                .map(|(f, ct)| (f.as_u64(), ct))
-                                .collect(),
-                            files: self.files.fetch_many(&ids),
-                        })
+                        Message::BasicFullResponse {
+                            scores: opened.into_iter().map(|(f, ct)| (f.as_u64(), ct)).collect(),
+                            files: self.files.read().fetch_many(&ids),
+                        }
                     }
                     SearchMode::BasicEntries => {
                         let entries = self.basic_index.search(&label).unwrap_or(&[]);
                         let opened = open_entries(&key, entries);
-                        Ok(Message::BasicEntriesResponse {
-                            scores: opened
-                                .into_iter()
-                                .map(|(f, ct)| (f.as_u64(), ct))
-                                .collect(),
-                        })
+                        Message::BasicEntriesResponse {
+                            scores: opened.into_iter().map(|(f, ct)| (f.as_u64(), ct)).collect(),
+                        }
                     }
-                }
+                };
+                (RequestKind::Search, Ok(response))
             }
             Message::FetchFiles { ids } => {
                 let ids: Vec<FileId> = ids.into_iter().map(FileId::new).collect();
-                Ok(Message::FilesResponse {
-                    files: self.files.fetch_many(&ids),
-                })
+                (
+                    RequestKind::Fetch,
+                    Ok(Message::FilesResponse {
+                        files: self.files.read().fetch_many(&ids),
+                    }),
+                )
             }
             Message::ConjunctiveRequest { trapdoors, top_k } => {
                 let parts: Vec<RsseTrapdoor> = trapdoors
                     .into_iter()
-                    .map(|(label, key)| {
-                        RsseTrapdoor::from_parts(label, SecretKey::from_bytes(key))
-                    })
+                    .map(|(label, key)| RsseTrapdoor::from_parts(label, SecretKey::from_bytes(key)))
                     .collect();
                 let multi = rsse_core::multi::MultiTrapdoor::from_parts(parts);
                 let results = self
                     .rsse_index
+                    .read()
                     .search_conjunctive(&multi, top_k.map(|k| k as usize));
                 let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
-                Ok(Message::ConjunctiveResponse {
-                    ranking: results
-                        .into_iter()
-                        .map(|r| (r.file.as_u64(), r.mapped_scores))
-                        .collect(),
-                    files: self.files.fetch_many(&ids),
-                })
+                (
+                    RequestKind::Conjunctive,
+                    Ok(Message::ConjunctiveResponse {
+                        ranking: results
+                            .into_iter()
+                            .map(|r| (r.file.as_u64(), r.mapped_scores))
+                            .collect(),
+                        files: self.files.read().fetch_many(&ids),
+                    }),
+                )
             }
-            _ => Err(CloudError::UnexpectedMessage {
-                expected: "SearchRequest or FetchFiles",
-            }),
+            Message::Update { rsse_lists, files } => {
+                let lists_touched = rsse_lists.len() as u64;
+                let files_added = files.len() as u64;
+                self.apply_update(rsse_core::IndexUpdate::from_parts(rsse_lists), files);
+                (
+                    RequestKind::Update,
+                    Ok(Message::UpdateAck {
+                        lists_touched,
+                        files_added,
+                    }),
+                )
+            }
+            _ => (
+                RequestKind::Rejected,
+                Err(CloudError::UnexpectedMessage {
+                    expected: "SearchRequest, FetchFiles, ConjunctiveRequest or Update",
+                }),
+            ),
         }
     }
 
-    /// The curious server's raw view of a posting list (for the adversary
-    /// experiments).
-    pub fn rsse_index(&self) -> &RsseIndex {
-        &self.rsse_index
+    /// The curious server's raw view of the RSSE index (for the adversary
+    /// experiments). Holds the read lock for the guard's lifetime.
+    pub fn rsse_index(&self) -> RwLockReadGuard<'_, RsseIndex> {
+        self.rsse_index.read()
     }
 
     /// Applies an owner-issued score-dynamics update.
-    pub fn apply_update(&mut self, update: rsse_core::IndexUpdate, new_files: Vec<EncryptedFile>) {
-        update.apply_to(&mut self.rsse_index);
-        self.files.ingest(new_files);
+    ///
+    /// Takes the write locks briefly; concurrent searches observe either
+    /// the pre- or post-update index, never a torn state.
+    pub fn apply_update(&self, update: rsse_core::IndexUpdate, new_files: Vec<EncryptedFile>) {
+        update.apply_to(&mut self.rsse_index.write());
+        self.files.write().ingest(new_files);
     }
 
     /// Number of stored files.
     pub fn num_files(&self) -> usize {
-        self.files.len()
+        self.files.read().len()
+    }
+
+    /// A copy of the aggregate serving counters.
+    pub fn serving_report(&self) -> ServingReport {
+        self.audit.read().report()
     }
 }
 
@@ -291,10 +336,7 @@ impl User {
     /// # Errors
     ///
     /// [`CloudError::UnexpectedMessage`] on other message types.
-    pub fn rank_basic_scores(
-        &self,
-        scores: &[(u64, Vec<u8>)],
-    ) -> Result<Vec<FileId>, CloudError> {
+    pub fn rank_basic_scores(&self, scores: &[(u64, Vec<u8>)]) -> Result<Vec<FileId>, CloudError> {
         use rsse_crypto::SemanticCipher;
         let cipher = SemanticCipher::new(self.basic.keys().score_key());
         let mut scored: Vec<(FileId, f64)> = scores
@@ -348,7 +390,7 @@ impl User {
 /// A complete wired deployment: owner, shared server, one authorized user,
 /// with all traffic metered.
 pub struct Deployment {
-    server: Arc<RwLock<CloudServer>>,
+    server: Arc<CloudServer>,
     user: User,
     owner: DataOwner,
     /// Traffic of the Setup (outsourcing) phase.
@@ -357,7 +399,7 @@ pub struct Deployment {
 
 impl core::fmt::Debug for Deployment {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Deployment {{ files: {} }}", self.server.read().num_files())
+        write!(f, "Deployment {{ files: {} }}", self.server.num_files())
     }
 }
 
@@ -381,7 +423,7 @@ impl Deployment {
         let server = CloudServer::from_outsource(Message::decode(frame)?)?;
         let user = owner.authorize_user();
         Ok(Deployment {
-            server: Arc::new(RwLock::new(server)),
+            server: Arc::new(server),
             user,
             owner,
             setup_traffic: channel.report(),
@@ -398,20 +440,16 @@ impl Deployment {
         &self.owner
     }
 
-    /// Shared handle to the server (read-locked per request), for
-    /// multi-user experiments.
-    pub fn server(&self) -> Arc<RwLock<CloudServer>> {
+    /// Shared handle to the server, for multi-user experiments. All
+    /// locking is interior to [`CloudServer`].
+    pub fn server(&self) -> Arc<CloudServer> {
         Arc::clone(&self.server)
     }
 
-    fn round(
-        &self,
-        channel: &mut MeteredChannel,
-        request: Message,
-    ) -> Result<Message, CloudError> {
+    fn round(&self, channel: &mut MeteredChannel, request: Message) -> Result<Message, CloudError> {
         let up = request.encode();
         channel.send_up(up.len());
-        let response = self.server.read().handle(Message::decode(up)?)?;
+        let response = self.server.handle(Message::decode(up)?)?;
         let down = response.encode();
         channel.send_down(down.len());
         Message::decode(down).map_err(CloudError::from)
@@ -428,9 +466,7 @@ impl Deployment {
         top_k: Option<u32>,
     ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
         let mut channel = MeteredChannel::new();
-        let request = self
-            .user
-            .search_request(keyword, top_k, SearchMode::Rsse)?;
+        let request = self.user.search_request(keyword, top_k, SearchMode::Rsse)?;
         let response = self.round(&mut channel, request)?;
         Ok((self.user.read_rsse_response(response)?, channel.report()))
     }

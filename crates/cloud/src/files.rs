@@ -99,7 +99,9 @@ impl FileStore {
     /// Fetches many files, preserving the requested order and skipping
     /// unknown ids.
     pub fn fetch_many(&self, ids: &[FileId]) -> Vec<EncryptedFile> {
-        ids.iter().filter_map(|id| self.files.get(id).cloned()).collect()
+        ids.iter()
+            .filter_map(|id| self.files.get(id).cloned())
+            .collect()
     }
 
     /// Number of stored files.
@@ -139,7 +141,9 @@ mod tests {
         // Wrong key yields garbage; practically always invalid UTF-8 for
         // real text. Either error or garbage-that-differs is acceptable;
         // never the plaintext.
-        if let Ok(d) = c2.decrypt(&enc) { assert_ne!(d.text(), "text") }
+        if let Ok(d) = c2.decrypt(&enc) {
+            assert_ne!(d.text(), "text")
+        }
     }
 
     #[test]

@@ -78,10 +78,9 @@ impl KeyDistributor {
     /// the new seed for revocation to take effect.
     pub fn rotate(&mut self) -> Vec<(String, WrappedCredential)> {
         self.epoch += 1;
-        self.master_seed =
-            SecretKey::derive(&self.master_seed, &format!("rotate/{}", self.epoch))
-                .as_bytes()
-                .to_vec();
+        self.master_seed = SecretKey::derive(&self.master_seed, &format!("rotate/{}", self.epoch))
+            .as_bytes()
+            .to_vec();
         let mut out: Vec<(String, WrappedCredential)> = self
             .users
             .iter()

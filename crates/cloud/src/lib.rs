@@ -40,8 +40,10 @@ pub mod keydist;
 pub mod network;
 pub mod server_loop;
 
+pub use audit::{AuditLog, RequestKind, ServingReport};
 pub use codec::{CodecError, Message, SearchMode};
 pub use entities::{CloudServer, DataOwner, Deployment, User};
 pub use error::CloudError;
 pub use files::{EncryptedFile, FileCrypter, FileStore};
 pub use network::{MeteredChannel, NetworkParams, TrafficReport};
+pub use server_loop::{PoolOptions, ServerClient, ServerHandle};

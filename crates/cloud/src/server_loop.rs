@@ -1,21 +1,31 @@
 //! A threaded request/response server loop over the wire codec.
 //!
 //! [`Deployment`](crate::entities::Deployment) calls the server in-process;
-//! this module runs the [`CloudServer`] on its own thread behind crossbeam
-//! channels, so many client threads can talk to it concurrently through
-//! real encoded frames — the closest this simulation gets to a deployed
-//! service, and the harness for the multi-user experiments.
+//! this module runs the [`CloudServer`] behind crossbeam channels so many
+//! client threads can talk to it concurrently through real encoded frames —
+//! the closest this simulation gets to a deployed service, and the harness
+//! for the multi-user and throughput experiments.
+//!
+//! [`ServerHandle::spawn_pool`] starts **N worker threads** pulling from one
+//! shared bounded MPMC request channel. Every worker serves from the same
+//! `Arc<CloudServer>`: the server's mutable state (score-dynamics appends,
+//! file store, audit log) sits behind `parking_lot::RwLock`s, so concurrent
+//! searches take read locks and never serialize against each other.
+//! [`ServerHandle::spawn`] remains the single-worker special case.
 
 use crate::codec::Message;
 use crate::entities::CloudServer;
 use crate::error::CloudError;
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A request frame paired with the channel to answer on, or the shutdown
 /// sentinel. Clients hold cloned senders, so the channel never disconnects
-/// on its own — the sentinel is what actually stops the loop.
+/// on its own — the sentinels are what actually stop the workers (one
+/// sentinel retires exactly one worker).
 enum Envelope {
     Request {
         frame: Vec<u8>,
@@ -24,10 +34,43 @@ enum Envelope {
     Shutdown,
 }
 
-/// Handle to a running server thread.
+/// Tuning knobs for [`ServerHandle::spawn_pool_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Bound of the shared request queue (clamped to at least 1).
+    pub backlog: usize,
+    /// Optional per-request stall simulating backend I/O (e.g. fetching
+    /// file blocks from object storage). The throughput harness uses this
+    /// to model the I/O-bound regime, where a pool overlaps stalls that a
+    /// single serial loop must eat back to back.
+    pub io_delay: Option<Duration>,
+}
+
+impl PoolOptions {
+    /// `workers` threads over a `backlog`-bounded queue, no simulated I/O.
+    pub fn new(workers: usize, backlog: usize) -> Self {
+        PoolOptions {
+            workers,
+            backlog,
+            io_delay: None,
+        }
+    }
+
+    /// Adds a simulated per-request I/O stall.
+    #[must_use]
+    pub fn with_io_delay(mut self, delay: Duration) -> Self {
+        self.io_delay = Some(delay);
+        self
+    }
+}
+
+/// Handle to a running server worker pool.
 ///
-/// Dropping the handle shuts the server down ([`ServerHandle::shutdown`]
-/// does so explicitly and joins the thread).
+/// Dropping the handle shuts the pool down ([`ServerHandle::shutdown`]
+/// does so explicitly, joins every worker, and returns the total number of
+/// requests served).
 ///
 /// # Example
 ///
@@ -42,7 +85,7 @@ enum Envelope {
 /// let owner = DataOwner::new(b"seed", RsseParams::default());
 /// let docs = vec![Document::new(FileId::new(1), "network notes")];
 /// let server = CloudServer::from_outsource(owner.outsource(&docs)?)?;
-/// let handle = ServerHandle::spawn(server, 8);
+/// let handle = ServerHandle::spawn_pool(server, 4, 8);
 ///
 /// let client = handle.client();
 /// let user = owner.authorize_user();
@@ -57,40 +100,71 @@ enum Envelope {
 #[derive(Debug)]
 pub struct ServerHandle {
     requests: Sender<Envelope>,
-    thread: Option<JoinHandle<u64>>,
+    workers: Vec<JoinHandle<u64>>,
+    server: Arc<CloudServer>,
 }
 
-/// A cheap, cloneable client endpoint for one server.
+/// A cheap, cloneable client endpoint for one server pool.
 #[derive(Debug, Clone)]
 pub struct ServerClient {
     requests: Sender<Envelope>,
 }
 
+fn worker_loop(
+    rx: Receiver<Envelope>,
+    server: Arc<CloudServer>,
+    io_delay: Option<Duration>,
+) -> u64 {
+    let mut served = 0u64;
+    while let Ok(envelope) = rx.recv() {
+        let (frame, reply) = match envelope {
+            Envelope::Request { frame, reply } => (frame, reply),
+            Envelope::Shutdown => break,
+        };
+        if let Some(delay) = io_delay {
+            std::thread::sleep(delay);
+        }
+        let outcome = Message::decode(BytesMut::from(&frame[..]))
+            .map_err(CloudError::from)
+            .and_then(|msg| server.handle(msg))
+            .map(|resp| resp.encode().to_vec())
+            .map_err(|e| e.to_string());
+        served += 1;
+        // A client that hung up is not the server's problem.
+        let _ = reply.send(outcome);
+    }
+    served
+}
+
 impl ServerHandle {
-    /// Spawns the server thread with a bounded request queue of `backlog`.
+    /// Spawns a single-worker server — [`ServerHandle::spawn_pool`] with
+    /// one thread, kept for API compatibility with the pre-pool loop.
     pub fn spawn(server: CloudServer, backlog: usize) -> Self {
-        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(backlog.max(1));
-        let thread = std::thread::spawn(move || {
-            let mut served = 0u64;
-            while let Ok(envelope) = rx.recv() {
-                let (frame, reply) = match envelope {
-                    Envelope::Request { frame, reply } => (frame, reply),
-                    Envelope::Shutdown => break,
-                };
-                let outcome = Message::decode(BytesMut::from(&frame[..]))
-                    .map_err(CloudError::from)
-                    .and_then(|msg| server.handle(msg))
-                    .map(|resp| resp.encode().to_vec())
-                    .map_err(|e| e.to_string());
-                served += 1;
-                // A client that hung up is not the server's problem.
-                let _ = reply.send(outcome);
-            }
-            served
-        });
+        Self::spawn_pool(server, 1, backlog)
+    }
+
+    /// Spawns `workers` server threads sharing one bounded request queue
+    /// of `backlog` envelopes.
+    pub fn spawn_pool(server: CloudServer, workers: usize, backlog: usize) -> Self {
+        Self::spawn_pool_with(server, PoolOptions::new(workers, backlog))
+    }
+
+    /// Spawns a pool with full [`PoolOptions`] control.
+    pub fn spawn_pool_with(server: CloudServer, options: PoolOptions) -> Self {
+        let server = Arc::new(server);
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(options.backlog.max(1));
+        let workers = (0..options.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let server = Arc::clone(&server);
+                let io_delay = options.io_delay;
+                std::thread::spawn(move || worker_loop(rx, server, io_delay))
+            })
+            .collect();
         ServerHandle {
             requests: tx,
-            thread: Some(thread),
+            workers,
+            server,
         }
     }
 
@@ -101,23 +175,40 @@ impl ServerHandle {
         }
     }
 
-    /// Stops accepting requests and joins the server thread, returning the
-    /// number of requests served. Requests still queued behind the
-    /// shutdown sentinel are dropped (their clients see a transport error).
+    /// Number of worker threads in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared server, e.g. to inspect the audit log or push updates
+    /// out of band while the pool is serving.
+    pub fn server(&self) -> Arc<CloudServer> {
+        Arc::clone(&self.server)
+    }
+
+    /// Stops accepting requests and joins every worker, returning the
+    /// total number of requests served across the pool. One shutdown
+    /// sentinel is sent per worker; requests already queued may still be
+    /// served by workers that have not yet seen a sentinel, while anything
+    /// left after the last worker retires is dropped (its client sees a
+    /// transport error).
     pub fn shutdown(mut self) -> u64 {
-        let _ = self.requests.send(Envelope::Shutdown);
-        self.thread
-            .take()
-            .expect("thread present until shutdown")
-            .join()
-            .expect("server thread panicked")
+        for _ in 0..self.workers.len() {
+            let _ = self.requests.send(Envelope::Shutdown);
+        }
+        self.workers
+            .drain(..)
+            .map(|t| t.join().expect("server worker panicked"))
+            .sum()
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if let Some(thread) = self.thread.take() {
+        for _ in 0..self.workers.len() {
             let _ = self.requests.send(Envelope::Shutdown);
+        }
+        for thread in self.workers.drain(..) {
             let _ = thread.join();
         }
     }
@@ -159,16 +250,22 @@ mod tests {
     use super::*;
     use crate::codec::SearchMode;
     use crate::entities::DataOwner;
-    use rsse_core::RsseParams;
+    use crate::files::FileCrypter;
+    use rsse_core::{Rsse, RsseParams};
     use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+    use rsse_ir::{Document, FileId, InvertedIndex};
 
     fn spawn_server() -> (DataOwner, ServerHandle, usize) {
+        spawn_with_workers(1)
+    }
+
+    fn spawn_with_workers(workers: usize) -> (DataOwner, ServerHandle, usize) {
         let corpus = SyntheticCorpus::generate(&CorpusParams::small(55));
         let owner = DataOwner::new(b"loop seed", RsseParams::default());
         let server =
             CloudServer::from_outsource(owner.outsource(corpus.documents()).unwrap()).unwrap();
         let n = corpus.documents().len();
-        (owner, ServerHandle::spawn(server, 16), n)
+        (owner, ServerHandle::spawn_pool(server, workers, 16), n)
     }
 
     #[test]
@@ -228,6 +325,73 @@ mod tests {
     }
 
     #[test]
+    fn pool_of_four_serves_and_counts_across_workers() {
+        let (owner, handle, _) = spawn_with_workers(4);
+        assert_eq!(handle.num_workers(), 4);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let client = handle.client();
+                let user = owner.authorize_user();
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let req = user
+                            .search_request("network", Some(5), SearchMode::Rsse)
+                            .unwrap();
+                        assert!(matches!(
+                            client.call(req).unwrap(),
+                            Message::RsseResponse { .. }
+                        ));
+                    }
+                });
+            }
+        });
+        // Every reply was received before shutdown, so the per-worker
+        // served counts must sum to exactly the number of calls.
+        assert_eq!(handle.shutdown(), 80);
+    }
+
+    #[test]
+    fn update_over_the_wire_is_visible_to_searches() {
+        let corpus = SyntheticCorpus::generate(&CorpusParams::small(56));
+        let seed: &[u8] = b"wire update seed";
+        let owner = DataOwner::new(seed, RsseParams::default());
+        let server =
+            CloudServer::from_outsource(owner.outsource(corpus.documents()).unwrap()).unwrap();
+        let handle = ServerHandle::spawn_pool(server, 2, 8);
+        let client = handle.client();
+        let user = owner.authorize_user();
+
+        let scheme = Rsse::new(seed, RsseParams::default());
+        let plain_index = InvertedIndex::build(corpus.documents());
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let new_doc = Document::new(FileId::new(4242), "network wire update");
+        let update = updater.add_document(&new_doc).unwrap();
+        let crypter = FileCrypter::new(seed);
+        let ack = client
+            .call(Message::Update {
+                rsse_lists: update.into_parts(),
+                files: vec![crypter.encrypt(&new_doc)],
+            })
+            .unwrap();
+        let Message::UpdateAck { files_added, .. } = ack else {
+            panic!("wrong response type");
+        };
+        assert_eq!(files_added, 1);
+
+        let req = user
+            .search_request("network", None, SearchMode::Rsse)
+            .unwrap();
+        let Message::RsseResponse { ranking, .. } = client.call(req).unwrap() else {
+            panic!("wrong response type");
+        };
+        assert!(ranking.iter().any(|(id, _)| *id == 4242));
+        let report = handle.server().serving_report();
+        assert_eq!(report.updates, 1);
+        assert_eq!(report.searches, 1);
+        handle.shutdown();
+    }
+
+    #[test]
     fn malformed_frames_are_rejected_not_fatal() {
         let (owner, handle, _) = spawn_server();
         let client = handle.client();
@@ -240,6 +404,7 @@ mod tests {
             .search_request("network", Some(1), SearchMode::Rsse)
             .unwrap();
         assert!(client.call(req).is_ok());
+        assert_eq!(handle.server().serving_report().rejected, 1);
         handle.shutdown();
     }
 

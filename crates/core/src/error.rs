@@ -33,7 +33,10 @@ impl fmt::Display for RsseError {
         match self {
             RsseError::EmptyQuery => write!(f, "query contains no searchable keyword"),
             RsseError::UnscorableCollection => {
-                write!(f, "collection has no scorable postings to fit the quantizer")
+                write!(
+                    f,
+                    "collection has no scorable postings to fit the quantizer"
+                )
             }
             RsseError::PaddingTooSmall {
                 configured,

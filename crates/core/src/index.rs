@@ -6,7 +6,8 @@
 //! encrypted scores*, and ranks — the whole point of the scheme: ranking
 //! happens server-side without revealing the scores themselves.
 
-use crate::entry::{decode_entry, ENTRY_CT_LEN};
+use crate::entry::{decode_entry, ENTRY_CT_LEN, ENTRY_PLAIN_LEN};
+use crate::store::PostingStore;
 use rsse_crypto::{SecretKey, SemanticCipher};
 use rsse_ir::FileId;
 use rsse_opse::OpseParams;
@@ -79,16 +80,25 @@ impl Ord for RankedResult {
 }
 
 /// The encrypted searchable index held by the cloud server.
+///
+/// Posting lists live in a flat [`PostingStore`] arena — one contiguous
+/// byte buffer plus a label table — rather than per-entry heap boxes, so a
+/// query walks a dense range with zero per-entry allocations (see
+/// [`crate::store`] for the layout).
 #[derive(Debug, Clone, Default)]
 pub struct RsseIndex {
-    lists: HashMap<Label, Vec<Vec<u8>>>,
+    store: PostingStore,
     opse_params: Option<OpseParams>,
 }
 
 impl RsseIndex {
     pub(crate) fn from_lists(lists: HashMap<Label, Vec<Vec<u8>>>, opse: OpseParams) -> Self {
+        let mut store = PostingStore::new();
+        for (label, entries) in &lists {
+            store.append(*label, entries);
+        }
         RsseIndex {
-            lists,
+            store,
             opse_params: Some(opse),
         }
     }
@@ -96,8 +106,12 @@ impl RsseIndex {
     /// Reassembles an index from its wire parts (what the cloud server does
     /// on receiving the owner's `Outsource` message).
     pub fn from_parts(parts: Vec<(Label, Vec<Vec<u8>>)>, opse: OpseParams) -> Self {
+        let mut store = PostingStore::new();
+        for (label, entries) in &parts {
+            store.append(*label, entries);
+        }
         RsseIndex {
-            lists: parts.into_iter().collect(),
+            store,
             opse_params: Some(opse),
         }
     }
@@ -106,11 +120,18 @@ impl RsseIndex {
     /// owner's side of the `Outsource` message).
     pub fn export_parts(&self) -> Vec<(Label, Vec<Vec<u8>>)> {
         let mut parts: Vec<(Label, Vec<Vec<u8>>)> = self
-            .lists
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
+            .store
+            .labels()
+            .map(|label| {
+                let entries = self
+                    .store
+                    .list(label)
+                    .map(|pl| pl.iter().map(<[u8]>::to_vec).collect())
+                    .unwrap_or_default();
+                (*label, entries)
+            })
             .collect();
-        parts.sort_by_key(|a| a.0);
+        parts.sort_unstable_by_key(|a| a.0);
         parts
     }
 
@@ -128,13 +149,26 @@ impl RsseIndex {
     /// `O(N_i log k)` rather than a full sort — this is the Fig. 8
     /// operation. Returns an empty vector for unknown labels.
     pub fn search(&self, trapdoor: &RsseTrapdoor, top_k: Option<usize>) -> Vec<RankedResult> {
-        let Some(entries) = self.lists.get(trapdoor.label()) else {
+        let mut scratch = Vec::with_capacity(ENTRY_PLAIN_LEN);
+        self.search_with_scratch(trapdoor, top_k, &mut scratch)
+    }
+
+    /// [`Self::search`] decrypting into a caller-owned scratch buffer, so a
+    /// serving loop issuing many queries allocates nothing per entry and
+    /// (after warm-up) nothing per query beyond the result vector.
+    pub fn search_with_scratch(
+        &self,
+        trapdoor: &RsseTrapdoor,
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Vec<RankedResult> {
+        let Some(list) = self.store.list(trapdoor.label()) else {
             return Vec::new();
         };
         let cipher = SemanticCipher::new(trapdoor.list_key());
-        let decrypted = entries.iter().filter_map(|ct| {
-            let plain = cipher.decrypt(ct).ok()?;
-            let (file, score) = decode_entry(&plain)?;
+        let decrypted = list.iter().filter_map(|ct| {
+            cipher.decrypt_into(ct, scratch).ok()?;
+            let (file, score) = decode_entry(scratch)?;
             Some(RankedResult {
                 file,
                 encrypted_score: score,
@@ -143,8 +177,9 @@ impl RsseIndex {
         match top_k {
             Some(k) => top_k_desc(decrypted, k),
             None => {
-                let mut all: Vec<RankedResult> = decrypted.collect();
-                all.sort_by(|a, b| b.cmp(a));
+                let mut all: Vec<RankedResult> = Vec::with_capacity(list.len());
+                all.extend(decrypted);
+                all.sort_unstable_by(|a, b| b.cmp(a));
                 all
             }
         }
@@ -153,25 +188,22 @@ impl RsseIndex {
     /// Whether a list with this label exists (the access-pattern leakage of
     /// any SSE scheme — exposed explicitly for the adversary experiments).
     pub fn contains_label(&self, label: &Label) -> bool {
-        self.lists.contains_key(label)
+        self.store.contains_label(label)
     }
 
     /// Number of posting lists (`m`, the number of distinct keywords).
     pub fn num_lists(&self) -> usize {
-        self.lists.len()
+        self.store.num_lists()
     }
 
     /// Length of the list stored under `label`, if present.
     pub fn list_len(&self, label: &Label) -> Option<usize> {
-        self.lists.get(label).map(Vec::len)
+        self.store.list_len(label)
     }
 
     /// Total index size in bytes (labels + entries).
     pub fn size_bytes(&self) -> usize {
-        self.lists
-            .iter()
-            .map(|(k, v)| k.len() + v.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.store.size_bytes()
     }
 
     /// Appends freshly encrypted entries to a (possibly new) posting list —
@@ -183,13 +215,13 @@ impl RsseIndex {
     /// of dynamic updates, acknowledged by the update literature).
     pub fn append_entries(&mut self, label: Label, entries: Vec<Vec<u8>>) {
         debug_assert!(entries.iter().all(|e| e.len() == ENTRY_CT_LEN));
-        self.lists.entry(label).or_default().extend(entries);
+        self.store.append(label, &entries);
     }
 
     /// Raw encrypted entries of one list (what an adversary observes
     /// *before* any trapdoor is issued).
-    pub fn raw_list(&self, label: &Label) -> Option<&[Vec<u8>]> {
-        self.lists.get(label).map(|v| v.as_slice())
+    pub fn raw_list(&self, label: &Label) -> Option<Vec<&[u8]>> {
+        self.store.list(label).map(|pl| pl.iter().collect())
     }
 }
 
@@ -235,9 +267,7 @@ mod tests {
 
     #[test]
     fn top_k_matches_sort_then_truncate() {
-        let items: Vec<RankedResult> = (0..100)
-            .map(|i| rr(i, (i * 7919) % 101))
-            .collect();
+        let items: Vec<RankedResult> = (0..100).map(|i| rr(i, (i * 7919) % 101)).collect();
         for k in [0usize, 1, 5, 50, 100, 150] {
             let via_heap = top_k_desc(items.iter().copied(), k);
             let mut via_sort = items.clone();

@@ -48,10 +48,12 @@ pub mod multi;
 pub mod params;
 pub mod persist;
 pub mod scheme;
+pub mod store;
 
 pub use error::RsseError;
 pub use index::{Label, RankedResult, RsseIndex, RsseTrapdoor};
 pub use multi::{ConjunctiveResult, MultiTrapdoor};
 pub use params::{Padding, RangePolicy, RsseParams};
 pub use persist::PersistError;
-pub use scheme::{BuildReport, IndexUpdate, IndexUpdater, Rsse};
+pub use scheme::{BuildReport, IndexUpdate, IndexUpdater, Rsse, ScoreDecryptor};
+pub use store::{PostingIter, PostingList, PostingStore};

@@ -97,15 +97,14 @@ impl Rsse {
         doc_frequencies: &[u64],
         num_docs: u64,
     ) -> Result<Vec<(FileId, f64)>, RsseError> {
+        // One warm OPM per keyword across the whole candidate set, instead
+        // of a cold rebuild per (result, keyword) pair.
+        let decryptor = self.score_decryptor(opse);
         let mut exact: Vec<(FileId, f64)> = Vec::with_capacity(results.len());
         for r in results {
             let mut total = 0.0f64;
-            for ((kw, &mapped), &df) in keywords
-                .iter()
-                .zip(&r.mapped_scores)
-                .zip(doc_frequencies)
-            {
-                let level = self.decrypt_level(kw, opse, mapped)? as f64;
+            for ((kw, &mapped), &df) in keywords.iter().zip(&r.mapped_scores).zip(doc_frequencies) {
+                let level = decryptor.decrypt_level(kw, mapped)? as f64;
                 let idf = if df > 0 {
                     (1.0 + num_docs as f64 / df as f64).ln()
                 } else {
@@ -237,7 +236,11 @@ mod tests {
             .into_iter()
             .map(|r| r.file)
             .collect();
-        let b: Vec<FileId> = enc.search(&single, None).into_iter().map(|r| r.file).collect();
+        let b: Vec<FileId> = enc
+            .search(&single, None)
+            .into_iter()
+            .map(|r| r.file)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -281,13 +284,7 @@ mod tests {
             index.document_frequency("storage"),
         ];
         let exact = s
-            .rerank_conjunctive(
-                &["network", "storage"],
-                &hits,
-                opse,
-                &dfs,
-                index.num_docs(),
-            )
+            .rerank_conjunctive(&["network", "storage"], &hits, opse, &dfs, index.num_docs())
             .unwrap();
         assert_eq!(exact.len(), hits.len());
         // Doc 1 dominates doc 4 in *both* per-keyword scores (higher tf,
@@ -306,6 +303,9 @@ mod tests {
         let t = s.multi_trapdoor("network storage").unwrap();
         let hits = enc.search_conjunctive(&t, None);
         let pos = |f: u64| hits.iter().position(|r| r.file.as_u64() == f).unwrap();
-        assert!(pos(1) < pos(4), "dominated file ranked above dominating one");
+        assert!(
+            pos(1) < pos(4),
+            "dominated file ranked above dominating one"
+        );
     }
 }

@@ -128,8 +128,8 @@ impl RsseIndex {
         }
         let domain = read_u64(&mut reader)?;
         let range = read_u64(&mut reader)?;
-        let opse =
-            OpseParams::new(domain, range).map_err(|_| PersistError::BadParameters { domain, range })?;
+        let opse = OpseParams::new(domain, range)
+            .map_err(|_| PersistError::BadParameters { domain, range })?;
         let num_lists = read_len(&mut reader)?;
         let mut parts = Vec::with_capacity(num_lists.min(1 << 20) as usize);
         for _ in 0..num_lists {

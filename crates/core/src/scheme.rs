@@ -235,28 +235,27 @@ impl Rsse {
         let chunk = terms.len().div_ceil(threads).max(1);
 
         type BuiltLists = Vec<(Label, Vec<Vec<u8>>)>;
-        let results: Vec<Result<BuiltLists, RsseError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = terms
-                    .chunks(chunk)
-                    .map(|part| {
-                        let quantizer = &quantizer;
-                        scope.spawn(move |_| {
-                            part.iter()
-                                .map(|term| {
-                                    self.build_posting_list(index, term, quantizer, opse, nu)
-                                        .map(|(label, list, _)| (label, list))
-                                })
-                                .collect::<Result<Vec<_>, _>>()
-                        })
+        let results: Vec<Result<BuiltLists, RsseError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = terms
+                .chunks(chunk)
+                .map(|part| {
+                    let quantizer = &quantizer;
+                    scope.spawn(move |_| {
+                        part.iter()
+                            .map(|term| {
+                                self.build_posting_list(index, term, quantizer, opse, nu)
+                                    .map(|(label, list, _)| (label, list))
+                            })
+                            .collect::<Result<Vec<_>, _>>()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("index build worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope failed");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index build worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
 
         let mut lists = HashMap::with_capacity(terms.len());
         for part in results {
@@ -283,6 +282,17 @@ impl Rsse {
         Ok(self.opm_for(&keyword, opse).decrypt(encrypted_score)?)
     }
 
+    /// A [`ScoreDecryptor`] reusing per-keyword [`Opm`] instances — the
+    /// batch-friendly form of [`Self::decrypt_level`], which rebuilds the
+    /// OPM (with a cold tree-walk memo) on every single call.
+    pub fn score_decryptor(&self, opse: OpseParams) -> ScoreDecryptor<'_> {
+        ScoreDecryptor {
+            scheme: self,
+            opse,
+            opms: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
     /// Prepares the score-dynamics updater: holds the quantizer fitted at
     /// build time so later insertions are quantized consistently.
     ///
@@ -300,6 +310,7 @@ impl Rsse {
             opse: self.resolve_opse(index),
             stats: CollectionStats::of(index),
             doc_frequencies,
+            opms: std::cell::RefCell::new(HashMap::new()),
         })
     }
 
@@ -363,7 +374,9 @@ impl Rsse {
         let entry_cipher = SemanticCipher::new(&list_key);
         let mut tape = Tape::new(
             self.keys.score_key(),
-            &Transcript::new("rsse/build").bytes(term.as_bytes()).finish(),
+            &Transcript::new("rsse/build")
+                .bytes(term.as_bytes())
+                .finish(),
         );
         let scored = scores_for_term_with(index, term, self.params.scoring);
         let raw_time = raw_started.elapsed();
@@ -404,6 +417,44 @@ fn rsse_analysis_free_duplicates(levels: &[u64]) -> usize {
     counts.values().copied().max().unwrap_or(0)
 }
 
+/// Owner-side cache of per-keyword [`Opm`] instances for decrypting mapped
+/// scores in bulk.
+///
+/// [`Rsse::decrypt_level`] constructs a fresh `Opm` — whose memoized search
+/// tree starts cold — on *every* call, so decrypting a stream of scores for
+/// the same keyword re-derives the same bucket walk each time. The
+/// experiment and score-dynamics paths decrypt many values per keyword;
+/// this decryptor keeps one warm `Opm` per keyword for the lifetime of a
+/// batch. Obtain via [`Rsse::score_decryptor`].
+#[derive(Debug)]
+pub struct ScoreDecryptor<'a> {
+    pub(crate) scheme: &'a Rsse,
+    pub(crate) opse: OpseParams,
+    pub(crate) opms: std::cell::RefCell<HashMap<String, Opm>>,
+}
+
+impl ScoreDecryptor<'_> {
+    /// Recovers the quantized score level behind `encrypted_score`, reusing
+    /// the keyword's cached [`Opm`] (created on first use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPSE decryption failures and [`RsseError::EmptyQuery`].
+    pub fn decrypt_level(&self, keyword: &str, encrypted_score: u64) -> Result<u64, RsseError> {
+        let keyword = self.scheme.canonical_keyword(keyword)?;
+        let mut opms = self.opms.borrow_mut();
+        let opm = opms
+            .entry(keyword)
+            .or_insert_with_key(|k| self.scheme.opm_for(k, self.opse));
+        Ok(opm.decrypt(encrypted_score)?)
+    }
+
+    /// Number of keywords with a cached `Opm`.
+    pub fn cached_keywords(&self) -> usize {
+        self.opms.borrow().len()
+    }
+}
+
 /// Owner-side score-dynamics helper: encrypts postings for newly added
 /// documents without touching the existing index (§VII).
 #[derive(Debug)]
@@ -416,6 +467,9 @@ pub struct IndexUpdater<'a> {
     /// Per-term document frequencies frozen at fit time; unseen terms
     /// default to 1 (most selective) when scoring an update.
     doc_frequencies: HashMap<String, u64>,
+    /// Warm per-term OPM instances — updates for a stream of documents keep
+    /// re-mapping scores under the same keywords.
+    opms: std::cell::RefCell<HashMap<String, Opm>>,
 }
 
 /// A batch of encrypted posting-list appends produced by the owner.
@@ -428,6 +482,17 @@ impl IndexUpdate {
     /// Number of `(label, entries)` operations in the batch.
     pub fn num_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Rebuilds an update from its wire parts (server side of the cloud
+    /// `Update` message).
+    pub fn from_parts(ops: Vec<(Label, Vec<Vec<u8>>)>) -> Self {
+        IndexUpdate { ops }
+    }
+
+    /// Decomposes the update into `(label, entries)` pairs for the wire.
+    pub fn into_parts(self) -> Vec<(Label, Vec<Vec<u8>>)> {
+        self.ops
     }
 
     /// Applies the batch to a server-held index.
@@ -482,10 +547,12 @@ impl IndexUpdater<'_> {
                 .scoring
                 .score(count, doc_len, df, &self.stats);
             let level = self.quantizer.level(score);
-            let mapped = self
-                .scheme
-                .opm_for(term, self.opse)
-                .encrypt(level, &doc.id().to_bytes())?;
+            let mut opms = self.opms.borrow_mut();
+            let opm = opms
+                .entry(term.to_string())
+                .or_insert_with(|| self.scheme.opm_for(term, self.opse));
+            let mapped = opm.encrypt(level, &doc.id().to_bytes())?;
+            drop(opms);
             let plain = encode_entry(doc.id(), mapped);
             let mut nonce = [0u8; NONCE_LEN];
             tape.fill_bytes(&mut nonce);

@@ -114,13 +114,23 @@ fn one_to_many_in_effect_across_lists() {
     // The same level mapped in different posting lists must use different
     // per-list keys and thus (almost surely) different values.
     let s = scheme();
-    let index = InvertedIndex::build(&[Document::new(FileId::new(1), "alpha beta"),
-        Document::new(FileId::new(2), "alpha beta")]);
+    let index = InvertedIndex::build(&[
+        Document::new(FileId::new(1), "alpha beta"),
+        Document::new(FileId::new(2), "alpha beta"),
+    ]);
     let enc = s.build_index_from(&index).unwrap();
     let ta = s.trapdoor("alpha").unwrap();
     let tb = s.trapdoor("beta").unwrap();
-    let a: Vec<u64> = enc.search(&ta, None).iter().map(|r| r.encrypted_score).collect();
-    let b: Vec<u64> = enc.search(&tb, None).iter().map(|r| r.encrypted_score).collect();
+    let a: Vec<u64> = enc
+        .search(&ta, None)
+        .iter()
+        .map(|r| r.encrypted_score)
+        .collect();
+    let b: Vec<u64> = enc
+        .search(&tb, None)
+        .iter()
+        .map(|r| r.encrypted_score)
+        .collect();
     assert_ne!(a, b, "per-list keys must randomize mapped values");
 }
 
@@ -148,11 +158,7 @@ fn parallel_build_equals_serial_build() {
     assert_eq!(serial.num_lists(), parallel.num_lists());
     for word in ["network", "cloud", "storage", "packet", "rout"] {
         let t = s.trapdoor(word).unwrap();
-        assert_eq!(
-            serial.search(&t, None),
-            parallel.search(&t, None),
-            "{word}"
-        );
+        assert_eq!(serial.search(&t, None), parallel.search(&t, None), "{word}");
     }
 }
 

@@ -1,0 +1,381 @@
+//! Flat posting-list arena backing [`crate::RsseIndex`].
+//!
+//! After padding, every real posting entry has the same ciphertext size
+//! ([`crate::entry::ENTRY_CT_LEN`]), so posting lists do not need the
+//! `HashMap<Label, Vec<Vec<u8>>>` shape of the original implementation —
+//! one heap allocation *per entry* plus pointer-chasing on every search.
+//! The [`PostingStore`] keeps all entries of all lists in one contiguous
+//! `Vec<u8>` arena, with a per-label table of `(offset, entry_len, count)`.
+//! A query walks one dense byte range with perfect locality and zero
+//! per-entry allocations.
+//!
+//! Layout:
+//!
+//! ```text
+//!  arena:  [ list A entries ..... | list B entries ... | list C ... ]
+//!           ^offset_A              ^offset_B            ^offset_C
+//!  table:  A -> { offset_A, entry_len, count_A, lens: None }
+//!          B -> { offset_B, entry_len, count_B, lens: None }
+//!          ...
+//! ```
+//!
+//! Lists arriving off the wire are not trusted to be uniform (the codec
+//! round-trips arbitrary entry sizes and the failure-injection tests feed
+//! garbage), so a list whose entries differ in length carries an explicit
+//! per-entry length vector (`lens: Some(..)`) instead of a single
+//! `entry_len`; the dense fast path is unaffected.
+//!
+//! Score dynamics append to lists in place when the list is the arena tail;
+//! otherwise the list is relocated to the tail and its old range becomes
+//! dead space, compacted away once it exceeds half the arena.
+
+use std::collections::HashMap;
+
+/// A posting-list label `π_x(w)` (160 bits). Mirrors [`crate::Label`].
+type Label = [u8; 20];
+
+#[derive(Debug, Clone)]
+struct ListMeta {
+    /// Byte offset of the list's first entry in the arena.
+    offset: usize,
+    /// Total bytes of the list's entries.
+    byte_len: usize,
+    /// Number of entries.
+    count: usize,
+    /// Uniform entry size in bytes; meaningful when `lens` is `None` and
+    /// `count > 0`.
+    entry_len: usize,
+    /// Per-entry sizes for non-uniform (untrusted wire) lists.
+    lens: Option<Vec<u32>>,
+}
+
+/// Contiguous arena of posting-list entries with a label lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct PostingStore {
+    arena: Vec<u8>,
+    table: HashMap<Label, ListMeta>,
+    dead_bytes: usize,
+}
+
+/// Borrowed view of one posting list inside the arena.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingList<'a> {
+    data: &'a [u8],
+    count: usize,
+    entry_len: usize,
+    lens: Option<&'a [u32]>,
+}
+
+impl<'a> PostingList<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the entries as borrowed byte slices, in insertion order.
+    pub fn iter(&self) -> PostingIter<'a> {
+        PostingIter {
+            data: self.data,
+            remaining: self.count,
+            entry_len: self.entry_len,
+            lens: self.lens,
+            next_len_idx: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for PostingList<'a> {
+    type Item = &'a [u8];
+    type IntoIter = PostingIter<'a>;
+    fn into_iter(self) -> PostingIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the entries of a [`PostingList`].
+#[derive(Debug, Clone)]
+pub struct PostingIter<'a> {
+    data: &'a [u8],
+    remaining: usize,
+    entry_len: usize,
+    lens: Option<&'a [u32]>,
+    next_len_idx: usize,
+}
+
+impl<'a> Iterator for PostingIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let len = match self.lens {
+            Some(lens) => lens[self.next_len_idx] as usize,
+            None => self.entry_len,
+        };
+        let (head, tail) = self.data.split_at(len);
+        self.data = tail;
+        self.remaining -= 1;
+        self.next_len_idx += 1;
+        Some(head)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PostingIter<'_> {}
+
+fn is_uniform(entries: &[Vec<u8>]) -> Option<usize> {
+    let first = entries.first()?.len();
+    entries[1..]
+        .iter()
+        .all(|e| e.len() == first)
+        .then_some(first)
+}
+
+impl PostingStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of posting lists.
+    pub fn num_lists(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether a list with this label exists.
+    pub fn contains_label(&self, label: &Label) -> bool {
+        self.table.contains_key(label)
+    }
+
+    /// Entry count of the list under `label`, if present.
+    pub fn list_len(&self, label: &Label) -> Option<usize> {
+        self.table.get(label).map(|m| m.count)
+    }
+
+    /// Borrowed view of the list under `label`, if present.
+    pub fn list(&self, label: &Label) -> Option<PostingList<'_>> {
+        let meta = self.table.get(label)?;
+        Some(PostingList {
+            data: &self.arena[meta.offset..meta.offset + meta.byte_len],
+            count: meta.count,
+            entry_len: meta.entry_len,
+            lens: meta.lens.as_deref(),
+        })
+    }
+
+    /// Live bytes: labels plus entry payloads (dead arena space excluded).
+    pub fn size_bytes(&self) -> usize {
+        self.table.iter().map(|(k, m)| k.len() + m.byte_len).sum()
+    }
+
+    /// All labels in unspecified order.
+    pub fn labels(&self) -> impl Iterator<Item = &Label> {
+        self.table.keys()
+    }
+
+    /// Appends `entries` to the (possibly new) list under `label`.
+    ///
+    /// The list is extended in place when it already sits at the arena tail;
+    /// otherwise it is relocated to the tail first (its old range becomes
+    /// dead space, compacted once it exceeds half the arena).
+    pub fn append(&mut self, label: Label, entries: &[Vec<u8>]) {
+        if entries.is_empty() {
+            // Still materialize the (empty) list so the label exists.
+            self.table.entry(label).or_insert(ListMeta {
+                offset: self.arena.len(),
+                byte_len: 0,
+                count: 0,
+                entry_len: 0,
+                lens: None,
+            });
+            return;
+        }
+        let added_bytes: usize = entries.iter().map(Vec::len).sum();
+        match self.table.get_mut(&label) {
+            None => {
+                let offset = self.arena.len();
+                for e in entries {
+                    self.arena.extend_from_slice(e);
+                }
+                let uniform = is_uniform(entries);
+                self.table.insert(
+                    label,
+                    ListMeta {
+                        offset,
+                        byte_len: added_bytes,
+                        count: entries.len(),
+                        entry_len: uniform.unwrap_or(0),
+                        lens: if uniform.is_some() {
+                            None
+                        } else {
+                            Some(entries.iter().map(|e| e.len() as u32).collect())
+                        },
+                    },
+                );
+            }
+            Some(meta) => {
+                let at_tail = meta.offset + meta.byte_len == self.arena.len();
+                if !at_tail {
+                    // Relocate to the tail; the old range becomes dead.
+                    let old = meta.offset..meta.offset + meta.byte_len;
+                    meta.offset = self.arena.len();
+                    self.dead_bytes += meta.byte_len;
+                    self.arena.extend_from_within(old);
+                }
+                for e in entries {
+                    self.arena.extend_from_slice(e);
+                }
+                let new_uniform = is_uniform(entries);
+                let stays_uniform =
+                    meta.lens.is_none() && (meta.count == 0 || new_uniform == Some(meta.entry_len));
+                if stays_uniform {
+                    if meta.count == 0 {
+                        meta.entry_len = new_uniform.expect("entries non-empty");
+                    }
+                } else if meta.lens.is_none() {
+                    // Demote to ragged: synthesize lengths for existing
+                    // entries, then record the new ones.
+                    let mut lens = vec![meta.entry_len as u32; meta.count];
+                    lens.extend(entries.iter().map(|e| e.len() as u32));
+                    meta.lens = Some(lens);
+                } else {
+                    meta.lens
+                        .as_mut()
+                        .expect("ragged list")
+                        .extend(entries.iter().map(|e| e.len() as u32));
+                }
+                meta.byte_len += added_bytes;
+                meta.count += entries.len();
+                if self.dead_bytes * 2 > self.arena.len() {
+                    self.compact();
+                }
+            }
+        }
+    }
+
+    /// Rewrites the arena without dead space, preserving per-list layout.
+    fn compact(&mut self) {
+        let mut fresh = Vec::with_capacity(self.arena.len() - self.dead_bytes);
+        for meta in self.table.values_mut() {
+            let offset = fresh.len();
+            fresh.extend_from_slice(&self.arena[meta.offset..meta.offset + meta.byte_len]);
+            meta.offset = offset;
+        }
+        self.arena = fresh;
+        self.dead_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize, len: usize, tag: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![tag ^ i as u8; len]).collect()
+    }
+
+    fn label(b: u8) -> Label {
+        [b; 20]
+    }
+
+    fn collect(store: &PostingStore, l: &Label) -> Vec<Vec<u8>> {
+        store
+            .list(l)
+            .map(|pl| pl.iter().map(<[u8]>::to_vec).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn round_trips_uniform_lists() {
+        let mut s = PostingStore::new();
+        let a = entries(5, 40, 0x10);
+        let b = entries(3, 40, 0x20);
+        s.append(label(1), &a);
+        s.append(label(2), &b);
+        assert_eq!(collect(&s, &label(1)), a);
+        assert_eq!(collect(&s, &label(2)), b);
+        assert_eq!(s.list_len(&label(1)), Some(5));
+        assert_eq!(s.num_lists(), 2);
+        assert_eq!(s.size_bytes(), 20 + 5 * 40 + 20 + 3 * 40);
+    }
+
+    #[test]
+    fn appending_to_non_tail_list_relocates_and_preserves_order() {
+        let mut s = PostingStore::new();
+        let a1 = entries(2, 40, 0x01);
+        let b = entries(2, 40, 0x02);
+        let a2 = entries(2, 40, 0x03);
+        s.append(label(1), &a1);
+        s.append(label(2), &b); // list 1 no longer at tail
+        s.append(label(1), &a2);
+        let want: Vec<Vec<u8>> = a1.into_iter().chain(a2).collect();
+        assert_eq!(collect(&s, &label(1)), want);
+        assert_eq!(collect(&s, &label(2)), b);
+    }
+
+    #[test]
+    fn ragged_lists_round_trip() {
+        let mut s = PostingStore::new();
+        let mixed = vec![vec![1u8; 3], vec![2u8; 7], vec![3u8; 1]];
+        s.append(label(9), &mixed);
+        assert_eq!(collect(&s, &label(9)), mixed);
+        // Uniform list demoted by a differently-sized append.
+        let mut t = PostingStore::new();
+        t.append(label(1), &entries(2, 4, 0xAA));
+        t.append(label(1), &[vec![5u8; 9]]);
+        let got = collect(&t, &label(1));
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2], vec![5u8; 9]);
+        assert_eq!(got[0].len(), 4);
+    }
+
+    #[test]
+    fn interleaved_appends_trigger_compaction_without_data_loss() {
+        let mut s = PostingStore::new();
+        // Ping-pong between two lists: every append relocates the other
+        // list, generating dead space and forcing repeated compaction.
+        let mut want_a = Vec::new();
+        let mut want_b = Vec::new();
+        for round in 0..20u8 {
+            let ea = entries(3, 40, round);
+            let eb = entries(2, 40, round.wrapping_add(100));
+            s.append(label(1), &ea);
+            s.append(label(2), &eb);
+            want_a.extend(ea);
+            want_b.extend(eb);
+        }
+        assert_eq!(collect(&s, &label(1)), want_a);
+        assert_eq!(collect(&s, &label(2)), want_b);
+        // Dead space is bounded by the compaction threshold.
+        assert!(s.dead_bytes * 2 <= s.arena.len().max(1));
+    }
+
+    #[test]
+    fn empty_append_materializes_label() {
+        let mut s = PostingStore::new();
+        s.append(label(7), &[]);
+        assert!(s.contains_label(&label(7)));
+        assert_eq!(s.list_len(&label(7)), Some(0));
+        assert_eq!(s.list(&label(7)).unwrap().iter().count(), 0);
+        // A later real append works.
+        s.append(label(7), &entries(2, 8, 1));
+        assert_eq!(s.list_len(&label(7)), Some(2));
+    }
+
+    #[test]
+    fn missing_label_is_none() {
+        let s = PostingStore::new();
+        assert!(s.list(&label(3)).is_none());
+        assert!(s.list_len(&label(3)).is_none());
+        assert!(!s.contains_label(&label(3)));
+    }
+}

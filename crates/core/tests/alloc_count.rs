@@ -1,0 +1,112 @@
+//! Heap-allocation accounting for the search path.
+//!
+//! Before the flat arena, `RsseIndex::search` paid one heap allocation per
+//! posting entry per query (a fresh plaintext `Vec` from `decrypt`). With
+//! the [`PostingStore`] arena and `decrypt_into` the per-query allocation
+//! count must be a small constant, *independent of list length* — O(1)
+//! per query instead of O(entries). A counting global allocator verifies
+//! exactly that. (The lib crate forbids `unsafe`; this integration-test
+//! crate hosts the allocator shim instead.)
+
+use rsse_core::{Rsse, RsseParams};
+use rsse_ir::{Document, FileId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// side effect that never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, result)
+}
+
+/// `n` documents all containing the hot keyword, with a tiny vocabulary so
+/// index build stays cheap even though every list is padded to length `n`.
+fn corpus(n: u64) -> Vec<Document> {
+    (0..n)
+        .map(|i| {
+            Document::new(
+                FileId::new(i + 1),
+                format!("network filler{} payload", i % 4),
+            )
+        })
+        .collect()
+}
+
+// A single test function: the measurements must not interleave with other
+// tests in this binary mutating the global counter.
+#[test]
+fn search_allocations_are_constant_in_list_length() {
+    let scheme = Rsse::new(b"alloc seed", RsseParams::default());
+    let small = scheme.build_index(&corpus(16)).unwrap();
+    let large = scheme.build_index(&corpus(512)).unwrap();
+    let trapdoor = scheme.trapdoor("network").unwrap();
+    assert_eq!(small.list_len(trapdoor.label()), Some(16));
+    assert_eq!(large.list_len(trapdoor.label()), Some(512));
+
+    let mut scratch = Vec::new();
+    // Warm-up: lets the scratch buffer reach its steady-state capacity.
+    let warm = large.search_with_scratch(&trapdoor, Some(8), &mut scratch);
+    assert_eq!(warm.len(), 8);
+
+    // Heap-based top-k: the only per-query allocations are the k-sized
+    // heap and the result vector, regardless of how long the list is.
+    let (allocs_small, hits_small) =
+        allocations_during(|| small.search_with_scratch(&trapdoor, Some(8), &mut scratch));
+    let (allocs_large, hits_large) =
+        allocations_during(|| large.search_with_scratch(&trapdoor, Some(8), &mut scratch));
+    assert_eq!(hits_small.len(), 8);
+    assert_eq!(hits_large.len(), 8);
+    assert_eq!(
+        allocs_small, allocs_large,
+        "top-k search allocations must not scale with list length \
+         ({allocs_small} for 16 entries vs {allocs_large} for 512)"
+    );
+    assert!(
+        allocs_large <= 8,
+        "top-k search should stay within a small constant allocation \
+         budget, got {allocs_large}"
+    );
+
+    // Full-sort branch: one pre-sized result vector; sort_unstable is
+    // in-place, so the count is constant here too.
+    let (full_small, _) =
+        allocations_during(|| small.search_with_scratch(&trapdoor, None, &mut scratch));
+    let (full_large, _) =
+        allocations_during(|| large.search_with_scratch(&trapdoor, None, &mut scratch));
+    assert_eq!(
+        full_small, full_large,
+        "full-sort search allocations must not scale with list length \
+         ({full_small} for 16 entries vs {full_large} for 512)"
+    );
+    assert!(full_large <= 8, "full-sort budget exceeded: {full_large}");
+}

@@ -1,0 +1,122 @@
+//! Property tests pinning the flat [`PostingStore`] arena to the semantics
+//! of the old `HashMap<Label, Vec<Vec<u8>>>` index: for every corpus and
+//! every query, the arena-backed search must return **byte-identical**
+//! rankings to a straightforward per-entry-boxed reference implementation.
+
+use proptest::prelude::*;
+use rsse_core::entry::decode_entry;
+use rsse_core::{RankedResult, Rsse, RsseIndex, RsseParams, RsseTrapdoor};
+use rsse_crypto::SemanticCipher;
+use rsse_ir::{Document, FileId, InvertedIndex};
+use std::collections::HashMap;
+
+/// A small closed vocabulary so posting lists overlap heavily.
+const WORDS: [&str; 6] = ["network", "storage", "cipher", "index", "query", "cloud"];
+
+fn docs_from(spec: &[Vec<usize>]) -> Vec<Document> {
+    spec.iter()
+        .enumerate()
+        .map(|(i, words)| {
+            let text: Vec<&str> = words.iter().map(|&w| WORDS[w % WORDS.len()]).collect();
+            Document::new(FileId::new(i as u64 + 1), text.join(" "))
+        })
+        .collect()
+}
+
+/// The pre-arena index semantics: posting lists as `HashMap<Label,
+/// Vec<Vec<u8>>>`, one heap box per entry, full sort then truncate.
+fn reference_search(
+    lists: &HashMap<[u8; 20], Vec<Vec<u8>>>,
+    trapdoor: &RsseTrapdoor,
+    top_k: Option<usize>,
+) -> Vec<RankedResult> {
+    let Some(entries) = lists.get(trapdoor.label()) else {
+        return Vec::new();
+    };
+    let cipher = SemanticCipher::new(trapdoor.list_key());
+    let mut all: Vec<RankedResult> = entries
+        .iter()
+        .filter_map(|ct| {
+            let plain = cipher.decrypt(ct).ok()?;
+            let (file, score) = decode_entry(&plain)?;
+            Some(RankedResult {
+                file,
+                encrypted_score: score,
+            })
+        })
+        .collect();
+    all.sort_by(|a, b| b.cmp(a));
+    if let Some(k) = top_k {
+        all.truncate(k);
+    }
+    all
+}
+
+proptest! {
+    #[test]
+    fn posting_store_search_matches_hashmap_reference(
+        spec in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 1..30),
+            1..16,
+        ),
+        k in 0usize..12,
+    ) {
+        let docs = docs_from(&spec);
+        let scheme = Rsse::new(b"equivalence seed", RsseParams::default());
+        let enc = scheme.build_index(&docs).unwrap();
+        let opse = *enc.opse_params().unwrap();
+        let parts = enc.export_parts();
+        let reference: HashMap<[u8; 20], Vec<Vec<u8>>> = parts.iter().cloned().collect();
+        // Rebuild through the wire path in reversed list order, so the
+        // arena lays lists out differently than the original build.
+        let mut reversed = parts;
+        reversed.reverse();
+        let rebuilt = RsseIndex::from_parts(reversed, opse);
+
+        for word in WORDS {
+            let t = scheme.trapdoor(word).unwrap();
+            for top_k in [None, Some(k)] {
+                let expect = reference_search(&reference, &t, top_k);
+                prop_assert_eq!(enc.search(&t, top_k), expect.clone());
+                prop_assert_eq!(rebuilt.search(&t, top_k), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn posting_store_matches_reference_after_dynamics(
+        spec in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 1..20),
+            2..10,
+        ),
+        extra in proptest::collection::vec(0usize..6, 1..20),
+    ) {
+        let docs = docs_from(&spec);
+        let scheme = Rsse::new(b"dynamics equivalence", RsseParams::default());
+        let plain_index = InvertedIndex::build(&docs);
+        let mut enc = scheme.build_index_from(&plain_index).unwrap();
+        let mut reference: HashMap<[u8; 20], Vec<Vec<u8>>> =
+            enc.export_parts().into_iter().collect();
+
+        // One §VII append, mirrored into the reference map; this forces
+        // the arena down its relocate-to-tail path.
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let text: Vec<&str> = extra.iter().map(|&w| WORDS[w % WORDS.len()]).collect();
+        let new_doc = Document::new(FileId::new(9_999), text.join(" "));
+        let update = updater.add_document(&new_doc).unwrap();
+        for (label, entries) in update.into_parts() {
+            reference.entry(label).or_default().extend(entries.iter().cloned());
+            enc.append_entries(label, entries);
+        }
+
+        for word in WORDS {
+            let t = scheme.trapdoor(word).unwrap();
+            for top_k in [None, Some(3)] {
+                prop_assert_eq!(
+                    enc.search(&t, top_k),
+                    reference_search(&reference, &t, top_k)
+                );
+            }
+        }
+    }
+}

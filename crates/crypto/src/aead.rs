@@ -67,7 +67,12 @@ impl AuthenticatedCipher {
     /// (e.g. the file ID) into the tag.
     ///
     /// Output layout: `nonce ‖ body ‖ tag`.
-    pub fn seal(&self, nonce: [u8; NONCE_LEN], plaintext: &[u8], associated_data: &[u8]) -> Vec<u8> {
+    pub fn seal(
+        &self,
+        nonce: [u8; NONCE_LEN],
+        plaintext: &[u8],
+        associated_data: &[u8],
+    ) -> Vec<u8> {
         let mut out = self.enc.encrypt_with_nonce(nonce, plaintext);
         let tag = self.tag(&out, associated_data);
         out.extend_from_slice(&tag);

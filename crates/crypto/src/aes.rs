@@ -56,12 +56,8 @@ fn compute_sbox_tables() -> ([u8; 256], [u8; 256]) {
     let mut inv_sbox = [0u8; 256];
     for i in 0..256 {
         let x = ginv(i as u8);
-        let s = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        let s =
+            x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
         sbox[i] = s;
         inv_sbox[s as usize] = i as u8;
     }
@@ -184,7 +180,12 @@ impl AesCore {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
             state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
             state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
@@ -194,7 +195,12 @@ impl AesCore {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] =
                 gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
             state[4 * c + 1] =

@@ -90,6 +90,33 @@ impl SemanticCipher {
         self.keystream_xor(&nonce, &mut body);
         Ok(body)
     }
+
+    /// Decrypts into a caller-provided scratch buffer, avoiding the per-call
+    /// allocation of [`Self::decrypt`]. `scratch` is cleared and refilled
+    /// with the plaintext; its capacity is reused across calls, so a hot
+    /// loop decrypting fixed-size entries allocates only on the first call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::CiphertextTooShort`] if `ciphertext` does not
+    /// even contain the nonce header (leaving `scratch` empty).
+    pub fn decrypt_into(
+        &self,
+        ciphertext: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        scratch.clear();
+        if ciphertext.len() < NONCE_LEN {
+            return Err(CryptoError::CiphertextTooShort {
+                got: ciphertext.len(),
+                need: NONCE_LEN,
+            });
+        }
+        let nonce: [u8; NONCE_LEN] = ciphertext[..NONCE_LEN].try_into().expect("checked above");
+        scratch.extend_from_slice(&ciphertext[NONCE_LEN..]);
+        self.keystream_xor(&nonce, scratch);
+        Ok(())
+    }
 }
 
 /// A stateful sealer guaranteeing unique nonces for one cipher instance.
@@ -197,6 +224,24 @@ mod tests {
             let ct = cipher.encrypt_with_nonce([len as u8; 16], &pt);
             assert_eq!(cipher.decrypt(&ct).unwrap(), pt, "len {len}");
         }
+    }
+
+    #[test]
+    fn decrypt_into_matches_decrypt_and_reuses_buffer() {
+        let cipher = SemanticCipher::new(&SecretKey::derive(b"k", "ctr"));
+        let mut scratch = Vec::new();
+        for len in [0usize, 1, 16, 33, 100] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8 ^ 0x5A).collect();
+            let ct = cipher.encrypt_with_nonce([len as u8; 16], &pt);
+            cipher.decrypt_into(&ct, &mut scratch).unwrap();
+            assert_eq!(scratch, cipher.decrypt(&ct).unwrap(), "len {len}");
+        }
+        let before_cap = scratch.capacity();
+        let ct = cipher.encrypt_with_nonce([7; 16], &[1u8; 50]);
+        cipher.decrypt_into(&ct, &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), before_cap.max(50));
+        assert!(cipher.decrypt_into(&[0u8; 3], &mut scratch).is_err());
+        assert!(scratch.is_empty());
     }
 
     #[test]

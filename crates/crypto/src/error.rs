@@ -28,11 +28,17 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::CiphertextTooShort { got, need } => {
-                write!(f, "ciphertext too short: got {got} bytes, need at least {need}")
+                write!(
+                    f,
+                    "ciphertext too short: got {got} bytes, need at least {need}"
+                )
             }
             CryptoError::IntegrityCheckFailed => write!(f, "integrity check failed"),
             CryptoError::InvalidKeyLength { got, expected } => {
-                write!(f, "invalid key length: got {got} bytes, expected {expected}")
+                write!(
+                    f,
+                    "invalid key length: got {got} bytes, expected {expected}"
+                )
             }
         }
     }
@@ -55,7 +61,11 @@ mod tests {
             "integrity check failed"
         );
         assert_eq!(
-            CryptoError::InvalidKeyLength { got: 5, expected: 32 }.to_string(),
+            CryptoError::InvalidKeyLength {
+                got: 5,
+                expected: 32
+            }
+            .to_string(),
             "invalid key length: got 5 bytes, expected 32"
         );
     }

@@ -229,7 +229,8 @@ impl Hypergeometric {
         if k < lo || k > hi {
             return 0.0;
         }
-        (ln_binomial(self.successes, k) + ln_binomial(self.population - self.successes, self.draws - k)
+        (ln_binomial(self.successes, k)
+            + ln_binomial(self.population - self.successes, self.draws - k)
             - ln_binomial(self.population, self.draws))
         .exp()
     }
@@ -334,7 +335,12 @@ mod tests {
 
     #[test]
     fn pmf_sums_to_one_various_params() {
-        for &(n, m, d) in &[(10u64, 4u64, 5u64), (100, 30, 50), (1000, 7, 999), (50, 50, 25)] {
+        for &(n, m, d) in &[
+            (10u64, 4u64, 5u64),
+            (100, 30, 50),
+            (1000, 7, 999),
+            (50, 50, 25),
+        ] {
             let h = Hypergeometric::new(n, m, d).unwrap();
             let (lo, hi) = h.support();
             let total: f64 = (lo..=hi).map(|k| h.pmf(k)).sum();
@@ -344,7 +350,11 @@ mod tests {
 
     #[test]
     fn ratio_method_matches_closed_form_moderate_population() {
-        for &(n, m, d) in &[(1000u64, 12u64, 500u64), (100_000, 64, 50_000), (4096, 128, 2048)] {
+        for &(n, m, d) in &[
+            (1000u64, 12u64, 500u64),
+            (100_000, 64, 50_000),
+            (4096, 128, 2048),
+        ] {
             let h = Hypergeometric::new(n, m, d).unwrap();
             let (lo, hi) = h.support();
             for k in lo..=hi {

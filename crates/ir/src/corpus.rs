@@ -230,7 +230,9 @@ fn sample_doc_len(rng: &mut SmallRng, mean: usize) -> usize {
 /// Exponentially bursty term frequency, minimum 1.
 fn sample_burst(rng: &mut SmallRng, mean: f64) -> u32 {
     let u: f64 = rng.gen::<f64>().max(1e-12);
-    (1.0 + (-u.ln()) * (mean - 1.0).max(0.0)).round().clamp(1.0, 1e6) as u32
+    (1.0 + (-u.ln()) * (mean - 1.0).max(0.0))
+        .round()
+        .clamp(1.0, 1e6) as u32
 }
 
 /// Zipf(s) sampler over ranks `0..n` via inverse-CDF binary search.

@@ -98,7 +98,9 @@ impl InvertedIndex {
 
     /// Iterates over `(keyword, posting list)` pairs in keyword order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Posting])> {
-        self.postings.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.postings
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Number of distinct keywords `m`.
@@ -132,8 +134,7 @@ impl InvertedIndex {
         if self.doc_lengths.is_empty() {
             return 0.0;
         }
-        self.doc_lengths.values().map(|&l| l as f64).sum::<f64>()
-            / self.doc_lengths.len() as f64
+        self.doc_lengths.values().map(|&l| l as f64).sum::<f64>() / self.doc_lengths.len() as f64
     }
 
     /// The average posting-list length `λ` used by the range-size selection.
@@ -151,7 +152,10 @@ mod tests {
 
     fn sample_docs() -> Vec<Document> {
         vec![
-            Document::new(FileId::new(1), "cloud computing and cloud storage in the cloud"),
+            Document::new(
+                FileId::new(1),
+                "cloud computing and cloud storage in the cloud",
+            ),
             Document::new(FileId::new(2), "network protocols for cloud networks"),
             Document::new(FileId::new(3), "database systems"),
         ]
@@ -213,7 +217,10 @@ mod tests {
         let t = Tokenizer::new();
         assert!(idx.postings_for_query("Networks", &t).is_some());
         assert!(idx.postings_for_query("networking", &t).is_some());
-        assert!(idx.postings_for_query("the", &t).is_none(), "stop word only");
+        assert!(
+            idx.postings_for_query("the", &t).is_none(),
+            "stop word only"
+        );
     }
 
     #[test]

@@ -130,8 +130,7 @@ impl CollectionStats {
 /// let bm25 = ScoringFunction::bm25().score(5, 300, 100, &stats);
 /// assert!(eq2 > 0.0 && bm25 > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ScoringFunction {
     /// The paper's eq. (2): `(1 + ln tf) / |F_d|` (single-keyword ranking;
     /// IDF is constant per query).
@@ -148,7 +147,6 @@ pub enum ScoringFunction {
     /// normalization.
     SublinearTfIdf,
 }
-
 
 impl ScoringFunction {
     /// BM25 with the standard `k1 = 1.2`, `b = 0.75`.
@@ -175,9 +173,8 @@ impl ScoringFunction {
                 };
                 // Standard BM25 IDF with the +1 smoothing so it stays
                 // positive even for very common terms.
-                let idf = (1.0
-                    + (stats.num_docs as f64 - df as f64 + 0.5) / (df as f64 + 0.5))
-                    .ln();
+                let idf =
+                    (1.0 + (stats.num_docs as f64 - df as f64 + 0.5) / (df as f64 + 0.5)).ln();
                 idf * tf * (k1 + 1.0) / (tf + k1 * (1.0 - b + b * len_ratio))
             }
             ScoringFunction::SublinearTfIdf => {
@@ -441,7 +438,10 @@ mod tests {
     #[test]
     fn scores_for_term_with_bm25_over_index() {
         let docs = vec![
-            Document::new(FileId::new(1), "network network network padding words here now"),
+            Document::new(
+                FileId::new(1),
+                "network network network padding words here now",
+            ),
             Document::new(FileId::new(2), "network"),
         ];
         let idx = InvertedIndex::build(&docs);

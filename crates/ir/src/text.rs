@@ -9,16 +9,16 @@ use crate::stem::porter_stem;
 /// The default English stop-word list (a compact version of the classic
 /// SMART list — enough to keep function words out of the index).
 pub const STOP_WORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are",
-    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
-    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his",
-    "how", "i", "if", "in", "into", "is", "it", "its", "just", "may", "me", "more", "most",
-    "must", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other",
-    "our", "out", "over", "own", "same", "shall", "she", "should", "so", "some", "such", "than",
-    "that", "the", "their", "them", "then", "there", "these", "they", "this", "those", "through",
-    "to", "too", "under", "until", "up", "upon", "very", "was", "we", "were", "what", "when",
-    "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
+    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "just", "may", "me", "more", "most", "must", "my",
+    "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "out",
+    "over", "own", "same", "shall", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "upon", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "would", "you", "your",
 ];
 
 /// Configuration for the tokenizer.

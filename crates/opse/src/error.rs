@@ -39,7 +39,10 @@ impl fmt::Display for OpseError {
                 domain,
                 range,
                 reason,
-            } => write!(f, "invalid OPSE parameters (M={domain}, N={range}): {reason}"),
+            } => write!(
+                f,
+                "invalid OPSE parameters (M={domain}, N={range}): {reason}"
+            ),
             OpseError::PlaintextOutOfDomain { plaintext, domain } => {
                 write!(f, "plaintext {plaintext} outside domain 1..={domain}")
             }

@@ -136,7 +136,11 @@ mod tests {
         }
         // With a bucket of expected size 2^40/128 = 2^33, 200 draws collide
         // with probability ~2^-19; require near-total distinctness.
-        assert!(seen.len() >= 199, "only {} distinct ciphertexts", seen.len());
+        assert!(
+            seen.len() >= 199,
+            "only {} distinct ciphertexts",
+            seen.len()
+        );
     }
 
     #[test]

@@ -199,7 +199,10 @@ mod tests {
         let sel = paper_selector();
         let a = sel.lhs_log2(HalvingBound::FiveLogMPlus12, 10);
         let b = sel.lhs_log2(HalvingBound::FiveLogMPlus12, 11);
-        assert!((a - b - 1.0).abs() < 1e-12, "one bit of range halves the LHS");
+        assert!(
+            (a - b - 1.0).abs() < 1e-12,
+            "one bit of range halves the LHS"
+        );
     }
 
     #[test]

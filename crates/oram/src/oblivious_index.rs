@@ -35,7 +35,10 @@ impl core::fmt::Display for ObliviousIndexError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ObliviousIndexError::PostingListTooLong { len, capacity } => {
-                write!(f, "posting list of {len} exceeds the fixed capacity {capacity}")
+                write!(
+                    f,
+                    "posting list of {len} exceeds the fixed capacity {capacity}"
+                )
             }
         }
     }
@@ -186,10 +189,7 @@ mod tests {
         let mut oi = ObliviousIndex::build(&index(), 16, b"secret").unwrap();
         let mut got = oi.search("network");
         got.sort();
-        assert_eq!(
-            got,
-            vec![FileId::new(1), FileId::new(2), FileId::new(4)]
-        );
+        assert_eq!(got, vec![FileId::new(1), FileId::new(2), FileId::new(4)]);
         assert_eq!(oi.search("compression"), vec![FileId::new(3)]);
     }
 
@@ -210,7 +210,10 @@ mod tests {
         let err = ObliviousIndex::build(&index(), 2, b"secret").unwrap_err();
         assert!(matches!(
             err,
-            ObliviousIndexError::PostingListTooLong { len: 3, capacity: 2 }
+            ObliviousIndexError::PostingListTooLong {
+                len: 3,
+                capacity: 2
+            }
         ));
     }
 

@@ -161,7 +161,11 @@ impl PathOram {
 
     /// The single access procedure: read the path of the block's current
     /// leaf into the stash, remap, optionally update, write the path back.
-    fn access(&mut self, addr: u64, new_payload: Option<[u8; PAYLOAD_LEN]>) -> Option<[u8; PAYLOAD_LEN]> {
+    fn access(
+        &mut self,
+        addr: u64,
+        new_payload: Option<[u8; PAYLOAD_LEN]>,
+    ) -> Option<[u8; PAYLOAD_LEN]> {
         assert!(addr < self.capacity, "address {addr} out of capacity");
         self.stats.accesses += 1;
         let num_leaves = self.num_leaves();

@@ -45,10 +45,7 @@ pub fn decode_entry(plain: &[u8]) -> Option<(FileId, &[u8])> {
     let id_bytes: [u8; ID_LEN] = plain[MARKER_LEN..MARKER_LEN + ID_LEN]
         .try_into()
         .expect("length checked");
-    Some((
-        FileId::from_bytes(id_bytes),
-        &plain[MARKER_LEN + ID_LEN..],
-    ))
+    Some((FileId::from_bytes(id_bytes), &plain[MARKER_LEN + ID_LEN..]))
 }
 
 #[cfg(test)]

@@ -34,7 +34,11 @@ pub struct Trapdoor {
 
 impl core::fmt::Debug for Trapdoor {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Trapdoor {{ label: {:02x?}.., key: <redacted> }}", &self.label[..4])
+        write!(
+            f,
+            "Trapdoor {{ label: {:02x?}.., key: <redacted> }}",
+            &self.label[..4]
+        )
     }
 }
 
@@ -56,8 +60,7 @@ impl Trapdoor {
 }
 
 /// Padding policy for `BuildIndex`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PaddingPolicy {
     /// Pad every list to the longest observed posting list (the paper's ν).
     #[default]
@@ -91,11 +94,8 @@ impl BasicEncryptedIndex {
 
     /// Exports the index as `(label, entries)` pairs in label order.
     pub fn export_parts(&self) -> Vec<(Label, Vec<Vec<u8>>)> {
-        let mut parts: Vec<(Label, Vec<Vec<u8>>)> = self
-            .lists
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let mut parts: Vec<(Label, Vec<Vec<u8>>)> =
+            self.lists.iter().map(|(k, v)| (*k, v.clone())).collect();
         parts.sort_by_key(|a| a.0);
         parts
     }
@@ -159,7 +159,6 @@ pub struct BasicScheme {
     keys: KeyMaterial,
     tokenizer: Tokenizer,
 }
-
 
 impl BasicScheme {
     /// `KeyGen`: derives the key triple `{x, y, z}` from a master seed.
@@ -276,21 +275,22 @@ impl BasicScheme {
     pub fn rank_entries(&self, trapdoor: &Trapdoor, entries: &[Vec<u8>]) -> Vec<ScoredFile> {
         let entry_cipher = SemanticCipher::new(trapdoor.list_key());
         let score_cipher = SemanticCipher::new(self.keys.score_key());
-        let mut out: Vec<ScoredFile> = entries
-            .iter()
-            .filter_map(|ct| {
-                let plain = entry_cipher.decrypt(ct).ok()?;
-                let (file, score_ct) = decode_entry(&plain)?;
-                let score_bytes = score_cipher.decrypt(score_ct).ok()?;
-                let bytes: [u8; 8] = score_bytes.try_into().ok()?;
-                let score = f64::from_be_bytes(bytes);
-                if !score.is_finite() {
-                    return None;
-                }
-                Some(ScoredFile { file, score })
-            })
-            .collect();
-        out.sort_by(|a, b| {
+        // Two reused scratch buffers instead of two fresh Vecs per entry.
+        let mut plain = Vec::new();
+        let mut score_bytes = Vec::new();
+        let mut out: Vec<ScoredFile> = Vec::with_capacity(entries.len());
+        out.extend(entries.iter().filter_map(|ct| {
+            entry_cipher.decrypt_into(ct, &mut plain).ok()?;
+            let (file, score_ct) = decode_entry(&plain)?;
+            score_cipher.decrypt_into(score_ct, &mut score_bytes).ok()?;
+            let bytes: [u8; 8] = score_bytes.as_slice().try_into().ok()?;
+            let score = f64::from_be_bytes(bytes);
+            if !score.is_finite() {
+                return None;
+            }
+            Some(ScoredFile { file, score })
+        }));
+        out.sort_unstable_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .expect("scores are finite")
@@ -432,7 +432,9 @@ mod tests {
             .build_index(&sample_index(), PaddingPolicy::Fixed(1))
             .unwrap_err();
         assert!(matches!(err, SseError::PaddingTooSmall { .. }));
-        let ok = s.build_index(&sample_index(), PaddingPolicy::Fixed(10)).unwrap();
+        let ok = s
+            .build_index(&sample_index(), PaddingPolicy::Fixed(10))
+            .unwrap();
         assert_eq!(ok.padded_len(), 10);
     }
 

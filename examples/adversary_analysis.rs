@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let observed_opm: Vec<u64> = levels
             .iter()
             .enumerate()
-            .map(|(i, &l)| opm.encrypt(l, &(i as u64).to_be_bytes()).expect("level in domain"))
+            .map(|(i, &l)| {
+                opm.encrypt(l, &(i as u64).to_be_bytes())
+                    .expect("level in domain")
+            })
             .collect();
         let guess_opm = attack.guess(&observed_opm).expect("candidates exist");
 
@@ -88,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         background.len(),
         background.len()
     );
-    assert!(det_hits >= 4, "the attack should succeed against deterministic OPSE");
+    assert!(
+        det_hits >= 4,
+        "the attack should succeed against deterministic OPSE"
+    );
     assert_eq!(opm_hits, 0, "the attack must fail against OPM");
     Ok(())
 }

@@ -83,6 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    println!("RSSE wins on bandwidth vs naive and on round trips vs two-round — as the paper argues.");
+    println!(
+        "RSSE wins on bandwidth vs naive and on round trips vs two-round — as the paper argues."
+    );
     Ok(())
 }

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|q| {
             let user = owner.authorize_user();
             let request = user.search_request(q, Some(5), SearchMode::Rsse).unwrap();
-            let response = server.read().handle(request).unwrap();
+            let response = server.handle(request).unwrap();
             match response {
                 rsse::cloud::Message::RsseResponse { ranking, .. } => {
                     ranking.into_iter().map(|(id, _)| id).collect()
@@ -64,12 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scope.spawn(move || {
                 for (qi, q) in queries.iter().enumerate() {
                     let request = user.search_request(q, Some(5), SearchMode::Rsse).unwrap();
-                    let response = server.read().handle(request).unwrap();
+                    let response = server.handle(request).unwrap();
                     let rsse::cloud::Message::RsseResponse { ranking, files } = response else {
                         panic!("unexpected response type");
                     };
                     let ids: Vec<u64> = ranking.iter().map(|(id, _)| *id).collect();
-                    assert_eq!(&ids, &reference[qi], "user {worker}: ranking must be stable");
+                    assert_eq!(
+                        &ids, &reference[qi],
+                        "user {worker}: ranking must be stable"
+                    );
                     // Every user can decrypt the returned records.
                     let docs = user.decrypt_files(&files).unwrap();
                     assert_eq!(docs.len(), ids.len());
@@ -78,6 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     });
 
-    println!("8 concurrent users × {} queries: all rankings stable, all files decrypted.", queries.len());
+    println!(
+        "8 concurrent users × {} queries: all rankings stable, all files decrypted.",
+        queries.len()
+    );
     Ok(())
 }

@@ -46,8 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verify against the plaintext oracle: every result contains both terms.
     let index = InvertedIndex::build(corpus.documents());
     let both = |id| {
-        index.postings("kubernet").is_some_and(|p| p.iter().any(|x| x.file == id))
-            && index.postings("outag").is_some_and(|p| p.iter().any(|x| x.file == id))
+        index
+            .postings("kubernet")
+            .is_some_and(|p| p.iter().any(|x| x.file == id))
+            && index
+                .postings("outag")
+                .is_some_and(|p| p.iter().any(|x| x.file == id))
     };
     assert!(docs.iter().all(|d| both(d.id())));
 

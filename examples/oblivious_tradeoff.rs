@@ -32,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Oblivious index: no leakage, ORAM-priced searches.
     let mut oblivious = ObliviousIndex::build(&index, 256, b"tradeoff secret")?;
 
-    let queries = ["network", "protocol", "cipher", "network", "nonexistentword"];
+    let queries = [
+        "network",
+        "protocol",
+        "cipher",
+        "network",
+        "nonexistentword",
+    ];
     let mut rsse_time = std::time::Duration::ZERO;
     let mut oram_time = std::time::Duration::ZERO;
     for q in queries {

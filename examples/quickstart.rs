@@ -11,10 +11,16 @@ use rsse::ir::{Document, FileId};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The data owner's collection.
     let documents = vec![
-        Document::new(FileId::new(1), "meeting notes: cloud migration plan and cloud budget"),
+        Document::new(
+            FileId::new(1),
+            "meeting notes: cloud migration plan and cloud budget",
+        ),
         Document::new(FileId::new(2), "cloud"),
         Document::new(FileId::new(3), "grocery list: apples, bread, coffee"),
-        Document::new(FileId::new(4), "cloud cloud cloud — capacity planning for the cloud team"),
+        Document::new(
+            FileId::new(4),
+            "cloud cloud cloud — capacity planning for the cloud team",
+        ),
     ];
 
     // Setup: KeyGen + BuildIndex. The index hides keywords and scores;

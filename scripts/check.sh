@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything CI runs, in one command.
+#
+#   $ scripts/check.sh
+#
+# Runs from the repo root regardless of the invocation directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> all checks passed"

@@ -119,8 +119,8 @@ fn load_corpus(dir: &Path) -> Result<Vec<Document>, String> {
         .iter()
         .enumerate()
         .map(|(i, path)| {
-            let text = fs::read_to_string(path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
             Ok(Document::new(FileId::new(i as u64 + 1), text))
         })
         .collect()
@@ -128,8 +128,7 @@ fn load_corpus(dir: &Path) -> Result<Vec<Document>, String> {
 
 fn scheme_from_flags(flags: &HashMap<String, String>) -> Result<Rsse, String> {
     let secret_path = require(flags, "secret-file")?;
-    let secret =
-        fs::read(secret_path).map_err(|e| format!("reading secret {secret_path}: {e}"))?;
+    let secret = fs::read(secret_path).map_err(|e| format!("reading secret {secret_path}: {e}"))?;
     if secret.is_empty() {
         return Err("secret file is empty".into());
     }
@@ -142,7 +141,11 @@ fn scheme_from_flags(flags: &HashMap<String, String>) -> Result<Rsse, String> {
             "eq2" => rsse::ir::ScoringFunction::PaperEq2,
             "bm25" => rsse::ir::ScoringFunction::bm25(),
             "tfidf" => rsse::ir::ScoringFunction::SublinearTfIdf,
-            other => return Err(format!("--scoring: unknown function {other:?} (eq2|bm25|tfidf)")),
+            other => {
+                return Err(format!(
+                    "--scoring: unknown function {other:?} (eq2|bm25|tfidf)"
+                ))
+            }
         };
     }
     Ok(Rsse::new(&secret, params))
@@ -195,7 +198,12 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     println!("rank  file        mapped-score");
     for (i, r) in results.iter().enumerate() {
-        println!("{:>4}  doc{:06}  {}", i + 1, r.file.as_u64(), r.encrypted_score);
+        println!(
+            "{:>4}  doc{:06}  {}",
+            i + 1,
+            r.file.as_u64(),
+            r.encrypted_score
+        );
     }
     Ok(())
 }

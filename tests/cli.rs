@@ -28,7 +28,11 @@ fn full_cli_workflow() {
         .arg(&corpus)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(fs::read_dir(&corpus).unwrap().count(), 30);
 
     let out = bin()
@@ -40,7 +44,11 @@ fn full_cli_workflow() {
         .arg(&index)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(index.exists());
 
     let out = bin()
@@ -51,12 +59,20 @@ fn full_cli_workflow() {
         .args(["--keyword", "network", "--top-k", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("rank"), "no results table:\n{stdout}");
     assert!(stdout.lines().count() >= 2 && stdout.lines().count() <= 5);
 
-    let out = bin().args(["inspect", "--index"]).arg(&index).output().unwrap();
+    let out = bin()
+        .args(["inspect", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("posting lists"));

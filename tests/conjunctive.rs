@@ -46,7 +46,9 @@ fn conjunction_returns_exactly_the_intersection() {
 fn conjunctive_top_k_is_a_ranking_prefix() {
     let (_, cloud) = setup(62);
     let (all, _) = cloud.conjunctive_search("network protocol", None).unwrap();
-    let (top, _) = cloud.conjunctive_search("network protocol", Some(3)).unwrap();
+    let (top, _) = cloud
+        .conjunctive_search("network protocol", Some(3))
+        .unwrap();
     assert_eq!(top.len(), 3.min(all.len()));
     for (a, b) in top.iter().zip(&all) {
         assert_eq!(a.id(), b.id());
@@ -66,7 +68,9 @@ fn single_keyword_conjunction_equals_plain_search_set() {
 #[test]
 fn disjoint_keywords_yield_empty() {
     let (_, cloud) = setup(64);
-    let (docs, _) = cloud.conjunctive_search("network zebrawordle", None).unwrap();
+    let (docs, _) = cloud
+        .conjunctive_search("network zebrawordle", None)
+        .unwrap();
     // "zebrawordle" has no posting list: intersection is empty.
     assert!(docs.is_empty());
     assert!(cloud.conjunctive_search("the of", None).is_err());
@@ -90,7 +94,13 @@ fn exact_rerank_agrees_with_dominance() {
         index.document_frequency("protocol"),
     ];
     let exact = scheme
-        .rerank_conjunctive(&["network", "protocol"], &hits, opse, &dfs, index.num_docs())
+        .rerank_conjunctive(
+            &["network", "protocol"],
+            &hits,
+            opse,
+            &dfs,
+            index.num_docs(),
+        )
         .unwrap();
     assert_eq!(exact.len(), hits.len());
     // Scores are finite and sorted descending.

@@ -42,7 +42,7 @@ fn corrupted_search_frames_never_panic_the_server() {
         // different) message the server answers without panicking.
         if let Ok(msg) = Message::decode(bytes::BytesMut::from(&corrupted[..])) {
             decoded_ok += 1;
-            let _ = server.read().handle(msg);
+            let _ = server.handle(msg);
         }
     }
     // Some corruptions only touch the label/key bytes and still decode.
@@ -73,7 +73,7 @@ fn unauthorized_user_with_wrong_seed_finds_nothing() {
     let request = intruder
         .search_request("network", Some(5), SearchMode::Rsse)
         .unwrap();
-    let response = cloud.server().read().handle(request).unwrap();
+    let response = cloud.server().handle(request).unwrap();
     let Message::RsseResponse { ranking, files } = response else {
         panic!("wrong response type");
     };
@@ -91,7 +91,7 @@ fn server_rejects_out_of_protocol_messages() {
         opse_range: 1 << 46,
         files: vec![],
     };
-    assert!(cloud.server().read().handle(bogus).is_err());
+    assert!(cloud.server().handle(bogus).is_err());
     // And a server cannot be booted from a non-Outsource message.
     assert!(CloudServer::from_outsource(Message::FetchFiles { ids: vec![] }).is_err());
 }
@@ -113,7 +113,6 @@ fn fetch_of_unknown_files_returns_only_known_ones() {
     let cloud = small_deployment(35);
     let response = cloud
         .server()
-        .read()
         .handle(Message::FetchFiles {
             ids: vec![1, 999_999, 2],
         })

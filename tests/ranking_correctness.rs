@@ -30,7 +30,9 @@ fn oracle(index: &InvertedIndex, term: &str) -> Vec<(FileId, f64)> {
 fn basic_scheme_reproduces_exact_plaintext_ranking() {
     let (index, keywords) = workload(11);
     let scheme = BasicScheme::new(b"oracle seed");
-    let enc = scheme.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+    let enc = scheme
+        .build_index(&index, PaddingPolicy::MaxPostingLen)
+        .unwrap();
     for kw in &keywords {
         let t = scheme.trapdoor(kw).unwrap();
         let ranked = scheme.rank_entries(&t, enc.search(t.label()).unwrap());
@@ -74,14 +76,20 @@ fn rsse_and_basic_top_k_agree_up_to_level_ties() {
     let rsse = Rsse::new(b"same seed", RsseParams::default());
     let basic = BasicScheme::new(b"same seed");
     let rsse_idx = rsse.build_index_from(&index).unwrap();
-    let basic_idx = basic.build_index(&index, PaddingPolicy::MaxPostingLen).unwrap();
+    let basic_idx = basic
+        .build_index(&index, PaddingPolicy::MaxPostingLen)
+        .unwrap();
     let quantizer = rsse.fit_quantizer(&index).unwrap();
 
     let kw = "network";
     let rt = rsse.trapdoor(kw).unwrap();
     let bt = basic.trapdoor(kw).unwrap();
     let k = 10;
-    let rsse_top: Vec<FileId> = rsse_idx.search(&rt, Some(k)).iter().map(|r| r.file).collect();
+    let rsse_top: Vec<FileId> = rsse_idx
+        .search(&rt, Some(k))
+        .iter()
+        .map(|r| r.file)
+        .collect();
     let basic_top: Vec<FileId> = basic
         .top_k(&bt, basic_idx.search(bt.label()).unwrap(), k)
         .iter()
@@ -126,8 +134,7 @@ fn finer_quantization_recovers_exact_order_more_often() {
         let got: Vec<FileId> = enc.search(&t, None).iter().map(|r| r.file).collect();
         // Count pairwise order disagreements against the exact ranking,
         // ignoring exact-score ties (unorderable by any scheme).
-        let pos: HashMap<FileId, usize> =
-            exact.iter().enumerate().map(|(i, f)| (*f, i)).collect();
+        let pos: HashMap<FileId, usize> = exact.iter().enumerate().map(|(i, f)| (*f, i)).collect();
         let mut inv = 0usize;
         for i in 0..got.len() {
             for j in i + 1..got.len() {

@@ -30,7 +30,6 @@ fn live_update_through_the_deployment() {
     let crypter = FileCrypter::new(seed);
     cloud
         .server()
-        .write()
         .apply_update(update, vec![crypter.encrypt(&new_doc)]);
 
     let (after_docs, _) = cloud.rsse_search("network", None).unwrap();
@@ -41,7 +40,10 @@ fn live_update_through_the_deployment() {
         assert!(after.contains(id), "existing match {id} lost after update");
     }
     // The new document's content round-trips.
-    let fetched = after_docs.iter().find(|d| d.id() == FileId::new(9001)).unwrap();
+    let fetched = after_docs
+        .iter()
+        .find(|d| d.id() == FileId::new(9001))
+        .unwrap();
     assert_eq!(fetched.text(), "network incident report network");
 }
 
@@ -74,7 +76,9 @@ fn many_updates_never_perturb_existing_mapped_values() {
     let opse = updater.opse_params();
     let mut prev = u64::MAX;
     for r in &now {
-        let lvl = scheme.decrypt_level("network", opse, r.encrypted_score).unwrap();
+        let lvl = scheme
+            .decrypt_level("network", opse, r.encrypted_score)
+            .unwrap();
         assert!(lvl <= prev);
         prev = lvl;
     }
@@ -144,14 +148,13 @@ fn owner_and_fresh_user_agree_after_updates() {
     let crypter = FileCrypter::new(seed);
     cloud
         .server()
-        .write()
         .apply_update(update, vec![crypter.encrypt(&new_doc)]);
 
     let late_user = owner.authorize_user();
     let request = late_user
         .search_request("network", None, SearchMode::Rsse)
         .unwrap();
-    let response = cloud.server().read().handle(request).unwrap();
+    let response = cloud.server().handle(request).unwrap();
     let Message::RsseResponse { ranking, .. } = response else {
         panic!("wrong response type");
     };

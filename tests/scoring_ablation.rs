@@ -75,12 +75,17 @@ fn updates_respect_the_configured_scoring() {
         updater.add_document(&doc).unwrap().apply_to(&mut enc);
         let t = scheme.trapdoor("network").unwrap();
         let hits = enc.search(&t, None);
-        assert!(hits.iter().any(|r| r.file == FileId::new(4242)), "{scoring:?}");
+        assert!(
+            hits.iter().any(|r| r.file == FileId::new(4242)),
+            "{scoring:?}"
+        );
         // Global order still valid by owner decryption.
         let opse = updater.opse_params();
         let mut prev = u64::MAX;
         for r in &hits {
-            let lvl = scheme.decrypt_level("network", opse, r.encrypted_score).unwrap();
+            let lvl = scheme
+                .decrypt_level("network", opse, r.encrypted_score)
+                .unwrap();
             assert!(lvl <= prev, "{scoring:?}");
             prev = lvl;
         }

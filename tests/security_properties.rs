@@ -58,7 +58,11 @@ fn opm_defeats_the_fingerprint_attack() {
             .map(|(i, &l)| opm.encrypt(l, &(i as u64).to_be_bytes()).unwrap())
             .collect();
         // The OPM multiset carries no duplicate structure at all.
-        assert_eq!(*duplicate_signature(&observed).iter().max().unwrap(), 1, "{kw}");
+        assert_eq!(
+            *duplicate_signature(&observed).iter().max().unwrap(),
+            1,
+            "{kw}"
+        );
         let guess = attack.guess(&observed).unwrap();
         assert!(
             !(guess.keyword == *kw && guess.is_confident()),
@@ -76,7 +80,10 @@ fn opm_histogram_shape_is_key_randomized() {
     let (kw, levels) = &background[0];
     let params = OpseParams::paper_default();
     let map = |label: &str| -> Vec<u64> {
-        let opm = Opm::new(SecretKey::derive(b"shape", &format!("{kw}/{label}")), params);
+        let opm = Opm::new(
+            SecretKey::derive(b"shape", &format!("{kw}/{label}")),
+            params,
+        );
         levels
             .iter()
             .enumerate()
@@ -93,7 +100,10 @@ fn opm_histogram_shape_is_key_randomized() {
     let det = OpseCipher::new(SecretKey::derive(b"shape", "det"), params);
     let det_values: Vec<u64> = levels.iter().map(|&l| det.encrypt(l).unwrap()).collect();
     // Deterministic mapping preserves the multiplicity multiset exactly.
-    assert_eq!(duplicate_signature(&det_values), duplicate_signature(levels));
+    assert_eq!(
+        duplicate_signature(&det_values),
+        duplicate_signature(levels)
+    );
 }
 
 #[test]
@@ -131,7 +141,7 @@ fn index_reveals_nothing_before_a_trapdoor_is_issued() {
     assert_eq!(enc.list_len(t1.label()), enc.list_len(t2.label()));
     let l1 = enc.raw_list(t1.label()).unwrap();
     let l2 = enc.raw_list(t2.label()).unwrap();
-    assert!(l1.iter().chain(l2).all(|e| e.len() == l1[0].len()));
+    assert!(l1.iter().chain(l2.iter()).all(|e| e.len() == l1[0].len()));
 }
 
 #[test]

@@ -44,7 +44,10 @@ impl VerifyingUser {
         if !MerkleTree::verify(&self.root, file, proof) {
             return None;
         }
-        let plain = self.aead.open(file.ciphertext(), &file.id().to_bytes()).ok()?;
+        let plain = self
+            .aead
+            .open(file.ciphertext(), &file.id().to_bytes())
+            .ok()?;
         Some(Document::new(file.id(), String::from_utf8(plain).ok()?))
     }
 }

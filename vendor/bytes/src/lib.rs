@@ -1,0 +1,233 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this repository builds in has no network access and no
+//! registry cache, so external crates are vendored as minimal API-compatible
+//! subsets. This module provides exactly the surface the workspace uses:
+//! [`BytesMut`] as a growable byte buffer with a read cursor, plus the
+//! [`Buf`]/[`BufMut`] traits it implements. Semantics match the real crate
+//! for that subset (big-endian integer accessors, `remaining`-relative
+//! reads, panics on under/overflow), minus the zero-copy machinery.
+
+#![forbid(unsafe_code)]
+
+/// A growable byte buffer with an internal read cursor.
+///
+/// Writes append at the tail; reads consume from the head. `len()`,
+/// equality, and `Deref<Target = [u8]>` all observe only the *remaining*
+/// (unread) bytes, like the real `bytes::BytesMut`.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes of pre-reserved tail space.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keeps only the first `n` unread bytes (no-op if `n >= len`).
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len() {
+            self.buf.truncate(self.pos + n);
+        }
+    }
+
+    /// Reserves tail capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Drops all content.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        BytesMut {
+            buf: slice.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf, pos: 0 }
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+/// Read side of a byte buffer (subset of `bytes::Buf`).
+///
+/// All integer accessors are big-endian and panic when fewer than the
+/// required bytes remain, matching the real crate.
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes and returns a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes and returns a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// Consumes `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Discards the next `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Write side of a byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "BytesMut::get_u8 underflow");
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "BytesMut::copy_to_slice underflow"
+        );
+        dst.copy_from_slice(&self.buf[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.remaining() >= n, "BytesMut::advance underflow");
+        self.pos += n;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_integers_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(42);
+        b.put_slice(b"xyz");
+        assert_eq!(b.len(), 1 + 4 + 8 + 3);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        let mut s = [0u8; 3];
+        b.copy_to_slice(&mut s);
+        assert_eq!(&s, b"xyz");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn len_and_eq_track_remaining_bytes_only() {
+        let mut a = BytesMut::from(&b"\x01\x02\x03"[..]);
+        a.get_u8();
+        let b = BytesMut::from(&b"\x02\x03"[..]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(&a[..], &[2, 3]);
+    }
+
+    #[test]
+    fn truncate_limits_remaining() {
+        let mut a = BytesMut::from(&b"abcdef"[..]);
+        a.get_u8();
+        a.truncate(2);
+        assert_eq!(&a[..], b"bc");
+    }
+}

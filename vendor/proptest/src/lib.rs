@@ -1,0 +1,658 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! generate-only subset of proptest sufficient for its property tests:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`), expanding each
+//!   property into a `#[test]` that runs `cases` deterministic iterations;
+//! * [`strategy::Strategy`] with `prop_map`/`boxed`, implemented for integer
+//!   and float ranges, tuples, regex-subset `&str` patterns, [`Just`], and
+//!   [`collection::vec`];
+//! * `any::<T>()` for primitives and byte arrays;
+//! * `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` (mapped to the std
+//!   assert family), `prop_assume!` (skips the case), and [`prop_oneof!`].
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! generated inputs via the assert message only), and case generation is
+//! seeded from the test's module path + name + case index, so every run is
+//! reproducible without a persistence file.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Run configuration and the deterministic per-case RNG.
+
+    /// Subset of proptest's `Config`: only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// Config running `cases` iterations per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG, seeded per (test name, case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the named test — stable across runs.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next uniform 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Generate-only: no shrinking, no rejection bookkeeping.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value using `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation hook backing [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (the [`prop_oneof!`] backend).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitives and fixed-size byte arrays.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `vec(element, size)` strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-lower, exclusive-or-inclusive-upper size bounds.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `elem` values with length in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy over `elem` with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span + 1) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies.
+    //!
+    //! Supports exactly the constructs in this workspace's patterns:
+    //! literal characters, character classes `[a-z0-9_]` (ranges and
+    //! singletons), groups `( .. )`, and `{m}` / `{m,n}` quantifiers on the
+    //! preceding class, group, or literal.
+
+    use crate::test_runner::TestRng;
+
+    enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    fn parse_sequence(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, in_group: bool) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            match c {
+                ')' if in_group => break,
+                '(' => {
+                    chars.next();
+                    let inner = parse_sequence(chars, true);
+                    assert_eq!(chars.next(), Some(')'), "unclosed group in pattern");
+                    nodes.push(Node::Group(inner));
+                }
+                '[' => {
+                    chars.next();
+                    let mut ranges = Vec::new();
+                    let mut pending: Option<char> = None;
+                    loop {
+                        let c = chars.next().expect("unclosed class in pattern");
+                        match c {
+                            ']' => {
+                                if let Some(p) = pending {
+                                    ranges.push((p, p));
+                                }
+                                break;
+                            }
+                            '-' if pending.is_some() => {
+                                let lo = pending.take().expect("checked");
+                                let hi = chars.next().expect("dangling '-' in class");
+                                ranges.push((lo, hi));
+                            }
+                            other => {
+                                if let Some(p) = pending {
+                                    ranges.push((p, p));
+                                }
+                                pending = Some(other);
+                            }
+                        }
+                    }
+                    nodes.push(Node::Class(ranges));
+                }
+                '{' => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad quantifier"),
+                            b.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: u32 = spec.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    };
+                    let prev = nodes.pop().expect("quantifier with nothing to repeat");
+                    nodes.push(Node::Repeat(Box::new(prev), lo, hi));
+                }
+                '\\' => {
+                    chars.next();
+                    let escaped = chars.next().expect("dangling escape in pattern");
+                    nodes.push(Node::Literal(escaped));
+                }
+                other => {
+                    chars.next();
+                    nodes.push(Node::Literal(other));
+                }
+            }
+        }
+        nodes
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                    if pick < span {
+                        let c = char::from_u32(*lo as u32 + pick as u32).expect("class range");
+                        out.push(c);
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total");
+            }
+            Node::Group(nodes) => {
+                for n in nodes {
+                    emit(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern` (regex subset).
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_sequence(&mut chars, false);
+        assert!(chars.next().is_none(), "trailing tokens in pattern");
+        let mut out = String::new();
+        for n in &nodes {
+            emit(n, rng, &mut out);
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __strategy = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    let __body = || $body;
+                    __body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (std `assert!` underneath).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (std `assert_eq!` underneath).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (std `assert_ne!` underneath).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_generates_matching_text() {
+        let mut rng = TestRng::for_case("string_pattern", 3);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z]{2,8}( [a-z]{2,8}){0,20}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!(!words.is_empty() && words.len() <= 21);
+            for w in words {
+                assert!(
+                    w.len() >= 2 && w.len() <= 8 && w.bytes().all(|b| b.is_ascii_lowercase()),
+                    "bad word {w:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let xs = Strategy::generate(&vec(any::<u8>(), 3..6), &mut rng);
+            assert!(xs.len() >= 3 && xs.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = Strategy::generate(&(0u64..1000), &mut TestRng::for_case("x", 7));
+        let b = Strategy::generate(&(0u64..1000), &mut TestRng::for_case("x", 7));
+        let c = Strategy::generate(&(0u64..1000), &mut TestRng::for_case("x", 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn macro_end_to_end(x in 0u32..50, ys in vec(any::<u8>(), 0..8)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+
+        fn oneof_unions_arms(v in prop_oneof![(0u64..10).prop_map(|x| x * 2), Just(99u64).prop_map(|x| x)]) {
+            prop_assert!(v == 99 || (v % 2 == 0 && v < 20));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few data types for
+//! downstream consumers, but nothing in-tree actually serializes through
+//! serde (persistence uses a hand-rolled binary format). This stub keeps
+//! those derives compiling offline: the traits are inert markers and the
+//! derive macros (re-exported from the companion `serde_derive` stub under
+//! the `derive` feature) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Inert marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Inert marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: both derives expand to an empty
+//! token stream. The serde stub's traits are inert markers, so no impl is
+//! required for the workspace to compile; see `vendor/serde`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
