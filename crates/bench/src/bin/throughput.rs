@@ -23,7 +23,7 @@
 use rsse_bench::workload::{paper_corpus, HOT_KEYWORD};
 use rsse_cloud::entities::{CloudServer, DataOwner};
 use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
-use rsse_cloud::{Message, SearchMode};
+use rsse_cloud::{CloudError, ErrorKind, Message, SearchMode};
 use rsse_core::RsseParams;
 use std::time::{Duration, Instant};
 
@@ -36,6 +36,7 @@ struct Scenario {
     name: &'static str,
     io_delay: Option<Duration>,
     requests_per_client: usize,
+    backlog: usize,
 }
 
 struct ConfigResult {
@@ -46,6 +47,7 @@ struct ConfigResult {
     rps: f64,
     p50_ms: f64,
     p99_ms: f64,
+    shed_retries: u64,
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
@@ -64,14 +66,14 @@ fn run_config(
 ) -> ConfigResult {
     let server = CloudServer::from_outsource(Message::decode(outsource_frame.clone()).unwrap())
         .expect("outsource frame boots the server");
-    let mut options = PoolOptions::new(workers, BACKLOG);
+    let mut options = PoolOptions::new(workers, scenario.backlog);
     if let Some(delay) = scenario.io_delay {
         options = options.with_io_delay(delay);
     }
     let handle = ServerHandle::spawn_pool_with(server, options);
 
     let start = Instant::now();
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+    let per_client: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
         let threads: Vec<_> = (0..CLIENTS)
             .map(|_| {
                 let client = handle.client();
@@ -79,25 +81,46 @@ fn run_config(
                 let n = scenario.requests_per_client;
                 scope.spawn(move || {
                     let mut lats = Vec::with_capacity(n);
+                    let mut shed = 0u64;
                     for _ in 0..n {
                         let req = user
                             .search_request(HOT_KEYWORD, Some(10), SearchMode::Rsse)
                             .unwrap();
+                        // Closed loop with client-side admission retry: a
+                        // shed (Overloaded frame) costs a short backoff and
+                        // another attempt; latency is measured end to end,
+                        // retries included, as a real client would see it.
                         let sent = Instant::now();
-                        let resp = client.call(req).expect("reply lost");
+                        let mut backoff = Duration::from_micros(100);
+                        let resp = loop {
+                            match client.call(req.clone()) {
+                                Ok(resp) => break resp,
+                                Err(CloudError::Server {
+                                    kind: ErrorKind::Overloaded,
+                                    ..
+                                }) => {
+                                    shed += 1;
+                                    std::thread::sleep(backoff);
+                                    backoff = (backoff * 2).min(Duration::from_millis(5));
+                                }
+                                Err(e) => panic!("reply lost: {e}"),
+                            }
+                        };
                         lats.push(sent.elapsed());
                         assert!(matches!(resp, Message::RsseResponse { .. }));
                     }
-                    lats
+                    (lats, shed)
                 })
             })
             .collect();
         threads
             .into_iter()
-            .flat_map(|t| t.join().expect("client thread panicked"))
+            .map(|t| t.join().expect("client thread panicked"))
             .collect()
     });
     let wall = start.elapsed();
+    let shed_retries: u64 = per_client.iter().map(|(_, s)| s).sum();
+    let mut latencies: Vec<Duration> = per_client.into_iter().flat_map(|(l, _)| l).collect();
 
     let requests = CLIENTS * scenario.requests_per_client;
     let served = handle.shutdown();
@@ -115,6 +138,7 @@ fn run_config(
         rps: requests as f64 / wall.as_secs_f64(),
         p50_ms: percentile_ms(&latencies, 0.50),
         p99_ms: percentile_ms(&latencies, 0.99),
+        shed_retries,
     }
 }
 
@@ -141,7 +165,7 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"speedup_vs_1_worker\": {:.2}}}{}\n",
+             \"p99_ms\": {:.3}, \"shed_retries\": {}, \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
             r.requests,
@@ -149,6 +173,7 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
             r.rps,
             r.p50_ms,
             r.p99_ms,
+            r.shed_retries,
             r.rps / baseline.rps,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -181,22 +206,40 @@ fn main() {
             name: "cpu",
             io_delay: None,
             requests_per_client: 150,
+            backlog: BACKLOG,
         },
         Scenario {
             name: "io_sim",
             io_delay: Some(IO_DELAY),
             requests_per_client: 60,
+            backlog: BACKLOG,
+        },
+        // Deliberately undersized admission queue: 8 clients against a
+        // 2-slot backlog force overload shedding, exercising the
+        // Overloaded error frame + client retry path under load.
+        Scenario {
+            name: "overload",
+            io_delay: Some(Duration::from_millis(1)),
+            requests_per_client: 40,
+            backlog: 2,
         },
     ];
 
     let mut results = Vec::new();
-    println!("scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms");
+    println!("scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,shed_retries");
     for scenario in &scenarios {
         for &workers in &WORKER_COUNTS {
             let r = run_config(&outsource_frame, &owner, scenario, workers);
             println!(
-                "{},{},{},{:.4},{:.1},{:.3},{:.3}",
-                r.scenario, r.workers, r.requests, r.wall_s, r.rps, r.p50_ms, r.p99_ms
+                "{},{},{},{:.4},{:.1},{:.3},{:.3},{}",
+                r.scenario,
+                r.workers,
+                r.requests,
+                r.wall_s,
+                r.rps,
+                r.p50_ms,
+                r.p99_ms,
+                r.shed_retries
             );
             results.push(r);
         }

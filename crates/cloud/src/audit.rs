@@ -32,6 +32,9 @@ pub enum RequestKind {
     Update,
     /// A message the server refused to handle.
     Rejected,
+    /// A request whose handler panicked; the panic was contained and the
+    /// client got an `Internal` error frame.
+    Panicked,
 }
 
 /// Aggregated serving counters, cheap to copy out of the log.
@@ -49,6 +52,9 @@ pub struct ServingReport {
     pub updates: u64,
     /// Requests rejected as out-of-protocol.
     pub rejected: u64,
+    /// Contained worker panics (each answered with an `Internal` error
+    /// frame; the worker kept serving).
+    pub panics: u64,
 }
 
 /// The server's request audit log: aggregate counters plus a bounded
@@ -82,6 +88,7 @@ impl AuditLog {
             RequestKind::Conjunctive => self.report.conjunctive += 1,
             RequestKind::Update => self.report.updates += 1,
             RequestKind::Rejected => self.report.rejected += 1,
+            RequestKind::Panicked => self.report.panics += 1,
         }
         if self.recent.len() == self.capacity {
             self.recent.pop_front();
@@ -339,6 +346,7 @@ mod tests {
         assert_eq!(report.rejected, 1);
         assert_eq!(report.fetches, 1);
         assert_eq!(report.conjunctive, 0);
+        assert_eq!(report.panics, 0);
         // Only the 4 most recent records survive.
         let recent: Vec<RequestKind> = log.recent().collect();
         assert_eq!(
@@ -350,5 +358,17 @@ mod tests {
                 RequestKind::Fetch
             ]
         );
+    }
+
+    #[test]
+    fn contained_panics_are_counted_and_retained() {
+        let mut log = AuditLog::with_capacity(4);
+        log.record(RequestKind::Search);
+        log.record(RequestKind::Panicked);
+        let report = log.report();
+        assert_eq!(report.total, 2);
+        assert_eq!(report.panics, 1);
+        assert_eq!(report.searches, 1);
+        assert!(log.recent().any(|k| k == RequestKind::Panicked));
     }
 }

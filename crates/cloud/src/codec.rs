@@ -31,6 +31,8 @@ pub enum CodecError {
     Oversize(u64),
     /// Trailing bytes after a complete message.
     TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadString,
 }
 
 impl core::fmt::Display for CodecError {
@@ -40,6 +42,7 @@ impl core::fmt::Display for CodecError {
             CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
             CodecError::Oversize(n) => write!(f, "length prefix {n} exceeds frame cap"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            CodecError::BadString => write!(f, "string field is not valid UTF-8"),
         }
     }
 }
@@ -76,6 +79,60 @@ impl SearchMode {
             2 => Ok(SearchMode::BasicEntries),
             other => Err(CodecError::BadTag(other)),
         }
+    }
+}
+
+/// Failure category carried by a [`Message::Error`] frame, so clients can
+/// react without parsing the human-readable detail string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request frame did not decode.
+    BadFrame,
+    /// A request referenced an unknown posting-list label. Reserved on the
+    /// wire: this simulation answers unknown labels with empty result sets
+    /// (thwarting keyword-existence probing), but deployments that treat
+    /// them as errors need the kind to be representable.
+    UnknownLabel,
+    /// The message decoded but is out of protocol for the serving path.
+    Rejected,
+    /// The server shed the request because its backlog is full.
+    Overloaded,
+    /// The server failed internally (including a contained worker panic).
+    Internal,
+}
+
+impl ErrorKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorKind::BadFrame => 0,
+            ErrorKind::UnknownLabel => 1,
+            ErrorKind::Rejected => 2,
+            ErrorKind::Overloaded => 3,
+            ErrorKind::Internal => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, CodecError> {
+        match b {
+            0 => Ok(ErrorKind::BadFrame),
+            1 => Ok(ErrorKind::UnknownLabel),
+            2 => Ok(ErrorKind::Rejected),
+            3 => Ok(ErrorKind::Overloaded),
+            4 => Ok(ErrorKind::Internal),
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+}
+
+impl core::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ErrorKind::BadFrame => "bad frame",
+            ErrorKind::UnknownLabel => "unknown label",
+            ErrorKind::Rejected => "rejected request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Internal => "internal error",
+        })
     }
 }
 
@@ -165,6 +222,16 @@ pub enum Message {
         /// Number of files ingested.
         files_added: u64,
     },
+    /// Server → client: the request failed. Every request gets an answer
+    /// frame — success or this — so failures are representable on a real
+    /// transport and their bytes count in the bandwidth accounting.
+    Error {
+        /// Typed failure category.
+        kind: ErrorKind,
+        /// Human-readable detail, bounded by [`Message::MAX_ERROR_DETAIL`]
+        /// when built through [`Message::error`].
+        detail: String,
+    },
 }
 
 fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
@@ -209,6 +276,29 @@ fn get_u64(buf: &mut BytesMut) -> Result<u64, CodecError> {
     Ok(buf.get_u64())
 }
 
+/// Optional-u32 field: one presence byte (strictly 0 or 1, so every
+/// decodable frame re-encodes to exactly itself), then the value if present.
+fn get_opt_u32(buf: &mut BytesMut) -> Result<Option<u32>, CodecError> {
+    match get_array::<1>(buf)?[0] {
+        0 => Ok(None),
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Ok(Some(buf.get_u32()))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// Pre-allocation bound for a claimed element count `n`: no container may
+/// reserve more slots than the remaining input could possibly encode
+/// (`min_item` bytes each), so a hostile count in a short frame cannot make
+/// the decoder allocate past the frame itself.
+fn bounded_cap(n: usize, buf: &BytesMut, min_item: usize) -> usize {
+    n.min(buf.remaining() / min_item.max(1) + 1)
+}
+
 fn put_lists(buf: &mut BytesMut, lists: &[(Label, Vec<Vec<u8>>)]) {
     buf.put_u64(lists.len() as u64);
     for (label, entries) in lists {
@@ -222,11 +312,11 @@ fn put_lists(buf: &mut BytesMut, lists: &[(Label, Vec<Vec<u8>>)]) {
 
 fn get_lists(buf: &mut BytesMut) -> Result<WireLists, CodecError> {
     let n = get_len(buf)?;
-    let mut lists = Vec::with_capacity(n.min(4096));
+    let mut lists = Vec::with_capacity(bounded_cap(n, buf, 28));
     for _ in 0..n {
         let label: Label = get_array(buf)?;
         let m = get_len(buf)?;
-        let mut entries = Vec::with_capacity(m.min(4096));
+        let mut entries = Vec::with_capacity(bounded_cap(m, buf, 8));
         for _ in 0..m {
             entries.push(get_bytes(buf)?);
         }
@@ -245,7 +335,7 @@ fn put_files(buf: &mut BytesMut, files: &[EncryptedFile]) {
 
 fn get_files(buf: &mut BytesMut) -> Result<Vec<EncryptedFile>, CodecError> {
     let n = get_len(buf)?;
-    let mut files = Vec::with_capacity(n.min(4096));
+    let mut files = Vec::with_capacity(bounded_cap(n, buf, 16));
     for _ in 0..n {
         let id = get_u64(buf)?;
         let ct = get_bytes(buf)?;
@@ -264,7 +354,7 @@ fn put_scores(buf: &mut BytesMut, scores: &[(u64, Vec<u8>)]) {
 
 fn get_scores(buf: &mut BytesMut) -> Result<Vec<(u64, Vec<u8>)>, CodecError> {
     let n = get_len(buf)?;
-    let mut scores = Vec::with_capacity(n.min(4096));
+    let mut scores = Vec::with_capacity(bounded_cap(n, buf, 16));
     for _ in 0..n {
         let id = get_u64(buf)?;
         scores.push((id, get_bytes(buf)?));
@@ -378,6 +468,11 @@ impl Message {
                 buf.put_u64(*lists_touched);
                 buf.put_u64(*files_added);
             }
+            Message::Error { kind, detail } => {
+                buf.put_u8(12);
+                buf.put_u8(kind.to_byte());
+                put_bytes(&mut buf, detail.as_bytes());
+            }
         }
         buf
     }
@@ -403,15 +498,7 @@ impl Message {
             2 => {
                 let label: Label = get_array(&mut buf)?;
                 let list_key: [u8; 32] = get_array(&mut buf)?;
-                let has_k = get_array::<1>(&mut buf)?[0];
-                let top_k = if has_k == 1 {
-                    if buf.remaining() < 4 {
-                        return Err(CodecError::UnexpectedEof);
-                    }
-                    Some(buf.get_u32())
-                } else {
-                    None
-                };
+                let top_k = get_opt_u32(&mut buf)?;
                 let mode = SearchMode::from_byte(get_array::<1>(&mut buf)?[0])?;
                 Message::SearchRequest {
                     label,
@@ -422,7 +509,7 @@ impl Message {
             }
             3 => {
                 let n = get_len(&mut buf)?;
-                let mut ranking = Vec::with_capacity(n.min(4096));
+                let mut ranking = Vec::with_capacity(bounded_cap(n, &buf, 16));
                 for _ in 0..n {
                     let id = get_u64(&mut buf)?;
                     let score = get_u64(&mut buf)?;
@@ -442,7 +529,7 @@ impl Message {
             },
             6 => {
                 let n = get_len(&mut buf)?;
-                let mut ids = Vec::with_capacity(n.min(4096));
+                let mut ids = Vec::with_capacity(bounded_cap(n, &buf, 8));
                 for _ in 0..n {
                     ids.push(get_u64(&mut buf)?);
                 }
@@ -453,30 +540,22 @@ impl Message {
             },
             8 => {
                 let n = get_len(&mut buf)?;
-                let mut trapdoors = Vec::with_capacity(n.min(64));
+                let mut trapdoors = Vec::with_capacity(bounded_cap(n, &buf, 52));
                 for _ in 0..n {
                     let label: Label = get_array(&mut buf)?;
                     let key: [u8; 32] = get_array(&mut buf)?;
                     trapdoors.push((label, key));
                 }
-                let has_k = get_array::<1>(&mut buf)?[0];
-                let top_k = if has_k == 1 {
-                    if buf.remaining() < 4 {
-                        return Err(CodecError::UnexpectedEof);
-                    }
-                    Some(buf.get_u32())
-                } else {
-                    None
-                };
+                let top_k = get_opt_u32(&mut buf)?;
                 Message::ConjunctiveRequest { trapdoors, top_k }
             }
             9 => {
                 let n = get_len(&mut buf)?;
-                let mut ranking = Vec::with_capacity(n.min(4096));
+                let mut ranking = Vec::with_capacity(bounded_cap(n, &buf, 16));
                 for _ in 0..n {
                     let id = get_u64(&mut buf)?;
                     let m = get_len(&mut buf)?;
-                    let mut scores = Vec::with_capacity(m.min(64));
+                    let mut scores = Vec::with_capacity(bounded_cap(m, &buf, 8));
                     for _ in 0..m {
                         scores.push(get_u64(&mut buf)?);
                     }
@@ -495,6 +574,12 @@ impl Message {
                 lists_touched: get_u64(&mut buf)?,
                 files_added: get_u64(&mut buf)?,
             },
+            12 => {
+                let kind = ErrorKind::from_byte(get_array::<1>(&mut buf)?[0])?;
+                let detail =
+                    String::from_utf8(get_bytes(&mut buf)?).map_err(|_| CodecError::BadString)?;
+                Message::Error { kind, detail }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -503,9 +588,79 @@ impl Message {
         Ok(msg)
     }
 
-    /// Size of the encoded message in bytes.
+    /// Longest detail string [`Message::error`] will put in an error frame.
+    pub const MAX_ERROR_DETAIL: usize = 256;
+
+    /// Builds an [`Message::Error`] frame, truncating `detail` to
+    /// [`Message::MAX_ERROR_DETAIL`] bytes (on a char boundary) so error
+    /// responses stay small even when wrapping a verbose failure.
+    pub fn error(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        let mut detail: String = detail.into();
+        if detail.len() > Self::MAX_ERROR_DETAIL {
+            let mut cut = Self::MAX_ERROR_DETAIL;
+            while !detail.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            detail.truncate(cut);
+        }
+        Message::Error { kind, detail }
+    }
+
+    /// Size of the encoded message in bytes, computed arithmetically — no
+    /// allocation, so bandwidth sampling stays O(1) per message. Pinned to
+    /// `encode().len()` for every variant by the codec tests.
     pub fn wire_len(&self) -> usize {
-        self.encode().len()
+        fn bytes_len(b: &[u8]) -> usize {
+            8 + b.len()
+        }
+        fn lists_len(lists: &[(Label, Vec<Vec<u8>>)]) -> usize {
+            8 + lists
+                .iter()
+                .map(|(_, entries)| 20 + 8 + entries.iter().map(|e| bytes_len(e)).sum::<usize>())
+                .sum::<usize>()
+        }
+        fn files_len(files: &[EncryptedFile]) -> usize {
+            8 + files
+                .iter()
+                .map(|f| 8 + bytes_len(f.ciphertext()))
+                .sum::<usize>()
+        }
+        fn scores_len(scores: &[(u64, Vec<u8>)]) -> usize {
+            8 + scores
+                .iter()
+                .map(|(_, ct)| 8 + bytes_len(ct))
+                .sum::<usize>()
+        }
+        fn opt_u32_len(v: &Option<u32>) -> usize {
+            1 + if v.is_some() { 4 } else { 0 }
+        }
+        1 + match self {
+            Message::Outsource {
+                rsse_lists,
+                basic_lists,
+                files,
+                ..
+            } => lists_len(rsse_lists) + lists_len(basic_lists) + 8 + 8 + files_len(files),
+            Message::SearchRequest { top_k, .. } => 20 + 32 + opt_u32_len(top_k) + 1,
+            Message::RsseResponse { ranking, files } => 8 + 16 * ranking.len() + files_len(files),
+            Message::BasicFullResponse { scores, files } => scores_len(scores) + files_len(files),
+            Message::BasicEntriesResponse { scores } => scores_len(scores),
+            Message::FetchFiles { ids } => 8 + 8 * ids.len(),
+            Message::FilesResponse { files } => files_len(files),
+            Message::ConjunctiveRequest { trapdoors, top_k } => {
+                8 + 52 * trapdoors.len() + opt_u32_len(top_k)
+            }
+            Message::ConjunctiveResponse { ranking, files } => {
+                8 + ranking
+                    .iter()
+                    .map(|(_, scores)| 8 + 8 + 8 * scores.len())
+                    .sum::<usize>()
+                    + files_len(files)
+            }
+            Message::Update { rsse_lists, files } => lists_len(rsse_lists) + files_len(files),
+            Message::UpdateAck { .. } => 8 + 8,
+            Message::Error { detail, .. } => 1 + bytes_len(detail.as_bytes()),
+        }
     }
 }
 
@@ -568,6 +723,18 @@ mod tests {
                 lists_touched: 3,
                 files_added: 1,
             },
+            Message::Error {
+                kind: ErrorKind::Rejected,
+                detail: "expected a request".to_string(),
+            },
+            Message::Error {
+                kind: ErrorKind::Overloaded,
+                detail: String::new(),
+            },
+            Message::Error {
+                kind: ErrorKind::Internal,
+                detail: "wörker pänic".to_string(),
+            },
         ]
     }
 
@@ -628,7 +795,58 @@ mod tests {
     #[test]
     fn wire_len_matches_encoding() {
         for msg in sample_messages() {
-            assert_eq!(msg.wire_len(), msg.encode().len());
+            assert_eq!(
+                msg.wire_len(),
+                msg.encode().len(),
+                "arithmetic wire_len diverges for {msg:?}"
+            );
         }
+    }
+
+    #[test]
+    fn error_frame_detail_is_bounded_on_a_char_boundary() {
+        let msg = Message::error(ErrorKind::Internal, "ä".repeat(300));
+        let Message::Error { kind, detail } = &msg else {
+            panic!("wrong variant");
+        };
+        assert_eq!(*kind, ErrorKind::Internal);
+        assert!(detail.len() <= Message::MAX_ERROR_DETAIL);
+        assert!(detail.chars().all(|c| c == 'ä'));
+        let decoded = Message::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn error_frame_with_invalid_utf8_detail_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(12);
+        buf.put_u8(ErrorKind::BadFrame.to_byte());
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        assert_eq!(Message::decode(buf), Err(CodecError::BadString));
+    }
+
+    #[test]
+    fn unknown_error_kind_byte_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(12);
+        buf.put_u8(9);
+        put_bytes(&mut buf, b"x");
+        assert_eq!(Message::decode(buf), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn non_boolean_top_k_presence_byte_is_rejected() {
+        // A has-top-k byte other than 0/1 must fail, so every decodable
+        // frame re-encodes to exactly its input bytes (canonical codec).
+        let mut encoded = Message::SearchRequest {
+            label: [3u8; 20],
+            list_key: [4u8; 32],
+            top_k: None,
+            mode: SearchMode::Rsse,
+        }
+        .encode();
+        let has_k_offset = 1 + 20 + 32;
+        encoded[has_k_offset] = 7;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(7)));
     }
 }

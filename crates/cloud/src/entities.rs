@@ -259,6 +259,18 @@ impl CloudServer {
         self.files.read().len()
     }
 
+    /// Records a frame that failed to decode; counted with the rejected
+    /// requests, since the server refused to handle it.
+    pub fn note_bad_frame(&self) {
+        self.audit.write().record(RequestKind::Rejected);
+    }
+
+    /// Records a contained serving panic (the client was answered with an
+    /// `Internal` error frame).
+    pub fn note_panic(&self) {
+        self.audit.write().record(RequestKind::Panicked);
+    }
+
     /// A copy of the aggregate serving counters.
     pub fn serving_report(&self) -> ServingReport {
         self.audit.read().report()
@@ -446,13 +458,38 @@ impl Deployment {
         Arc::clone(&self.server)
     }
 
-    fn round(&self, channel: &mut MeteredChannel, request: Message) -> Result<Message, CloudError> {
+    /// One metered request/response round over the wire: encodes the
+    /// request, serves it through the same fault-tolerant path the worker
+    /// pool uses ([`crate::server_loop::serve_frame`]), and decodes the
+    /// response frame. Every request is answered with *some* frame, so
+    /// failures are priced like successes: an error frame's bytes land in
+    /// [`TrafficReport::bytes_down`] and bump
+    /// [`TrafficReport::error_frames`].
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Server`] when the server answered with an error frame
+    /// (carrying its wire [`crate::ErrorKind`] and detail), or a codec
+    /// error if a frame cannot be decoded.
+    pub fn round_trip(
+        &self,
+        channel: &mut MeteredChannel,
+        request: Message,
+    ) -> Result<Message, CloudError> {
         let up = request.encode();
         channel.send_up(up.len());
-        let response = self.server.handle(Message::decode(up)?)?;
-        let down = response.encode();
-        channel.send_down(down.len());
-        Message::decode(down).map_err(CloudError::from)
+        let down = crate::server_loop::serve_frame(&self.server, &up, None);
+        let response = Message::decode(bytes::BytesMut::from(&down[..]))?;
+        match response {
+            Message::Error { kind, detail } => {
+                channel.send_down_error(down.len());
+                Err(CloudError::Server { kind, detail })
+            }
+            msg => {
+                channel.send_down(down.len());
+                Ok(msg)
+            }
+        }
     }
 
     /// Protocol 1 — RSSE one-round top-k retrieval.
@@ -467,7 +504,7 @@ impl Deployment {
     ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
         let mut channel = MeteredChannel::new();
         let request = self.user.search_request(keyword, top_k, SearchMode::Rsse)?;
-        let response = self.round(&mut channel, request)?;
+        let response = self.round_trip(&mut channel, request)?;
         Ok((self.user.read_rsse_response(response)?, channel.report()))
     }
 
@@ -483,7 +520,7 @@ impl Deployment {
     ) -> Result<(Vec<Document>, TrafficReport), CloudError> {
         let mut channel = MeteredChannel::new();
         let request = self.user.conjunctive_request(query, top_k)?;
-        let response = self.round(&mut channel, request)?;
+        let response = self.round_trip(&mut channel, request)?;
         let Message::ConjunctiveResponse { files, .. } = response else {
             return Err(CloudError::UnexpectedMessage {
                 expected: "ConjunctiveResponse",
@@ -506,7 +543,7 @@ impl Deployment {
         let request = self
             .user
             .search_request(keyword, None, SearchMode::BasicFull)?;
-        let response = self.round(&mut channel, request)?;
+        let response = self.round_trip(&mut channel, request)?;
         let Message::BasicFullResponse { scores, files } = response else {
             return Err(CloudError::UnexpectedMessage {
                 expected: "BasicFullResponse",
@@ -534,7 +571,7 @@ impl Deployment {
         let request = self
             .user
             .search_request(keyword, None, SearchMode::BasicEntries)?;
-        let response = self.round(&mut channel, request)?;
+        let response = self.round_trip(&mut channel, request)?;
         let Message::BasicEntriesResponse { scores } = response else {
             return Err(CloudError::UnexpectedMessage {
                 expected: "BasicEntriesResponse",
@@ -545,7 +582,7 @@ impl Deployment {
         let fetch = Message::FetchFiles {
             ids: order.iter().map(|f| f.as_u64()).collect(),
         };
-        let response = self.round(&mut channel, fetch)?;
+        let response = self.round_trip(&mut channel, fetch)?;
         let Message::FilesResponse { files } = response else {
             return Err(CloudError::UnexpectedMessage {
                 expected: "FilesResponse",

@@ -1,10 +1,11 @@
 //! Error type for the cloud deployment simulation.
 
-use crate::codec::CodecError;
+use crate::codec::{CodecError, ErrorKind};
 use core::fmt;
 use rsse_core::RsseError;
 use rsse_crypto::CryptoError;
 use rsse_sse::SseError;
+use std::time::Duration;
 
 /// Errors from the simulated deployment.
 #[derive(Debug)]
@@ -17,12 +18,44 @@ pub enum CloudError {
         /// What the handler expected.
         expected: &'static str,
     },
+    /// The server answered with a [`crate::codec::Message::Error`] frame.
+    Server {
+        /// Typed failure category from the wire.
+        kind: ErrorKind,
+        /// The frame's detail string.
+        detail: String,
+    },
+    /// A client call exceeded its deadline before the server replied.
+    Timeout {
+        /// The deadline that expired.
+        after: Duration,
+    },
+    /// The transport to the server is gone (pool shut down or worker died
+    /// before replying).
+    Transport {
+        /// What the transport was doing when it failed.
+        context: &'static str,
+    },
     /// RSSE scheme failure.
     Rsse(RsseError),
     /// Basic scheme failure.
     Sse(SseError),
     /// Cryptographic failure.
     Crypto(CryptoError),
+}
+
+impl CloudError {
+    /// The [`ErrorKind`] a server puts on the wire when a request fails
+    /// with this error: decode failures are `BadFrame`, out-of-protocol
+    /// messages `Rejected`, everything else `Internal`.
+    pub fn wire_kind(&self) -> ErrorKind {
+        match self {
+            CloudError::Codec(_) => ErrorKind::BadFrame,
+            CloudError::UnexpectedMessage { .. } => ErrorKind::Rejected,
+            CloudError::Server { kind, .. } => *kind,
+            _ => ErrorKind::Internal,
+        }
+    }
 }
 
 impl fmt::Display for CloudError {
@@ -32,6 +65,13 @@ impl fmt::Display for CloudError {
             CloudError::UnexpectedMessage { expected } => {
                 write!(f, "unexpected message; expected {expected}")
             }
+            CloudError::Server { kind, detail } => {
+                write!(f, "server error ({kind}): {detail}")
+            }
+            CloudError::Timeout { after } => {
+                write!(f, "no response within {} ms", after.as_millis())
+            }
+            CloudError::Transport { context } => write!(f, "transport failed: {context}"),
             CloudError::Rsse(e) => write!(f, "rsse failure: {e}"),
             CloudError::Sse(e) => write!(f, "sse failure: {e}"),
             CloudError::Crypto(e) => write!(f, "crypto failure: {e}"),
@@ -46,7 +86,10 @@ impl std::error::Error for CloudError {
             CloudError::Rsse(e) => Some(e),
             CloudError::Sse(e) => Some(e),
             CloudError::Crypto(e) => Some(e),
-            CloudError::UnexpectedMessage { .. } => None,
+            CloudError::UnexpectedMessage { .. }
+            | CloudError::Server { .. }
+            | CloudError::Timeout { .. }
+            | CloudError::Transport { .. } => None,
         }
     }
 }
@@ -87,5 +130,39 @@ mod tests {
         assert!(e.source().is_some());
         let u = CloudError::UnexpectedMessage { expected: "files" };
         assert!(u.source().is_none());
+        let s = CloudError::Server {
+            kind: ErrorKind::Overloaded,
+            detail: "backlog full".into(),
+        };
+        assert!(s.to_string().contains("overloaded"));
+        assert!(s.source().is_none());
+        let t = CloudError::Timeout {
+            after: Duration::from_millis(250),
+        };
+        assert!(t.to_string().contains("250"));
+    }
+
+    #[test]
+    fn wire_kind_maps_failure_classes() {
+        assert_eq!(
+            CloudError::Codec(CodecError::UnexpectedEof).wire_kind(),
+            ErrorKind::BadFrame
+        );
+        assert_eq!(
+            CloudError::UnexpectedMessage { expected: "x" }.wire_kind(),
+            ErrorKind::Rejected
+        );
+        assert_eq!(
+            CloudError::Crypto(CryptoError::IntegrityCheckFailed).wire_kind(),
+            ErrorKind::Internal
+        );
+        assert_eq!(
+            CloudError::Server {
+                kind: ErrorKind::Overloaded,
+                detail: String::new()
+            }
+            .wire_kind(),
+            ErrorKind::Overloaded
+        );
     }
 }

@@ -41,9 +41,9 @@ pub mod network;
 pub mod server_loop;
 
 pub use audit::{AuditLog, RequestKind, ServingReport};
-pub use codec::{CodecError, Message, SearchMode};
+pub use codec::{CodecError, ErrorKind, Message, SearchMode};
 pub use entities::{CloudServer, DataOwner, Deployment, User};
 pub use error::CloudError;
 pub use files::{EncryptedFile, FileCrypter, FileStore};
 pub use network::{MeteredChannel, NetworkParams, TrafficReport};
-pub use server_loop::{PoolOptions, ServerClient, ServerHandle};
+pub use server_loop::{serve_frame, Fault, FaultHook, PoolOptions, ServerClient, ServerHandle};

@@ -55,6 +55,11 @@ pub struct TrafficReport {
     pub bytes_down: usize,
     /// Number of round trips (request/response pairs).
     pub round_trips: u32,
+    /// How many of the downstream frames were protocol `Error` frames.
+    /// Their bytes count in `bytes_down` like any other response — failure
+    /// is part of the paper's byte-on-the-wire accounting, not a side
+    /// channel.
+    pub error_frames: u32,
 }
 
 impl TrafficReport {
@@ -94,6 +99,13 @@ impl MeteredChannel {
         self.report.round_trips += 1;
     }
 
+    /// Records a server → client `Error` frame: same byte and round-trip
+    /// accounting as [`MeteredChannel::send_down`], plus the error tally.
+    pub fn send_down_error(&mut self, bytes: usize) {
+        self.send_down(bytes);
+        self.report.error_frames += 1;
+    }
+
     /// The accumulated report.
     pub fn report(&self) -> TrafficReport {
         self.report
@@ -119,11 +131,13 @@ mod tests {
             bytes_up: 100,
             bytes_down: 100,
             round_trips: 1,
+            error_frames: 0,
         };
         let two_rounds = TrafficReport {
             bytes_up: 100,
             bytes_down: 100,
             round_trips: 2,
+            error_frames: 0,
         };
         let d1 = one_round.simulated_time(&net);
         let d2 = two_rounds.simulated_time(&net);
@@ -138,6 +152,7 @@ mod tests {
             bytes_up: 200,
             bytes_down: 100_000_000, // ~8 s at 100 Mbit/s
             round_trips: 1,
+            error_frames: 0,
         };
         assert!(bulky.simulated_time(&net) > Duration::from_secs(7));
     }
@@ -148,11 +163,12 @@ mod tests {
         ch.send_up(10);
         ch.send_down(20);
         ch.send_up(5);
-        ch.send_down(5);
+        ch.send_down_error(5);
         let r = ch.report();
         assert_eq!(r.bytes_up, 15);
         assert_eq!(r.bytes_down, 25);
         assert_eq!(r.round_trips, 2);
+        assert_eq!(r.error_frames, 1);
         assert_eq!(r.total_bytes(), 40);
     }
 }

@@ -12,12 +12,34 @@
 //! file store, audit log) sits behind `parking_lot::RwLock`s, so concurrent
 //! searches take read locks and never serialize against each other.
 //! [`ServerHandle::spawn`] remains the single-worker special case.
+//!
+//! # Failure semantics
+//!
+//! Failure is part of the protocol, not a side channel:
+//!
+//! * every request is answered with an encoded frame — a response on
+//!   success, a [`Message::Error`] frame (typed [`ErrorKind`] + detail) on
+//!   failure — so error bytes are countable on the wire like any response;
+//! * a panic inside the serving path is contained per request
+//!   ([`std::panic::catch_unwind`]): the client gets an
+//!   [`ErrorKind::Internal`] frame, the worker keeps serving, and the
+//!   audit log counts the panic ([`ServingReport::panics`]);
+//! * clients shed instead of blocking: [`ServerClient::call`] uses
+//!   `try_send` against the bounded backlog and turns a full queue into a
+//!   fast [`ErrorKind::Overloaded`] error frame
+//!   ([`ServerClient::call_with_retry`] adds bounded backoff on top);
+//! * deadlines bound every wait: [`ServerClient::call_with_deadline`] (or a
+//!   pool-wide default via [`PoolOptions::with_deadline`]) returns
+//!   [`CloudError::Timeout`] instead of hanging on a wedged worker.
+//!
+//! [`ServingReport::panics`]: crate::audit::ServingReport
 
-use crate::codec::Message;
+use crate::codec::{ErrorKind, Message};
 use crate::entities::CloudServer;
 use crate::error::CloudError;
 use bytes::BytesMut;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -29,13 +51,36 @@ use std::time::Duration;
 enum Envelope {
     Request {
         frame: Vec<u8>,
-        reply: Sender<Result<Vec<u8>, String>>,
+        reply: Sender<Vec<u8>>,
     },
     Shutdown,
 }
 
-/// Tuning knobs for [`ServerHandle::spawn_pool_with`].
+/// A fault injected by [`PoolOptions::with_fault`], for proving the failure
+/// semantics under test.
 #[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Panic inside the serving path; the pool must contain it and answer
+    /// with an [`ErrorKind::Internal`] frame.
+    Panic(&'static str),
+    /// Wedge the worker for the given duration (a stuck backend call);
+    /// client deadlines must fire instead of hanging.
+    Stall(Duration),
+    /// Kill the worker thread outright — an *uncontained* death, for
+    /// proving that shutdown and drop survive lost workers.
+    KillWorker,
+}
+
+/// Fault-injection hook: inspects each decoded request and may return a
+/// [`Fault`] to apply before it is served.
+pub type FaultHook = Arc<dyn Fn(&Message) -> Option<Fault> + Send + Sync>;
+
+/// Panic payload used by [`Fault::KillWorker`] so the containment layer can
+/// tell an injected worker death apart from an ordinary serving panic.
+struct WorkerDeath;
+
+/// Tuning knobs for [`ServerHandle::spawn_pool_with`].
+#[derive(Clone)]
 pub struct PoolOptions {
     /// Number of worker threads (clamped to at least 1).
     pub workers: usize,
@@ -46,15 +91,36 @@ pub struct PoolOptions {
     /// to model the I/O-bound regime, where a pool overlaps stalls that a
     /// single serial loop must eat back to back.
     pub io_delay: Option<Duration>,
+    /// Default deadline applied by [`ServerClient::call`]; `None` waits
+    /// indefinitely (callers can still set one per call with
+    /// [`ServerClient::call_with_deadline`]).
+    pub deadline: Option<Duration>,
+    /// Fault-injection hook, run against each decoded request.
+    pub fault: Option<FaultHook>,
+}
+
+impl core::fmt::Debug for PoolOptions {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PoolOptions")
+            .field("workers", &self.workers)
+            .field("backlog", &self.backlog)
+            .field("io_delay", &self.io_delay)
+            .field("deadline", &self.deadline)
+            .field("fault", &self.fault.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl PoolOptions {
-    /// `workers` threads over a `backlog`-bounded queue, no simulated I/O.
+    /// `workers` threads over a `backlog`-bounded queue, no simulated I/O,
+    /// no default deadline, no faults.
     pub fn new(workers: usize, backlog: usize) -> Self {
         PoolOptions {
             workers,
             backlog,
             io_delay: None,
+            deadline: None,
+            fault: None,
         }
     }
 
@@ -64,6 +130,73 @@ impl PoolOptions {
         self.io_delay = Some(delay);
         self
     }
+
+    /// Sets the default deadline for [`ServerClient::call`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a fault-injection hook (see [`Fault`]).
+    #[must_use]
+    pub fn with_fault(
+        mut self,
+        hook: impl Fn(&Message) -> Option<Fault> + Send + Sync + 'static,
+    ) -> Self {
+        self.fault = Some(Arc::new(hook));
+        self
+    }
+}
+
+/// Serves one encoded request frame to one encoded response frame — the
+/// single serving path shared by the pool workers and the in-process
+/// [`Deployment`](crate::entities::Deployment) rounds.
+///
+/// Never returns an out-of-band error: decode failures become
+/// [`ErrorKind::BadFrame`] frames, handler failures map through
+/// [`CloudError::wire_kind`], and a panic anywhere in the handler is caught
+/// and answered with an [`ErrorKind::Internal`] frame (counted in
+/// [`ServingReport::panics`](crate::audit::ServingReport::panics)).
+///
+/// # Panics
+///
+/// Re-raises only the [`Fault::KillWorker`] injection payload, which
+/// simulates an uncontained worker death under test.
+pub fn serve_frame(server: &CloudServer, frame: &[u8], fault: Option<&FaultHook>) -> Vec<u8> {
+    let msg = match Message::decode(BytesMut::from(frame)) {
+        Ok(msg) => msg,
+        Err(e) => {
+            server.note_bad_frame();
+            return Message::error(ErrorKind::BadFrame, e.to_string())
+                .encode()
+                .to_vec();
+        }
+    };
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(hook) = fault {
+            match hook(&msg) {
+                Some(Fault::Panic(detail)) => panic!("injected fault: {detail}"),
+                Some(Fault::Stall(wedge)) => std::thread::sleep(wedge),
+                Some(Fault::KillWorker) => std::panic::panic_any(WorkerDeath),
+                None => {}
+            }
+        }
+        server.handle(msg)
+    }));
+    let response = match outcome {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) => Message::error(e.wire_kind(), e.to_string()),
+        Err(payload) if payload.is::<WorkerDeath>() => std::panic::resume_unwind(payload),
+        Err(_) => {
+            server.note_panic();
+            Message::error(
+                ErrorKind::Internal,
+                "worker panicked while serving the request",
+            )
+        }
+    };
+    response.encode().to_vec()
 }
 
 /// Handle to a running server worker pool.
@@ -99,21 +232,25 @@ impl PoolOptions {
 /// ```
 #[derive(Debug)]
 pub struct ServerHandle {
-    requests: Sender<Envelope>,
+    /// `Some` until `Drop` takes it to release the pool's own sender.
+    requests: Option<Sender<Envelope>>,
     workers: Vec<JoinHandle<u64>>,
     server: Arc<CloudServer>,
+    deadline: Option<Duration>,
 }
 
 /// A cheap, cloneable client endpoint for one server pool.
 #[derive(Debug, Clone)]
 pub struct ServerClient {
     requests: Sender<Envelope>,
+    deadline: Option<Duration>,
 }
 
 fn worker_loop(
     rx: Receiver<Envelope>,
     server: Arc<CloudServer>,
     io_delay: Option<Duration>,
+    fault: Option<FaultHook>,
 ) -> u64 {
     let mut served = 0u64;
     while let Ok(envelope) = rx.recv() {
@@ -124,14 +261,10 @@ fn worker_loop(
         if let Some(delay) = io_delay {
             std::thread::sleep(delay);
         }
-        let outcome = Message::decode(BytesMut::from(&frame[..]))
-            .map_err(CloudError::from)
-            .and_then(|msg| server.handle(msg))
-            .map(|resp| resp.encode().to_vec())
-            .map_err(|e| e.to_string());
+        let response = serve_frame(&server, &frame, fault.as_ref());
         served += 1;
-        // A client that hung up is not the server's problem.
-        let _ = reply.send(outcome);
+        // A client that hung up (or timed out) is not the server's problem.
+        let _ = reply.send(response);
     }
     served
 }
@@ -158,20 +291,29 @@ impl ServerHandle {
                 let rx = rx.clone();
                 let server = Arc::clone(&server);
                 let io_delay = options.io_delay;
-                std::thread::spawn(move || worker_loop(rx, server, io_delay))
+                let fault = options.fault.clone();
+                std::thread::spawn(move || worker_loop(rx, server, io_delay, fault))
             })
             .collect();
         ServerHandle {
-            requests: tx,
+            requests: Some(tx),
             workers,
             server,
+            deadline: options.deadline,
         }
     }
 
-    /// Creates a client endpoint.
+    fn sender(&self) -> &Sender<Envelope> {
+        self.requests
+            .as_ref()
+            .expect("sender live until Drop takes it")
+    }
+
+    /// Creates a client endpoint (inheriting the pool's default deadline).
     pub fn client(&self) -> ServerClient {
         ServerClient {
-            requests: self.requests.clone(),
+            requests: self.sender().clone(),
+            deadline: self.deadline,
         }
     }
 
@@ -192,56 +334,172 @@ impl ServerHandle {
     /// served by workers that have not yet seen a sentinel, while anything
     /// left after the last worker retires is dropped (its client sees a
     /// transport error).
+    ///
+    /// A worker that died of an uncontained panic contributes `served = 0`
+    /// (its count is lost with the thread); the remaining workers' counts
+    /// are still summed and returned, and the loss is reported to stderr —
+    /// one dead worker no longer poisons the caller.
     pub fn shutdown(mut self) -> u64 {
+        let tx = self.requests.take().expect("sender live until shutdown");
         for _ in 0..self.workers.len() {
-            let _ = self.requests.send(Envelope::Shutdown);
+            // Errors only when every worker is already dead (no receivers).
+            let _ = tx.send(Envelope::Shutdown);
         }
+        drop(tx);
         self.workers
             .drain(..)
-            .map(|t| t.join().expect("server worker panicked"))
+            .map(|t| {
+                t.join().unwrap_or_else(|_| {
+                    eprintln!("server worker panicked; its served count is lost");
+                    0
+                })
+            })
             .sum()
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.requests.send(Envelope::Shutdown);
+        let Some(tx) = self.requests.take() else {
+            // `shutdown` already ran and joined everything.
+            return;
+        };
+        // Best-effort sentinels: never block on a full backlog (the
+        // workers may all be dead or wedged). A brief bounded retry covers
+        // the common case of a momentarily full queue draining normally.
+        'sentinels: for _ in 0..self.workers.len() {
+            for attempt in 0..50 {
+                match tx.try_send(Envelope::Shutdown) {
+                    Ok(()) => continue 'sentinels,
+                    Err(TrySendError::Disconnected(_)) => break 'sentinels,
+                    Err(TrySendError::Full(_)) if attempt < 49 => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(TrySendError::Full(_)) => break 'sentinels,
+                }
+            }
         }
-        for thread in self.workers.drain(..) {
-            let _ = thread.join();
-        }
+        // Detach rather than join: a sentinel-less worker exits only once
+        // the last *client* sender drops, which may be after this handle
+        // is gone — joining here could deadlock a drop against a wedged
+        // pool, and drop must always return. (`shutdown` is the joining,
+        // count-returning path.)
+        drop(tx);
+        self.workers.clear();
     }
 }
 
 impl ServerClient {
-    /// Sends a request message and waits for the response.
+    /// Sends a request message and waits for the response, applying the
+    /// pool's default deadline (if one was configured).
     ///
     /// # Errors
     ///
-    /// [`CloudError::UnexpectedMessage`] style failures are stringified by
-    /// the server; transport loss (server shut down) maps to an
-    /// `UnexpectedMessage` as well.
+    /// * [`CloudError::Server`] when the server answers with an error
+    ///   frame — including [`ErrorKind::Overloaded`] when the bounded
+    ///   backlog is full (the call sheds instead of blocking);
+    /// * [`CloudError::Timeout`] when the default deadline expires;
+    /// * [`CloudError::Transport`] when the pool is shut down or the
+    ///   serving worker died before replying.
     pub fn call(&self, request: Message) -> Result<Message, CloudError> {
+        self.call_inner(request.encode().to_vec(), self.deadline)
+    }
+
+    /// [`ServerClient::call`] with an explicit per-call deadline: returns
+    /// [`CloudError::Timeout`] if no reply arrives within `deadline`, so a
+    /// wedged worker can never hang the client forever.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::call`], with `deadline` in place of the default.
+    pub fn call_with_deadline(
+        &self,
+        request: Message,
+        deadline: Duration,
+    ) -> Result<Message, CloudError> {
+        self.call_inner(request.encode().to_vec(), Some(deadline))
+    }
+
+    /// [`ServerClient::call`] with a bounded retry-with-backoff loop
+    /// around overload shedding: on [`ErrorKind::Overloaded`] the call is
+    /// retried up to `attempts` times total, sleeping `backoff` (doubled
+    /// each retry) between attempts. Any other outcome — success or
+    /// failure — returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// The final [`ErrorKind::Overloaded`] error if every attempt shed, or
+    /// the first non-overload error.
+    pub fn call_with_retry(
+        &self,
+        request: Message,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<Message, CloudError> {
+        let frame = request.encode().to_vec();
+        let attempts = attempts.max(1);
+        let mut wait = backoff;
+        let mut outcome = self.call_inner(frame.clone(), self.deadline);
+        for _ in 1..attempts {
+            match outcome {
+                Err(CloudError::Server {
+                    kind: ErrorKind::Overloaded,
+                    ..
+                }) => {
+                    std::thread::sleep(wait);
+                    wait = wait.saturating_mul(2);
+                    outcome = self.call_inner(frame.clone(), self.deadline);
+                }
+                other => return other,
+            }
+        }
+        outcome
+    }
+
+    fn call_inner(
+        &self,
+        frame: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Result<Message, CloudError> {
         let (reply_tx, reply_rx) = bounded(1);
         let envelope = Envelope::Request {
-            frame: request.encode().to_vec(),
+            frame,
             reply: reply_tx,
         };
-        self.requests
-            .send(envelope)
-            .map_err(|_| CloudError::UnexpectedMessage {
-                expected: "running server",
-            })?;
-        let frame = reply_rx
-            .recv()
-            .map_err(|_| CloudError::UnexpectedMessage {
-                expected: "server response",
-            })?
-            .map_err(|_| CloudError::UnexpectedMessage {
-                expected: "successful response",
-            })?;
-        Message::decode(BytesMut::from(&frame[..])).map_err(CloudError::from)
+        match self.requests.try_send(envelope) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Shed: the bounded backlog is the server's admission
+                // control, so a full queue answers like the front door
+                // would — with a decodable Overloaded frame, not a block.
+                let shed =
+                    Message::error(ErrorKind::Overloaded, "request backlog is full").encode();
+                let Message::Error { kind, detail } = Message::decode(shed)? else {
+                    unreachable!("an encoded error frame decodes to an error frame");
+                };
+                return Err(CloudError::Server { kind, detail });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(CloudError::Transport {
+                    context: "server pool is shut down",
+                });
+            }
+        }
+        let frame = match deadline {
+            Some(limit) => reply_rx.recv_timeout(limit).map_err(|e| match e {
+                RecvTimeoutError::Timeout => CloudError::Timeout { after: limit },
+                RecvTimeoutError::Disconnected => CloudError::Transport {
+                    context: "worker died before replying",
+                },
+            })?,
+            None => reply_rx.recv().map_err(|_| CloudError::Transport {
+                context: "worker died before replying",
+            })?,
+        };
+        match Message::decode(BytesMut::from(&frame[..]))? {
+            Message::Error { kind, detail } => Err(CloudError::Server { kind, detail }),
+            msg => Ok(msg),
+        }
     }
 }
 
@@ -395,16 +653,39 @@ mod tests {
     fn malformed_frames_are_rejected_not_fatal() {
         let (owner, handle, _) = spawn_server();
         let client = handle.client();
-        // A raw out-of-protocol message: server must answer with an error
-        // and keep serving.
-        let err = client.call(Message::FilesResponse { files: vec![] });
-        assert!(err.is_err());
+        // A raw out-of-protocol message: server must answer with a typed
+        // error frame and keep serving.
+        let err = client
+            .call(Message::FilesResponse { files: vec![] })
+            .unwrap_err();
+        let CloudError::Server { kind, detail } = err else {
+            panic!("expected a decoded error frame, got {err:?}");
+        };
+        assert_eq!(kind, ErrorKind::Rejected);
+        assert!(
+            detail.contains("expected"),
+            "detail survives the wire: {detail}"
+        );
         let user = owner.authorize_user();
         let req = user
             .search_request("network", Some(1), SearchMode::Rsse)
             .unwrap();
         assert!(client.call(req).is_ok());
         assert_eq!(handle.server().serving_report().rejected, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn undecodable_frames_come_back_as_bad_frame_errors() {
+        let (_, handle, _) = spawn_server();
+        let server = handle.server();
+        let reply = serve_frame(&server, &[0xff, 0x00, 0x01], None);
+        let Message::Error { kind, .. } = Message::decode(BytesMut::from(&reply[..])).unwrap()
+        else {
+            panic!("expected an error frame");
+        };
+        assert_eq!(kind, ErrorKind::BadFrame);
+        assert_eq!(server.serving_report().rejected, 1);
         handle.shutdown();
     }
 
@@ -417,6 +698,9 @@ mod tests {
         let req = user
             .search_request("network", Some(1), SearchMode::Rsse)
             .unwrap();
-        assert!(client.call(req).is_err());
+        assert!(matches!(
+            client.call(req),
+            Err(CloudError::Transport { .. })
+        ));
     }
 }

@@ -1,0 +1,98 @@
+//! Fuzzing the wire codec with proptest: arbitrary bytes must never panic
+//! the decoder, and anything the decoder *does* accept must be canonical —
+//! re-encoding yields the input bytes exactly, and `wire_len` agrees with
+//! the physical frame size. Canonicality is what makes these properties
+//! strong: there is exactly one byte string per message, so a hostile
+//! client cannot smuggle two readings of one frame past the byte-exact
+//! traffic accounting.
+
+use bytes::BytesMut;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_cloud::{ErrorKind, Message};
+
+/// Encoded frames of every protocol variant, used as mutation seeds.
+fn seed_frames() -> Vec<Vec<u8>> {
+    use rsse_cloud::{EncryptedFile, SearchMode};
+    use rsse_ir::FileId;
+    vec![
+        Message::SearchRequest {
+            label: [3u8; 20],
+            list_key: [4u8; 32],
+            top_k: Some(10),
+            mode: SearchMode::Rsse,
+        },
+        Message::RsseResponse {
+            ranking: vec![(1, 999), (2, 500)],
+            files: vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
+        },
+        Message::FetchFiles { ids: vec![3, 1, 2] },
+        Message::ConjunctiveRequest {
+            trapdoors: vec![([7u8; 20], [8u8; 32])],
+            top_k: None,
+        },
+        Message::UpdateAck {
+            lists_touched: 3,
+            files_added: 1,
+        },
+        Message::error(ErrorKind::Overloaded, "request backlog is full"),
+    ]
+    .into_iter()
+    .map(|m| m.encode().to_vec())
+    .collect()
+}
+
+/// Decode must be total over `bytes`: no panic, and on success the message
+/// is canonical (re-encode reproduces the input, wire_len matches).
+fn assert_decode_is_total_and_canonical(bytes: &[u8]) {
+    if let Ok(msg) = Message::decode(BytesMut::from(bytes)) {
+        let reencoded = msg.encode();
+        assert_eq!(
+            &reencoded[..],
+            bytes,
+            "accepted frames must be canonical: {msg:?}"
+        );
+        assert_eq!(msg.wire_len(), bytes.len(), "wire_len disagrees: {msg:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pure garbage: arbitrary byte strings into the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic_decode(bytes in vec(any::<u8>(), 0..512)) {
+        assert_decode_is_total_and_canonical(&bytes);
+    }
+
+    /// Structured garbage: take a real frame of each variant and corrupt
+    /// one byte — exercises the deep decode paths that random bytes
+    /// almost never reach past the tag.
+    #[test]
+    fn corrupted_real_frames_never_panic_decode(
+        frame_choice in any::<u8>(),
+        corrupt_at in any::<u16>(),
+        corrupt_with in any::<u8>(),
+    ) {
+        let seeds = seed_frames();
+        let mut frame = seeds[frame_choice as usize % seeds.len()].clone();
+        let at = corrupt_at as usize % frame.len();
+        frame[at] ^= corrupt_with;
+        assert_decode_is_total_and_canonical(&frame);
+    }
+
+    /// Truncation fuzz: every prefix of a corrupted frame is also handled.
+    #[test]
+    fn truncated_corrupted_frames_never_panic_decode(
+        frame_choice in any::<u8>(),
+        corrupt_at in any::<u16>(),
+        cut in any::<u16>(),
+    ) {
+        let seeds = seed_frames();
+        let mut frame = seeds[frame_choice as usize % seeds.len()].clone();
+        let at = corrupt_at as usize % frame.len();
+        frame[at] = frame[at].wrapping_add(1);
+        frame.truncate(cut as usize % (frame.len() + 1));
+        assert_decode_is_total_and_canonical(&frame);
+    }
+}

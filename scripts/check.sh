@@ -13,6 +13,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The serving-path hardening suites, named explicitly so a filtered local
+# run cannot silently skip them: codec fuzzing (decode never panics, never
+# over-allocates) and pool fault injection (contained panics, deadlines,
+# overload shedding).
+echo "==> cargo test -q -p rsse-cloud --test codec_fuzz --test decode_alloc"
+cargo test -q -p rsse-cloud --test codec_fuzz --test decode_alloc
+
+echo "==> cargo test -q --test pool_faults"
+cargo test -q --test pool_faults
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

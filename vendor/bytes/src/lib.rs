@@ -75,6 +75,12 @@ impl std::ops::Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.pos..]
+    }
+}
+
 impl From<&[u8]> for BytesMut {
     fn from(slice: &[u8]) -> Self {
         BytesMut {

@@ -35,10 +35,28 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity right now.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
 
     /// Sending half; clone freely for multiple producers.
     pub struct Sender<T> {
@@ -104,6 +122,27 @@ pub mod channel {
                 state = self.inner.not_full.wait(state).expect("channel lock");
             }
         }
+
+        /// Enqueues `value` only if space is available right now — never
+        /// blocks.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when the queue is at capacity,
+        /// [`TrySendError::Disconnected`] once every receiver is dropped;
+        /// both return the value.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= state.cap {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -124,6 +163,37 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.inner.not_empty.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+        /// [`RecvTimeoutError::Disconnected`] once the queue is empty and
+        /// every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.inner.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .expect("channel lock");
+                state = guard;
             }
         }
     }
@@ -226,6 +296,31 @@ pub mod channel {
             let (tx, rx) = bounded::<u8>(1);
             drop(rx);
             assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            drop(rx);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
