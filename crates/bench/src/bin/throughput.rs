@@ -16,15 +16,23 @@
 //!   backend storage I/O (cf. the `NetworkParams` latency model). Stalls
 //!   overlap across workers, so throughput scales with the pool — the
 //!   regime the serving layer is built for.
+//! * **sharded** — the index is partitioned across 1/2/4/8 single-worker
+//!   shards and every query scatter-gathers across all of them (the
+//!   "workers" column is the shard count). On a single-core host this
+//!   reports the honest coordination overhead of the fan-out; no speedup
+//!   gate applies.
 //!
 //! Results are written as `BENCH_throughput.json` (requests/s, p50/p99
-//! latency, speedup vs the single-worker loop per scenario).
+//! latency, speedup vs the single-worker loop per scenario). The run ends
+//! with a `cargo test --test shard_equivalence` smoke gate: sharded
+//! numbers are published only alongside a passing equivalence proof.
 
 use rsse_bench::workload::{paper_corpus, HOT_KEYWORD};
 use rsse_cloud::entities::{CloudServer, DataOwner};
 use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
-use rsse_cloud::{CloudError, ErrorKind, Message, SearchMode};
+use rsse_cloud::{CloudError, ErrorKind, Message, SearchMode, ShardedDeployment};
 use rsse_core::RsseParams;
+use rsse_ir::Document;
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
@@ -48,6 +56,8 @@ struct ConfigResult {
     p50_ms: f64,
     p99_ms: f64,
     shed_retries: u64,
+    /// Scatter legs per query (0 for the single-server scenarios).
+    shard_legs: u64,
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
@@ -139,6 +149,77 @@ fn run_config(
         p50_ms: percentile_ms(&latencies, 0.50),
         p99_ms: percentile_ms(&latencies, 0.99),
         shed_retries,
+        shard_legs: 0,
+    }
+}
+
+/// Scatter-gather throughput over `shards` single-worker shard pools: the
+/// same closed loop as the single-server scenarios, but each query fans
+/// out to every shard and merges the partial rankings (files decrypted end
+/// to end). On a single-core host the fan-out is pure overhead — the row
+/// reports the honest coordination cost; on a multi-core host the shards
+/// serve their legs in parallel.
+fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> ConfigResult {
+    let cloud = ShardedDeployment::bootstrap(
+        b"throughput seed",
+        RsseParams::default(),
+        docs,
+        shards,
+        PoolOptions::new(1, BACKLOG),
+    )
+    .expect("sharded bootstrap");
+
+    let start = Instant::now();
+    let per_client: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let cloud = &cloud;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(requests_per_client);
+                    for _ in 0..requests_per_client {
+                        let sent = Instant::now();
+                        let (docs, outcome) = cloud
+                            .rsse_search(HOT_KEYWORD, Some(10))
+                            .expect("scatter-gather query");
+                        lats.push(sent.elapsed());
+                        assert_eq!(docs.len(), 10);
+                        assert!(
+                            outcome.is_complete(),
+                            "no shard may degrade on a healthy deployment"
+                        );
+                        assert_eq!(outcome.traffic.shard_legs as usize, shards);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut latencies: Vec<Duration> = per_client.into_iter().flatten().collect();
+
+    let requests = CLIENTS * requests_per_client;
+    let served = cloud.shutdown();
+    assert_eq!(
+        served,
+        (requests * shards) as u64,
+        "each query must put exactly one leg on every shard"
+    );
+
+    latencies.sort_unstable();
+    ConfigResult {
+        scenario: "sharded",
+        workers: shards,
+        requests,
+        wall_s: wall.as_secs_f64(),
+        rps: requests as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        shed_retries: 0,
+        shard_legs: shards as u64,
     }
 }
 
@@ -165,7 +246,8 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"shed_retries\": {}, \"speedup_vs_1_worker\": {:.2}}}{}\n",
+             \"p99_ms\": {:.3}, \"shed_retries\": {}, \"shard_legs\": {}, \
+             \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
             r.requests,
@@ -174,6 +256,7 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
             r.p50_ms,
             r.p99_ms,
             r.shed_retries,
+            r.shard_legs,
             r.rps / baseline.rps,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -245,8 +328,34 @@ fn main() {
         }
     }
 
+    // Scatter-gather scenario: the "workers" column is the shard count
+    // (one worker per shard).
+    for &shards in &WORKER_COUNTS {
+        let r = run_sharded(corpus.documents(), 50, shards);
+        println!(
+            "{},{},{},{:.4},{:.1},{:.3},{:.3},{}",
+            r.scenario, r.workers, r.requests, r.wall_s, r.rps, r.p50_ms, r.p99_ms, r.shed_retries
+        );
+        results.push(r);
+    }
+
     write_json(&out_path, seed, &results);
     eprintln!("wrote {out_path}");
+
+    // Smoke gate: a sharded throughput number is only worth publishing if
+    // sharding provably never changes a ranking, so the bench refuses to
+    // pass unless the equivalence harness does.
+    eprintln!("running shard-equivalence smoke suite...");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = std::process::Command::new(cargo)
+        .args(["test", "-q", "-p", "rsse", "--test", "shard_equivalence"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .status()
+        .expect("spawn cargo test");
+    assert!(
+        status.success(),
+        "shard-equivalence smoke suite failed; sharded numbers are void"
+    );
 
     // The acceptance gate: in the I/O-overlap regime a 4-worker pool must
     // sustain at least 2.5x the single-worker requests/s.

@@ -28,6 +28,8 @@ pub enum RequestKind {
     Fetch,
     /// Conjunctive multi-keyword search.
     Conjunctive,
+    /// One scatter leg of a sharded search served by this shard.
+    ShardQuery,
     /// A §VII score-dynamics update.
     Update,
     /// A message the server refused to handle.
@@ -48,6 +50,8 @@ pub struct ServingReport {
     pub fetches: u64,
     /// Conjunctive searches.
     pub conjunctive: u64,
+    /// Sharded-search scatter legs served by this shard.
+    pub shard_queries: u64,
     /// Score-dynamics updates applied.
     pub updates: u64,
     /// Requests rejected as out-of-protocol.
@@ -86,6 +90,7 @@ impl AuditLog {
             RequestKind::Search => self.report.searches += 1,
             RequestKind::Fetch => self.report.fetches += 1,
             RequestKind::Conjunctive => self.report.conjunctive += 1,
+            RequestKind::ShardQuery => self.report.shard_queries += 1,
             RequestKind::Update => self.report.updates += 1,
             RequestKind::Rejected => self.report.rejected += 1,
             RequestKind::Panicked => self.report.panics += 1,
@@ -346,6 +351,7 @@ mod tests {
         assert_eq!(report.rejected, 1);
         assert_eq!(report.fetches, 1);
         assert_eq!(report.conjunctive, 0);
+        assert_eq!(report.shard_queries, 0);
         assert_eq!(report.panics, 0);
         // Only the 4 most recent records survive.
         let recent: Vec<RequestKind> = log.recent().collect();
@@ -358,6 +364,18 @@ mod tests {
                 RequestKind::Fetch
             ]
         );
+    }
+
+    #[test]
+    fn shard_query_legs_are_counted() {
+        let mut log = AuditLog::with_capacity(4);
+        log.record(RequestKind::ShardQuery);
+        log.record(RequestKind::ShardQuery);
+        let report = log.report();
+        assert_eq!(report.total, 2);
+        assert_eq!(report.shard_queries, 2);
+        assert_eq!(report.searches, 0);
+        assert!(log.recent().all(|k| k == RequestKind::ShardQuery));
     }
 
     #[test]

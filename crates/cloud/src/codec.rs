@@ -222,6 +222,35 @@ pub enum Message {
         /// Number of files ingested.
         files_added: u64,
     },
+    /// Coordinator → shard: one scatter leg of a sharded ranked search.
+    /// Carries the same trapdoor as a [`Message::SearchRequest`] plus the
+    /// shard's identity, echoed back in the reply so legs can be correlated
+    /// (and misdirected frames detected) without transport-level state.
+    ShardQuery {
+        /// The posting-list label `π_x(w)`.
+        label: Label,
+        /// The per-list key `f_y(w)` bytes.
+        list_key: [u8; 32],
+        /// `Some(k)` requests only the shard's local top-k (the global
+        /// top-k is a subset of the per-shard top-k union under a disjoint
+        /// file partition).
+        top_k: Option<u32>,
+        /// Which shard this leg addresses.
+        shard_id: u32,
+    },
+    /// Shard → coordinator: the shard's locally ranked partial result —
+    /// its own top-k over its partition of the posting list, files
+    /// included. A failing shard answers [`Message::Error`] instead; the
+    /// coordinator merges whatever replies arrive and reports the rest as
+    /// degraded coverage.
+    ShardReply {
+        /// Echo of the queried shard's identity.
+        shard_id: u32,
+        /// `(file id, OPM score)` in the shard's local rank order.
+        ranking: Vec<(u64, u64)>,
+        /// The ranked encrypted files, same order.
+        files: Vec<EncryptedFile>,
+    },
     /// Server → client: the request failed. Every request gets an answer
     /// frame — success or this — so failures are representable on a real
     /// transport and their bytes count in the bandwidth accounting.
@@ -274,6 +303,13 @@ fn get_u64(buf: &mut BytesMut) -> Result<u64, CodecError> {
         return Err(CodecError::UnexpectedEof);
     }
     Ok(buf.get_u64())
+}
+
+fn get_u32(buf: &mut BytesMut) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_u32())
 }
 
 /// Optional-u32 field: one presence byte (strictly 0 or 1, so every
@@ -473,6 +509,38 @@ impl Message {
                 buf.put_u8(kind.to_byte());
                 put_bytes(&mut buf, detail.as_bytes());
             }
+            Message::ShardQuery {
+                label,
+                list_key,
+                top_k,
+                shard_id,
+            } => {
+                buf.put_u8(13);
+                buf.put_slice(label);
+                buf.put_slice(list_key);
+                match top_k {
+                    Some(k) => {
+                        buf.put_u8(1);
+                        buf.put_u32(*k);
+                    }
+                    None => buf.put_u8(0),
+                }
+                buf.put_u32(*shard_id);
+            }
+            Message::ShardReply {
+                shard_id,
+                ranking,
+                files,
+            } => {
+                buf.put_u8(14);
+                buf.put_u32(*shard_id);
+                buf.put_u64(ranking.len() as u64);
+                for (id, score) in ranking {
+                    buf.put_u64(*id);
+                    buf.put_u64(*score);
+                }
+                put_files(&mut buf, files);
+            }
         }
         buf
     }
@@ -580,6 +648,33 @@ impl Message {
                     String::from_utf8(get_bytes(&mut buf)?).map_err(|_| CodecError::BadString)?;
                 Message::Error { kind, detail }
             }
+            13 => {
+                let label: Label = get_array(&mut buf)?;
+                let list_key: [u8; 32] = get_array(&mut buf)?;
+                let top_k = get_opt_u32(&mut buf)?;
+                let shard_id = get_u32(&mut buf)?;
+                Message::ShardQuery {
+                    label,
+                    list_key,
+                    top_k,
+                    shard_id,
+                }
+            }
+            14 => {
+                let shard_id = get_u32(&mut buf)?;
+                let n = get_len(&mut buf)?;
+                let mut ranking = Vec::with_capacity(bounded_cap(n, &buf, 16));
+                for _ in 0..n {
+                    let id = get_u64(&mut buf)?;
+                    let score = get_u64(&mut buf)?;
+                    ranking.push((id, score));
+                }
+                Message::ShardReply {
+                    shard_id,
+                    ranking,
+                    files: get_files(&mut buf)?,
+                }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -660,6 +755,10 @@ impl Message {
             Message::Update { rsse_lists, files } => lists_len(rsse_lists) + files_len(files),
             Message::UpdateAck { .. } => 8 + 8,
             Message::Error { detail, .. } => 1 + bytes_len(detail.as_bytes()),
+            Message::ShardQuery { top_k, .. } => 20 + 32 + opt_u32_len(top_k) + 4,
+            Message::ShardReply { ranking, files, .. } => {
+                4 + 8 + 16 * ranking.len() + files_len(files)
+            }
         }
     }
 }
@@ -722,6 +821,28 @@ mod tests {
             Message::UpdateAck {
                 lists_touched: 3,
                 files_added: 1,
+            },
+            Message::ShardQuery {
+                label: [11u8; 20],
+                list_key: [12u8; 32],
+                top_k: Some(6),
+                shard_id: 3,
+            },
+            Message::ShardQuery {
+                label: [11u8; 20],
+                list_key: [12u8; 32],
+                top_k: None,
+                shard_id: 0,
+            },
+            Message::ShardReply {
+                shard_id: 3,
+                ranking: vec![(4, 777), (9, 300)],
+                files: vec![EncryptedFile::new(FileId::new(4), vec![0xcc; 18])],
+            },
+            Message::ShardReply {
+                shard_id: 1,
+                ranking: vec![],
+                files: vec![],
             },
             Message::Error {
                 kind: ErrorKind::Rejected,
@@ -832,6 +953,21 @@ mod tests {
         buf.put_u8(9);
         put_bytes(&mut buf, b"x");
         assert_eq!(Message::decode(buf), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn shard_query_presence_byte_is_strict() {
+        // Same canonicality rule as SearchRequest: the has-top-k byte must
+        // be exactly 0 or 1 or the frame is rejected.
+        let mut encoded = Message::ShardQuery {
+            label: [1u8; 20],
+            list_key: [2u8; 32],
+            top_k: None,
+            shard_id: 5,
+        }
+        .encode();
+        encoded[1 + 20 + 32] = 2;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(2)));
     }
 
     #[test]

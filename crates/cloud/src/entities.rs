@@ -79,6 +79,65 @@ impl DataOwner {
     pub fn authorize_user(&self) -> User {
         User::new(&self.master_seed, *self.rsse.params())
     }
+
+    /// Sharded `Setup`: builds the global encrypted index **once**, then
+    /// partitions its ciphertexts across the partitioner's shards by
+    /// file-id hash, emitting one `Outsource` message per shard.
+    ///
+    /// Partitioning the *built* index — rather than building one index per
+    /// shard — is what makes sharded ranking byte-identical to the
+    /// unsharded path: scores are computed against global collection
+    /// statistics, and each OPM value is seeded per `(keyword, file)`, so
+    /// a per-shard rebuild would change both. Entries are semantically
+    /// encrypted, so only the owner can route them; it does so with
+    /// [`Rsse::posting_owners`], which reproduces the build's entry order
+    /// without decrypting anything. Padding entries (positions past the
+    /// real postings) spread round-robin so every shard keeps cover
+    /// traffic. Each encrypted file is stored only on the shard owning its
+    /// id; the basic-scheme index is not sharded (single-server protocols
+    /// 2 and 3 stay on the unsharded deployment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn outsource_sharded(
+        &self,
+        docs: &[Document],
+        partitioner: &crate::shard::IndexPartitioner,
+    ) -> Result<Vec<Message>, CloudError> {
+        let plaintext_index = InvertedIndex::build(docs);
+        let rsse_index = self.rsse.build_index_from(&plaintext_index)?;
+        let opse = *rsse_index
+            .opse_params()
+            .expect("freshly built index carries parameters");
+        let owners: std::collections::HashMap<_, _> = self
+            .rsse
+            .posting_owners(&plaintext_index)
+            .into_iter()
+            .collect();
+        let n = partitioner.num_shards();
+        let shard_indexes = rsse_index.split_parts(n, |label, pos, _| {
+            match owners.get(label).and_then(|files| files.get(pos)) {
+                Some(file) => partitioner.shard_of(*file),
+                None => pos % n, // padding entry
+            }
+        });
+        let mut shard_files: Vec<Vec<EncryptedFile>> = vec![Vec::new(); n];
+        for file in self.files.encrypt_collection(docs) {
+            shard_files[partitioner.shard_of(file.id())].push(file);
+        }
+        Ok(shard_indexes
+            .into_iter()
+            .zip(shard_files)
+            .map(|(index, files)| Message::Outsource {
+                rsse_lists: index.export_parts(),
+                basic_lists: Vec::new(),
+                opse_domain: opse.domain_size(),
+                opse_range: opse.range_size(),
+                files,
+            })
+            .collect())
+    }
 }
 
 /// The honest-but-curious cloud server.
@@ -218,6 +277,34 @@ impl CloudServer {
                     }),
                 )
             }
+            Message::ShardQuery {
+                label,
+                list_key,
+                top_k,
+                shard_id,
+            } => {
+                // One scatter leg: rank this shard's partition of the list
+                // locally and echo the shard identity for correlation. The
+                // local top-k suffices globally because files partition
+                // disjointly across shards.
+                let trapdoor = RsseTrapdoor::from_parts(label, SecretKey::from_bytes(list_key));
+                let results = self
+                    .rsse_index
+                    .read()
+                    .search(&trapdoor, top_k.map(|k| k as usize));
+                let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+                (
+                    RequestKind::ShardQuery,
+                    Ok(Message::ShardReply {
+                        shard_id,
+                        ranking: results
+                            .iter()
+                            .map(|r| (r.file.as_u64(), r.encrypted_score))
+                            .collect(),
+                        files: self.files.read().fetch_many(&ids),
+                    }),
+                )
+            }
             Message::Update { rsse_lists, files } => {
                 let lists_touched = rsse_lists.len() as u64;
                 let files_added = files.len() as u64;
@@ -233,7 +320,7 @@ impl CloudServer {
             _ => (
                 RequestKind::Rejected,
                 Err(CloudError::UnexpectedMessage {
-                    expected: "SearchRequest, FetchFiles, ConjunctiveRequest or Update",
+                    expected: "SearchRequest, FetchFiles, ConjunctiveRequest, ShardQuery or Update",
                 }),
             ),
         }
@@ -374,6 +461,30 @@ impl User {
             .iter()
             .map(|f| self.files.decrypt(f).map_err(CloudError::from))
             .collect()
+    }
+
+    /// Builds the scatter legs of a sharded ranked search: one
+    /// [`Message::ShardQuery`] per shard, all carrying the same trapdoor,
+    /// each addressed to its shard id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures (e.g. stop-word-only queries).
+    pub fn shard_query(
+        &self,
+        keyword: &str,
+        top_k: Option<u32>,
+        num_shards: u32,
+    ) -> Result<Vec<Message>, CloudError> {
+        let t = self.rsse.trapdoor(keyword)?;
+        Ok((0..num_shards)
+            .map(|shard_id| Message::ShardQuery {
+                label: *t.label(),
+                list_key: *t.list_key().as_bytes(),
+                top_k,
+                shard_id,
+            })
+            .collect())
     }
 
     /// Builds a conjunctive (multi-keyword) search request — the §VIII

@@ -36,6 +36,14 @@ pub enum CloudError {
         /// What the transport was doing when it failed.
         context: &'static str,
     },
+    /// Every shard of a scatter-gather query failed — there is no partial
+    /// result left to degrade to. Individual shard failures are *not*
+    /// errors (the router merges the surviving replies and reports the
+    /// dead legs as degraded coverage); this fires only on total loss.
+    AllShardsFailed {
+        /// Number of shards queried, all of which failed.
+        shards: u32,
+    },
     /// RSSE scheme failure.
     Rsse(RsseError),
     /// Basic scheme failure.
@@ -72,6 +80,9 @@ impl fmt::Display for CloudError {
                 write!(f, "no response within {} ms", after.as_millis())
             }
             CloudError::Transport { context } => write!(f, "transport failed: {context}"),
+            CloudError::AllShardsFailed { shards } => {
+                write!(f, "all {shards} shards failed; no partial result")
+            }
             CloudError::Rsse(e) => write!(f, "rsse failure: {e}"),
             CloudError::Sse(e) => write!(f, "sse failure: {e}"),
             CloudError::Crypto(e) => write!(f, "crypto failure: {e}"),
@@ -89,7 +100,8 @@ impl std::error::Error for CloudError {
             CloudError::UnexpectedMessage { .. }
             | CloudError::Server { .. }
             | CloudError::Timeout { .. }
-            | CloudError::Transport { .. } => None,
+            | CloudError::Transport { .. }
+            | CloudError::AllShardsFailed { .. } => None,
         }
     }
 }
@@ -140,6 +152,10 @@ mod tests {
             after: Duration::from_millis(250),
         };
         assert!(t.to_string().contains("250"));
+        let a = CloudError::AllShardsFailed { shards: 4 };
+        assert!(a.to_string().contains("all 4 shards"));
+        assert!(a.source().is_none());
+        assert_eq!(a.wire_kind(), ErrorKind::Internal);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod files;
 pub mod keydist;
 pub mod network;
 pub mod server_loop;
+pub mod shard;
 
 pub use audit::{AuditLog, RequestKind, ServingReport};
 pub use codec::{CodecError, ErrorKind, Message, SearchMode};
@@ -46,4 +47,7 @@ pub use entities::{CloudServer, DataOwner, Deployment, User};
 pub use error::CloudError;
 pub use files::{EncryptedFile, FileCrypter, FileStore};
 pub use network::{MeteredChannel, NetworkParams, TrafficReport};
-pub use server_loop::{serve_frame, Fault, FaultHook, PoolOptions, ServerClient, ServerHandle};
+pub use server_loop::{
+    serve_frame, Fault, FaultHook, PendingReply, PoolOptions, ServerClient, ServerHandle,
+};
+pub use shard::{IndexPartitioner, ScatterOutcome, ShardRouter, ShardedDeployment};

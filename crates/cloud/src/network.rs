@@ -60,12 +60,40 @@ pub struct TrafficReport {
     /// is part of the paper's byte-on-the-wire accounting, not a side
     /// channel.
     pub error_frames: u32,
+    /// How many of the round trips were scatter legs to index shards. A
+    /// single-server run reports 0; a sharded query reports one leg per
+    /// shard it addressed (failed legs included — their error bytes are on
+    /// the wire either way).
+    pub shard_legs: u32,
 }
 
 impl TrafficReport {
     /// Total bytes in both directions.
     pub fn total_bytes(&self) -> usize {
         self.bytes_up + self.bytes_down
+    }
+
+    /// Folds another report into this one — how a scatter-gather
+    /// coordinator aggregates its per-shard leg reports into the query's
+    /// total traffic.
+    pub fn absorb(&mut self, other: &TrafficReport) {
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+        self.round_trips += other.round_trips;
+        self.error_frames += other.error_frames;
+        self.shard_legs += other.shard_legs;
+    }
+
+    /// The traffic of one scatter leg: a query frame up to a shard and one
+    /// reply frame (success or error) back down.
+    pub fn shard_leg(bytes_up: usize, bytes_down: usize, is_error: bool) -> TrafficReport {
+        TrafficReport {
+            bytes_up,
+            bytes_down,
+            round_trips: 1,
+            error_frames: u32::from(is_error),
+            shard_legs: 1,
+        }
     }
 
     /// Simulated wall-clock completion time over `net`: per round trip two
@@ -131,13 +159,13 @@ mod tests {
             bytes_up: 100,
             bytes_down: 100,
             round_trips: 1,
-            error_frames: 0,
+            ..TrafficReport::default()
         };
         let two_rounds = TrafficReport {
             bytes_up: 100,
             bytes_down: 100,
             round_trips: 2,
-            error_frames: 0,
+            ..TrafficReport::default()
         };
         let d1 = one_round.simulated_time(&net);
         let d2 = two_rounds.simulated_time(&net);
@@ -152,7 +180,7 @@ mod tests {
             bytes_up: 200,
             bytes_down: 100_000_000, // ~8 s at 100 Mbit/s
             round_trips: 1,
-            error_frames: 0,
+            ..TrafficReport::default()
         };
         assert!(bulky.simulated_time(&net) > Duration::from_secs(7));
     }
@@ -170,5 +198,18 @@ mod tests {
         assert_eq!(r.round_trips, 2);
         assert_eq!(r.error_frames, 1);
         assert_eq!(r.total_bytes(), 40);
+        assert_eq!(r.shard_legs, 0, "a plain channel run has no shard legs");
+    }
+
+    #[test]
+    fn absorb_aggregates_scatter_legs() {
+        let mut total = TrafficReport::default();
+        total.absorb(&TrafficReport::shard_leg(60, 200, false));
+        total.absorb(&TrafficReport::shard_leg(60, 35, true));
+        assert_eq!(total.bytes_up, 120);
+        assert_eq!(total.bytes_down, 235);
+        assert_eq!(total.round_trips, 2);
+        assert_eq!(total.shard_legs, 2);
+        assert_eq!(total.error_frames, 1, "a dead leg's error frame is metered");
     }
 }

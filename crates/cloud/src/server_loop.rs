@@ -456,18 +456,32 @@ impl ServerClient {
         outcome
     }
 
-    fn call_inner(
-        &self,
-        frame: Vec<u8>,
-        deadline: Option<Duration>,
-    ) -> Result<Message, CloudError> {
+    /// Queues a request without waiting for its reply, returning a
+    /// [`PendingReply`] to collect later. This is the scatter half of a
+    /// scatter-gather query: a coordinator puts one leg on every shard's
+    /// queue before blocking on any of them, so N shards serve in parallel
+    /// without the coordinator spawning N threads.
+    ///
+    /// The admission decision happens *now*: a full backlog sheds with an
+    /// [`ErrorKind::Overloaded`] error and a dead pool fails with
+    /// [`CloudError::Transport`], exactly as [`ServerClient::call`] would.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Server`] (Overloaded) when the backlog sheds the
+    /// request, [`CloudError::Transport`] when the pool is shut down.
+    pub fn call_async(&self, request: Message) -> Result<PendingReply, CloudError> {
+        self.send_frame(request.encode().to_vec())
+    }
+
+    fn send_frame(&self, frame: Vec<u8>) -> Result<PendingReply, CloudError> {
         let (reply_tx, reply_rx) = bounded(1);
         let envelope = Envelope::Request {
             frame,
             reply: reply_tx,
         };
         match self.requests.try_send(envelope) {
-            Ok(()) => {}
+            Ok(()) => Ok(PendingReply { reply_rx }),
             Err(TrySendError::Full(_)) => {
                 // Shed: the bounded backlog is the server's admission
                 // control, so a full queue answers like the front door
@@ -477,22 +491,51 @@ impl ServerClient {
                 let Message::Error { kind, detail } = Message::decode(shed)? else {
                     unreachable!("an encoded error frame decodes to an error frame");
                 };
-                return Err(CloudError::Server { kind, detail });
+                Err(CloudError::Server { kind, detail })
             }
-            Err(TrySendError::Disconnected(_)) => {
-                return Err(CloudError::Transport {
-                    context: "server pool is shut down",
-                });
-            }
+            Err(TrySendError::Disconnected(_)) => Err(CloudError::Transport {
+                context: "server pool is shut down",
+            }),
         }
+    }
+
+    fn call_inner(
+        &self,
+        frame: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Result<Message, CloudError> {
+        self.send_frame(frame)?.wait(deadline)
+    }
+}
+
+/// An in-flight request issued by [`ServerClient::call_async`]: the
+/// request is already on the server's queue; the reply is collected with
+/// [`PendingReply::wait`].
+#[derive(Debug)]
+pub struct PendingReply {
+    reply_rx: Receiver<Vec<u8>>,
+}
+
+impl PendingReply {
+    /// Waits for the reply, up to `deadline` when one is given (`None`
+    /// waits indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// * [`CloudError::Server`] when the reply is an error frame;
+    /// * [`CloudError::Timeout`] when `deadline` expires first;
+    /// * [`CloudError::Transport`] when the serving worker died before
+    ///   replying;
+    /// * a codec error when the reply frame does not decode.
+    pub fn wait(self, deadline: Option<Duration>) -> Result<Message, CloudError> {
         let frame = match deadline {
-            Some(limit) => reply_rx.recv_timeout(limit).map_err(|e| match e {
+            Some(limit) => self.reply_rx.recv_timeout(limit).map_err(|e| match e {
                 RecvTimeoutError::Timeout => CloudError::Timeout { after: limit },
                 RecvTimeoutError::Disconnected => CloudError::Transport {
                     context: "worker died before replying",
                 },
             })?,
-            None => reply_rx.recv().map_err(|_| CloudError::Transport {
+            None => self.reply_rx.recv().map_err(|_| CloudError::Transport {
                 context: "worker died before replying",
             })?,
         };
@@ -687,6 +730,45 @@ mod tests {
         assert_eq!(kind, ErrorKind::BadFrame);
         assert_eq!(server.serving_report().rejected, 1);
         handle.shutdown();
+    }
+
+    #[test]
+    fn async_calls_scatter_before_any_wait() {
+        let (owner, handle, _) = spawn_with_workers(2);
+        let client = handle.client();
+        let user = owner.authorize_user();
+        // Queue both legs before blocking on either — the scatter pattern.
+        let legs: Vec<PendingReply> = (0..2)
+            .map(|_| {
+                let req = user
+                    .search_request("network", Some(2), SearchMode::Rsse)
+                    .unwrap();
+                client.call_async(req).unwrap()
+            })
+            .collect();
+        for leg in legs {
+            assert!(matches!(
+                leg.wait(Some(Duration::from_secs(5))).unwrap(),
+                Message::RsseResponse { .. }
+            ));
+        }
+        assert_eq!(handle.shutdown(), 2);
+    }
+
+    #[test]
+    fn async_call_sheds_and_fails_like_the_blocking_path() {
+        let (owner, handle, _) = spawn_server();
+        let client = handle.client();
+        let user = owner.authorize_user();
+        let req = user
+            .search_request("network", Some(1), SearchMode::Rsse)
+            .unwrap();
+        handle.shutdown();
+        // The admission decision happens at call_async time.
+        assert!(matches!(
+            client.call_async(req),
+            Err(CloudError::Transport { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,719 @@
+//! Scatter-gather serving over a sharded encrypted index.
+//!
+//! The paper's server holds one encrypted inverted index; the ROADMAP
+//! north-star is a deployment serving millions of users, which means the
+//! index must scale *out*. This module partitions an already-built RSSE
+//! index across N independent [`CloudServer`] shards and serves ranked
+//! search by scattering the trapdoor to every shard and merging their
+//! locally ranked partial results.
+//!
+//! # Why sharding cannot change a ranking
+//!
+//! Three facts make the sharded result byte-identical to the single-server
+//! one:
+//!
+//! 1. **The partition reuses the global ciphertexts.** The owner builds
+//!    the index once — scores computed against global collection
+//!    statistics, each OPM value seeded per `(keyword, file)` — and then
+//!    routes the *finished* entries to shards by file-id hash
+//!    ([`DataOwner::outsource_sharded`]). Rebuilding per shard would
+//!    change IDF and OPM randomness, and with them the ranking.
+//! 2. **Files partition disjointly**, so a shard's local top-k contains
+//!    every one of its files that can appear in the global top-k: the
+//!    union of per-shard top-k lists is a superset of the global top-k.
+//! 3. **[`RankedResult`]'s order is total** (OPM score descending, ties
+//!    toward the smaller file id), so the k-way merge
+//!    ([`rsse_core::merge_ranked_streams`]) reproduces the single-server
+//!    sort exactly, tie-breaks included.
+//!
+//! The `tests/shard_equivalence.rs` proptest suite pins this equivalence
+//! for shard counts 1–8 against random corpora.
+//!
+//! # Degraded results, not failed queries
+//!
+//! Each scatter leg is answered with *some* frame — a
+//! [`Message::ShardReply`] or a typed [`Message::Error`] — and legs fail
+//! independently: a dead shard removes its partition from the result set
+//! and is reported in [`ScatterOutcome::degraded`], while the surviving
+//! shards' results still merge. Only when **every** leg fails does the
+//! query itself fail, with [`CloudError::AllShardsFailed`].
+
+use crate::codec::{ErrorKind, Message};
+use crate::entities::{CloudServer, DataOwner, User};
+use crate::error::CloudError;
+use crate::files::EncryptedFile;
+use crate::network::TrafficReport;
+use crate::server_loop::{PendingReply, PoolOptions, ServerClient, ServerHandle};
+use rsse_core::{merge_ranked_streams, RankedResult, RsseParams};
+use rsse_ir::{Document, FileId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The partition rule: file → shard by hash of the file id.
+///
+/// The hash (SplitMix64) is keyless and public — *which shard holds a
+/// file* is not a secret the scheme protects (the server already sees
+/// file ids in every response), it only needs to spread load evenly and
+/// deterministically so the owner and the router agree on placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexPartitioner {
+    num_shards: usize,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl IndexPartitioner {
+    /// A partitioner over `num_shards` shards (clamped to at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        IndexPartitioner {
+            num_shards: num_shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `file`.
+    pub fn shard_of(&self, file: FileId) -> usize {
+        (splitmix64(file.as_u64()) % self.num_shards as u64) as usize
+    }
+}
+
+/// One failed scatter leg: which shard, and why.
+#[derive(Debug)]
+pub struct DegradedLeg {
+    /// The shard that did not contribute results.
+    pub shard_id: u32,
+    /// What its leg failed with (an error frame, a timeout, a dead
+    /// transport, or an out-of-protocol reply).
+    pub error: CloudError,
+}
+
+/// The outcome of one scatter-gather query.
+#[derive(Debug)]
+pub struct ScatterOutcome {
+    /// Globally ranked results, best first — byte-identical to what the
+    /// unsharded server would return *if no leg degraded*.
+    pub ranking: Vec<RankedResult>,
+    /// The ranked encrypted files, same order as `ranking`.
+    pub files: Vec<EncryptedFile>,
+    /// Aggregated traffic of every leg, shed attempts and error frames
+    /// included ([`TrafficReport::shard_legs`] counts the legs).
+    pub traffic: TrafficReport,
+    /// Shards that answered with a usable reply.
+    pub shards_ok: u32,
+    /// Legs that failed — degraded coverage, reported, never silent. Empty
+    /// means the ranking is complete.
+    pub degraded: Vec<DegradedLeg>,
+}
+
+impl ScatterOutcome {
+    /// Whether every shard contributed (no degraded coverage).
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
+/// Merges per-shard replies into one globally ranked result list with the
+/// files aligned to it.
+///
+/// `rankings[s]` and `files[s]` are shard `s`'s reply, already in its
+/// local rank order (files aligned to its ranking). The coordinator's
+/// cost here is O(shards) allocations — the head heap, the cursor table,
+/// the file iterators, and two pre-sized output vectors — never
+/// O(results); the alloc-count regression suite pins the merge half of
+/// this. Files are *moved* out of the replies, not cloned.
+///
+/// Provenance is recovered by per-shard cursors instead of a hash map:
+/// the merged order restricted to one shard is a prefix of that shard's
+/// local order, so whichever shard's cursor head equals the next merged
+/// result is its source (ties drain toward the lower shard index, exactly
+/// like the merge). A file that does not match its claimed result — a
+/// misbehaving shard — is dropped rather than misattributed.
+pub fn merge_shard_replies(
+    rankings: &[Vec<RankedResult>],
+    files: Vec<Vec<EncryptedFile>>,
+    top_k: Option<usize>,
+) -> (Vec<RankedResult>, Vec<EncryptedFile>) {
+    let streams: Vec<&[RankedResult]> = rankings.iter().map(Vec::as_slice).collect();
+    let merged = merge_ranked_streams(&streams, top_k);
+    let mut cursors = vec![0usize; rankings.len()];
+    let mut file_iters: Vec<std::vec::IntoIter<EncryptedFile>> =
+        files.into_iter().map(Vec::into_iter).collect();
+    let mut out_files = Vec::with_capacity(merged.len());
+    for result in &merged {
+        let source = (0..rankings.len())
+            .find(|&s| rankings[s].get(cursors[s]) == Some(result))
+            .expect("every merged result heads exactly one stream");
+        cursors[source] += 1;
+        match file_iters[source].next() {
+            Some(file) if file.id() == result.file => out_files.push(file),
+            _ => {} // shard sent fewer/misaligned files; drop, don't misattribute
+        }
+    }
+    (merged, out_files)
+}
+
+/// The scatter-gather coordinator: one [`ServerClient`] per shard, a
+/// per-leg deadline, and bounded retry against transient overload.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    clients: Vec<ServerClient>,
+    deadline: Duration,
+    attempts: u32,
+    backoff: Duration,
+}
+
+impl ShardRouter {
+    /// A router over `clients` (shard `i` is `clients[i]`) with a 5 s
+    /// per-leg deadline and 3 overload-retry attempts at 2 ms base
+    /// backoff.
+    pub fn new(clients: Vec<ServerClient>) -> Self {
+        ShardRouter {
+            clients,
+            deadline: Duration::from_secs(5),
+            attempts: 3,
+            backoff: Duration::from_millis(2),
+        }
+    }
+
+    /// Sets the per-leg gather deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the overload-retry budget: up to `attempts` enqueue attempts
+    /// per leg, sleeping `backoff` (doubled each retry) between them.
+    #[must_use]
+    pub fn with_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.attempts = attempts.max(1);
+        self.backoff = backoff;
+        self
+    }
+
+    /// Number of shards this router addresses.
+    pub fn num_shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Scatters `legs` (leg `i` to shard `i`) and gathers the merged
+    /// top-`top_k` ranking.
+    ///
+    /// All legs are queued before any reply is awaited
+    /// ([`ServerClient::call_async`]), so shards serve in parallel. A leg
+    /// shed by a full backlog is retried within the router's retry
+    /// budget; every other failure — an error frame, a deadline expiry, a
+    /// dead worker, an out-of-protocol or misaddressed reply — degrades
+    /// that shard's coverage and is reported in
+    /// [`ScatterOutcome::degraded`]. Every attempt's bytes are metered,
+    /// error frames included; a timed-out leg contributes its upstream
+    /// bytes and an empty downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::AllShardsFailed`] when no shard produced a usable
+    /// reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `legs.len()` differs from the router's shard count —
+    /// a misassembled scatter is a programming error, not a wire fault.
+    pub fn scatter(
+        &self,
+        legs: Vec<Message>,
+        top_k: Option<usize>,
+    ) -> Result<ScatterOutcome, CloudError> {
+        assert_eq!(
+            legs.len(),
+            self.clients.len(),
+            "one leg per shard, in shard order"
+        );
+        let mut traffic = TrafficReport::default();
+        let shed_frame_len =
+            Message::error(ErrorKind::Overloaded, "request backlog is full").wire_len();
+
+        enum Leg {
+            Pending(PendingReply),
+            Failed(CloudError),
+        }
+        // Scatter: queue every leg before waiting on any. Overload sheds
+        // are answered round trips (the front door priced them), so each
+        // attempt meters as its own leg.
+        let mut states = Vec::with_capacity(legs.len());
+        for (client, leg) in self.clients.iter().zip(&legs) {
+            let up = leg.wire_len();
+            let mut wait = self.backoff;
+            let mut attempt = 0;
+            let state = loop {
+                attempt += 1;
+                match client.call_async(leg.clone()) {
+                    Ok(pending) => break Leg::Pending(pending),
+                    Err(
+                        e @ CloudError::Server {
+                            kind: ErrorKind::Overloaded,
+                            ..
+                        },
+                    ) => {
+                        traffic.absorb(&TrafficReport::shard_leg(up, shed_frame_len, true));
+                        if attempt >= self.attempts {
+                            break Leg::Failed(e);
+                        }
+                        std::thread::sleep(wait);
+                        wait = wait.saturating_mul(2);
+                    }
+                    Err(e) => {
+                        // Dead transport: the request never left; meter the
+                        // attempted upstream bytes only.
+                        traffic.absorb(&TrafficReport::shard_leg(up, 0, false));
+                        break Leg::Failed(e);
+                    }
+                }
+            };
+            states.push(state);
+        }
+
+        // Gather: collect every pending leg under the per-leg deadline.
+        let mut rankings: Vec<Vec<RankedResult>> = Vec::with_capacity(states.len());
+        let mut shard_files: Vec<Vec<EncryptedFile>> = Vec::with_capacity(states.len());
+        let mut degraded = Vec::new();
+        for (shard, (state, leg)) in states.into_iter().zip(&legs).enumerate() {
+            let shard = shard as u32;
+            let up = leg.wire_len();
+            let pending = match state {
+                Leg::Pending(p) => p,
+                Leg::Failed(error) => {
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error,
+                    });
+                    continue;
+                }
+            };
+            match pending.wait(Some(self.deadline)) {
+                Ok(Message::ShardReply {
+                    shard_id,
+                    ranking,
+                    files,
+                }) if shard_id == shard => {
+                    let reply_len = Message::ShardReply {
+                        shard_id,
+                        ranking: ranking.clone(),
+                        files: files.clone(),
+                    }
+                    .wire_len();
+                    traffic.absorb(&TrafficReport::shard_leg(up, reply_len, false));
+                    rankings.push(
+                        ranking
+                            .into_iter()
+                            .map(|(id, encrypted_score)| RankedResult {
+                                file: FileId::new(id),
+                                encrypted_score,
+                            })
+                            .collect(),
+                    );
+                    shard_files.push(files);
+                }
+                Ok(other) => {
+                    traffic.absorb(&TrafficReport::shard_leg(up, other.wire_len(), false));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error: CloudError::UnexpectedMessage {
+                            expected: "ShardReply addressed to this shard",
+                        },
+                    });
+                }
+                Err(CloudError::Server { kind, detail }) => {
+                    // The codec is canonical, so rebuilding the frame
+                    // reproduces its exact wire size.
+                    let frame_len = Message::Error {
+                        kind,
+                        detail: detail.clone(),
+                    }
+                    .wire_len();
+                    traffic.absorb(&TrafficReport::shard_leg(up, frame_len, true));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error: CloudError::Server { kind, detail },
+                    });
+                }
+                Err(error) => {
+                    traffic.absorb(&TrafficReport::shard_leg(up, 0, false));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error,
+                    });
+                }
+            }
+        }
+
+        let shards_ok = rankings.len() as u32;
+        if shards_ok == 0 {
+            return Err(CloudError::AllShardsFailed {
+                shards: self.clients.len() as u32,
+            });
+        }
+        let (ranking, files) = merge_shard_replies(&rankings, shard_files, top_k);
+        Ok(ScatterOutcome {
+            ranking,
+            files,
+            traffic,
+            shards_ok,
+            degraded,
+        })
+    }
+}
+
+/// A complete sharded deployment: owner, N shard server pools, router,
+/// and one authorized user.
+pub struct ShardedDeployment {
+    owner: DataOwner,
+    user: User,
+    partitioner: IndexPartitioner,
+    handles: Vec<ServerHandle>,
+    router: ShardRouter,
+}
+
+impl core::fmt::Debug for ShardedDeployment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ShardedDeployment {{ shards: {} }}",
+            self.partitioner.num_shards()
+        )
+    }
+}
+
+impl ShardedDeployment {
+    /// Bootstraps `num_shards` shard pools over `docs`, each with the
+    /// same `options` (workers, backlog, deadline, faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn bootstrap(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        num_shards: usize,
+        options: PoolOptions,
+    ) -> Result<Self, CloudError> {
+        Self::bootstrap_with(master_seed, params, docs, num_shards, |_| options.clone())
+    }
+
+    /// [`Self::bootstrap`] with per-shard pool options — how the fault
+    /// tests wedge exactly one shard while the others serve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn bootstrap_with(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        num_shards: usize,
+        mut options_for: impl FnMut(usize) -> PoolOptions,
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let partitioner = IndexPartitioner::new(num_shards);
+        let handles: Vec<ServerHandle> = owner
+            .outsource_sharded(docs, &partitioner)?
+            .into_iter()
+            .enumerate()
+            .map(|(shard, outsource)| {
+                // Over the wire exactly as deployed: each shard boots from
+                // its own decoded Outsource frame.
+                let frame = outsource.encode();
+                let server = CloudServer::from_outsource(Message::decode(frame)?)?;
+                Ok(ServerHandle::spawn_pool_with(server, options_for(shard)))
+            })
+            .collect::<Result<_, CloudError>>()?;
+        let router = ShardRouter::new(handles.iter().map(ServerHandle::client).collect());
+        let user = owner.authorize_user();
+        Ok(ShardedDeployment {
+            owner,
+            user,
+            partitioner,
+            handles,
+            router,
+        })
+    }
+
+    /// The authorized user.
+    pub fn user(&self) -> &User {
+        &self.user
+    }
+
+    /// The data owner.
+    pub fn owner(&self) -> &DataOwner {
+        &self.owner
+    }
+
+    /// The partition rule shards were populated under.
+    pub fn partitioner(&self) -> IndexPartitioner {
+        self.partitioner
+    }
+
+    /// The scatter-gather coordinator.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Shared handle to shard `i`'s server (audit log, raw index), if it
+    /// exists.
+    pub fn shard_server(&self, shard: usize) -> Option<Arc<CloudServer>> {
+        self.handles.get(shard).map(ServerHandle::server)
+    }
+
+    /// Sharded ranked search: scatter the keyword's trapdoor to every
+    /// shard, merge, and decrypt the top-k files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures, and [`CloudError::AllShardsFailed`]
+    /// when no shard replied.
+    pub fn rsse_search(
+        &self,
+        keyword: &str,
+        top_k: Option<u32>,
+    ) -> Result<(Vec<Document>, ScatterOutcome), CloudError> {
+        let legs = self
+            .user
+            .shard_query(keyword, top_k, self.router.num_shards() as u32)?;
+        let outcome = self.router.scatter(legs, top_k.map(|k| k as usize))?;
+        let docs = self.user.decrypt_files(&outcome.files)?;
+        Ok((docs, outcome))
+    }
+
+    /// Shuts every shard pool down, returning the total requests served
+    /// across all shards.
+    pub fn shutdown(self) -> u64 {
+        self.handles.into_iter().map(ServerHandle::shutdown).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server_loop::Fault;
+    use rsse_ir::corpus::{CorpusParams, SyntheticCorpus};
+    use std::sync::Once;
+
+    /// Silences the default panic printout for the panics this suite
+    /// injects on purpose; genuine panics still print.
+    fn quiet_injected_panics() {
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected fault"));
+                if !injected {
+                    default_hook(info);
+                }
+            }));
+        });
+    }
+
+    fn rr(file: u64, score: u64) -> RankedResult {
+        RankedResult {
+            file: FileId::new(file),
+            encrypted_score: score,
+        }
+    }
+
+    fn ef(id: u64) -> EncryptedFile {
+        EncryptedFile::new(FileId::new(id), vec![id as u8; 8])
+    }
+
+    #[test]
+    fn partitioner_is_deterministic_and_covers_all_shards() {
+        for n in 1..=8usize {
+            let p = IndexPartitioner::new(n);
+            assert_eq!(p.num_shards(), n);
+            let mut hit = vec![false; n];
+            for id in 0..256u64 {
+                let s = p.shard_of(FileId::new(id));
+                assert!(s < n);
+                assert_eq!(s, p.shard_of(FileId::new(id)), "deterministic");
+                hit[s] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "256 files must touch all {n} shards"
+            );
+        }
+        assert_eq!(IndexPartitioner::new(0).num_shards(), 1, "clamped");
+    }
+
+    #[test]
+    fn merge_aligns_files_with_duplicate_scores_and_empty_shards() {
+        // Shard 0 and 1 tie on score 90 (distinct files); shard 2 is empty.
+        let rankings = vec![
+            vec![rr(4, 90), rr(1, 10)],
+            vec![rr(2, 90), rr(7, 50)],
+            vec![],
+        ];
+        let files = vec![vec![ef(4), ef(1)], vec![ef(2), ef(7)], vec![]];
+        let (ranking, out_files) = merge_shard_replies(&rankings, files, Some(3));
+        assert_eq!(ranking, vec![rr(2, 90), rr(4, 90), rr(7, 50)]);
+        let ids: Vec<u64> = out_files.iter().map(|f| f.id().as_u64()).collect();
+        assert_eq!(ids, vec![2, 4, 7], "files track the merged rank order");
+        // k beyond the total returns everything, still aligned.
+        let files = vec![vec![ef(4), ef(1)], vec![ef(2), ef(7)], vec![]];
+        let (all, all_files) = merge_shard_replies(&rankings, files, Some(99));
+        assert_eq!(all.len(), 4);
+        assert_eq!(all_files.len(), 4);
+    }
+
+    #[test]
+    fn merge_drops_misaligned_files_instead_of_misattributing() {
+        let rankings = vec![vec![rr(4, 90)]];
+        // The shard claims result 4 but ships file 9.
+        let files = vec![vec![ef(9)]];
+        let (ranking, out_files) = merge_shard_replies(&rankings, files, None);
+        assert_eq!(ranking, vec![rr(4, 90)]);
+        assert!(out_files.is_empty(), "a lying shard's file is dropped");
+    }
+
+    fn small_docs(seed: u64) -> SyntheticCorpus {
+        SyntheticCorpus::generate(&CorpusParams::small(seed))
+    }
+
+    #[test]
+    fn sharded_search_round_trips_and_meters_legs() {
+        let corpus = small_docs(71);
+        let cloud = ShardedDeployment::bootstrap(
+            b"shard seed",
+            RsseParams::default(),
+            corpus.documents(),
+            3,
+            PoolOptions::new(1, 8),
+        )
+        .unwrap();
+        let (docs, outcome) = cloud.rsse_search("network", Some(5)).unwrap();
+        assert_eq!(outcome.ranking.len(), 5);
+        assert_eq!(docs.len(), 5);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.shards_ok, 3);
+        assert_eq!(outcome.traffic.shard_legs, 3);
+        assert_eq!(outcome.traffic.round_trips, 3);
+        assert_eq!(outcome.traffic.error_frames, 0);
+        assert!(outcome.traffic.bytes_down > 0);
+        // Each shard audited exactly one scatter leg.
+        for shard in 0..3 {
+            let report = cloud.shard_server(shard).unwrap().serving_report();
+            assert_eq!(report.shard_queries, 1, "shard {shard}");
+        }
+        assert_eq!(cloud.shutdown(), 3);
+    }
+
+    #[test]
+    fn one_faulted_shard_degrades_the_result_set_not_the_query() {
+        quiet_injected_panics();
+        let corpus = small_docs(72);
+        let faulty = 1usize;
+        let cloud = ShardedDeployment::bootstrap_with(
+            b"degrade seed",
+            RsseParams::default(),
+            corpus.documents(),
+            3,
+            |shard| {
+                let options = PoolOptions::new(1, 8);
+                if shard == faulty {
+                    options.with_fault(|msg| {
+                        matches!(msg, Message::ShardQuery { .. }).then_some(Fault::Panic("boom"))
+                    })
+                } else {
+                    options
+                }
+            },
+        )
+        .unwrap();
+
+        let (_, healthy) = cloud.rsse_search("network", None).unwrap();
+        // Re-run with the fault armed on shard 1 only: the query still
+        // succeeds, minus exactly shard 1's partition.
+        let (docs, outcome) = cloud.rsse_search("network", None).unwrap();
+        assert_eq!(outcome.shards_ok, 2);
+        assert_eq!(outcome.degraded.len(), 1, "degradation is reported");
+        let leg = &outcome.degraded[0];
+        assert_eq!(leg.shard_id, faulty as u32);
+        assert!(
+            matches!(&leg.error, CloudError::Server { kind, .. } if *kind == ErrorKind::Internal),
+            "the dead leg carries the shard's error frame: {:?}",
+            leg.error
+        );
+        // The error frame's bytes are on the wire like any reply.
+        assert_eq!(outcome.traffic.error_frames, 1);
+        assert_eq!(outcome.traffic.shard_legs, 3);
+        // Surviving shards' results are intact: the degraded ranking is
+        // the healthy one minus the faulted shard's files.
+        let p = cloud.partitioner();
+        let expect: Vec<RankedResult> = healthy
+            .ranking
+            .iter()
+            .copied()
+            .filter(|r| p.shard_of(r.file) != faulty)
+            .collect();
+        assert_eq!(outcome.ranking, expect);
+        assert_eq!(docs.len(), outcome.ranking.len());
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn all_shards_failing_is_an_error_not_an_empty_result() {
+        quiet_injected_panics();
+        let corpus = small_docs(73);
+        let cloud = ShardedDeployment::bootstrap_with(
+            b"total loss seed",
+            RsseParams::default(),
+            corpus.documents(),
+            2,
+            |_| {
+                PoolOptions::new(1, 8).with_fault(|msg| {
+                    matches!(msg, Message::ShardQuery { .. }).then_some(Fault::Panic("boom"))
+                })
+            },
+        )
+        .unwrap();
+        let err = cloud.rsse_search("network", Some(3)).unwrap_err();
+        assert!(
+            matches!(err, CloudError::AllShardsFailed { shards: 2 }),
+            "got {err:?}"
+        );
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn misaddressed_reply_degrades_the_leg() {
+        // A leg whose reply echoes the wrong shard id is out of protocol.
+        let corpus = small_docs(74);
+        let cloud = ShardedDeployment::bootstrap(
+            b"misroute seed",
+            RsseParams::default(),
+            corpus.documents(),
+            2,
+            PoolOptions::new(1, 8),
+        )
+        .unwrap();
+        // Hand-build legs that swap the shard ids: each shard answers with
+        // an echo that fails the router's correlation check.
+        let mut legs = cloud.user().shard_query("network", Some(3), 2).unwrap();
+        legs.swap(0, 1);
+        let err = cloud.router().scatter(legs, Some(3)).unwrap_err();
+        assert!(matches!(err, CloudError::AllShardsFailed { shards: 2 }));
+        cloud.shutdown();
+    }
+}

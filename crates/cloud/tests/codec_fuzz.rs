@@ -36,6 +36,17 @@ fn seed_frames() -> Vec<Vec<u8>> {
             files_added: 1,
         },
         Message::error(ErrorKind::Overloaded, "request backlog is full"),
+        Message::ShardQuery {
+            label: [5u8; 20],
+            list_key: [6u8; 32],
+            top_k: Some(10),
+            shard_id: 2,
+        },
+        Message::ShardReply {
+            shard_id: 2,
+            ranking: vec![(1, 999), (2, 500)],
+            files: vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
+        },
     ]
     .into_iter()
     .map(|m| m.encode().to_vec())

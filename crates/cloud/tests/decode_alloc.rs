@@ -97,6 +97,23 @@ fn hostile_frames() -> Vec<(&'static str, Vec<u8>)> {
     b.put_u64(1 << 40);
     frames.push(("error_frame_huge_detail", b.to_vec()));
 
+    // ShardReply claiming 2^40 ranking pairs in a 13-byte frame.
+    let mut b = BytesMut::new();
+    b.put_u8(14);
+    b.put_u32(0); // shard id
+    b.put_u64(1 << 40); // claimed ranking pairs
+    frames.push(("shard_reply_huge_ranking", b.to_vec()));
+
+    // ShardReply whose files section claims a 2^50-byte ciphertext.
+    let mut b = BytesMut::new();
+    b.put_u8(14);
+    b.put_u32(3); // shard id
+    b.put_u64(0); // empty ranking
+    b.put_u64(1); // one file
+    b.put_u64(9); // file id
+    b.put_u64(1 << 50); // claimed ciphertext length
+    frames.push(("shard_reply_huge_ciphertext", b.to_vec()));
+
     frames
 }
 

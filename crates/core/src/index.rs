@@ -223,6 +223,92 @@ impl RsseIndex {
     pub fn raw_list(&self, label: &Label) -> Option<Vec<&[u8]>> {
         self.store.list(label).map(|pl| pl.iter().collect())
     }
+
+    /// Splits the index into `n` shard-local indexes, routing entry `i` of
+    /// the list under `label` through `route(label, i, entry)`.
+    ///
+    /// Every label exists on every shard (possibly with an empty list), so
+    /// all shards present the same access-pattern shape and an unknown-label
+    /// probe is answered identically everywhere. Entries keep their
+    /// within-list order, and shards reuse the exact ciphertexts of this
+    /// (already built) index — which is what makes sharded ranking
+    /// byte-identical to the unsharded one: OPM scores are seeded per
+    /// `(keyword, file)`, so re-encrypting per shard would *change* them.
+    /// The OPSE parameters are replicated to every shard.
+    pub fn split_parts(
+        &self,
+        n: usize,
+        mut route: impl FnMut(&Label, usize, &[u8]) -> usize,
+    ) -> Vec<RsseIndex> {
+        let n = n.max(1);
+        let mut stores: Vec<PostingStore> = (0..n).map(|_| PostingStore::new()).collect();
+        // Deterministic label order so shard arenas are reproducible.
+        let mut labels: Vec<Label> = self.store.labels().copied().collect();
+        labels.sort_unstable();
+        for label in &labels {
+            let buckets = self
+                .store
+                .split_list(label, n, |i, entry| route(label, i, entry))
+                .expect("label enumerated from this store");
+            for (store, bucket) in stores.iter_mut().zip(buckets) {
+                store.append(*label, &bucket);
+            }
+        }
+        stores
+            .into_iter()
+            .map(|store| RsseIndex {
+                store,
+                opse_params: self.opse_params,
+            })
+            .collect()
+    }
+}
+
+/// Merges per-shard ranked result streams — each already sorted best-first,
+/// i.e. descending by [`RankedResult`]'s `Ord` — into one globally ranked
+/// list, truncated to `top_k` results when given.
+///
+/// This is the coordinator half of scatter-gather search: shards rank their
+/// partition of a posting list locally, and because [`RankedResult`]'s order
+/// is total (OPM score descending, ties broken toward the smaller file id),
+/// a streaming k-way merge reproduces the single-server ranking exactly.
+/// Exact duplicates across streams (impossible under a disjoint partition,
+/// but reachable with a byzantine shard) drain in stream-index order, so
+/// the output stays deterministic.
+///
+/// The merge performs exactly two allocations — the O(#streams) head heap
+/// and the output vector — never O(total results); the coordinator
+/// alloc-count regression test pins this.
+pub fn merge_ranked_streams(
+    streams: &[&[RankedResult]],
+    top_k: Option<usize>,
+) -> Vec<RankedResult> {
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let want = top_k.unwrap_or(total).min(total);
+    let mut out = Vec::with_capacity(want);
+    if want == 0 {
+        return out;
+    }
+    // One head per stream: (head, Reverse(stream), position). The tuple
+    // order makes the heap pop the globally best head, preferring the lower
+    // stream index on exact ties.
+    let mut heads: BinaryHeap<(RankedResult, core::cmp::Reverse<usize>, usize)> =
+        BinaryHeap::with_capacity(streams.len());
+    for (s, stream) in streams.iter().enumerate() {
+        if let Some(&first) = stream.first() {
+            heads.push((first, core::cmp::Reverse(s), 0));
+        }
+    }
+    while let Some((best, core::cmp::Reverse(s), pos)) = heads.pop() {
+        out.push(best);
+        if out.len() == want {
+            break;
+        }
+        if let Some(&next) = streams[s].get(pos + 1) {
+            heads.push((next, core::cmp::Reverse(s), pos + 1));
+        }
+    }
+    out
 }
 
 /// Collects the `k` largest items of `iter` using a min-heap of size `k`.
@@ -275,6 +361,74 @@ mod tests {
             via_sort.truncate(k);
             assert_eq!(via_heap, via_sort, "k={k}");
         }
+    }
+
+    #[test]
+    fn merge_of_sorted_streams_matches_global_sort() {
+        // Duplicate OPM scores across streams: the tie-break (smaller file
+        // id ranks higher) must match the single-server sort exactly.
+        let a = vec![rr(1, 90), rr(4, 90), rr(7, 10)];
+        let b = vec![rr(2, 90), rr(5, 50)];
+        let c = vec![rr(3, 90), rr(6, 50), rr(8, 10)];
+        let mut global: Vec<RankedResult> = [a.clone(), b.clone(), c.clone()].concat();
+        global.sort_by(|x, y| y.cmp(x));
+        for k in [0usize, 1, 3, 5, 8, 20] {
+            let merged = merge_ranked_streams(&[&a, &b, &c], Some(k));
+            let mut want = global.clone();
+            want.truncate(k);
+            assert_eq!(merged, want, "k={k}");
+        }
+        assert_eq!(merge_ranked_streams(&[&a, &b, &c], None), global);
+    }
+
+    #[test]
+    fn merge_handles_empty_streams_and_k_beyond_total() {
+        let hits = vec![rr(3, 7), rr(1, 2)];
+        let empty: Vec<RankedResult> = Vec::new();
+        // Empty shards contribute nothing; k larger than the total hit
+        // count returns every hit, still ranked.
+        assert_eq!(
+            merge_ranked_streams(&[&empty, &hits, &empty], Some(10)),
+            hits
+        );
+        assert!(merge_ranked_streams(&[], Some(5)).is_empty());
+        assert!(merge_ranked_streams(&[&empty, &empty], None).is_empty());
+    }
+
+    #[test]
+    fn merge_keeps_exact_duplicates_deterministically() {
+        // A byzantine shard could echo another shard's result; both copies
+        // survive the merge in a stable order rather than corrupting it.
+        let a = vec![rr(1, 5)];
+        let b = vec![rr(1, 5), rr(2, 5)];
+        assert_eq!(
+            merge_ranked_streams(&[&a, &b], None),
+            vec![rr(1, 5), rr(1, 5), rr(2, 5)]
+        );
+    }
+
+    #[test]
+    fn split_parts_keeps_every_label_on_every_shard() {
+        let lists = vec![
+            ([1u8; 20], vec![vec![0xA1; 8], vec![0xA2; 8], vec![0xA3; 8]]),
+            ([2u8; 20], vec![vec![0xB1; 8]]),
+        ];
+        let idx = RsseIndex::from_parts(lists.clone(), OpseParams::default());
+        let shards = idx.split_parts(3, |_, i, _| i % 3);
+        assert_eq!(shards.len(), 3);
+        for (s, shard) in shards.iter().enumerate() {
+            // Both labels exist everywhere, even where the list is empty.
+            assert!(shard.contains_label(&[1u8; 20]));
+            assert!(shard.contains_label(&[2u8; 20]));
+            assert_eq!(shard.opse_params(), idx.opse_params());
+            let want: Vec<&Vec<u8>> = lists[0].1.iter().skip(s).step_by(3).collect();
+            let got = shard.raw_list(&[1u8; 20]).unwrap();
+            assert_eq!(got, want.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        }
+        // Entry counts across shards partition the originals exactly.
+        let total: usize = shards.iter().filter_map(|s| s.list_len(&[1u8; 20])).sum();
+        assert_eq!(total, 3);
+        assert_eq!(shards[1].list_len(&[2u8; 20]), Some(0));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rsse_crypto::ctr::NONCE_LEN;
 use rsse_crypto::tape::Transcript;
 use rsse_crypto::{KeyMaterial, KeyedLabel, Prf, SemanticCipher, Tape};
 use rsse_ir::score::{scores_for_term_with, CollectionStats};
-use rsse_ir::{Document, InvertedIndex, ScoreQuantizer, Tokenizer};
+use rsse_ir::{Document, FileId, InvertedIndex, ScoreQuantizer, Tokenizer};
 use rsse_opse::{Opm, OpseParams};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -312,6 +312,31 @@ impl Rsse {
             doc_frequencies,
             opms: std::cell::RefCell::new(HashMap::new()),
         })
+    }
+
+    /// Entry → file ownership of every posting list, in build order: for
+    /// each keyword, the label `π_x(w)` together with the file ids behind
+    /// the list's *real* entries, exactly as `BuildIndex` wrote them
+    /// (positions at or past the vector's length are padding).
+    ///
+    /// This is the owner-side routing table for partitioning an
+    /// already-built encrypted index across shards. Entries are
+    /// semantically encrypted, so only the owner can say which file an
+    /// entry belongs to — and it can, without decrypting anything, because
+    /// the build orders entries deterministically by the same
+    /// `scores_for_term_with` call reproduced here.
+    pub fn posting_owners(&self, index: &InvertedIndex) -> Vec<(Label, Vec<FileId>)> {
+        index
+            .iter()
+            .map(|(term, _)| {
+                let label = KeyedLabel::new(self.keys.label_key()).label(term.as_bytes());
+                let owners = scores_for_term_with(index, term, self.params.scoring)
+                    .into_iter()
+                    .map(|(file, _)| file)
+                    .collect();
+                (label, owners)
+            })
+            .collect()
     }
 
     fn resolve_opse(&self, index: &InvertedIndex) -> OpseParams {

@@ -262,6 +262,31 @@ impl PostingStore {
         }
     }
 
+    /// Splits the list under `label` into `n` ordered buckets, routing
+    /// entry `i` through `route(i, entry)`. Entries keep their list order
+    /// within each bucket, and every bucket exists even when empty, so a
+    /// partitioner gets a stable `n`-way shape. Returns `None` for unknown
+    /// labels. A route outside `0..n` is clamped to the last bucket rather
+    /// than panicking — the caller's hash is trusted to be in range, but a
+    /// sharding bug must corrupt placement, not the process.
+    ///
+    /// The read side is zero-copy (entries are borrowed straight out of the
+    /// arena); only the returned buckets own their bytes.
+    pub fn split_list(
+        &self,
+        label: &Label,
+        n: usize,
+        mut route: impl FnMut(usize, &[u8]) -> usize,
+    ) -> Option<Vec<Vec<Vec<u8>>>> {
+        let list = self.list(label)?;
+        let mut buckets: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n.max(1)];
+        let last = buckets.len() - 1;
+        for (i, entry) in list.iter().enumerate() {
+            buckets[route(i, entry).min(last)].push(entry.to_vec());
+        }
+        Some(buckets)
+    }
+
     /// Rewrites the arena without dead space, preserving per-list layout.
     fn compact(&mut self) {
         let mut fresh = Vec::with_capacity(self.arena.len() - self.dead_bytes);
@@ -369,6 +394,31 @@ mod tests {
         // A later real append works.
         s.append(label(7), &entries(2, 8, 1));
         assert_eq!(s.list_len(&label(7)), Some(2));
+    }
+
+    #[test]
+    fn split_list_partitions_and_preserves_order() {
+        let mut s = PostingStore::new();
+        let all = entries(10, 8, 0x30);
+        s.append(label(1), &all);
+        let buckets = s.split_list(&label(1), 3, |i, _| i % 3).unwrap();
+        assert_eq!(buckets.len(), 3);
+        for (b, bucket) in buckets.iter().enumerate() {
+            let want: Vec<Vec<u8>> = all.iter().skip(b).step_by(3).cloned().collect();
+            assert_eq!(bucket, &want, "bucket {b}");
+        }
+        // Reassembling the buckets round-robin recovers the original list.
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, all.len());
+        // Out-of-range routes clamp to the last bucket instead of panicking.
+        let clamped = s.split_list(&label(1), 2, |_, _| 99).unwrap();
+        assert!(clamped[0].is_empty());
+        assert_eq!(clamped[1].len(), all.len());
+        // Empty buckets still exist; unknown labels are None.
+        let sparse = s.split_list(&label(1), 4, |_, _| 0).unwrap();
+        assert_eq!(sparse.len(), 4);
+        assert!(sparse[1].is_empty() && sparse[2].is_empty() && sparse[3].is_empty());
+        assert!(s.split_list(&label(9), 4, |i, _| i).is_none());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! exactly that. (The lib crate forbids `unsafe`; this integration-test
 //! crate hosts the allocator shim instead.)
 
-use rsse_core::{Rsse, RsseParams};
+use rsse_core::{merge_ranked_streams, RankedResult, Rsse, RsseParams};
 use rsse_ir::{Document, FileId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,4 +109,58 @@ fn search_allocations_are_constant_in_list_length() {
          ({full_small} for 16 entries vs {full_large} for 512)"
     );
     assert!(full_large <= 8, "full-sort budget exceeded: {full_large}");
+
+    // Scatter-gather coordinator: merging per-shard partial rankings must
+    // allocate O(shards) — the head heap and the pre-sized output — never
+    // O(results). A coordinator that allocates per result would melt under
+    // fan-in exactly when sharding is supposed to help.
+    let short = shard_streams(4, 16);
+    let long = shard_streams(4, 1024);
+    let (merge_short, top_short) = allocations_during(|| {
+        let streams: Vec<&[RankedResult]> = short.iter().map(Vec::as_slice).collect();
+        merge_ranked_streams(&streams, Some(8))
+    });
+    let (merge_long, top_long) = allocations_during(|| {
+        let streams: Vec<&[RankedResult]> = long.iter().map(Vec::as_slice).collect();
+        merge_ranked_streams(&streams, Some(8))
+    });
+    assert_eq!(top_short.len(), 8);
+    assert_eq!(top_long.len(), 8);
+    assert_eq!(
+        merge_short, merge_long,
+        "k-way merge allocations must not scale with per-shard result \
+         counts ({merge_short} for 4x16 vs {merge_long} for 4x1024)"
+    );
+    assert!(merge_long <= 4, "merge budget exceeded: {merge_long}");
+
+    // Unbounded merge: the output vector is pre-sized in one shot, so the
+    // count stays flat even though the output itself is O(results).
+    let (all_short, _) = allocations_during(|| {
+        let streams: Vec<&[RankedResult]> = short.iter().map(Vec::as_slice).collect();
+        merge_ranked_streams(&streams, None)
+    });
+    let (all_long, _) = allocations_during(|| {
+        let streams: Vec<&[RankedResult]> = long.iter().map(Vec::as_slice).collect();
+        merge_ranked_streams(&streams, None)
+    });
+    assert_eq!(
+        all_short, all_long,
+        "full-merge allocations must not scale with result counts \
+         ({all_short} for 4x16 vs {all_long} for 4x1024)"
+    );
+}
+
+/// `shards` disjoint per-shard rankings of `len` results each, sorted
+/// descending like a shard reply.
+fn shard_streams(shards: usize, len: usize) -> Vec<Vec<RankedResult>> {
+    (0..shards)
+        .map(|s| {
+            (0..len)
+                .map(|i| RankedResult {
+                    file: FileId::new((s * len + i) as u64),
+                    encrypted_score: (1_000_000 - i * shards - s) as u64,
+                })
+                .collect()
+        })
+        .collect()
 }

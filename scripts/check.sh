@@ -23,6 +23,11 @@ cargo test -q -p rsse-cloud --test codec_fuzz --test decode_alloc
 echo "==> cargo test -q --test pool_faults"
 cargo test -q --test pool_faults
 
+# The sharding layer's tentpole guarantee: scatter-gather ranking is
+# byte-identical to the single-server search for shard counts 1-8.
+echo "==> cargo test -q --test shard_equivalence"
+cargo test -q --test shard_equivalence
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -537,10 +537,14 @@ macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
         $crate::proptest!(@impl ($cfg); $($rest)*);
     };
+    // The caller's `#[test]` attribute rides along in the `$meta` capture
+    // and is re-emitted with the other attributes — the expansion must NOT
+    // add its own `#[test]` on top: rustc expands each `#[test]`
+    // independently, so the doubled attribute used to register every
+    // property twice with libtest and run every case twice.
     (@impl ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block )*) => {
         $(
             $(#[$meta])*
-            #[test]
             fn $name() {
                 let __config: $crate::test_runner::Config = $cfg;
                 let __strategy = ($($strat,)+);
