@@ -3,19 +3,28 @@
 //! (1000 files, hot keyword in every one).
 //!
 //! ```text
-//! cargo run --release -p rsse-bench --bin throughput -- [out.json] [seed]
+//! cargo run --release -p rsse-bench --bin throughput -- [--smoke] [out.json] [seed]
 //! ```
 //!
 //! Eight client threads issue RSSE top-10 searches back to back against
-//! pools of 1/2/4/8 workers, in two regimes:
+//! pools of 1/2/4/8 workers, in four regimes:
 //!
-//! * **cpu** — requests are served flat out; on a single-core host the
-//!   pool cannot beat the serial loop (there is only one core to share),
-//!   so this row reports the honest pure-compute scaling of the machine.
+//! * **cpu** — 16-query `BatchRequest` frames served flat out with the
+//!   ranking cache disabled: the honest pure-compute scaling of the
+//!   machine, with the per-frame channel overhead amortized across the
+//!   batch. With the lock-free audit counters there is no shared write
+//!   lock left on the hot path, so extra workers on a single core must
+//!   not cost throughput (gated below).
 //! * **io_sim** — each request carries a fixed 3 ms stall standing in for
 //!   backend storage I/O (cf. the `NetworkParams` latency model). Stalls
 //!   overlap across workers, so throughput scales with the pool — the
 //!   regime the serving layer is built for.
+//! * **hot_keywords** — single-query frames drawn Zipf(s = 1.1) from the
+//!   corpus's most frequent terms, the paper-style skewed query log, run
+//!   twice: with the ranking cache at its default budget and with the
+//!   cache disabled. Cache hit/miss counts land in the JSON next to the
+//!   throughput they bought; the cached leg must sustain at least 3x the
+//!   uncached requests/s at the same worker count (gated below).
 //! * **sharded** — the index is partitioned across 1/2/4/8 single-worker
 //!   shards and every query scatter-gathers across all of them (the
 //!   "workers" column is the shard count). On a single-core host this
@@ -23,11 +32,16 @@
 //!   gate applies.
 //!
 //! Results are written as `BENCH_throughput.json` (requests/s, p50/p99
-//! latency, speedup vs the single-worker loop per scenario). The run ends
-//! with a `cargo test --test shard_equivalence` smoke gate: sharded
-//! numbers are published only alongside a passing equivalence proof.
+//! latency, cache hits/misses, speedup vs the single-worker loop per
+//! scenario). The run ends with a `cargo test --test shard_equivalence`
+//! smoke gate: sharded numbers are published only alongside a passing
+//! equivalence proof.
+//!
+//! `--smoke` shrinks every request count, skips the perf gates and the
+//! subprocess equivalence suite, and writes to a scratch path — just
+//! enough to prove the harness end to end in CI.
 
-use rsse_bench::workload::{paper_corpus, HOT_KEYWORD};
+use rsse_bench::workload::{paper_corpus, top_terms, ZipfSampler, HOT_KEYWORD};
 use rsse_cloud::entities::{CloudServer, DataOwner};
 use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
 use rsse_cloud::{CloudError, ErrorKind, Message, SearchMode, ShardedDeployment};
@@ -39,17 +53,34 @@ const CLIENTS: usize = 8;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const BACKLOG: usize = 64;
 const IO_DELAY: Duration = Duration::from_millis(3);
+/// Queries per `BatchRequest` frame in the batched scenario.
+const CPU_BATCH: usize = 16;
+/// Zipf exponent of the skewed query log (`s` in `1/rank^s`).
+const ZIPF_S: f64 = 1.1;
+/// Candidate keywords for the Zipf workload.
+const ZIPF_VOCAB: usize = 48;
 
 struct Scenario {
     name: &'static str,
     io_delay: Option<Duration>,
-    requests_per_client: usize,
+    /// Frames per client; each frame carries `batch` queries.
+    frames_per_client: usize,
     backlog: usize,
+    /// Queries per frame: 1 sends plain `SearchRequest`s, more sends
+    /// `BatchRequest`s.
+    batch: usize,
+    /// Ranking-cache byte budget (0 disables the cache).
+    cache_budget: usize,
+    /// Draw keywords Zipf-distributed from the top terms instead of
+    /// hammering the single hot keyword.
+    zipf: bool,
+    workers: &'static [usize],
 }
 
 struct ConfigResult {
     scenario: &'static str,
     workers: usize,
+    /// Individual queries served (frames x batch).
     requests: usize,
     wall_s: f64,
     rps: f64,
@@ -58,6 +89,10 @@ struct ConfigResult {
     shed_retries: u64,
     /// Scatter legs per query (0 for the single-server scenarios).
     shard_legs: u64,
+    /// Queries that rode inside `BatchRequest` frames.
+    batched_queries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
@@ -68,14 +103,44 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
 }
 
+/// The client's next request under `scenario`: either one keyword or a
+/// whole batch, hot or Zipf-sampled.
+fn build_request(
+    user: &rsse_cloud::User,
+    vocab: &[String],
+    sampler: &mut ZipfSampler,
+    scenario: &Scenario,
+) -> Message {
+    let mut keyword = || -> &str {
+        if scenario.zipf {
+            &vocab[sampler.sample()]
+        } else {
+            HOT_KEYWORD
+        }
+    };
+    if scenario.batch == 1 {
+        user.search_request(keyword(), Some(10), SearchMode::Rsse)
+            .expect("search request")
+    } else {
+        let kws: Vec<&str> = (0..scenario.batch).map(|_| keyword()).collect();
+        user.batch_search_request(&kws, Some(10))
+            .expect("batch request")
+    }
+}
+
 fn run_config(
     outsource_frame: &bytes::BytesMut,
     owner: &DataOwner,
+    vocab: &[String],
     scenario: &Scenario,
     workers: usize,
+    seed: u64,
 ) -> ConfigResult {
-    let server = CloudServer::from_outsource(Message::decode(outsource_frame.clone()).unwrap())
-        .expect("outsource frame boots the server");
+    let server = CloudServer::from_outsource_with_cache(
+        Message::decode(outsource_frame.clone()).unwrap(),
+        scenario.cache_budget,
+    )
+    .expect("outsource frame boots the server");
     let mut options = PoolOptions::new(workers, scenario.backlog);
     if let Some(delay) = scenario.io_delay {
         options = options.with_io_delay(delay);
@@ -85,17 +150,17 @@ fn run_config(
     let start = Instant::now();
     let per_client: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
         let threads: Vec<_> = (0..CLIENTS)
-            .map(|_| {
+            .map(|client_idx| {
                 let client = handle.client();
                 let user = owner.authorize_user();
-                let n = scenario.requests_per_client;
+                let n = scenario.frames_per_client;
                 scope.spawn(move || {
+                    let mut sampler =
+                        ZipfSampler::new(vocab.len(), ZIPF_S, seed ^ (client_idx as u64) << 17);
                     let mut lats = Vec::with_capacity(n);
                     let mut shed = 0u64;
                     for _ in 0..n {
-                        let req = user
-                            .search_request(HOT_KEYWORD, Some(10), SearchMode::Rsse)
-                            .unwrap();
+                        let req = build_request(&user, vocab, &mut sampler, scenario);
                         // Closed loop with client-side admission retry: a
                         // shed (Overloaded frame) costs a short backoff and
                         // another attempt; latency is measured end to end,
@@ -117,7 +182,13 @@ fn run_config(
                             }
                         };
                         lats.push(sent.elapsed());
-                        assert!(matches!(resp, Message::RsseResponse { .. }));
+                        match resp {
+                            Message::RsseResponse { .. } => assert_eq!(scenario.batch, 1),
+                            Message::BatchReply { results, .. } => {
+                                assert_eq!(results.len(), scenario.batch)
+                            }
+                            other => panic!("unexpected reply {other:?}"),
+                        }
                     }
                     (lats, shed)
                 })
@@ -132,12 +203,18 @@ fn run_config(
     let shed_retries: u64 = per_client.iter().map(|(_, s)| s).sum();
     let mut latencies: Vec<Duration> = per_client.into_iter().flat_map(|(l, _)| l).collect();
 
-    let requests = CLIENTS * scenario.requests_per_client;
+    let frames = CLIENTS * scenario.frames_per_client;
+    let requests = frames * scenario.batch;
+    let cache = handle.server().cache_stats();
     let served = handle.shutdown();
-    assert_eq!(
-        served, requests as u64,
-        "pool lost or double-counted requests"
-    );
+    assert_eq!(served, frames as u64, "pool lost or double-counted frames");
+    if scenario.cache_budget == 0 {
+        assert_eq!(
+            cache.hits + cache.misses,
+            0,
+            "disabled cache must not count"
+        );
+    }
 
     latencies.sort_unstable();
     ConfigResult {
@@ -150,6 +227,13 @@ fn run_config(
         p99_ms: percentile_ms(&latencies, 0.99),
         shed_retries,
         shard_legs: 0,
+        batched_queries: if scenario.batch > 1 {
+            requests as u64
+        } else {
+            0
+        },
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
     }
 }
 
@@ -202,6 +286,10 @@ fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> 
     let mut latencies: Vec<Duration> = per_client.into_iter().flatten().collect();
 
     let requests = CLIENTS * requests_per_client;
+    let cache_totals = (0..shards).fold((0u64, 0u64), |acc, s| {
+        let stats = cloud.shard_server(s).expect("shard exists").cache_stats();
+        (acc.0 + stats.hits, acc.1 + stats.misses)
+    });
     let served = cloud.shutdown();
     assert_eq!(
         served,
@@ -220,6 +308,9 @@ fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> 
         p99_ms: percentile_ms(&latencies, 0.99),
         shed_retries: 0,
         shard_legs: shards as u64,
+        batched_queries: 0,
+        cache_hits: cache_totals.0,
+        cache_misses: cache_totals.1,
     }
 }
 
@@ -237,6 +328,8 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
         "  \"io_delay_ms\": {},\n",
         IO_DELAY.as_secs_f64() * 1e3
     ));
+    out.push_str(&format!("  \"cpu_batch\": {CPU_BATCH},\n"));
+    out.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
     out.push_str("  \"configs\": [\n");
     for (i, r) in results.iter().enumerate() {
         let baseline = results
@@ -247,6 +340,7 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
             "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
              \"p99_ms\": {:.3}, \"shed_retries\": {}, \"shard_legs\": {}, \
+             \"batched_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
@@ -257,6 +351,9 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
             r.p99_ms,
             r.shed_retries,
             r.shard_legs,
+            r.batched_queries,
+            r.cache_hits,
+            r.cache_misses,
             r.rps / baseline.rps,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -266,18 +363,27 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = args
-        .first()
-        .cloned()
-        .unwrap_or_else(|| "results/BENCH_throughput.json".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let out_path = args.first().cloned().unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_throughput.smoke.json".to_string()
+        } else {
+            "results/BENCH_throughput.json".to_string()
+        }
+    });
     let seed: u64 = args
         .get(1)
         .map(|s| s.parse().expect("seed must be a u64"))
         .unwrap_or(42);
+    // Smoke mode: shrink every count to prove the harness, not the host.
+    let scaled = |n: usize| if smoke { (n / 10).max(2) } else { n };
 
     eprintln!("building paper corpus (seed {seed})...");
-    let (corpus, _) = paper_corpus(seed);
+    let (corpus, plain_index) = paper_corpus(seed);
+    let vocab = top_terms(&plain_index, ZIPF_VOCAB);
+    assert!(vocab.len() >= 2, "paper corpus vocabulary too small");
     let owner = DataOwner::new(b"throughput seed", RsseParams::default());
     let outsource_frame = owner
         .outsource(corpus.documents())
@@ -288,14 +394,22 @@ fn main() {
         Scenario {
             name: "cpu",
             io_delay: None,
-            requests_per_client: 150,
+            frames_per_client: scaled(20),
             backlog: BACKLOG,
+            batch: CPU_BATCH,
+            cache_budget: 0,
+            zipf: false,
+            workers: &WORKER_COUNTS,
         },
         Scenario {
             name: "io_sim",
             io_delay: Some(IO_DELAY),
-            requests_per_client: 60,
+            frames_per_client: scaled(60),
             backlog: BACKLOG,
+            batch: 1,
+            cache_budget: CloudServer::DEFAULT_CACHE_BUDGET,
+            zipf: false,
+            workers: &WORKER_COUNTS,
         },
         // Deliberately undersized admission queue: 8 clients against a
         // 2-slot backlog force overload shedding, exercising the
@@ -303,18 +417,47 @@ fn main() {
         Scenario {
             name: "overload",
             io_delay: Some(Duration::from_millis(1)),
-            requests_per_client: 40,
+            frames_per_client: scaled(40),
             backlog: 2,
+            batch: 1,
+            cache_budget: CloudServer::DEFAULT_CACHE_BUDGET,
+            zipf: false,
+            workers: &WORKER_COUNTS,
+        },
+        // The tentpole pair: a paper-style Zipf query log served with and
+        // without the ranking cache, same corpus, same worker counts.
+        Scenario {
+            name: "hot_keywords",
+            io_delay: None,
+            frames_per_client: scaled(150),
+            backlog: BACKLOG,
+            batch: 1,
+            cache_budget: CloudServer::DEFAULT_CACHE_BUDGET,
+            zipf: true,
+            workers: &[1, 4],
+        },
+        Scenario {
+            name: "hot_keywords_nocache",
+            io_delay: None,
+            frames_per_client: scaled(150),
+            backlog: BACKLOG,
+            batch: 1,
+            cache_budget: 0,
+            zipf: true,
+            workers: &[1, 4],
         },
     ];
 
     let mut results = Vec::new();
-    println!("scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,shed_retries");
+    println!(
+        "scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,\
+         shed_retries,cache_hits,cache_misses"
+    );
     for scenario in &scenarios {
-        for &workers in &WORKER_COUNTS {
-            let r = run_config(&outsource_frame, &owner, scenario, workers);
+        for &workers in scenario.workers {
+            let r = run_config(&outsource_frame, &owner, &vocab, scenario, workers, seed);
             println!(
-                "{},{},{},{:.4},{:.1},{:.3},{:.3},{}",
+                "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{}",
                 r.scenario,
                 r.workers,
                 r.requests,
@@ -322,7 +465,9 @@ fn main() {
                 r.rps,
                 r.p50_ms,
                 r.p99_ms,
-                r.shed_retries
+                r.shed_retries,
+                r.cache_hits,
+                r.cache_misses
             );
             results.push(r);
         }
@@ -331,16 +476,54 @@ fn main() {
     // Scatter-gather scenario: the "workers" column is the shard count
     // (one worker per shard).
     for &shards in &WORKER_COUNTS {
-        let r = run_sharded(corpus.documents(), 50, shards);
+        let r = run_sharded(corpus.documents(), scaled(50), shards);
         println!(
-            "{},{},{},{:.4},{:.1},{:.3},{:.3},{}",
-            r.scenario, r.workers, r.requests, r.wall_s, r.rps, r.p50_ms, r.p99_ms, r.shed_retries
+            "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{}",
+            r.scenario,
+            r.workers,
+            r.requests,
+            r.wall_s,
+            r.rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.shed_retries,
+            r.cache_hits,
+            r.cache_misses
         );
         results.push(r);
     }
 
     write_json(&out_path, seed, &results);
     eprintln!("wrote {out_path}");
+
+    // Functional invariants hold even in smoke mode: the cached Zipf leg
+    // must actually hit (every keyword past its first read is a prefix
+    // copy), and the uncached leg must never count.
+    let find = |scenario: &str, workers: usize| {
+        results
+            .iter()
+            .find(|r| r.scenario == scenario && r.workers == workers)
+            .unwrap_or_else(|| panic!("missing config {scenario}/{workers}"))
+    };
+    for &workers in &[1usize, 4] {
+        let cached = find("hot_keywords", workers);
+        assert!(
+            cached.cache_hits > 0,
+            "Zipf workload must hit the cache (workers={workers})"
+        );
+        assert!(
+            cached.cache_misses as usize <= ZIPF_VOCAB,
+            "misses are bounded by the vocabulary: {} > {ZIPF_VOCAB}",
+            cached.cache_misses
+        );
+        let uncached = find("hot_keywords_nocache", workers);
+        assert_eq!(uncached.cache_hits + uncached.cache_misses, 0);
+    }
+
+    if smoke {
+        eprintln!("smoke mode: skipping perf gates and equivalence suite");
+        return;
+    }
 
     // Smoke gate: a sharded throughput number is only worth publishing if
     // sharding provably never changes a ranking, so the bench refuses to
@@ -357,19 +540,35 @@ fn main() {
         "shard-equivalence smoke suite failed; sharded numbers are void"
     );
 
-    // The acceptance gate: in the I/O-overlap regime a 4-worker pool must
+    // Acceptance gate 1: in the I/O-overlap regime a 4-worker pool must
     // sustain at least 2.5x the single-worker requests/s.
-    let rps = |workers: usize| {
-        results
-            .iter()
-            .find(|r| r.scenario == "io_sim" && r.workers == workers)
-            .map(|r| r.rps)
-            .unwrap_or(0.0)
-    };
-    let speedup = rps(4) / rps(1);
+    let speedup = find("io_sim", 4).rps / find("io_sim", 1).rps;
     eprintln!("io_sim 4-worker speedup vs 1 worker: {speedup:.2}x");
     assert!(
         speedup >= 2.5,
         "4-worker pool must sustain >= 2.5x single-worker throughput, got {speedup:.2}x"
     );
+
+    // Acceptance gate 2: with the audit lock gone and requests batched,
+    // extra workers on the compute-bound path are no longer a *loss* —
+    // workers=4 holds at least 90% of workers=1 even on a single core
+    // (the old RwLock audit path dropped well below that).
+    let cpu_ratio = find("cpu", 4).rps / find("cpu", 1).rps;
+    eprintln!("cpu 4-worker throughput vs 1 worker: {cpu_ratio:.2}x");
+    assert!(
+        cpu_ratio >= 0.9,
+        "4 workers must not lose to 1 on the batched compute path, got {cpu_ratio:.2}x"
+    );
+
+    // Acceptance gate 3: the ranking cache buys at least 3x on the Zipf
+    // workload at the same worker count.
+    for &workers in &[1usize, 4] {
+        let gain = find("hot_keywords", workers).rps / find("hot_keywords_nocache", workers).rps;
+        eprintln!("hot_keywords cache gain at {workers} worker(s): {gain:.2}x");
+        assert!(
+            gain >= 3.0,
+            "ranking cache must buy >= 3x on the Zipf workload \
+             (workers={workers}), got {gain:.2}x"
+        );
+    }
 }

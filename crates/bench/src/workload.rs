@@ -36,6 +36,64 @@ pub fn hot_levels(index: &InvertedIndex) -> Vec<(FileId, u64)> {
     scored.into_iter().map(|(f, s)| (f, q.level(s))).collect()
 }
 
+/// The `n` most frequent index terms by descending document frequency
+/// (ties broken lexicographically, so the vocabulary is deterministic) —
+/// the candidate set a realistic hot-keyword workload draws from.
+pub fn top_terms(index: &InvertedIndex, n: usize) -> Vec<String> {
+    let mut terms: Vec<(&str, usize)> = index.iter().map(|(t, p)| (t, p.len())).collect();
+    terms.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    terms.truncate(n);
+    terms.into_iter().map(|(t, _)| t.to_string()).collect()
+}
+
+/// Zipf-distributed rank sampler over `{0..n}`: rank `r` is drawn with
+/// probability proportional to `1/(r+1)^s`. Real query logs are Zipfian —
+/// a few keywords dominate — which is exactly the regime a ranking cache
+/// is built for, so the `hot_keywords` bench scenario draws from this.
+///
+/// Deterministic and dependency-free: a xorshift64 generator feeds CDF
+/// inversion, so every run of a given seed replays the same query stream.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution over ranks, `cdf[n-1] == 1.0`.
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `s` (the paper-style
+    /// workload uses `s ≈ 1.1`). `seed` must be non-zero-able: it is
+    /// mixed so even `0` yields a valid generator state.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "cannot sample from an empty vocabulary");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler {
+            cdf,
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next Zipf-distributed rank in `0..n` (0 = hottest).
+    pub fn sample(&mut self) -> usize {
+        // xorshift64: fine statistical quality for workload shaping and
+        // has no dependencies (`rand`'s vendored shim stays out of the
+        // bench's hot loop).
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,6 +103,35 @@ mod tests {
         let (corpus, index) = paper_corpus(42);
         assert_eq!(corpus.documents().len(), 1000);
         assert_eq!(index.document_frequency(HOT_KEYWORD), 1000);
+    }
+
+    #[test]
+    fn top_terms_are_sorted_by_document_frequency() {
+        let (_, index) = paper_corpus(42);
+        let terms = top_terms(&index, 16);
+        assert_eq!(terms.len(), 16);
+        // The hot keyword is in every file; it can only be displaced from
+        // rank 0 by an equally ubiquitous term winning the lexical tie.
+        assert!(terms.contains(&HOT_KEYWORD.to_string()), "{terms:?}");
+        assert_eq!(index.document_frequency(&terms[0]), 1000);
+        let dfs: Vec<u64> = terms.iter().map(|t| index.document_frequency(t)).collect();
+        assert!(dfs.windows(2).all(|w| w[0] >= w[1]), "{dfs:?}");
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_skewed() {
+        let mut a = ZipfSampler::new(32, 1.1, 7);
+        let mut b = ZipfSampler::new(32, 1.1, 7);
+        let draws: Vec<usize> = (0..4096).map(|_| a.sample()).collect();
+        assert!(draws.iter().all(|&r| r < 32));
+        assert!((0..4096).all(|i| b.sample() == draws[i]), "not replayable");
+        // Rank 0 must dominate any mid-tail rank by a wide margin.
+        let count = |r: usize| draws.iter().filter(|&&d| d == r).count();
+        assert!(
+            count(0) > 4 * count(16),
+            "skew lost: {:?}",
+            (count(0), count(16))
+        );
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //! against a server that misbehaves on content (it can still withhold —
 //! completeness needs further machinery).
 //!
-//! [`AuditLog`] is the operational half: the server records every handled
-//! request so operators (and the concurrency tests) can account for
-//! exactly what was served. It lives behind a `parking_lot::RwLock` inside
-//! [`CloudServer`](crate::entities::CloudServer) so worker threads append
-//! without serializing the search path's read locks.
+//! [`AuditCounters`] is the operational half: the server records every
+//! handled request so operators (and the concurrency tests) can account
+//! for exactly what was served. Early versions kept an [`AuditLog`] behind
+//! a `parking_lot::RwLock` inside
+//! [`CloudServer`](crate::entities::CloudServer); the per-request
+//! `audit.write()` turned out to serialize the whole worker pool on
+//! CPU-bound workloads, so the hot path now bumps lock-free
+//! [`AuditCounters`] instead and `AuditLog` remains as the offline,
+//! ring-retaining form used by operators and tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::files::EncryptedFile;
 use rsse_crypto::{Digest, Sha256};
@@ -30,6 +36,8 @@ pub enum RequestKind {
     Conjunctive,
     /// One scatter leg of a sharded search served by this shard.
     ShardQuery,
+    /// A batched frame carrying several searches in one round trip.
+    Batch,
     /// A §VII score-dynamics update.
     Update,
     /// A message the server refused to handle.
@@ -52,6 +60,8 @@ pub struct ServingReport {
     pub conjunctive: u64,
     /// Sharded-search scatter legs served by this shard.
     pub shard_queries: u64,
+    /// Batched frames handled (each may carry many searches).
+    pub batches: u64,
     /// Score-dynamics updates applied.
     pub updates: u64,
     /// Requests rejected as out-of-protocol.
@@ -59,6 +69,11 @@ pub struct ServingReport {
     /// Contained worker panics (each answered with an `Internal` error
     /// frame; the worker kept serving).
     pub panics: u64,
+    /// Searches served straight off the ranking cache.
+    pub cache_hits: u64,
+    /// Searches that ranked from the index (cache cold, disabled, or
+    /// invalidated).
+    pub cache_misses: u64,
 }
 
 /// The server's request audit log: aggregate counters plus a bounded
@@ -91,6 +106,7 @@ impl AuditLog {
             RequestKind::Fetch => self.report.fetches += 1,
             RequestKind::Conjunctive => self.report.conjunctive += 1,
             RequestKind::ShardQuery => self.report.shard_queries += 1,
+            RequestKind::Batch => self.report.batches += 1,
             RequestKind::Update => self.report.updates += 1,
             RequestKind::Rejected => self.report.rejected += 1,
             RequestKind::Panicked => self.report.panics += 1,
@@ -115,6 +131,80 @@ impl AuditLog {
 impl Default for AuditLog {
     fn default() -> Self {
         AuditLog::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+/// Lock-free serving counters for the hot path.
+///
+/// Every worker thread calls [`AuditCounters::record`] once per request;
+/// with the earlier `RwLock<AuditLog>` that write lock serialized the
+/// whole pool on CPU-bound workloads (the `cpu` throughput scenario scaled
+/// *negatively* past one worker). Relaxed atomics cost one uncontended
+/// RMW per field and impose no ordering on the serving path — the counters
+/// are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct AuditCounters {
+    total: AtomicU64,
+    searches: AtomicU64,
+    fetches: AtomicU64,
+    conjunctive: AtomicU64,
+    shard_queries: AtomicU64,
+    batches: AtomicU64,
+    updates: AtomicU64,
+    rejected: AtomicU64,
+    panics: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl AuditCounters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request. Lock-free; callable from any worker.
+    pub fn record(&self, kind: RequestKind) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let field = match kind {
+            RequestKind::Search => &self.searches,
+            RequestKind::Fetch => &self.fetches,
+            RequestKind::Conjunctive => &self.conjunctive,
+            RequestKind::ShardQuery => &self.shard_queries,
+            RequestKind::Batch => &self.batches,
+            RequestKind::Update => &self.updates,
+            RequestKind::Rejected => &self.rejected,
+            RequestKind::Panicked => &self.panics,
+        };
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one ranking-cache lookup.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the counters. Individual loads are Relaxed, so a snapshot
+    /// taken concurrently with traffic may be mid-request inconsistent;
+    /// quiesced reads (after `shutdown`) are exact.
+    pub fn report(&self) -> ServingReport {
+        ServingReport {
+            total: self.total.load(Ordering::Relaxed),
+            searches: self.searches.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            conjunctive: self.conjunctive.load(Ordering::Relaxed),
+            shard_queries: self.shard_queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -376,6 +466,65 @@ mod tests {
         assert_eq!(report.shard_queries, 2);
         assert_eq!(report.searches, 0);
         assert!(log.recent().all(|k| k == RequestKind::ShardQuery));
+    }
+
+    #[test]
+    fn atomic_counters_match_log_semantics() {
+        let counters = AuditCounters::new();
+        let mut log = AuditLog::with_capacity(16);
+        let kinds = [
+            RequestKind::Search,
+            RequestKind::Search,
+            RequestKind::Batch,
+            RequestKind::ShardQuery,
+            RequestKind::Update,
+            RequestKind::Rejected,
+            RequestKind::Panicked,
+            RequestKind::Fetch,
+            RequestKind::Conjunctive,
+        ];
+        for kind in kinds {
+            counters.record(kind);
+            log.record(kind);
+        }
+        assert_eq!(counters.report(), log.report());
+    }
+
+    #[test]
+    fn cache_outcomes_are_counted_separately_from_requests() {
+        let counters = AuditCounters::new();
+        counters.record(RequestKind::Search);
+        counters.record_cache(false);
+        counters.record(RequestKind::Search);
+        counters.record_cache(true);
+        counters.record_cache(true);
+        let report = counters.report();
+        assert_eq!(report.total, 2, "cache outcomes are not requests");
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(report.cache_misses, 1);
+    }
+
+    #[test]
+    fn counters_are_exact_across_threads() {
+        let counters = std::sync::Arc::new(AuditCounters::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(RequestKind::Search);
+                        c.record_cache(true);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = counters.report();
+        assert_eq!(report.total, 4000);
+        assert_eq!(report.searches, 4000);
+        assert_eq!(report.cache_hits, 4000);
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Server-side **hot-keyword ranking cache**.
+//!
+//! The server's headline cost is ranking: `RsseIndex::search` AES-unwraps
+//! the *entire* posting list behind a trapdoor's label on every request,
+//! even when millions of users hammer the same popular keyword. But the
+//! ranked result of a trapdoor is exactly the access pattern the scheme
+//! already reveals to the server (Curtmola et al.'s SSE formalization
+//! treats the (trapdoor, result) pair as legitimate leakage), so caching
+//! it server-side leaks nothing new — see DESIGN.md §6.3.
+//!
+//! [`RankingCache`] maps a posting-list [`Label`] to the **full** ranked
+//! `(FileId, encrypted_score)` vector produced by the first search of that
+//! trapdoor. Any later `top_k` is then a prefix copy of the cached vector
+//! ([`rsse_core::ranked_prefix`]) — zero per-entry cryptographic work.
+//! Entries are LRU-evicted under a byte budget and invalidated when score
+//! dynamics touch their label.
+//!
+//! # Stale-fill protection
+//!
+//! The expensive miss path (decrypt + sort the whole posting list) must not
+//! run under the cache lock, which opens a race: an update could invalidate
+//! a label *while* a miss is computing that label's soon-to-be-stale
+//! ranking. The cache therefore carries a global **epoch** counter, bumped
+//! by every invalidation. A filler snapshots the epoch *before* reading the
+//! index and hands it back to [`RankingCache::insert_if_current`], which
+//! rejects the fill if any invalidation happened in between. Updates bump
+//! the epoch *after* the index write completes, so a fill that passes the
+//! epoch check is guaranteed to have read post-update (or untouched) state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rsse_core::{Label, RankedResult};
+
+/// Point-in-time snapshot of the cache's effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Searches served straight off a cached ranking.
+    pub hits: u64,
+    /// Searches that had to rank from the index.
+    pub misses: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries dropped because score dynamics touched their label.
+    pub invalidations: u64,
+    /// Fills rejected because an invalidation raced the ranking pass.
+    pub stale_fills: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    ranking: Arc<Vec<RankedResult>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Byte-budgeted LRU cache of fully ranked posting lists, keyed by label.
+///
+/// A budget of `0` disables the cache entirely: [`RankingCache::get`]
+/// always misses (without counting a miss) and fills are discarded, so the
+/// serving path degenerates to the direct top-k heap search.
+#[derive(Debug)]
+pub struct RankingCache {
+    entries: HashMap<Label, CacheEntry>,
+    budget_bytes: usize,
+    used_bytes: usize,
+    /// Monotonic access clock driving LRU eviction.
+    tick: u64,
+    /// Bumped by every invalidation; guards against stale fills.
+    epoch: u64,
+    stats: CacheStats,
+}
+
+/// Approximate heap footprint of one cached ranking.
+fn ranking_bytes(ranking: &[RankedResult]) -> usize {
+    std::mem::size_of::<Arc<Vec<RankedResult>>>()
+        + std::mem::size_of::<Label>()
+        + std::mem::size_of::<CacheEntry>()
+        + std::mem::size_of_val(ranking)
+}
+
+impl RankingCache {
+    /// Creates a cache holding at most `budget_bytes` of ranked entries.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            budget_bytes,
+            used_bytes: 0,
+            tick: 0,
+            epoch: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache can ever hold an entry.
+    pub fn is_enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    /// The current invalidation epoch. Snapshot this *before* reading the
+    /// index on a miss and pass it to [`Self::insert_if_current`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Looks up the full ranking cached for `label`, refreshing its LRU
+    /// position. Counts a hit or a miss; a disabled cache counts neither.
+    pub fn get(&mut self, label: &Label) -> Option<Arc<Vec<RankedResult>>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(label) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.ranking))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fills `label` with a ranking computed while the cache was at
+    /// `fill_epoch`. Rejected (and counted as a stale fill) if any
+    /// invalidation has happened since the snapshot; oversized rankings
+    /// that could never fit the budget are silently skipped.
+    pub fn insert_if_current(
+        &mut self,
+        label: Label,
+        ranking: Arc<Vec<RankedResult>>,
+        fill_epoch: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        if fill_epoch != self.epoch {
+            self.stats.stale_fills += 1;
+            return;
+        }
+        let bytes = ranking_bytes(&ranking);
+        if bytes > self.budget_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(&label) {
+            self.used_bytes -= old.bytes;
+        }
+        while self.used_bytes + bytes > self.budget_bytes {
+            self.evict_lru();
+        }
+        self.used_bytes += bytes;
+        self.entries.insert(
+            label,
+            CacheEntry {
+                ranking,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops the cached ranking for `label` (if any) and bumps the epoch so
+    /// in-flight fills for *any* label are rejected. Call *after* the index
+    /// mutation is visible.
+    pub fn invalidate(&mut self, label: &Label) {
+        self.epoch += 1;
+        if let Some(entry) = self.entries.remove(label) {
+            self.used_bytes -= entry.bytes;
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops everything and bumps the epoch.
+    pub fn invalidate_all(&mut self) {
+        self.epoch += 1;
+        self.stats.invalidations += self.entries.len() as u64;
+        self.used_bytes = 0;
+        self.entries.clear();
+    }
+
+    /// Number of cached labels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Effectiveness counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(label, _)| *label);
+        let Some(label) = victim else {
+            debug_assert!(false, "evict_lru called on an empty cache");
+            self.used_bytes = 0;
+            return;
+        };
+        let entry = self.entries.remove(&label).expect("victim exists");
+        self.used_bytes -= entry.bytes;
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsse_ir::FileId;
+
+    fn label(tag: u8) -> Label {
+        [tag; 20]
+    }
+
+    fn ranking(len: usize) -> Arc<Vec<RankedResult>> {
+        Arc::new(
+            (0..len)
+                .map(|i| RankedResult {
+                    file: FileId::new(i as u64),
+                    encrypted_score: (len - i) as u64,
+                })
+                .collect(),
+        )
+    }
+
+    fn big_budget() -> usize {
+        1 << 20
+    }
+
+    #[test]
+    fn hit_after_fill_returns_same_ranking() {
+        let mut cache = RankingCache::new(big_budget());
+        let epoch = cache.epoch();
+        assert!(cache.get(&label(1)).is_none());
+        let r = ranking(10);
+        cache.insert_if_current(label(1), Arc::clone(&r), epoch);
+        let hit = cache.get(&label(1)).expect("filled entry should hit");
+        assert_eq!(*hit, *r);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn zero_budget_disables_everything() {
+        let mut cache = RankingCache::new(0);
+        assert!(!cache.is_enabled());
+        let epoch = cache.epoch();
+        assert!(cache.get(&label(1)).is_none());
+        cache.insert_if_current(label(1), ranking(4), epoch);
+        assert!(cache.get(&label(1)).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn invalidate_drops_entry_and_rejects_inflight_fill() {
+        let mut cache = RankingCache::new(big_budget());
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(4), epoch);
+
+        // A miss for label 2 snapshots the epoch, then an update lands.
+        let fill_epoch = cache.epoch();
+        cache.invalidate(&label(1));
+        cache.insert_if_current(label(2), ranking(4), fill_epoch);
+
+        assert!(cache.get(&label(1)).is_none(), "invalidated entry dropped");
+        assert!(cache.get(&label(2)).is_none(), "stale fill rejected");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.stale_fills, 1);
+    }
+
+    #[test]
+    fn refill_after_invalidation_works() {
+        let mut cache = RankingCache::new(big_budget());
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(4), epoch);
+        cache.invalidate(&label(1));
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(6), epoch);
+        let hit = cache.get(&label(1)).expect("refill should stick");
+        assert_eq!(hit.len(), 6);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_under_budget() {
+        // Budget fits exactly two 8-entry rankings, not three.
+        let per_entry = ranking_bytes(&ranking(8));
+        let mut cache = RankingCache::new(per_entry * 2);
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(8), epoch);
+        cache.insert_if_current(label(2), ranking(8), epoch);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&label(1)).is_some());
+        cache.insert_if_current(label(3), ranking(8), epoch);
+
+        assert!(cache.get(&label(1)).is_some(), "recently used survives");
+        assert!(cache.get(&label(2)).is_none(), "LRU victim evicted");
+        assert!(cache.get(&label(3)).is_some(), "new entry resident");
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_ranking_is_skipped_not_inserted() {
+        let per_entry = ranking_bytes(&ranking(8));
+        let mut cache = RankingCache::new(per_entry);
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(1000), epoch);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn replacing_an_entry_recharges_bytes() {
+        let mut cache = RankingCache::new(big_budget());
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(100), epoch);
+        let big = cache.used_bytes();
+        cache.insert_if_current(label(1), ranking(10), epoch);
+        assert!(cache.used_bytes() < big, "smaller refill shrinks usage");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears_and_bumps_epoch() {
+        let mut cache = RankingCache::new(big_budget());
+        let epoch = cache.epoch();
+        cache.insert_if_current(label(1), ranking(4), epoch);
+        cache.insert_if_current(label(2), ranking(4), epoch);
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        assert_eq!(cache.stats().invalidations, 2);
+        cache.insert_if_current(label(3), ranking(4), epoch);
+        assert!(cache.is_empty(), "pre-clear epoch fill rejected");
+    }
+}

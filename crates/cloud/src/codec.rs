@@ -19,6 +19,10 @@ pub type WireLists = Vec<(Label, Vec<Vec<u8>>)>;
 /// prefixes.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// One query's result inside a [`Message::BatchReply`]: the ranked
+/// `(file id, OPM score)` pairs plus the ranked encrypted files.
+pub type BatchResult = (Vec<(u64, u64)>, Vec<EncryptedFile>);
+
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -251,6 +255,29 @@ pub enum Message {
         /// The ranked encrypted files, same order.
         files: Vec<EncryptedFile>,
     },
+    /// Client → server: several ranked searches amortized over **one**
+    /// channel round trip. Per-request wire overhead (envelope queueing,
+    /// reply rendezvous) dominates the `cpu` workload, so hot clients and
+    /// the shard router coalesce their queries. With `shard_id` present the
+    /// batch is one scatter leg of a sharded search (the id is echoed in
+    /// the reply, like [`Message::ShardQuery`]); absent, it is a direct
+    /// client batch.
+    BatchRequest {
+        /// Per-query trapdoor + top-k: `(π_x(w), f_y(w), top_k)`.
+        queries: Vec<(Label, [u8; 32], Option<u32>)>,
+        /// `Some(id)` marks a sharded scatter leg addressed to shard `id`.
+        shard_id: Option<u32>,
+    },
+    /// Server → client: one [`BatchResult`] per query of the matching
+    /// [`Message::BatchRequest`], in request order. A batch whose *handling*
+    /// fails answers [`Message::Error`] instead; per-query "no match" is an
+    /// empty result, exactly as in the single-query protocol.
+    BatchReply {
+        /// Echo of the request's `shard_id` (None for direct batches).
+        shard_id: Option<u32>,
+        /// Ranked results, one per query, in request order.
+        results: Vec<BatchResult>,
+    },
     /// Server → client: the request failed. Every request gets an answer
     /// frame — success or this — so failures are representable on a real
     /// transport and their bytes count in the bandwidth accounting.
@@ -310,6 +337,16 @@ fn get_u32(buf: &mut BytesMut) -> Result<u32, CodecError> {
         return Err(CodecError::UnexpectedEof);
     }
     Ok(buf.get_u32())
+}
+
+fn put_opt_u32(buf: &mut BytesMut, v: &Option<u32>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_u32(*x);
+        }
+        None => buf.put_u8(0),
+    }
 }
 
 /// Optional-u32 field: one presence byte (strictly 0 or 1, so every
@@ -541,6 +578,29 @@ impl Message {
                 }
                 put_files(&mut buf, files);
             }
+            Message::BatchRequest { queries, shard_id } => {
+                buf.put_u8(15);
+                buf.put_u64(queries.len() as u64);
+                for (label, key, top_k) in queries {
+                    buf.put_slice(label);
+                    buf.put_slice(key);
+                    put_opt_u32(&mut buf, top_k);
+                }
+                put_opt_u32(&mut buf, shard_id);
+            }
+            Message::BatchReply { shard_id, results } => {
+                buf.put_u8(16);
+                put_opt_u32(&mut buf, shard_id);
+                buf.put_u64(results.len() as u64);
+                for (ranking, files) in results {
+                    buf.put_u64(ranking.len() as u64);
+                    for (id, score) in ranking {
+                        buf.put_u64(*id);
+                        buf.put_u64(*score);
+                    }
+                    put_files(&mut buf, files);
+                }
+            }
         }
         buf
     }
@@ -675,6 +735,36 @@ impl Message {
                     files: get_files(&mut buf)?,
                 }
             }
+            15 => {
+                let n = get_len(&mut buf)?;
+                // A query is at least label + key + presence byte = 53 bytes.
+                let mut queries = Vec::with_capacity(bounded_cap(n, &buf, 53));
+                for _ in 0..n {
+                    let label: Label = get_array(&mut buf)?;
+                    let key: [u8; 32] = get_array(&mut buf)?;
+                    let top_k = get_opt_u32(&mut buf)?;
+                    queries.push((label, key, top_k));
+                }
+                let shard_id = get_opt_u32(&mut buf)?;
+                Message::BatchRequest { queries, shard_id }
+            }
+            16 => {
+                let shard_id = get_opt_u32(&mut buf)?;
+                let n = get_len(&mut buf)?;
+                // An empty result still costs two u64 length prefixes.
+                let mut results = Vec::with_capacity(bounded_cap(n, &buf, 16));
+                for _ in 0..n {
+                    let m = get_len(&mut buf)?;
+                    let mut ranking = Vec::with_capacity(bounded_cap(m, &buf, 16));
+                    for _ in 0..m {
+                        let id = get_u64(&mut buf)?;
+                        let score = get_u64(&mut buf)?;
+                        ranking.push((id, score));
+                    }
+                    results.push((ranking, get_files(&mut buf)?));
+                }
+                Message::BatchReply { shard_id, results }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -758,6 +848,21 @@ impl Message {
             Message::ShardQuery { top_k, .. } => 20 + 32 + opt_u32_len(top_k) + 4,
             Message::ShardReply { ranking, files, .. } => {
                 4 + 8 + 16 * ranking.len() + files_len(files)
+            }
+            Message::BatchRequest { queries, shard_id } => {
+                8 + queries
+                    .iter()
+                    .map(|(_, _, top_k)| 20 + 32 + opt_u32_len(top_k))
+                    .sum::<usize>()
+                    + opt_u32_len(shard_id)
+            }
+            Message::BatchReply { shard_id, results } => {
+                opt_u32_len(shard_id)
+                    + 8
+                    + results
+                        .iter()
+                        .map(|(ranking, files)| 8 + 16 * ranking.len() + files_len(files))
+                        .sum::<usize>()
             }
         }
     }
@@ -843,6 +948,42 @@ mod tests {
                 shard_id: 1,
                 ranking: vec![],
                 files: vec![],
+            },
+            Message::BatchRequest {
+                queries: vec![
+                    ([13u8; 20], [14u8; 32], Some(5)),
+                    ([15u8; 20], [16u8; 32], None),
+                ],
+                shard_id: None,
+            },
+            Message::BatchRequest {
+                queries: vec![([17u8; 20], [18u8; 32], Some(1))],
+                shard_id: Some(2),
+            },
+            Message::BatchRequest {
+                queries: vec![],
+                shard_id: None,
+            },
+            Message::BatchReply {
+                shard_id: None,
+                results: vec![
+                    (
+                        vec![(1, 900), (2, 400)],
+                        vec![EncryptedFile::new(FileId::new(1), vec![0xab; 12])],
+                    ),
+                    (vec![], vec![]),
+                ],
+            },
+            Message::BatchReply {
+                shard_id: Some(2),
+                results: vec![(
+                    vec![(8, 123)],
+                    vec![EncryptedFile::new(FileId::new(8), vec![])],
+                )],
+            },
+            Message::BatchReply {
+                shard_id: None,
+                results: vec![],
             },
             Message::Error {
                 kind: ErrorKind::Rejected,
@@ -968,6 +1109,48 @@ mod tests {
         .encode();
         encoded[1 + 20 + 32] = 2;
         assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(2)));
+    }
+
+    #[test]
+    fn batch_request_presence_bytes_are_strict() {
+        // Both the per-query has-top-k byte and the trailing has-shard-id
+        // byte must be exactly 0 or 1 (canonical codec).
+        let msg = Message::BatchRequest {
+            queries: vec![([1u8; 20], [2u8; 32], None)],
+            shard_id: None,
+        };
+        let per_query_offset = 1 + 8 + 20 + 32;
+        let mut encoded = msg.encode();
+        encoded[per_query_offset] = 3;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(3)));
+        let mut encoded = msg.encode();
+        encoded[per_query_offset + 1] = 4;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(4)));
+    }
+
+    #[test]
+    fn batch_reply_shard_presence_byte_is_strict() {
+        let mut encoded = Message::BatchReply {
+            shard_id: None,
+            results: vec![],
+        }
+        .encode();
+        encoded[1] = 2;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(2)));
+    }
+
+    #[test]
+    fn hostile_batch_counts_are_rejected_not_allocated() {
+        // A huge query count in a tiny frame must fail cleanly.
+        let mut buf = BytesMut::new();
+        buf.put_u8(15);
+        buf.put_u64(u64::MAX);
+        assert!(matches!(Message::decode(buf), Err(CodecError::Oversize(_))));
+        // A large-but-legal count with no payload behind it must hit EOF.
+        let mut buf = BytesMut::new();
+        buf.put_u8(15);
+        buf.put_u64(1 << 20);
+        assert_eq!(Message::decode(buf), Err(CodecError::UnexpectedEof));
     }
 
     #[test]

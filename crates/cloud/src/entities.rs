@@ -13,13 +13,14 @@
 //!    only `(id, E_z(S))` pairs; the user ranks and fetches top-k files in
 //!    round two — saving bandwidth, paying an extra round trip.
 
-use crate::audit::{AuditLog, RequestKind, ServingReport};
-use crate::codec::{Message, SearchMode};
+use crate::audit::{AuditCounters, RequestKind, ServingReport};
+use crate::cache::{CacheStats, RankingCache};
+use crate::codec::{BatchResult, Label, Message, SearchMode};
 use crate::error::CloudError;
 use crate::files::{EncryptedFile, FileCrypter, FileStore};
 use crate::network::{MeteredChannel, TrafficReport};
-use parking_lot::{RwLock, RwLockReadGuard};
-use rsse_core::{Rsse, RsseIndex, RsseParams, RsseTrapdoor};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use rsse_core::{ranked_prefix, RankedResult, Rsse, RsseIndex, RsseParams, RsseTrapdoor};
 use rsse_crypto::SecretKey;
 use rsse_ir::{Document, FileId, InvertedIndex};
 use rsse_opse::OpseParams;
@@ -143,26 +144,53 @@ impl DataOwner {
 /// The honest-but-curious cloud server.
 ///
 /// All mutable state — the RSSE index (§VII score-dynamics appends), the
-/// file store, and the audit log — sits behind `parking_lot::RwLock`s, so
+/// file store, and the ranking cache — sits behind `parking_lot` locks, so
 /// `handle` takes `&self` and an `Arc<CloudServer>` can serve many worker
 /// threads concurrently: searches take read locks and never serialize
-/// against each other; only updates take the write side.
+/// against each other; only updates take the write side. Audit counters
+/// are lock-free atomics ([`AuditCounters`]) — the per-request
+/// `audit.write()` of earlier versions serialized the whole pool.
 #[derive(Debug)]
 pub struct CloudServer {
     rsse_index: RwLock<RsseIndex>,
     basic_index: BasicEncryptedIndex,
     files: RwLock<FileStore>,
-    audit: RwLock<AuditLog>,
+    counters: AuditCounters,
+    /// Hot-keyword ranking cache (DESIGN.md §6.3). A `Mutex` rather than an
+    /// `RwLock` because even lookups mutate LRU/statistics state; the
+    /// critical sections are a hash probe or an insert — the expensive
+    /// ranking work on a miss happens *outside* the lock, guarded by the
+    /// cache epoch.
+    cache: Mutex<RankingCache>,
 }
 
 impl CloudServer {
-    /// Boots the server from the owner's `Outsource` message.
+    /// Default ranking-cache budget: plenty for every hot list of the
+    /// simulated corpora while still exercising eviction under adversarial
+    /// growth.
+    pub const DEFAULT_CACHE_BUDGET: usize = 32 << 20;
+
+    /// Boots the server from the owner's `Outsource` message with the
+    /// default ranking-cache budget.
     ///
     /// # Errors
     ///
     /// [`CloudError::UnexpectedMessage`] for any other message type, or an
     /// OPSE parameter error for inconsistent public parameters.
     pub fn from_outsource(msg: Message) -> Result<Self, CloudError> {
+        Self::from_outsource_with_cache(msg, Self::DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Boots the server with an explicit ranking-cache byte budget; `0`
+    /// disables caching entirely (every search ranks from the index).
+    ///
+    /// # Errors
+    ///
+    /// As [`CloudServer::from_outsource`].
+    pub fn from_outsource_with_cache(
+        msg: Message,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
         let Message::Outsource {
             rsse_lists,
             basic_lists,
@@ -183,7 +211,8 @@ impl CloudServer {
             rsse_index: RwLock::new(RsseIndex::from_parts(rsse_lists, opse)),
             basic_index: BasicEncryptedIndex::from_parts(basic_lists),
             files: RwLock::new(store),
-            audit: RwLock::new(AuditLog::default()),
+            counters: AuditCounters::new(),
+            cache: Mutex::new(RankingCache::new(cache_budget_bytes)),
         })
     }
 
@@ -198,8 +227,68 @@ impl CloudServer {
     /// [`CloudError::UnexpectedMessage`] for non-request messages.
     pub fn handle(&self, msg: Message) -> Result<Message, CloudError> {
         let (kind, outcome) = self.dispatch(msg);
-        self.audit.write().record(kind);
+        self.counters.record(kind);
         outcome
+    }
+
+    /// One ranked search against the RSSE index, served from the ranking
+    /// cache when possible.
+    ///
+    /// * **Hit** — the label's full ranking is cached; any `top_k` is a
+    ///   prefix copy ([`ranked_prefix`]), zero per-entry work.
+    /// * **Miss** — ranks the *entire* list (`top_k = None`) outside the
+    ///   cache lock, then offers the result back under the epoch snapshot
+    ///   taken before the index read, so a fill racing an invalidation can
+    ///   never park stale data (see `crate::cache`).
+    /// * **Disabled** (budget 0) — direct heap top-k search, as before the
+    ///   cache existed; neither hits nor misses are counted.
+    fn ranked_search(
+        &self,
+        label: Label,
+        list_key: [u8; 32],
+        top_k: Option<usize>,
+    ) -> Vec<RankedResult> {
+        let trapdoor = RsseTrapdoor::from_parts(label, SecretKey::from_bytes(list_key));
+        let fill_epoch = {
+            let mut cache = self.cache.lock();
+            if !cache.is_enabled() {
+                drop(cache);
+                return self.rsse_index.read().search(&trapdoor, top_k);
+            }
+            match cache.get(&label) {
+                Some(ranking) => {
+                    drop(cache);
+                    self.counters.record_cache(true);
+                    return ranked_prefix(&ranking, top_k);
+                }
+                None => cache.epoch(),
+            }
+        };
+        self.counters.record_cache(false);
+        // Rank the full list so every later top-k is a prefix of this fill.
+        let full = Arc::new(self.rsse_index.read().search(&trapdoor, None));
+        let result = ranked_prefix(&full, top_k);
+        self.cache.lock().insert_if_current(label, full, fill_epoch);
+        result
+    }
+
+    /// Ranked ids + the matching encrypted files for one query — the body
+    /// shared by the single, sharded, and batched search arms.
+    fn ranked_search_with_files(
+        &self,
+        label: Label,
+        list_key: [u8; 32],
+        top_k: Option<u32>,
+    ) -> (Vec<(u64, u64)>, Vec<EncryptedFile>) {
+        let results = self.ranked_search(label, list_key, top_k.map(|k| k as usize));
+        let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+        (
+            results
+                .iter()
+                .map(|r| (r.file.as_u64(), r.encrypted_score))
+                .collect(),
+            self.files.read().fetch_many(&ids),
+        )
     }
 
     fn dispatch(&self, msg: Message) -> (RequestKind, Result<Message, CloudError>) {
@@ -213,19 +302,9 @@ impl CloudServer {
                 let key = SecretKey::from_bytes(list_key);
                 let response = match mode {
                     SearchMode::Rsse => {
-                        let trapdoor = RsseTrapdoor::from_parts(label, key);
-                        let results = self
-                            .rsse_index
-                            .read()
-                            .search(&trapdoor, top_k.map(|k| k as usize));
-                        let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
-                        Message::RsseResponse {
-                            ranking: results
-                                .iter()
-                                .map(|r| (r.file.as_u64(), r.encrypted_score))
-                                .collect(),
-                            files: self.files.read().fetch_many(&ids),
-                        }
+                        let (ranking, files) =
+                            self.ranked_search_with_files(label, list_key, top_k);
+                        Message::RsseResponse { ranking, files }
                     }
                     SearchMode::BasicFull => {
                         let entries = self.basic_index.search(&label).unwrap_or(&[]);
@@ -286,23 +365,28 @@ impl CloudServer {
                 // One scatter leg: rank this shard's partition of the list
                 // locally and echo the shard identity for correlation. The
                 // local top-k suffices globally because files partition
-                // disjointly across shards.
-                let trapdoor = RsseTrapdoor::from_parts(label, SecretKey::from_bytes(list_key));
-                let results = self
-                    .rsse_index
-                    .read()
-                    .search(&trapdoor, top_k.map(|k| k as usize));
-                let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+                // disjointly across shards. Routed through the ranking
+                // cache like every other RSSE search, so sharded rankings
+                // stay byte-identical with caching on (the cache stores
+                // this shard's own partition ranking).
+                let (ranking, files) = self.ranked_search_with_files(label, list_key, top_k);
                 (
                     RequestKind::ShardQuery,
                     Ok(Message::ShardReply {
                         shard_id,
-                        ranking: results
-                            .iter()
-                            .map(|r| (r.file.as_u64(), r.encrypted_score))
-                            .collect(),
-                        files: self.files.read().fetch_many(&ids),
+                        ranking,
+                        files,
                     }),
+                )
+            }
+            Message::BatchRequest { queries, shard_id } => {
+                let results: Vec<BatchResult> = queries
+                    .into_iter()
+                    .map(|(label, key, top_k)| self.ranked_search_with_files(label, key, top_k))
+                    .collect();
+                (
+                    RequestKind::Batch,
+                    Ok(Message::BatchReply { shard_id, results }),
                 )
             }
             Message::Update { rsse_lists, files } => {
@@ -320,7 +404,9 @@ impl CloudServer {
             _ => (
                 RequestKind::Rejected,
                 Err(CloudError::UnexpectedMessage {
-                    expected: "SearchRequest, FetchFiles, ConjunctiveRequest, ShardQuery or Update",
+                    expected:
+                        "SearchRequest, FetchFiles, ConjunctiveRequest, ShardQuery, BatchRequest \
+                         or Update",
                 }),
             ),
         }
@@ -335,10 +421,20 @@ impl CloudServer {
     /// Applies an owner-issued score-dynamics update.
     ///
     /// Takes the write locks briefly; concurrent searches observe either
-    /// the pre- or post-update index, never a torn state.
+    /// the pre- or post-update index, never a torn state. Ranking-cache
+    /// entries for the touched labels are invalidated *after* the index
+    /// write completes, so a concurrent miss-fill that snapshotted its
+    /// epoch before this update either read the post-update index (valid
+    /// fill) or is rejected by the epoch bump (stale fill) — it can never
+    /// park a pre-update ranking.
     pub fn apply_update(&self, update: rsse_core::IndexUpdate, new_files: Vec<EncryptedFile>) {
+        let touched: Vec<Label> = update.labels().copied().collect();
         update.apply_to(&mut self.rsse_index.write());
         self.files.write().ingest(new_files);
+        let mut cache = self.cache.lock();
+        for label in &touched {
+            cache.invalidate(label);
+        }
     }
 
     /// Number of stored files.
@@ -349,18 +445,25 @@ impl CloudServer {
     /// Records a frame that failed to decode; counted with the rejected
     /// requests, since the server refused to handle it.
     pub fn note_bad_frame(&self) {
-        self.audit.write().record(RequestKind::Rejected);
+        self.counters.record(RequestKind::Rejected);
     }
 
     /// Records a contained serving panic (the client was answered with an
     /// `Internal` error frame).
     pub fn note_panic(&self) {
-        self.audit.write().record(RequestKind::Panicked);
+        self.counters.record(RequestKind::Panicked);
     }
 
-    /// A copy of the aggregate serving counters.
+    /// A copy of the aggregate serving counters, cache outcomes included.
     pub fn serving_report(&self) -> ServingReport {
-        self.audit.read().report()
+        self.counters.report()
+    }
+
+    /// Point-in-time ranking-cache statistics (occupancy-level counters:
+    /// evictions, invalidations, stale fills — hit/miss totals also appear
+    /// in [`CloudServer::serving_report`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
     }
 }
 
@@ -487,6 +590,59 @@ impl User {
             .collect())
     }
 
+    /// Builds one [`Message::BatchRequest`] carrying an RSSE search for
+    /// every keyword, all sharing one channel round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures (e.g. stop-word-only queries).
+    pub fn batch_search_request(
+        &self,
+        keywords: &[&str],
+        top_k: Option<u32>,
+    ) -> Result<Message, CloudError> {
+        let queries = keywords
+            .iter()
+            .map(|kw| {
+                let t = self.rsse.trapdoor(kw)?;
+                Ok((*t.label(), *t.list_key().as_bytes(), top_k))
+            })
+            .collect::<Result<Vec<_>, CloudError>>()?;
+        Ok(Message::BatchRequest {
+            queries,
+            shard_id: None,
+        })
+    }
+
+    /// Builds the batched scatter legs of a sharded multi-keyword search:
+    /// one [`Message::BatchRequest`] per shard, each carrying *all* the
+    /// keywords' trapdoors and addressed to its shard id — `num_shards`
+    /// round trips total instead of `keywords × num_shards`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures (e.g. stop-word-only queries).
+    pub fn batch_shard_query(
+        &self,
+        keywords: &[&str],
+        top_k: Option<u32>,
+        num_shards: u32,
+    ) -> Result<Vec<Message>, CloudError> {
+        let queries = keywords
+            .iter()
+            .map(|kw| {
+                let t = self.rsse.trapdoor(kw)?;
+                Ok((*t.label(), *t.list_key().as_bytes(), top_k))
+            })
+            .collect::<Result<Vec<_>, CloudError>>()?;
+        Ok((0..num_shards)
+            .map(|shard_id| Message::BatchRequest {
+                queries: queries.clone(),
+                shard_id: Some(shard_id),
+            })
+            .collect())
+    }
+
     /// Builds a conjunctive (multi-keyword) search request — the §VIII
     /// extension over the wire.
     ///
@@ -537,13 +693,30 @@ impl Deployment {
         params: RsseParams,
         docs: &[Document],
     ) -> Result<Self, CloudError> {
+        Self::bootstrap_with_cache(master_seed, params, docs, CloudServer::DEFAULT_CACHE_BUDGET)
+    }
+
+    /// [`Deployment::bootstrap`] with an explicit ranking-cache byte
+    /// budget; `0` disables the cache (used by the coherence tests and the
+    /// cache-off bench legs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn bootstrap_with_cache(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
         let owner = DataOwner::new(master_seed, params);
         let mut channel = MeteredChannel::new();
         let outsource = owner.outsource(docs)?;
         // Encode/decode across the metered wire, exactly as deployed.
         let frame = outsource.encode();
         channel.send_up(frame.len());
-        let server = CloudServer::from_outsource(Message::decode(frame)?)?;
+        let server =
+            CloudServer::from_outsource_with_cache(Message::decode(frame)?, cache_budget_bytes)?;
         let user = owner.authorize_user();
         Ok(Deployment {
             server: Arc::new(server),
@@ -587,6 +760,9 @@ impl Deployment {
         channel: &mut MeteredChannel,
         request: Message,
     ) -> Result<Message, CloudError> {
+        if let Message::BatchRequest { queries, .. } = &request {
+            channel.note_batch(queries.len());
+        }
         let up = request.encode();
         channel.send_up(up.len());
         let down = crate::server_loop::serve_frame(&self.server, &up, None);
@@ -617,6 +793,33 @@ impl Deployment {
         let request = self.user.search_request(keyword, top_k, SearchMode::Rsse)?;
         let response = self.round_trip(&mut channel, request)?;
         Ok((self.user.read_rsse_response(response)?, channel.report()))
+    }
+
+    /// Protocol 1, batched — several RSSE searches amortized over one
+    /// round trip. Returns one ranked document list per keyword, in
+    /// request order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor/protocol failures.
+    pub fn rsse_search_batch(
+        &self,
+        keywords: &[&str],
+        top_k: Option<u32>,
+    ) -> Result<(Vec<Vec<Document>>, TrafficReport), CloudError> {
+        let mut channel = MeteredChannel::new();
+        let request = self.user.batch_search_request(keywords, top_k)?;
+        let response = self.round_trip(&mut channel, request)?;
+        let Message::BatchReply { results, .. } = response else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "BatchReply",
+            });
+        };
+        let docs = results
+            .iter()
+            .map(|(_, files)| self.user.decrypt_files(files))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((docs, channel.report()))
     }
 
     /// Extension — conjunctive multi-keyword ranked search (one round).

@@ -32,6 +32,7 @@
 
 pub mod adversary;
 pub mod audit;
+pub mod cache;
 pub mod codec;
 pub mod entities;
 pub mod error;
@@ -41,8 +42,9 @@ pub mod network;
 pub mod server_loop;
 pub mod shard;
 
-pub use audit::{AuditLog, RequestKind, ServingReport};
-pub use codec::{CodecError, ErrorKind, Message, SearchMode};
+pub use audit::{AuditCounters, AuditLog, RequestKind, ServingReport};
+pub use cache::{CacheStats, RankingCache};
+pub use codec::{BatchResult, CodecError, ErrorKind, Message, SearchMode};
 pub use entities::{CloudServer, DataOwner, Deployment, User};
 pub use error::CloudError;
 pub use files::{EncryptedFile, FileCrypter, FileStore};
@@ -50,4 +52,6 @@ pub use network::{MeteredChannel, NetworkParams, TrafficReport};
 pub use server_loop::{
     serve_frame, Fault, FaultHook, PendingReply, PoolOptions, ServerClient, ServerHandle,
 };
-pub use shard::{IndexPartitioner, ScatterOutcome, ShardRouter, ShardedDeployment};
+pub use shard::{
+    BatchScatterOutcome, IndexPartitioner, ScatterOutcome, ShardRouter, ShardedDeployment,
+};

@@ -65,6 +65,11 @@ pub struct TrafficReport {
     /// shard it addressed (failed legs included — their error bytes are on
     /// the wire either way).
     pub shard_legs: u32,
+    /// How many individual queries travelled inside `BatchRequest` frames.
+    /// A run of only single-query frames reports 0; a batch of `n` searches
+    /// adds `n` here while costing just one round trip — the ratio is the
+    /// protocol's amortization factor.
+    pub batched_queries: u32,
 }
 
 impl TrafficReport {
@@ -82,6 +87,7 @@ impl TrafficReport {
         self.round_trips += other.round_trips;
         self.error_frames += other.error_frames;
         self.shard_legs += other.shard_legs;
+        self.batched_queries += other.batched_queries;
     }
 
     /// The traffic of one scatter leg: a query frame up to a shard and one
@@ -93,6 +99,7 @@ impl TrafficReport {
             round_trips: 1,
             error_frames: u32::from(is_error),
             shard_legs: 1,
+            batched_queries: 0,
         }
     }
 
@@ -132,6 +139,11 @@ impl MeteredChannel {
     pub fn send_down_error(&mut self, bytes: usize) {
         self.send_down(bytes);
         self.report.error_frames += 1;
+    }
+
+    /// Records that the next upstream frame batches `queries` searches.
+    pub fn note_batch(&mut self, queries: usize) {
+        self.report.batched_queries += queries as u32;
     }
 
     /// The accumulated report.
@@ -199,6 +211,22 @@ mod tests {
         assert_eq!(r.error_frames, 1);
         assert_eq!(r.total_bytes(), 40);
         assert_eq!(r.shard_legs, 0, "a plain channel run has no shard legs");
+        assert_eq!(r.batched_queries, 0, "no batch frames were sent");
+    }
+
+    #[test]
+    fn batched_queries_are_tallied_and_absorbed() {
+        let mut ch = MeteredChannel::new();
+        ch.note_batch(16);
+        ch.send_up(900);
+        ch.send_down(4000);
+        let leg = ch.report();
+        assert_eq!(leg.batched_queries, 16);
+        assert_eq!(leg.round_trips, 1, "16 queries in one round trip");
+        let mut total = TrafficReport::default();
+        total.absorb(&leg);
+        total.absorb(&leg);
+        assert_eq!(total.batched_queries, 32);
     }
 
     #[test]

@@ -506,6 +506,26 @@ impl ServerClient {
     ) -> Result<Message, CloudError> {
         self.send_frame(frame)?.wait(deadline)
     }
+
+    /// Sends a [`Message::BatchRequest`] and unwraps the matching
+    /// [`Message::BatchReply`], returning one [`crate::BatchResult`] per
+    /// query in request order. One queue slot, one envelope, one reply
+    /// rendezvous for the whole batch — the per-request wire overhead that
+    /// dominates small-query workloads is paid once.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::call`], plus
+    /// [`CloudError::UnexpectedMessage`] if the server answers a batch
+    /// with anything other than a `BatchReply`.
+    pub fn call_batch(&self, request: Message) -> Result<Vec<crate::BatchResult>, CloudError> {
+        match self.call(request)? {
+            Message::BatchReply { results, .. } => Ok(results),
+            _ => Err(CloudError::UnexpectedMessage {
+                expected: "BatchReply",
+            }),
+        }
+    }
 }
 
 /// An in-flight request issued by [`ServerClient::call_async`]: the
@@ -584,6 +604,53 @@ mod tests {
         assert_eq!(ranking.len(), 3);
         assert_eq!(files.len(), 3);
         assert_eq!(handle.shutdown(), 1);
+    }
+
+    #[test]
+    fn batched_call_matches_individual_calls() {
+        let (owner, handle, _) = spawn_server();
+        let client = handle.client();
+        let user = owner.authorize_user();
+        let keywords = ["network", "data", "network"];
+
+        // Reference: one round trip per keyword.
+        let singles: Vec<(Vec<(u64, u64)>, usize)> = keywords
+            .iter()
+            .map(|kw| {
+                let req = user.search_request(kw, Some(4), SearchMode::Rsse).unwrap();
+                match client.call(req).unwrap() {
+                    Message::RsseResponse { ranking, files } => (ranking, files.len()),
+                    _ => panic!("wrong response type"),
+                }
+            })
+            .collect();
+
+        // Batched: all keywords in one frame.
+        let batch = user.batch_search_request(&keywords, Some(4)).unwrap();
+        let results = client.call_batch(batch).unwrap();
+        assert_eq!(results.len(), keywords.len());
+        for ((ranking, files), (want_ranking, want_files)) in results.iter().zip(&singles) {
+            assert_eq!(ranking, want_ranking, "batched ranking must be identical");
+            assert_eq!(files.len(), *want_files);
+        }
+
+        let report = handle.server().serving_report();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.searches, 3);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn call_batch_rejects_non_batch_reply() {
+        let (_, handle, _) = spawn_server();
+        let client = handle.client();
+        // A FetchFiles request is valid, but its reply is not a BatchReply.
+        let err = client.call_batch(Message::FetchFiles { ids: vec![] });
+        assert!(matches!(
+            err,
+            Err(CloudError::UnexpectedMessage { .. }) | Err(CloudError::Server { .. })
+        ));
+        handle.shutdown();
     }
 
     #[test]

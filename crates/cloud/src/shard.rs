@@ -122,6 +122,32 @@ impl ScatterOutcome {
     }
 }
 
+/// The outcome of one *batched* scatter-gather
+/// ([`ShardRouter::scatter_batch`]): several keywords resolved against
+/// every shard in `num_shards` round trips total.
+#[derive(Debug)]
+pub struct BatchScatterOutcome {
+    /// Per-query merged results, in batch order: each entry is the
+    /// globally ranked list plus its aligned encrypted files — exactly
+    /// what a [`ScatterOutcome`] would carry for that query alone.
+    pub queries: Vec<(Vec<RankedResult>, Vec<EncryptedFile>)>,
+    /// Aggregated traffic of every leg ([`TrafficReport::batched_queries`]
+    /// counts the amortized queries).
+    pub traffic: TrafficReport,
+    /// Shards that answered with a usable reply.
+    pub shards_ok: u32,
+    /// Legs that failed — degraded coverage for *every* query in the
+    /// batch, since a leg carries all of them.
+    pub degraded: Vec<DegradedLeg>,
+}
+
+impl BatchScatterOutcome {
+    /// Whether every shard contributed (no degraded coverage).
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
 /// Merges per-shard replies into one globally ranked result list with the
 /// files aligned to it.
 ///
@@ -239,47 +265,13 @@ impl ShardRouter {
             "one leg per shard, in shard order"
         );
         let mut traffic = TrafficReport::default();
-        let shed_frame_len =
-            Message::error(ErrorKind::Overloaded, "request backlog is full").wire_len();
 
-        enum Leg {
-            Pending(PendingReply),
-            Failed(CloudError),
-        }
         // Scatter: queue every leg before waiting on any. Overload sheds
         // are answered round trips (the front door priced them), so each
         // attempt meters as its own leg.
         let mut states = Vec::with_capacity(legs.len());
         for (client, leg) in self.clients.iter().zip(&legs) {
-            let up = leg.wire_len();
-            let mut wait = self.backoff;
-            let mut attempt = 0;
-            let state = loop {
-                attempt += 1;
-                match client.call_async(leg.clone()) {
-                    Ok(pending) => break Leg::Pending(pending),
-                    Err(
-                        e @ CloudError::Server {
-                            kind: ErrorKind::Overloaded,
-                            ..
-                        },
-                    ) => {
-                        traffic.absorb(&TrafficReport::shard_leg(up, shed_frame_len, true));
-                        if attempt >= self.attempts {
-                            break Leg::Failed(e);
-                        }
-                        std::thread::sleep(wait);
-                        wait = wait.saturating_mul(2);
-                    }
-                    Err(e) => {
-                        // Dead transport: the request never left; meter the
-                        // attempted upstream bytes only.
-                        traffic.absorb(&TrafficReport::shard_leg(up, 0, false));
-                        break Leg::Failed(e);
-                    }
-                }
-            };
-            states.push(state);
+            states.push(self.queue_with_retry(client, leg, &mut traffic));
         }
 
         // Gather: collect every pending leg under the per-leg deadline.
@@ -290,8 +282,8 @@ impl ShardRouter {
             let shard = shard as u32;
             let up = leg.wire_len();
             let pending = match state {
-                Leg::Pending(p) => p,
-                Leg::Failed(error) => {
+                Ok(p) => p,
+                Err(error) => {
                     degraded.push(DegradedLeg {
                         shard_id: shard,
                         error,
@@ -366,6 +358,204 @@ impl ShardRouter {
         Ok(ScatterOutcome {
             ranking,
             files,
+            traffic,
+            shards_ok,
+            degraded,
+        })
+    }
+
+    /// Queues one leg under the router's overload-retry budget, metering
+    /// every shed attempt; `Err` is a leg that never got queued.
+    fn queue_with_retry(
+        &self,
+        client: &ServerClient,
+        leg: &Message,
+        traffic: &mut TrafficReport,
+    ) -> Result<PendingReply, CloudError> {
+        let shed_frame_len =
+            Message::error(ErrorKind::Overloaded, "request backlog is full").wire_len();
+        let up = leg.wire_len();
+        let mut wait = self.backoff;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match client.call_async(leg.clone()) {
+                Ok(pending) => return Ok(pending),
+                Err(
+                    e @ CloudError::Server {
+                        kind: ErrorKind::Overloaded,
+                        ..
+                    },
+                ) => {
+                    traffic.absorb(&TrafficReport::shard_leg(up, shed_frame_len, true));
+                    if attempt >= self.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(wait);
+                    wait = wait.saturating_mul(2);
+                }
+                Err(e) => {
+                    // Dead transport: the request never left; meter the
+                    // attempted upstream bytes only.
+                    traffic.absorb(&TrafficReport::shard_leg(up, 0, false));
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Batched scatter-gather: `legs[i]` is a [`Message::BatchRequest`]
+    /// addressed to shard `i` (`shard_id == Some(i)`), every leg carrying
+    /// the *same* query sequence. Each query's per-shard partial rankings
+    /// are merged exactly like [`ShardRouter::scatter`] merges a single
+    /// query's, so every entry of [`BatchScatterOutcome::queries`] is
+    /// byte-identical to what an unbatched scatter of that query would
+    /// return — the whole batch costs one round trip per shard instead of
+    /// one per `(query, shard)` pair.
+    ///
+    /// A reply that echoes the wrong shard id, carries `shard_id: None`,
+    /// or answers a different number of queries than asked is out of
+    /// protocol and degrades its leg.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::AllShardsFailed`] when no shard produced a usable
+    /// reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `legs.len()` differs from the router's shard count, on
+    /// a non-`BatchRequest` leg, or when legs disagree on the query
+    /// sequence length — a misassembled scatter is a programming error,
+    /// not a wire fault.
+    pub fn scatter_batch(
+        &self,
+        legs: Vec<Message>,
+        top_k: Option<usize>,
+    ) -> Result<BatchScatterOutcome, CloudError> {
+        assert_eq!(
+            legs.len(),
+            self.clients.len(),
+            "one leg per shard, in shard order"
+        );
+        let num_queries = legs
+            .iter()
+            .map(|leg| match leg {
+                Message::BatchRequest { queries, .. } => queries.len(),
+                other => panic!("scatter_batch leg must be a BatchRequest, got {other:?}"),
+            })
+            .max()
+            .unwrap_or(0);
+        for leg in &legs {
+            if let Message::BatchRequest { queries, .. } = leg {
+                assert_eq!(
+                    queries.len(),
+                    num_queries,
+                    "every shard's leg must carry the same query sequence"
+                );
+            }
+        }
+        let mut traffic = TrafficReport::default();
+
+        let mut states = Vec::with_capacity(legs.len());
+        for (client, leg) in self.clients.iter().zip(&legs) {
+            let state = self.queue_with_retry(client, leg, &mut traffic);
+            if state.is_ok() {
+                traffic.batched_queries += num_queries as u32;
+            }
+            states.push(state);
+        }
+
+        let mut per_shard: Vec<Vec<crate::BatchResult>> = Vec::with_capacity(states.len());
+        let mut degraded = Vec::new();
+        for (shard, (state, leg)) in states.into_iter().zip(&legs).enumerate() {
+            let shard = shard as u32;
+            let up = leg.wire_len();
+            let pending = match state {
+                Ok(p) => p,
+                Err(error) => {
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error,
+                    });
+                    continue;
+                }
+            };
+            match pending.wait(Some(self.deadline)) {
+                Ok(Message::BatchReply { shard_id, results })
+                    if shard_id == Some(shard) && results.len() == num_queries =>
+                {
+                    let reply_len = Message::BatchReply {
+                        shard_id,
+                        results: results.clone(),
+                    }
+                    .wire_len();
+                    traffic.absorb(&TrafficReport::shard_leg(up, reply_len, false));
+                    per_shard.push(results);
+                }
+                Ok(other) => {
+                    traffic.absorb(&TrafficReport::shard_leg(up, other.wire_len(), false));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error: CloudError::UnexpectedMessage {
+                            expected: "BatchReply addressed to this shard",
+                        },
+                    });
+                }
+                Err(CloudError::Server { kind, detail }) => {
+                    let frame_len = Message::Error {
+                        kind,
+                        detail: detail.clone(),
+                    }
+                    .wire_len();
+                    traffic.absorb(&TrafficReport::shard_leg(up, frame_len, true));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error: CloudError::Server { kind, detail },
+                    });
+                }
+                Err(error) => {
+                    traffic.absorb(&TrafficReport::shard_leg(up, 0, false));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error,
+                    });
+                }
+            }
+        }
+
+        let shards_ok = per_shard.len() as u32;
+        if shards_ok == 0 {
+            return Err(CloudError::AllShardsFailed {
+                shards: self.clients.len() as u32,
+            });
+        }
+        // Transpose shard-major replies into query-major merges: query q's
+        // partial rankings across the surviving shards merge exactly like
+        // a single scattered query's.
+        let mut shard_iters: Vec<std::vec::IntoIter<crate::BatchResult>> =
+            per_shard.into_iter().map(Vec::into_iter).collect();
+        let mut queries = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            let mut rankings: Vec<Vec<RankedResult>> = Vec::with_capacity(shard_iters.len());
+            let mut files: Vec<Vec<EncryptedFile>> = Vec::with_capacity(shard_iters.len());
+            for iter in &mut shard_iters {
+                let (ranking, shard_files) = iter.next().expect("length validated at gather");
+                rankings.push(
+                    ranking
+                        .into_iter()
+                        .map(|(id, encrypted_score)| RankedResult {
+                            file: FileId::new(id),
+                            encrypted_score,
+                        })
+                        .collect(),
+                );
+                files.push(shard_files);
+            }
+            queries.push(merge_shard_replies(&rankings, files, top_k));
+        }
+        Ok(BatchScatterOutcome {
+            queries,
             traffic,
             shards_ok,
             degraded,
@@ -494,6 +684,33 @@ impl ShardedDeployment {
         Ok((docs, outcome))
     }
 
+    /// Batched sharded ranked search: every keyword's trapdoor rides the
+    /// same scatter leg to each shard ([`User::batch_shard_query`]), and
+    /// each keyword's merged ranking comes back byte-identical to a
+    /// dedicated [`ShardedDeployment::rsse_search`] for it. Returns the
+    /// decrypted top-k documents per keyword, in request order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures, and [`CloudError::AllShardsFailed`]
+    /// when no shard replied.
+    pub fn rsse_search_batch(
+        &self,
+        keywords: &[&str],
+        top_k: Option<u32>,
+    ) -> Result<(Vec<Vec<Document>>, BatchScatterOutcome), CloudError> {
+        let legs = self
+            .user
+            .batch_shard_query(keywords, top_k, self.router.num_shards() as u32)?;
+        let outcome = self.router.scatter_batch(legs, top_k.map(|k| k as usize))?;
+        let docs = outcome
+            .queries
+            .iter()
+            .map(|(_, files)| self.user.decrypt_files(files))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((docs, outcome))
+    }
+
     /// Shuts every shard pool down, returning the total requests served
     /// across all shards.
     pub fn shutdown(self) -> u64 {
@@ -617,6 +834,65 @@ mod tests {
             assert_eq!(report.shard_queries, 1, "shard {shard}");
         }
         assert_eq!(cloud.shutdown(), 3);
+    }
+
+    #[test]
+    fn batched_scatter_matches_per_keyword_scatter() {
+        let corpus = small_docs(75);
+        let cloud = ShardedDeployment::bootstrap(
+            b"batch shard seed",
+            RsseParams::default(),
+            corpus.documents(),
+            3,
+            PoolOptions::new(1, 16),
+        )
+        .unwrap();
+        let keywords = ["network", "data"];
+
+        // Reference: one scatter per keyword.
+        let singles: Vec<Vec<RankedResult>> = keywords
+            .iter()
+            .map(|kw| cloud.rsse_search(kw, Some(5)).unwrap().1.ranking)
+            .collect();
+
+        let (docs, outcome) = cloud.rsse_search_batch(&keywords, Some(5)).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.shards_ok, 3);
+        assert_eq!(outcome.queries.len(), keywords.len());
+        for (q, (ranking, files)) in outcome.queries.iter().enumerate() {
+            assert_eq!(
+                ranking, &singles[q],
+                "batched merge must equal the dedicated scatter for query {q}"
+            );
+            assert_eq!(files.len(), ranking.len());
+        }
+        assert_eq!(docs.len(), keywords.len());
+        // 2 keywords × 3 shards amortized into 3 legs / round trips.
+        assert_eq!(outcome.traffic.shard_legs, 3);
+        assert_eq!(outcome.traffic.round_trips, 3);
+        assert_eq!(outcome.traffic.batched_queries, 6);
+        cloud.shutdown();
+    }
+
+    #[test]
+    fn batched_scatter_misaddressed_reply_degrades() {
+        let corpus = small_docs(76);
+        let cloud = ShardedDeployment::bootstrap(
+            b"batch misroute seed",
+            RsseParams::default(),
+            corpus.documents(),
+            2,
+            PoolOptions::new(1, 8),
+        )
+        .unwrap();
+        let mut legs = cloud
+            .user()
+            .batch_shard_query(&["network"], Some(3), 2)
+            .unwrap();
+        legs.swap(0, 1);
+        let err = cloud.router().scatter_batch(legs, Some(3)).unwrap_err();
+        assert!(matches!(err, CloudError::AllShardsFailed { shards: 2 }));
+        cloud.shutdown();
     }
 
     #[test]

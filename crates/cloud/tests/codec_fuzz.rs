@@ -47,6 +47,23 @@ fn seed_frames() -> Vec<Vec<u8>> {
             ranking: vec![(1, 999), (2, 500)],
             files: vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
         },
+        Message::BatchRequest {
+            queries: vec![
+                ([9u8; 20], [10u8; 32], Some(5)),
+                ([11u8; 20], [12u8; 32], None),
+            ],
+            shard_id: Some(1),
+        },
+        Message::BatchReply {
+            shard_id: Some(1),
+            results: vec![
+                (
+                    vec![(1, 999)],
+                    vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
+                ),
+                (vec![], vec![]),
+            ],
+        },
     ]
     .into_iter()
     .map(|m| m.encode().to_vec())

@@ -114,6 +114,39 @@ fn hostile_frames() -> Vec<(&'static str, Vec<u8>)> {
     b.put_u64(1 << 50); // claimed ciphertext length
     frames.push(("shard_reply_huge_ciphertext", b.to_vec()));
 
+    // BatchRequest claiming 2^40 queries in a 9-byte frame.
+    let mut b = BytesMut::new();
+    b.put_u8(15);
+    b.put_u64(1 << 40); // claimed query count
+    frames.push(("batch_request_huge_query_count", b.to_vec()));
+
+    // BatchReply claiming 2^40 per-query results with nothing behind them.
+    let mut b = BytesMut::new();
+    b.put_u8(16);
+    b.put_u8(0); // no shard id
+    b.put_u64(1 << 40); // claimed result count
+    frames.push(("batch_reply_huge_result_count", b.to_vec()));
+
+    // BatchReply whose single result claims 2^40 ranking pairs.
+    let mut b = BytesMut::new();
+    b.put_u8(16);
+    b.put_u8(0); // no shard id
+    b.put_u64(1); // one result
+    b.put_u64(1 << 40); // claimed ranking pairs
+    frames.push(("batch_reply_huge_inner_ranking", b.to_vec()));
+
+    // BatchReply whose single result's files claim a 2^50-byte ciphertext.
+    let mut b = BytesMut::new();
+    b.put_u8(16);
+    b.put_u8(1); // shard id present
+    b.put_u32(7);
+    b.put_u64(1); // one result
+    b.put_u64(0); // empty ranking
+    b.put_u64(1); // one file
+    b.put_u64(5); // file id
+    b.put_u64(1 << 50); // claimed ciphertext length
+    frames.push(("batch_reply_huge_ciphertext", b.to_vec()));
+
     frames
 }
 

@@ -311,6 +311,27 @@ pub fn merge_ranked_streams(
     out
 }
 
+/// Serves a top-k request straight off an *already ranked* result vector —
+/// the cache-hit half of a server-side ranking cache: the first search of a
+/// trapdoor pays the full `O(N_i log k)` decrypt-and-rank, later searches
+/// of the same label take the prefix of the cached descending ranking.
+///
+/// Cost is exactly one allocation (the output vector), independent of how
+/// long the cached ranking is — zero per-entry work. The alloc-count
+/// regression suite pins this.
+///
+/// `ranking` must be sorted best-first (descending by [`RankedResult`]'s
+/// total order), which is what [`RsseIndex::search`] returns; debug builds
+/// assert it.
+pub fn ranked_prefix(ranking: &[RankedResult], top_k: Option<usize>) -> Vec<RankedResult> {
+    debug_assert!(
+        ranking.windows(2).all(|w| w[0] >= w[1]),
+        "cached ranking must be sorted best-first"
+    );
+    let k = top_k.unwrap_or(ranking.len()).min(ranking.len());
+    ranking[..k].to_vec()
+}
+
 /// Collects the `k` largest items of `iter` using a min-heap of size `k`.
 fn top_k_desc(iter: impl Iterator<Item = RankedResult>, k: usize) -> Vec<RankedResult> {
     if k == 0 {
@@ -429,6 +450,19 @@ mod tests {
         let total: usize = shards.iter().filter_map(|s| s.list_len(&[1u8; 20])).sum();
         assert_eq!(total, 3);
         assert_eq!(shards[1].list_len(&[2u8; 20]), Some(0));
+    }
+
+    #[test]
+    fn ranked_prefix_matches_sort_then_truncate() {
+        let mut ranking: Vec<RankedResult> = (0..50).map(|i| rr(i, (i * 7919) % 101)).collect();
+        ranking.sort_by(|a, b| b.cmp(a));
+        for k in [0usize, 1, 10, 50, 99] {
+            let mut want = ranking.clone();
+            want.truncate(k);
+            assert_eq!(ranked_prefix(&ranking, Some(k)), want, "k={k}");
+        }
+        assert_eq!(ranked_prefix(&ranking, None), ranking);
+        assert!(ranked_prefix(&[], Some(5)).is_empty());
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod scheme;
 pub mod store;
 
 pub use error::RsseError;
-pub use index::{merge_ranked_streams, Label, RankedResult, RsseIndex, RsseTrapdoor};
+pub use index::{
+    merge_ranked_streams, ranked_prefix, Label, RankedResult, RsseIndex, RsseTrapdoor,
+};
 pub use multi::{ConjunctiveResult, MultiTrapdoor};
 pub use params::{Padding, RangePolicy, RsseParams};
 pub use persist::PersistError;

@@ -278,13 +278,15 @@ impl Rsse {
         opse: OpseParams,
         encrypted_score: u64,
     ) -> Result<u64, RsseError> {
-        let keyword = self.canonical_keyword(keyword)?;
-        Ok(self.opm_for(&keyword, opse).decrypt(encrypted_score)?)
+        self.score_decryptor(opse)
+            .decrypt_level(keyword, encrypted_score)
     }
 
     /// A [`ScoreDecryptor`] reusing per-keyword [`Opm`] instances — the
-    /// batch-friendly form of [`Self::decrypt_level`], which rebuilds the
-    /// OPM (with a cold tree-walk memo) on every single call.
+    /// batch-friendly form of [`Self::decrypt_level`]. Callers decrypting
+    /// more than one score per keyword should hoist a decryptor out of the
+    /// loop; the one-shot form above routes through a throwaway decryptor
+    /// and cannot amortize the OPM's tree-walk memo across calls.
     pub fn score_decryptor(&self, opse: OpseParams) -> ScoreDecryptor<'_> {
         ScoreDecryptor {
             scheme: self,
@@ -445,12 +447,12 @@ fn rsse_analysis_free_duplicates(levels: &[u64]) -> usize {
 /// Owner-side cache of per-keyword [`Opm`] instances for decrypting mapped
 /// scores in bulk.
 ///
-/// [`Rsse::decrypt_level`] constructs a fresh `Opm` — whose memoized search
-/// tree starts cold — on *every* call, so decrypting a stream of scores for
-/// the same keyword re-derives the same bucket walk each time. The
-/// experiment and score-dynamics paths decrypt many values per keyword;
-/// this decryptor keeps one warm `Opm` per keyword for the lifetime of a
-/// batch. Obtain via [`Rsse::score_decryptor`].
+/// The one-shot [`Rsse::decrypt_level`] routes through a throwaway
+/// decryptor, so its `Opm` — whose memoized search tree starts cold — is
+/// rebuilt on *every* call and the same bucket walk is re-derived each
+/// time. The experiment and score-dynamics paths decrypt many values per
+/// keyword; this decryptor keeps one warm `Opm` per keyword for the
+/// lifetime of a batch. Obtain via [`Rsse::score_decryptor`].
 #[derive(Debug)]
 pub struct ScoreDecryptor<'a> {
     pub(crate) scheme: &'a Rsse,
@@ -518,6 +520,12 @@ impl IndexUpdate {
     /// Decomposes the update into `(label, entries)` pairs for the wire.
     pub fn into_parts(self) -> Vec<(Label, Vec<Vec<u8>>)> {
         self.ops
+    }
+
+    /// The posting-list labels this update touches — what a serving-side
+    /// ranking cache must invalidate before the update becomes visible.
+    pub fn labels(&self) -> impl Iterator<Item = &Label> + '_ {
+        self.ops.iter().map(|(label, _)| label)
     }
 
     /// Applies the batch to a server-held index.

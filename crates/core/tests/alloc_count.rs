@@ -8,7 +8,7 @@
 //! exactly that. (The lib crate forbids `unsafe`; this integration-test
 //! crate hosts the allocator shim instead.)
 
-use rsse_core::{merge_ranked_streams, RankedResult, Rsse, RsseParams};
+use rsse_core::{merge_ranked_streams, ranked_prefix, RankedResult, Rsse, RsseParams};
 use rsse_ir::{Document, FileId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -147,6 +147,34 @@ fn search_allocations_are_constant_in_list_length() {
         all_short, all_long,
         "full-merge allocations must not scale with result counts \
          ({all_short} for 4x16 vs {all_long} for 4x1024)"
+    );
+
+    // Ranking-cache hit path: serving top-k off an already ranked cached
+    // vector must cost exactly the output copy — ONE allocation, zero
+    // per-entry work — no matter how long the cached ranking is. This is
+    // the whole point of the hot-keyword cache: a hit skips every AES
+    // unwrap and every comparison beyond the prefix memcpy.
+    let cached_short = &shard_streams(1, 16)[0];
+    let cached_long = &shard_streams(1, 4096)[0];
+    let (hit_short, prefix_short) = allocations_during(|| ranked_prefix(cached_short, Some(8)));
+    let (hit_long, prefix_long) = allocations_during(|| ranked_prefix(cached_long, Some(8)));
+    assert_eq!(prefix_short.len(), 8);
+    assert_eq!(prefix_long.len(), 8);
+    assert_eq!(
+        hit_short, hit_long,
+        "cache-hit allocations must not scale with cached ranking length \
+         ({hit_short} for 16 entries vs {hit_long} for 4096)"
+    );
+    assert!(
+        hit_long <= 1,
+        "a cache hit is one output allocation, got {hit_long}"
+    );
+    // k = 0 short-circuits without touching the heap at all.
+    let (hit_empty, prefix_empty) = allocations_during(|| ranked_prefix(cached_long, Some(0)));
+    assert!(prefix_empty.is_empty());
+    assert!(
+        hit_empty <= 1,
+        "an empty prefix must not allocate per entry, got {hit_empty}"
     );
 }
 

@@ -1,0 +1,179 @@
+//! Persistence round-trip properties for the on-disk index format
+//! (`crates/core/src/persist.rs`).
+//!
+//! The format must be lossless over *wire-shaped* indexes — ragged
+//! per-list entry counts and entry lengths, empty lists, empty entries —
+//! not just the uniform padded lists the scheme happens to produce. And a
+//! loader fed hostile bytes (wrong magic, absurd length claims, files cut
+//! off mid-entry) must fail with the matching [`PersistError`], never
+//! panic or mis-load.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse_core::persist::{PersistError, MAGIC};
+use rsse_core::{Label, Rsse, RsseIndex, RsseParams};
+use rsse_ir::{Document, FileId};
+use rsse_opse::OpseParams;
+
+/// Distinct 20-byte labels: proptest drives only the salt, the counter
+/// guarantees distinctness so `from_parts` keeps lists separate.
+fn label(i: usize, salt: u8) -> Label {
+    let mut l = [salt; 20];
+    l[..8].copy_from_slice(&(i as u64).to_be_bytes());
+    l
+}
+
+fn ragged_index(lists: &[Vec<Vec<u8>>], salt: u8, domain: u64, extra: u64) -> RsseIndex {
+    let parts = lists
+        .iter()
+        .enumerate()
+        .map(|(i, entries)| (label(i, salt), entries.clone()))
+        .collect();
+    let opse = OpseParams::new(domain, domain + extra).unwrap();
+    RsseIndex::from_parts(parts, opse)
+}
+
+fn scheme_built_index() -> (Rsse, RsseIndex) {
+    let docs = vec![
+        Document::new(FileId::new(1), "network storage network throughput"),
+        Document::new(FileId::new(2), "network packet capture"),
+        Document::new(FileId::new(3), "storage arrays and controllers"),
+    ];
+    let scheme = Rsse::new(b"roundtrip seed", RsseParams::default());
+    let index = scheme.build_index(&docs).unwrap();
+    (scheme, index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Save→load is the identity on arbitrary ragged wire-shaped indexes:
+    /// same OPSE parameters, same lists, same entries, byte for byte.
+    #[test]
+    fn save_load_is_identity_on_ragged_indexes(
+        lists in vec(vec(vec(any::<u8>(), 0..40), 0..6), 0..8),
+        salt in any::<u8>(),
+        domain in 1u64..512,
+        extra in 0u64..(1 << 40),
+    ) {
+        let index = ragged_index(&lists, salt, domain, extra);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let loaded = RsseIndex::load(&buf[..]).unwrap();
+        prop_assert_eq!(loaded.opse_params(), index.opse_params());
+        prop_assert_eq!(loaded.export_parts(), index.export_parts());
+
+        // Determinism: the reloaded index re-saves to the same bytes, so
+        // backups of backups stay comparable.
+        let mut again = Vec::new();
+        loaded.save(&mut again).unwrap();
+        prop_assert_eq!(again, buf);
+    }
+
+    /// Any strict prefix of a valid file is an error — the loader never
+    /// silently returns a partial index.
+    #[test]
+    fn any_truncation_is_rejected(
+        lists in vec(vec(vec(any::<u8>(), 1..20), 1..4), 1..5),
+        cut_seed in any::<u64>(),
+    ) {
+        let index = ragged_index(&lists, 7, 64, 64);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let cut = (cut_seed as usize) % buf.len();
+        prop_assert!(RsseIndex::load(&buf[..cut]).is_err(), "cut at {}", cut);
+    }
+}
+
+#[test]
+fn scheme_built_index_roundtrips_search_results() {
+    let (scheme, index) = scheme_built_index();
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+    let loaded = RsseIndex::load(&buf[..]).unwrap();
+    for kw in ["network", "storage", "packet", "throughput"] {
+        let t = scheme.trapdoor(kw).unwrap();
+        assert_eq!(loaded.search(&t, None), index.search(&t, None), "{kw}");
+        assert_eq!(
+            loaded.search(&t, Some(2)),
+            index.search(&t, Some(2)),
+            "{kw}"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_is_bad_magic_not_io() {
+    let (_, index) = scheme_built_index();
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+    buf[0] ^= 0x20; // "rSSEIDX1"
+    match RsseIndex::load(&buf[..]).unwrap_err() {
+        PersistError::BadMagic(m) => assert_eq!(&m[1..], &MAGIC[1..]),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversize_claims_are_rejected_at_every_depth() {
+    // A length claim over the 1 GiB sanity cap must surface as Oversize —
+    // whether it is the list count, an entry count, or an entry length.
+    let huge = (2u64 << 30).to_be_bytes();
+
+    // Hostile list count.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&64u64.to_be_bytes());
+    buf.extend_from_slice(&128u64.to_be_bytes());
+    buf.extend_from_slice(&huge);
+    assert!(matches!(
+        RsseIndex::load(&buf[..]).unwrap_err(),
+        PersistError::Oversize(_)
+    ));
+
+    // Hostile entry count inside the first list.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&64u64.to_be_bytes());
+    buf.extend_from_slice(&128u64.to_be_bytes());
+    buf.extend_from_slice(&1u64.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 20]);
+    buf.extend_from_slice(&huge);
+    assert!(matches!(
+        RsseIndex::load(&buf[..]).unwrap_err(),
+        PersistError::Oversize(_)
+    ));
+
+    // Hostile entry length inside the first entry.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&64u64.to_be_bytes());
+    buf.extend_from_slice(&128u64.to_be_bytes());
+    buf.extend_from_slice(&1u64.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 20]);
+    buf.extend_from_slice(&1u64.to_be_bytes());
+    buf.extend_from_slice(&huge);
+    assert!(matches!(
+        RsseIndex::load(&buf[..]).unwrap_err(),
+        PersistError::Oversize(_)
+    ));
+}
+
+#[test]
+fn truncation_mid_entry_is_io_error() {
+    // Cut inside the *payload* of the last entry: the header parses, the
+    // entry length is honest, but the bytes run out partway through.
+    let lists = vec![vec![vec![0xAB; 16], vec![0xCD; 16]]];
+    let index = ragged_index(&lists, 3, 64, 64);
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+    for missing in 1..16 {
+        let cut = buf.len() - missing;
+        match RsseIndex::load(&buf[..cut]).unwrap_err() {
+            PersistError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+            }
+            other => panic!("expected Io at cut {cut}, got {other:?}"),
+        }
+    }
+}

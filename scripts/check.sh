@@ -28,6 +28,21 @@ cargo test -q --test pool_faults
 echo "==> cargo test -q --test shard_equivalence"
 cargo test -q --test shard_equivalence
 
+# The ranking cache's tentpole guarantee: cache on == cache off, byte for
+# byte, under interleaved updates (sharded path included) — plus the
+# persistence format's lossless round-trip and hostile-file rejection.
+echo "==> cargo test -q --test cache_coherence"
+cargo test -q --test cache_coherence
+
+echo "==> cargo test -q -p rsse-core --test persist_roundtrip"
+cargo test -q -p rsse-core --test persist_roundtrip
+
+# Smoke the throughput harness end to end (tiny counts, no perf gates):
+# boots every scenario including the Zipf hot_keywords cache pair and the
+# batched cpu path, and checks the functional cache invariants.
+echo "==> throughput --smoke"
+cargo run --release -q -p rsse-bench --bin throughput -- --smoke
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

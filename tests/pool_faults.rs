@@ -154,13 +154,14 @@ fn full_backlog_sheds_with_an_overloaded_error_without_blocking() {
     let give_up = Instant::now() + Duration::from_secs(5);
     while Instant::now() < give_up {
         let started = Instant::now();
-        match client.call(req.clone()) {
-            Err(CloudError::Server { kind, detail }) if kind == ErrorKind::Overloaded => {
-                shed = Some((started.elapsed(), detail));
-                break;
-            }
-            // Raced a free slot (or got served): try again.
-            _ => {}
+        // Anything else means we raced a free slot (or got served): retry.
+        if let Err(CloudError::Server {
+            kind: ErrorKind::Overloaded,
+            detail,
+        }) = client.call(req.clone())
+        {
+            shed = Some((started.elapsed(), detail));
+            break;
         }
     }
     let (latency, detail) = shed.expect("a 1-worker/1-slot pool under load must shed");

@@ -168,10 +168,14 @@ fn owner_recovers_levels_for_every_keyword() {
     let enc = scheme.build_index_from(&index).unwrap();
     let opse = *enc.opse_params().unwrap();
     let quantizer = scheme.fit_quantizer(&index).unwrap();
+    // One decryptor for the whole sweep: its per-keyword OPM cache makes
+    // repeated decryptions cheap, where `Rsse::decrypt_level` would
+    // rebuild a cold OPM on every call.
+    let decryptor = scheme.score_decryptor(opse);
     for kw in &keywords {
         let t = scheme.trapdoor(kw).unwrap();
         for r in enc.search(&t, Some(5)) {
-            let lvl = scheme.decrypt_level(kw, opse, r.encrypted_score).unwrap();
+            let lvl = decryptor.decrypt_level(kw, r.encrypted_score).unwrap();
             let raw = scores_for_term(&index, kw)
                 .into_iter()
                 .find(|(f, _)| *f == r.file)

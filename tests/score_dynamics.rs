@@ -72,12 +72,13 @@ fn many_updates_never_perturb_existing_mapped_values() {
             "entry {old:?} changed across 50 updates"
         );
     }
-    // Order is still globally valid by owner-side decryption.
-    let opse = updater.opse_params();
+    // Order is still globally valid by owner-side decryption; hoist one
+    // decryptor instead of rebuilding a cold OPM per entry.
+    let decryptor = scheme.score_decryptor(updater.opse_params());
     let mut prev = u64::MAX;
     for r in &now {
-        let lvl = scheme
-            .decrypt_level("network", opse, r.encrypted_score)
+        let lvl = decryptor
+            .decrypt_level("network", r.encrypted_score)
             .unwrap();
         assert!(lvl <= prev);
         prev = lvl;

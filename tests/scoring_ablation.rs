@@ -79,12 +79,13 @@ fn updates_respect_the_configured_scoring() {
             hits.iter().any(|r| r.file == FileId::new(4242)),
             "{scoring:?}"
         );
-        // Global order still valid by owner decryption.
-        let opse = updater.opse_params();
+        // Global order still valid by owner decryption; one hoisted
+        // decryptor, not a cold OPM rebuild per entry.
+        let decryptor = scheme.score_decryptor(updater.opse_params());
         let mut prev = u64::MAX;
         for r in &hits {
-            let lvl = scheme
-                .decrypt_level("network", opse, r.encrypted_score)
+            let lvl = decryptor
+                .decrypt_level("network", r.encrypted_score)
                 .unwrap();
             assert!(lvl <= prev, "{scoring:?}");
             prev = lvl;
