@@ -30,6 +30,16 @@
 //!   "workers" column is the shard count). On a single-core host this
 //!   reports the honest coordination overhead of the fan-out; no speedup
 //!   gate applies.
+//! * **cpu_segment** — the cpu scenario again, but the server serves
+//!   straight from an on-disk `RSSEIDX2` segment (per-label positional
+//!   reads + delta overlay) instead of the in-memory arena. Steady state
+//!   must hold at least 0.5x the mem backend's requests/s (gated below).
+//!
+//! Before the closed loops, a **cold-start** pair times warm restarts:
+//! fully loading a saved index into memory versus opening it as a
+//! segment (directory only), and rebuilding a whole deployment from
+//! plaintext versus bootstrapping it from the saved segment — each
+//! through its first answered query, results asserted identical.
 //!
 //! Results are written as `BENCH_throughput.json` (requests/s, p50/p99
 //! latency, cache hits/misses, speedup vs the single-worker loop per
@@ -42,11 +52,13 @@
 //! enough to prove the harness end to end in CI.
 
 use rsse_bench::workload::{paper_corpus, top_terms, ZipfSampler, HOT_KEYWORD};
-use rsse_cloud::entities::{CloudServer, DataOwner};
+use rsse_cloud::entities::{CloudServer, DataOwner, Deployment};
 use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
 use rsse_cloud::{CloudError, ErrorKind, Message, SearchMode, ShardedDeployment};
-use rsse_core::RsseParams;
+use rsse_core::{Rsse, RsseIndex, RsseParams};
 use rsse_ir::Document;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
@@ -74,7 +86,21 @@ struct Scenario {
     /// Draw keywords Zipf-distributed from the top terms instead of
     /// hammering the single hot keyword.
     zipf: bool,
+    /// Serve from an on-disk `RSSEIDX2` segment instead of the in-memory
+    /// arena.
+    segment: bool,
     workers: &'static [usize],
+}
+
+/// Unique scratch path for a segment file, so concurrent runs never
+/// collide.
+fn scratch_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rsse_throughput_{tag}_{}_{n}.idx",
+        std::process::id()
+    ))
 }
 
 struct ConfigResult {
@@ -136,11 +162,17 @@ fn run_config(
     workers: usize,
     seed: u64,
 ) -> ConfigResult {
-    let server = CloudServer::from_outsource_with_cache(
-        Message::decode(outsource_frame.clone()).unwrap(),
-        scenario.cache_budget,
-    )
-    .expect("outsource frame boots the server");
+    let msg = Message::decode(outsource_frame.clone()).unwrap();
+    let (server, seg_path) = if scenario.segment {
+        let path = scratch_path(scenario.name);
+        let server = CloudServer::from_outsource_segment(msg, &path, scenario.cache_budget)
+            .expect("outsource frame persists and boots the segment server");
+        (server, Some(path))
+    } else {
+        let server = CloudServer::from_outsource_with_cache(msg, scenario.cache_budget)
+            .expect("outsource frame boots the server");
+        (server, None)
+    };
     let mut options = PoolOptions::new(workers, scenario.backlog);
     if let Some(delay) = scenario.io_delay {
         options = options.with_io_delay(delay);
@@ -208,6 +240,9 @@ fn run_config(
     let cache = handle.server().cache_stats();
     let served = handle.shutdown();
     assert_eq!(served, frames as u64, "pool lost or double-counted frames");
+    if let Some(path) = seg_path {
+        let _ = std::fs::remove_file(path);
+    }
     if scenario.cache_budget == 0 {
         assert_eq!(
             cache.hits + cache.misses,
@@ -314,7 +349,79 @@ fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> 
     }
 }
 
-fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
+/// Warm-restart timings, each measured through the first answered query.
+struct ColdStart {
+    /// `RsseIndex::load` (full file into the in-memory arena) + search.
+    index_full_load_s: f64,
+    /// `RsseIndex::open_segment` (header + directory only) + search.
+    index_segment_open_s: f64,
+    /// `Deployment::bootstrap` (index rebuilt from plaintext) + search.
+    deploy_rebuild_s: f64,
+    /// `Deployment::bootstrap_from_segment` (no index build) + search.
+    deploy_from_segment_s: f64,
+}
+
+/// Time-to-first-query, mem versus segment, at both layers. The mem leg
+/// pays for materializing every posting list (index layer) or rebuilding
+/// the whole encrypted index from plaintext (deployment layer); the
+/// segment leg opens the saved `RSSEIDX2` file and reads only the one
+/// posting list the query touches. First-query results are asserted
+/// identical before any number is published.
+fn run_cold_start(docs: &[Document]) -> ColdStart {
+    let params = RsseParams::default();
+    let scheme = Rsse::new(b"throughput seed", params);
+    let index = scheme.build_index(docs).expect("index build");
+    let seg_path = scratch_path("cold");
+    index
+        .save(std::fs::File::create(&seg_path).expect("create segment"))
+        .expect("save segment");
+    let trapdoor = scheme.trapdoor(HOT_KEYWORD).expect("trapdoor");
+
+    let t = Instant::now();
+    let mem = RsseIndex::load(std::fs::File::open(&seg_path).expect("open")).expect("load");
+    let mem_first = mem.search(&trapdoor, Some(10));
+    let index_full_load_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let seg = RsseIndex::open_segment(&seg_path).expect("open segment");
+    let seg_first = seg.search(&trapdoor, Some(10));
+    let index_segment_open_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        seg_first, mem_first,
+        "first queries must agree byte for byte"
+    );
+
+    let t = Instant::now();
+    let rebuilt = Deployment::bootstrap(b"throughput seed", params, docs).expect("bootstrap");
+    let (rebuilt_docs, _) = rebuilt.rsse_search(HOT_KEYWORD, Some(10)).expect("query");
+    let deploy_rebuild_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let warm = Deployment::bootstrap_from_segment(
+        b"throughput seed",
+        params,
+        docs,
+        &seg_path,
+        CloudServer::DEFAULT_CACHE_BUDGET,
+    )
+    .expect("bootstrap from segment");
+    let (warm_docs, _) = warm.rsse_search(HOT_KEYWORD, Some(10)).expect("query");
+    let deploy_from_segment_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        warm_docs, rebuilt_docs,
+        "warm restart must retrieve the same ranked documents"
+    );
+
+    let _ = std::fs::remove_file(&seg_path);
+    ColdStart {
+        index_full_load_s,
+        index_segment_open_s,
+        deploy_rebuild_s,
+        deploy_from_segment_s,
+    }
+}
+
+fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult]) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"server_pool_throughput\",\n");
     out.push_str("  \"corpus\": \"paper_1000\",\n");
@@ -330,6 +437,15 @@ fn write_json(path: &str, seed: u64, results: &[ConfigResult]) {
     ));
     out.push_str(&format!("  \"cpu_batch\": {CPU_BATCH},\n"));
     out.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
+    out.push_str(&format!(
+        "  \"cold_start\": {{\"index_full_load_ms\": {:.3}, \
+         \"index_segment_open_ms\": {:.3}, \"deploy_rebuild_ms\": {:.3}, \
+         \"deploy_from_segment_ms\": {:.3}}},\n",
+        cold.index_full_load_s * 1e3,
+        cold.index_segment_open_s * 1e3,
+        cold.deploy_rebuild_s * 1e3,
+        cold.deploy_from_segment_s * 1e3,
+    ));
     out.push_str("  \"configs\": [\n");
     for (i, r) in results.iter().enumerate() {
         let baseline = results
@@ -399,6 +515,7 @@ fn main() {
             batch: CPU_BATCH,
             cache_budget: 0,
             zipf: false,
+            segment: false,
             workers: &WORKER_COUNTS,
         },
         Scenario {
@@ -409,6 +526,7 @@ fn main() {
             batch: 1,
             cache_budget: CloudServer::DEFAULT_CACHE_BUDGET,
             zipf: false,
+            segment: false,
             workers: &WORKER_COUNTS,
         },
         // Deliberately undersized admission queue: 8 clients against a
@@ -422,6 +540,7 @@ fn main() {
             batch: 1,
             cache_budget: CloudServer::DEFAULT_CACHE_BUDGET,
             zipf: false,
+            segment: false,
             workers: &WORKER_COUNTS,
         },
         // The tentpole pair: a paper-style Zipf query log served with and
@@ -434,6 +553,7 @@ fn main() {
             batch: 1,
             cache_budget: CloudServer::DEFAULT_CACHE_BUDGET,
             zipf: true,
+            segment: false,
             workers: &[1, 4],
         },
         Scenario {
@@ -444,9 +564,35 @@ fn main() {
             batch: 1,
             cache_budget: 0,
             zipf: true,
+            segment: false,
+            workers: &[1, 4],
+        },
+        // The storage-engine pair to "cpu": same batched compute-bound
+        // workload, but every posting list is read from the on-disk
+        // segment by position instead of the in-memory arena.
+        Scenario {
+            name: "cpu_segment",
+            io_delay: None,
+            frames_per_client: scaled(20),
+            backlog: BACKLOG,
+            batch: CPU_BATCH,
+            cache_budget: 0,
+            zipf: false,
+            segment: true,
             workers: &[1, 4],
         },
     ];
+
+    eprintln!("measuring cold start (mem load vs segment open)...");
+    let cold = run_cold_start(corpus.documents());
+    eprintln!(
+        "cold start: index load {:.1} ms vs segment open {:.1} ms; \
+         deployment rebuild {:.1} ms vs from-segment {:.1} ms",
+        cold.index_full_load_s * 1e3,
+        cold.index_segment_open_s * 1e3,
+        cold.deploy_rebuild_s * 1e3,
+        cold.deploy_from_segment_s * 1e3,
+    );
 
     let mut results = Vec::new();
     println!(
@@ -493,7 +639,7 @@ fn main() {
         results.push(r);
     }
 
-    write_json(&out_path, seed, &results);
+    write_json(&out_path, seed, &cold, &results);
     eprintln!("wrote {out_path}");
 
     // Functional invariants hold even in smoke mode: the cached Zipf leg
@@ -511,9 +657,14 @@ fn main() {
             cached.cache_hits > 0,
             "Zipf workload must hit the cache (workers={workers})"
         );
+        // Misses are bounded by the vocabulary plus a small concurrency
+        // slack: workers that race on the same cold label each count a
+        // miss before the first fill lands (the epoch guard keeps the
+        // *answers* coherent, not the counter).
+        let miss_bound = ZIPF_VOCAB + workers;
         assert!(
-            cached.cache_misses as usize <= ZIPF_VOCAB,
-            "misses are bounded by the vocabulary: {} > {ZIPF_VOCAB}",
+            cached.cache_misses as usize <= miss_bound,
+            "misses are bounded by vocabulary + workers: {} > {miss_bound}",
             cached.cache_misses
         );
         let uncached = find("hot_keywords_nocache", workers);
@@ -571,4 +722,34 @@ fn main() {
              (workers={workers}), got {gain:.2}x"
         );
     }
+
+    // Acceptance gate 4: steady-state serving from the on-disk segment
+    // holds at least half the in-memory arena's throughput on the
+    // compute-bound path — positional reads are the only difference.
+    for &workers in &[1usize, 4] {
+        let ratio = find("cpu_segment", workers).rps / find("cpu", workers).rps;
+        eprintln!("cpu_segment vs cpu at {workers} worker(s): {ratio:.2}x");
+        assert!(
+            ratio >= 0.5,
+            "segment backend must hold >= 0.5x mem throughput \
+             (workers={workers}), got {ratio:.2}x"
+        );
+    }
+
+    // Acceptance gate 5: the warm restart actually is warm — opening the
+    // segment through the first query beats materializing the full index,
+    // and a deployment bootstrapped from the segment beats rebuilding the
+    // encrypted index from plaintext.
+    assert!(
+        cold.index_segment_open_s <= cold.index_full_load_s,
+        "segment open ({:.1} ms) must not exceed full load ({:.1} ms)",
+        cold.index_segment_open_s * 1e3,
+        cold.index_full_load_s * 1e3,
+    );
+    assert!(
+        cold.deploy_from_segment_s < cold.deploy_rebuild_s,
+        "from-segment bootstrap ({:.1} ms) must beat a rebuild ({:.1} ms)",
+        cold.deploy_from_segment_s * 1e3,
+        cold.deploy_rebuild_s * 1e3,
+    );
 }

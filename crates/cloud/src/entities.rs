@@ -81,6 +81,14 @@ impl DataOwner {
         User::new(&self.master_seed, *self.rsse.params())
     }
 
+    /// Encrypts the collection without touching either index — the
+    /// warm-restart path: the server reopens its index from a persisted
+    /// segment, and only the file ciphertexts (deterministic under the
+    /// owner's key) need re-supplying.
+    pub fn encrypt_files(&self, docs: &[Document]) -> Vec<EncryptedFile> {
+        self.files.encrypt_collection(docs)
+    }
+
     /// Sharded `Setup`: builds the global encrypted index **once**, then
     /// partitions its ciphertexts across the partitioner's shards by
     /// file-id hash, emitting one `Outsource` message per shard.
@@ -141,6 +149,16 @@ impl DataOwner {
     }
 }
 
+/// The fields of a decoded [`Message::Outsource`]: RSSE posting lists,
+/// basic-scheme posting lists, validated OPSE parameters, and the
+/// encrypted collection.
+type OutsourceParts = (
+    Vec<(Label, Vec<Vec<u8>>)>,
+    Vec<(Label, Vec<Vec<u8>>)>,
+    OpseParams,
+    Vec<EncryptedFile>,
+);
+
 /// The honest-but-curious cloud server.
 ///
 /// All mutable state — the RSSE index (§VII score-dynamics appends), the
@@ -191,6 +209,68 @@ impl CloudServer {
         msg: Message,
         cache_budget_bytes: usize,
     ) -> Result<Self, CloudError> {
+        let (rsse_lists, basic_lists, opse, files) = Self::split_outsource(msg)?;
+        Ok(Self::assemble(
+            RsseIndex::from_parts(rsse_lists, opse),
+            basic_lists,
+            files,
+            cache_budget_bytes,
+        ))
+    }
+
+    /// Boots the server from the owner's `Outsource` message **onto the
+    /// segment backend**: the received index is persisted to
+    /// `segment_path` as an `RSSEIDX2` segment and then served from disk
+    /// via its label→offset directory — only the touched posting list is
+    /// read per query, and a later restart can skip this step entirely by
+    /// calling [`CloudServer::from_segment`] on the same path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CloudServer::from_outsource`], plus [`CloudError::Persist`]
+    /// for failures writing or reopening the segment.
+    pub fn from_outsource_segment(
+        msg: Message,
+        segment_path: impl AsRef<std::path::Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let (rsse_lists, basic_lists, opse, files) = Self::split_outsource(msg)?;
+        let staged = RsseIndex::from_parts(rsse_lists, opse);
+        staged
+            .save(
+                std::fs::File::create(segment_path.as_ref())
+                    .map_err(rsse_core::PersistError::from)?,
+            )
+            .map_err(rsse_core::PersistError::from)?;
+        let index = RsseIndex::open_segment(segment_path)?;
+        Ok(Self::assemble(
+            index,
+            basic_lists,
+            files,
+            cache_budget_bytes,
+        ))
+    }
+
+    /// Warm restart: boots the server straight from a previously saved
+    /// segment file — no `Outsource` message, no index rebuild, no
+    /// materialization; the first query is answerable as soon as the
+    /// directory is read. The basic-scheme index is not persisted (it
+    /// exists for the paper's baseline protocols), so a segment-booted
+    /// server serves the RSSE protocol only.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on malformed or unreadable segment files.
+    pub fn from_segment(
+        segment_path: impl AsRef<std::path::Path>,
+        files: Vec<EncryptedFile>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let index = RsseIndex::open_segment(segment_path)?;
+        Ok(Self::assemble(index, Vec::new(), files, cache_budget_bytes))
+    }
+
+    fn split_outsource(msg: Message) -> Result<OutsourceParts, CloudError> {
         let Message::Outsource {
             rsse_lists,
             basic_lists,
@@ -205,15 +285,24 @@ impl CloudServer {
         };
         let opse = OpseParams::new(opse_domain, opse_range)
             .map_err(|e| CloudError::Rsse(rsse_core::RsseError::Opse(e)))?;
+        Ok((rsse_lists, basic_lists, opse, files))
+    }
+
+    fn assemble(
+        index: RsseIndex,
+        basic_lists: Vec<(Label, Vec<Vec<u8>>)>,
+        files: Vec<EncryptedFile>,
+        cache_budget_bytes: usize,
+    ) -> Self {
         let mut store = FileStore::new();
         store.ingest(files);
-        Ok(CloudServer {
-            rsse_index: RwLock::new(RsseIndex::from_parts(rsse_lists, opse)),
+        CloudServer {
+            rsse_index: RwLock::new(index),
             basic_index: BasicEncryptedIndex::from_parts(basic_lists),
             files: RwLock::new(store),
             counters: AuditCounters::new(),
             cache: Mutex::new(RankingCache::new(cache_budget_bytes)),
-        })
+        }
     }
 
     /// Dispatches one request message to one response message.
@@ -435,6 +524,27 @@ impl CloudServer {
         for label in &touched {
             cache.invalidate(label);
         }
+    }
+
+    /// Compacts a segment-backed index: folds the delta overlay into a
+    /// freshly written segment file (atomic rename) and reopens it.
+    /// Returns `true` when a rewrite happened — `false` for the in-memory
+    /// backend or an empty overlay. Holds the index write lock for the
+    /// rewrite, and flushes the ranking cache afterwards: compaction
+    /// preserves every ranking, but the conservative flush keeps the
+    /// cache's epoch story simple (a fill racing the compaction can never
+    /// straddle two file identities).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on I/O or re-validation failures; the old
+    /// segment remains intact and serving.
+    pub fn compact_index(&self) -> Result<bool, CloudError> {
+        let compacted = self.rsse_index.write().compact()?;
+        if compacted {
+            self.cache.lock().invalidate_all();
+        }
+        Ok(compacted)
     }
 
     /// Number of stored files.
@@ -724,6 +834,87 @@ impl Deployment {
             owner,
             setup_traffic: channel.report(),
         })
+    }
+
+    /// [`Deployment::bootstrap`] onto the on-disk segment backend: the
+    /// built index is persisted to `segment_path` and served from disk
+    /// (see [`CloudServer::from_outsource_segment`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction and segment I/O failures.
+    pub fn bootstrap_segmented(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        segment_path: impl AsRef<std::path::Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let mut channel = MeteredChannel::new();
+        let outsource = owner.outsource(docs)?;
+        let frame = outsource.encode();
+        channel.send_up(frame.len());
+        let server = CloudServer::from_outsource_segment(
+            Message::decode(frame)?,
+            segment_path,
+            cache_budget_bytes,
+        )?;
+        let user = owner.authorize_user();
+        Ok(Deployment {
+            server: Arc::new(server),
+            user,
+            owner,
+            setup_traffic: channel.report(),
+        })
+    }
+
+    /// Warm restart from a previously saved segment: derives the owner's
+    /// and user's keys from the seed, re-encrypts the file collection
+    /// (deterministic under the owner's key), and boots the server with
+    /// [`CloudServer::from_segment`] — the encrypted index is **not**
+    /// rebuilt; the first query is served straight off the segment file.
+    /// `setup_traffic` is zero: nothing crossed the outsourcing wire.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on malformed or unreadable segments.
+    pub fn bootstrap_from_segment(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        segment_path: impl AsRef<std::path::Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let server =
+            CloudServer::from_segment(segment_path, owner.encrypt_files(docs), cache_budget_bytes)?;
+        let user = owner.authorize_user();
+        Ok(Deployment {
+            server: Arc::new(server),
+            user,
+            owner,
+            setup_traffic: TrafficReport::default(),
+        })
+    }
+
+    /// Persists the server's current index to `path` as an `RSSEIDX2`
+    /// segment (holding the index read lock for the write), so a later
+    /// process can [`Deployment::bootstrap_from_segment`] without
+    /// rebuilding. Pending segment-overlay entries are folded into the
+    /// written file (`save` exports the merged view).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on I/O failures.
+    pub fn save_segment(&self, path: impl AsRef<std::path::Path>) -> Result<(), CloudError> {
+        let file = std::fs::File::create(path.as_ref()).map_err(rsse_core::PersistError::from)?;
+        self.server
+            .rsse_index
+            .read()
+            .save(file)
+            .map_err(rsse_core::PersistError::from)?;
+        Ok(())
     }
 
     /// The authorized user.

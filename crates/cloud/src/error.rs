@@ -2,7 +2,7 @@
 
 use crate::codec::{CodecError, ErrorKind};
 use core::fmt;
-use rsse_core::RsseError;
+use rsse_core::{PersistError, RsseError};
 use rsse_crypto::CryptoError;
 use rsse_sse::SseError;
 use std::time::Duration;
@@ -44,6 +44,9 @@ pub enum CloudError {
         /// Number of shards queried, all of which failed.
         shards: u32,
     },
+    /// Index persistence failure (saving, opening, or compacting an
+    /// on-disk segment).
+    Persist(PersistError),
     /// RSSE scheme failure.
     Rsse(RsseError),
     /// Basic scheme failure.
@@ -83,6 +86,7 @@ impl fmt::Display for CloudError {
             CloudError::AllShardsFailed { shards } => {
                 write!(f, "all {shards} shards failed; no partial result")
             }
+            CloudError::Persist(e) => write!(f, "index persistence failed: {e}"),
             CloudError::Rsse(e) => write!(f, "rsse failure: {e}"),
             CloudError::Sse(e) => write!(f, "sse failure: {e}"),
             CloudError::Crypto(e) => write!(f, "crypto failure: {e}"),
@@ -94,6 +98,7 @@ impl std::error::Error for CloudError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CloudError::Codec(e) => Some(e),
+            CloudError::Persist(e) => Some(e),
             CloudError::Rsse(e) => Some(e),
             CloudError::Sse(e) => Some(e),
             CloudError::Crypto(e) => Some(e),
@@ -115,6 +120,12 @@ impl From<CodecError> for CloudError {
 impl From<RsseError> for CloudError {
     fn from(e: RsseError) -> Self {
         CloudError::Rsse(e)
+    }
+}
+
+impl From<PersistError> for CloudError {
+    fn from(e: PersistError) -> Self {
+        CloudError::Persist(e)
     }
 }
 

@@ -5,8 +5,16 @@
 //! uses the trapdoor's list key to unwrap entries, *sees the order-preserved
 //! encrypted scores*, and ranks — the whole point of the scheme: ranking
 //! happens server-side without revealing the scores themselves.
+//!
+//! The index dispatches over a pluggable storage engine (see
+//! [`crate::backend`]): the in-memory [`MemBackend`] arena, or the on-disk
+//! [`SegmentBackend`] opened from a persisted `RSSEIDX2` segment via
+//! [`RsseIndex::open_segment`].
 
+use crate::backend::{BackendKind, IndexBackend, MemBackend};
 use crate::entry::{decode_entry, ENTRY_CT_LEN, ENTRY_PLAIN_LEN};
+use crate::persist::PersistError;
+use crate::segment::SegmentBackend;
 use crate::store::PostingStore;
 use rsse_crypto::{SecretKey, SemanticCipher};
 use rsse_ir::FileId;
@@ -14,6 +22,7 @@ use rsse_opse::OpseParams;
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::path::Path;
 
 /// A posting-list label `π_x(w)` (160 bits).
 pub type Label = [u8; 20];
@@ -79,60 +88,137 @@ impl Ord for RankedResult {
     }
 }
 
+/// The storage engine behind an index (private: the public seam is the
+/// [`IndexBackend`] trait plus [`RsseIndex`]'s constructors).
+#[derive(Debug, Clone)]
+enum Backend {
+    Mem(MemBackend),
+    Segment(SegmentBackend),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Mem(MemBackend::new())
+    }
+}
+
 /// The encrypted searchable index held by the cloud server.
 ///
-/// Posting lists live in a flat [`PostingStore`] arena — one contiguous
-/// byte buffer plus a label table — rather than per-entry heap boxes, so a
-/// query walks a dense range with zero per-entry allocations (see
-/// [`crate::store`] for the layout).
+/// Posting lists live behind a pluggable [`IndexBackend`]: by default the
+/// flat [`MemBackend`] arena — one contiguous byte buffer plus a label
+/// table, so a query walks a dense range with zero per-entry allocations
+/// (see [`crate::store`]) — or, via [`RsseIndex::open_segment`], an
+/// on-disk [`SegmentBackend`] that reads only the touched posting list per
+/// query and parks updates in a delta overlay (see [`crate::segment`]).
 #[derive(Debug, Clone, Default)]
 pub struct RsseIndex {
-    store: PostingStore,
+    backend: Backend,
     opse_params: Option<OpseParams>,
 }
 
 impl RsseIndex {
     pub(crate) fn from_lists(lists: HashMap<Label, Vec<Vec<u8>>>, opse: OpseParams) -> Self {
-        let mut store = PostingStore::new();
+        let mut backend = MemBackend::new();
         for (label, entries) in &lists {
-            store.append(*label, entries);
+            backend.append(*label, entries);
         }
         RsseIndex {
-            store,
+            backend: Backend::Mem(backend),
             opse_params: Some(opse),
         }
     }
 
-    /// Reassembles an index from its wire parts (what the cloud server does
-    /// on receiving the owner's `Outsource` message).
+    /// Reassembles an in-memory index from its wire parts (what the cloud
+    /// server does on receiving the owner's `Outsource` message).
     pub fn from_parts(parts: Vec<(Label, Vec<Vec<u8>>)>, opse: OpseParams) -> Self {
-        let mut store = PostingStore::new();
+        let mut backend = MemBackend::new();
         for (label, entries) in &parts {
-            store.append(*label, entries);
+            backend.append(*label, entries);
         }
         RsseIndex {
-            store,
+            backend: Backend::Mem(backend),
             opse_params: Some(opse),
+        }
+    }
+
+    /// Opens an index served from a persisted segment file *without*
+    /// materializing it: only the label→offset directory is read, and each
+    /// query fetches exactly the touched posting list — the warm-restart
+    /// path, and the one that serves indexes larger than resident memory.
+    /// Accepts `RSSEIDX2` and legacy `RSSEIDX1` files (see
+    /// [`SegmentBackend::open`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] on malformed, inconsistent, or unreadable
+    /// segment files.
+    pub fn open_segment(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let segment = SegmentBackend::open(path)?;
+        let opse = *segment.opse_params();
+        Ok(RsseIndex {
+            backend: Backend::Segment(segment),
+            opse_params: Some(opse),
+        })
+    }
+
+    /// Which storage engine is serving this index.
+    pub fn backend_kind(&self) -> BackendKind {
+        match &self.backend {
+            Backend::Mem(_) => BackendKind::Mem,
+            Backend::Segment(_) => BackendKind::Segment,
+        }
+    }
+
+    /// Entries appended since the segment was opened or last compacted,
+    /// still parked in the in-memory delta overlay. Always zero for the
+    /// in-memory backend (appends land in the arena directly).
+    pub fn pending_overlay_entries(&self) -> usize {
+        match &self.backend {
+            Backend::Mem(_) => 0,
+            Backend::Segment(s) => s.overlay_entries(),
+        }
+    }
+
+    /// Folds a segment backend's delta overlay into a freshly written
+    /// segment file (atomic rename) and reopens it; returns `true` when a
+    /// rewrite happened. A no-op returning `false` for the in-memory
+    /// backend or an empty overlay. Callers holding derived state (e.g. a
+    /// ranking cache) need no invalidation — compaction preserves every
+    /// ranking — but the on-disk file changes identity.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] writing, renaming, or re-validating the
+    /// segment.
+    pub fn compact(&mut self) -> Result<bool, PersistError> {
+        match &mut self.backend {
+            Backend::Mem(_) => Ok(false),
+            Backend::Segment(s) => s.compact(),
+        }
+    }
+
+    /// The active storage engine, as the trait object.
+    fn backend(&self) -> &dyn IndexBackend {
+        match &self.backend {
+            Backend::Mem(m) => m,
+            Backend::Segment(s) => s,
         }
     }
 
     /// Exports the index as `(label, entries)` pairs in label order (the
     /// owner's side of the `Outsource` message).
     pub fn export_parts(&self) -> Vec<(Label, Vec<Vec<u8>>)> {
-        let mut parts: Vec<(Label, Vec<Vec<u8>>)> = self
-            .store
-            .labels()
+        let mut labels = self.backend().labels();
+        labels.sort_unstable();
+        labels
+            .into_iter()
             .map(|label| {
-                let entries = self
-                    .store
-                    .list(label)
-                    .map(|pl| pl.iter().map(<[u8]>::to_vec).collect())
-                    .unwrap_or_default();
-                (*label, entries)
+                let mut entries = Vec::new();
+                self.backend()
+                    .for_each_entry(&label, &mut |e| entries.push(e.to_vec()));
+                (label, entries)
             })
-            .collect();
-        parts.sort_unstable_by_key(|a| a.0);
-        parts
+            .collect()
     }
 
     /// The OPSE parameters the index was built with (published alongside the
@@ -156,76 +242,78 @@ impl RsseIndex {
     /// [`Self::search`] decrypting into a caller-owned scratch buffer, so a
     /// serving loop issuing many queries allocates nothing per entry and
     /// (after warm-up) nothing per query beyond the result vector.
+    ///
+    /// On a segment backend the touched posting list is read off disk and
+    /// ranked together with the delta overlay; the ranking is byte-identical
+    /// to the in-memory backend's (see [`crate::segment`]).
     pub fn search_with_scratch(
         &self,
         trapdoor: &RsseTrapdoor,
         top_k: Option<usize>,
         scratch: &mut Vec<u8>,
     ) -> Vec<RankedResult> {
-        let Some(list) = self.store.list(trapdoor.label()) else {
-            return Vec::new();
-        };
-        let cipher = SemanticCipher::new(trapdoor.list_key());
-        let decrypted = list.iter().filter_map(|ct| {
-            cipher.decrypt_into(ct, scratch).ok()?;
-            let (file, score) = decode_entry(scratch)?;
-            Some(RankedResult {
-                file,
-                encrypted_score: score,
-            })
-        });
-        match top_k {
-            Some(k) => top_k_desc(decrypted, k),
-            None => {
-                let mut all: Vec<RankedResult> = Vec::with_capacity(list.len());
-                all.extend(decrypted);
-                all.sort_unstable_by(|a, b| b.cmp(a));
-                all
+        match &self.backend {
+            Backend::Mem(m) => {
+                let Some(list) = m.store().list(trapdoor.label()) else {
+                    return Vec::new();
+                };
+                let cipher = SemanticCipher::new(trapdoor.list_key());
+                rank_entries(list.iter(), list.len(), &cipher, top_k, scratch)
             }
+            Backend::Segment(s) => s.search(trapdoor, top_k, scratch),
         }
     }
 
     /// Whether a list with this label exists (the access-pattern leakage of
     /// any SSE scheme — exposed explicitly for the adversary experiments).
     pub fn contains_label(&self, label: &Label) -> bool {
-        self.store.contains_label(label)
+        self.backend().contains_label(label)
     }
 
     /// Number of posting lists (`m`, the number of distinct keywords).
     pub fn num_lists(&self) -> usize {
-        self.store.num_lists()
+        self.backend().num_lists()
     }
 
     /// Length of the list stored under `label`, if present.
     pub fn list_len(&self, label: &Label) -> Option<usize> {
-        self.store.list_len(label)
+        self.backend().list_len(label)
     }
 
-    /// Total index size in bytes (labels + entries).
+    /// Total index size in bytes (labels + entries; for a segment backend,
+    /// base file payload plus the delta overlay).
     pub fn size_bytes(&self) -> usize {
-        self.store.size_bytes()
+        self.backend().size_bytes()
     }
 
     /// Appends freshly encrypted entries to a (possibly new) posting list —
     /// the *score dynamics* operation of §VII. Existing entries are never
     /// touched; OPM guarantees their order relative to the new ones stays
-    /// correct.
+    /// correct. On a segment backend the entries land in the in-memory
+    /// delta overlay (merged at query time) until [`Self::compact`].
     ///
     /// Note: growth of a list is visible to the server (an inherent leakage
     /// of dynamic updates, acknowledged by the update literature).
     pub fn append_entries(&mut self, label: Label, entries: Vec<Vec<u8>>) {
         debug_assert!(entries.iter().all(|e| e.len() == ENTRY_CT_LEN));
-        self.store.append(label, &entries);
+        match &mut self.backend {
+            Backend::Mem(m) => m.append(label, &entries),
+            Backend::Segment(s) => s.append(label, &entries),
+        }
     }
 
     /// Raw encrypted entries of one list (what an adversary observes
-    /// *before* any trapdoor is issued).
-    pub fn raw_list(&self, label: &Label) -> Option<Vec<&[u8]>> {
-        self.store.list(label).map(|pl| pl.iter().collect())
+    /// *before* any trapdoor is issued). Owned bytes: a segment backend
+    /// reads them off disk, so no borrow into an arena is possible.
+    pub fn raw_list(&self, label: &Label) -> Option<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        self.backend()
+            .for_each_entry(label, &mut |e| out.push(e.to_vec()))
+            .then_some(out)
     }
 
-    /// Splits the index into `n` shard-local indexes, routing entry `i` of
-    /// the list under `label` through `route(label, i, entry)`.
+    /// Splits the index into `n` shard-local (in-memory) indexes, routing
+    /// entry `i` of the list under `label` through `route(label, i, entry)`.
     ///
     /// Every label exists on every shard (possibly with an empty list), so
     /// all shards present the same access-pattern shape and an unknown-label
@@ -234,7 +322,8 @@ impl RsseIndex {
     /// (already built) index — which is what makes sharded ranking
     /// byte-identical to the unsharded one: OPM scores are seeded per
     /// `(keyword, file)`, so re-encrypting per shard would *change* them.
-    /// The OPSE parameters are replicated to every shard.
+    /// The OPSE parameters are replicated to every shard. A route outside
+    /// `0..n` is clamped to the last shard rather than panicking.
     pub fn split_parts(
         &self,
         n: usize,
@@ -243,13 +332,15 @@ impl RsseIndex {
         let n = n.max(1);
         let mut stores: Vec<PostingStore> = (0..n).map(|_| PostingStore::new()).collect();
         // Deterministic label order so shard arenas are reproducible.
-        let mut labels: Vec<Label> = self.store.labels().copied().collect();
+        let mut labels = self.backend().labels();
         labels.sort_unstable();
         for label in &labels {
-            let buckets = self
-                .store
-                .split_list(label, n, |i, entry| route(label, i, entry))
-                .expect("label enumerated from this store");
+            let mut buckets: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+            let mut i = 0usize;
+            self.backend().for_each_entry(label, &mut |entry| {
+                buckets[route(label, i, entry).min(n - 1)].push(entry.to_vec());
+                i += 1;
+            });
             for (store, bucket) in stores.iter_mut().zip(buckets) {
                 store.append(*label, &bucket);
             }
@@ -257,10 +348,41 @@ impl RsseIndex {
         stores
             .into_iter()
             .map(|store| RsseIndex {
-                store,
+                backend: Backend::Mem(MemBackend::from_store(store)),
                 opse_params: self.opse_params,
             })
             .collect()
+    }
+}
+
+/// Decrypts and ranks one stream of encrypted posting entries — the shared
+/// core of both backends' search paths. `reserve` sizes the full-sort
+/// output vector (pass the entry count). Entries that fail to decrypt or
+/// decode (padding, other shards' entries) are dropped, exactly as the
+/// paper's server does.
+pub(crate) fn rank_entries<'a>(
+    entries: impl Iterator<Item = &'a [u8]>,
+    reserve: usize,
+    cipher: &SemanticCipher,
+    top_k: Option<usize>,
+    scratch: &mut Vec<u8>,
+) -> Vec<RankedResult> {
+    let decrypted = entries.filter_map(|ct| {
+        cipher.decrypt_into(ct, scratch).ok()?;
+        let (file, score) = decode_entry(scratch)?;
+        Some(RankedResult {
+            file,
+            encrypted_score: score,
+        })
+    });
+    match top_k {
+        Some(k) => top_k_desc(decrypted, k),
+        None => {
+            let mut all: Vec<RankedResult> = Vec::with_capacity(reserve);
+            all.extend(decrypted);
+            all.sort_unstable_by(|a, b| b.cmp(a));
+            all
+        }
     }
 }
 
@@ -274,7 +396,8 @@ impl RsseIndex {
 /// a streaming k-way merge reproduces the single-server ranking exactly.
 /// Exact duplicates across streams (impossible under a disjoint partition,
 /// but reachable with a byzantine shard) drain in stream-index order, so
-/// the output stays deterministic.
+/// the output stays deterministic. The segment backend leans on the same
+/// property to merge its base list with the delta overlay.
 ///
 /// The merge performs exactly two allocations — the O(#streams) head heap
 /// and the output vector — never O(total results); the coordinator
@@ -442,9 +565,8 @@ mod tests {
             assert!(shard.contains_label(&[1u8; 20]));
             assert!(shard.contains_label(&[2u8; 20]));
             assert_eq!(shard.opse_params(), idx.opse_params());
-            let want: Vec<&Vec<u8>> = lists[0].1.iter().skip(s).step_by(3).collect();
-            let got = shard.raw_list(&[1u8; 20]).unwrap();
-            assert_eq!(got, want.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+            let want: Vec<Vec<u8>> = lists[0].1.iter().skip(s).step_by(3).cloned().collect();
+            assert_eq!(shard.raw_list(&[1u8; 20]).unwrap(), want);
         }
         // Entry counts across shards partition the originals exactly.
         let total: usize = shards.iter().filter_map(|s| s.list_len(&[1u8; 20])).sum();
@@ -473,5 +595,7 @@ mod tests {
         assert!(idx.search(&t, Some(5)).is_empty());
         assert_eq!(idx.size_bytes(), 0);
         assert!(idx.opse_params().is_none());
+        assert_eq!(idx.backend_kind(), BackendKind::Mem);
+        assert_eq!(idx.pending_overlay_entries(), 0);
     }
 }

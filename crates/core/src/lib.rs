@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod entry;
 pub mod error;
 pub mod index;
@@ -48,8 +49,10 @@ pub mod multi;
 pub mod params;
 pub mod persist;
 pub mod scheme;
+pub mod segment;
 pub mod store;
 
+pub use backend::{BackendKind, IndexBackend, MemBackend};
 pub use error::RsseError;
 pub use index::{
     merge_ranked_streams, ranked_prefix, Label, RankedResult, RsseIndex, RsseTrapdoor,
@@ -58,4 +61,5 @@ pub use multi::{ConjunctiveResult, MultiTrapdoor};
 pub use params::{Padding, RangePolicy, RsseParams};
 pub use persist::PersistError;
 pub use scheme::{BuildReport, IndexUpdate, IndexUpdater, Rsse, ScoreDecryptor};
+pub use segment::SegmentBackend;
 pub use store::{PostingIter, PostingList, PostingStore};

@@ -1,0 +1,615 @@
+//! The on-disk segment backend: serve rankings straight from a persisted
+//! `RSSEIDX2` file.
+//!
+//! A [`SegmentBackend`] keeps the index *on disk* and holds only the
+//! trailing label→offset directory in memory (44 bytes per posting list).
+//! A query resolves the trapdoor's label in the directory and issues one
+//! positional read for exactly the touched posting list — the rest of the
+//! segment is never paged in, so the server restarts warm from a saved
+//! file and can serve indexes larger than resident memory.
+//!
+//! Score-dynamics appends do not rewrite the file: they land in an
+//! in-memory **delta overlay** (a small [`PostingStore`]), and a query
+//! ranks the base list and the overlay list separately, merging the two
+//! ranked streams with [`merge_ranked_streams`]. Because
+//! [`crate::RankedResult`]'s order is total (OPM score descending, ties
+//! toward the smaller file id) and both halves hold the exact ciphertexts
+//! a [`MemBackend`](crate::backend::MemBackend) would hold, the merged
+//! ranking is byte-identical to the single-stream one. [`SegmentBackend::compact`]
+//! folds the overlay back into a fresh segment file (written beside the
+//! old one, atomically renamed over it) and reopens — the overlay drains
+//! to empty and the file is once again the whole index.
+//!
+//! Serving from disk leaks nothing beyond the in-memory backend: the
+//! server already sees which label each trapdoor touches and how many
+//! entries the list holds (the access pattern every SSE scheme reveals);
+//! the file layout is a deterministic function of exactly that public
+//! shape plus the ciphertexts the server stores either way.
+
+use crate::backend::IndexBackend;
+use crate::index::{merge_ranked_streams, rank_entries, Label, RankedResult, RsseTrapdoor};
+use crate::persist::{
+    read_len, read_u64, PersistError, SegmentWriter, DIR_RECORD_LEN, HEADER_LEN, MAGIC, MAGIC_V2,
+    MAX_LEN,
+};
+use crate::store::PostingStore;
+use rsse_crypto::SemanticCipher;
+use rsse_opse::OpseParams;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where one posting list's entry records live in the segment file.
+#[derive(Debug, Clone, Copy)]
+struct SegmentList {
+    /// Absolute offset of the first entry record.
+    offset: u64,
+    /// Total bytes of the entry records (length prefixes included).
+    byte_len: u64,
+    /// Number of entries.
+    count: u64,
+}
+
+/// A posting-list container served from a persisted segment file, with an
+/// in-memory delta overlay for updates (see the module docs).
+///
+/// Cloning is cheap — clones share the read-only file handle; each clone
+/// carries its own copy of the (small) directory and overlay.
+#[derive(Debug, Clone)]
+pub struct SegmentBackend {
+    file: Arc<File>,
+    path: PathBuf,
+    directory: BTreeMap<Label, SegmentList>,
+    /// Entry payload bytes in the base file, net of length prefixes.
+    base_payload: usize,
+    overlay: PostingStore,
+    opse: OpseParams,
+}
+
+/// One posting list read out of the segment: the raw byte range plus the
+/// parsed entry bounds.
+struct ListBytes {
+    buf: Vec<u8>,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl ListBytes {
+    fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    fn entries(&self) -> impl Iterator<Item = &[u8]> {
+        self.bounds.iter().map(|&(s, e)| &self.buf[s..e])
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(mut file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    // Fallback without positional reads: seek the shared handle. Unlike
+    // the unix path this mutates the file cursor, so concurrent readers
+    // of one handle must serialize externally.
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+fn corrupt(why: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why)
+}
+
+impl SegmentBackend {
+    /// Opens a segment file for serving.
+    ///
+    /// An `RSSEIDX2` file opens in O(directory) — three positional reads
+    /// (header, directory, trailer), no posting payload touched — after
+    /// validating the directory against the file: list ranges must be
+    /// in bounds, non-overlapping, sorted, sized consistently with their
+    /// entry counts, and account for the whole body. A legacy `RSSEIDX1`
+    /// file is converted by a single buffered scan that builds the
+    /// directory in memory (payload bytes are skipped, not stored) and is
+    /// then served directly — the v1 body layout is identical.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadDirectory`] on any directory inconsistency;
+    /// `BadMagic` / `Oversize` / `BadParameters` / `Io` as for
+    /// [`crate::RsseIndex::load`]. Hostile length claims are rejected
+    /// before any allocation larger than the actual file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let mut magic = [0u8; 8];
+        read_exact_at(&file, &mut magic, 0)?;
+        if &magic == MAGIC_V2 {
+            Self::open_v2(file, path)
+        } else if &magic == MAGIC {
+            Self::open_v1(file, path)
+        } else {
+            Err(PersistError::BadMagic(magic))
+        }
+    }
+
+    fn open_v2(file: File, path: PathBuf) -> Result<Self, PersistError> {
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN + 8 {
+            return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into());
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        read_exact_at(&file, &mut header, 0)?;
+        let domain = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
+        let range = u64::from_be_bytes(header[16..24].try_into().expect("8 bytes"));
+        let opse = OpseParams::new(domain, range)
+            .map_err(|_| PersistError::BadParameters { domain, range })?;
+        let num_lists = u64::from_be_bytes(header[24..32].try_into().expect("8 bytes"));
+        if num_lists > MAX_LEN {
+            return Err(PersistError::Oversize(num_lists));
+        }
+        let mut trailer = [0u8; 8];
+        read_exact_at(&file, &mut trailer, file_len - 8)?;
+        let dir_offset = u64::from_be_bytes(trailer);
+        if dir_offset < HEADER_LEN || dir_offset > file_len - 8 {
+            return Err(PersistError::BadDirectory("trailer offset out of range"));
+        }
+        let dir_size = num_lists
+            .checked_mul(DIR_RECORD_LEN)
+            .ok_or(PersistError::Oversize(num_lists))?;
+        if dir_offset
+            .checked_add(dir_size)
+            .and_then(|v| v.checked_add(8))
+            != Some(file_len)
+        {
+            return Err(PersistError::BadDirectory(
+                "directory size does not match the file",
+            ));
+        }
+        // Bounded by the actual file length (just verified), so a hostile
+        // list count cannot force an over-allocation.
+        let mut dir_buf = vec![0u8; dir_size as usize];
+        read_exact_at(&file, &mut dir_buf, dir_offset)?;
+        let mut directory = BTreeMap::new();
+        let mut base_payload = 0usize;
+        let mut next_free = HEADER_LEN;
+        let mut prev_label: Option<Label> = None;
+        for rec in dir_buf.chunks_exact(DIR_RECORD_LEN as usize) {
+            let mut label: Label = [0u8; 20];
+            label.copy_from_slice(&rec[..20]);
+            let offset = u64::from_be_bytes(rec[20..28].try_into().expect("8 bytes"));
+            let byte_len = u64::from_be_bytes(rec[28..36].try_into().expect("8 bytes"));
+            let count = u64::from_be_bytes(rec[36..44].try_into().expect("8 bytes"));
+            if byte_len > MAX_LEN {
+                return Err(PersistError::Oversize(byte_len));
+            }
+            if count > MAX_LEN {
+                return Err(PersistError::Oversize(count));
+            }
+            if prev_label.is_some_and(|prev| label <= prev) {
+                return Err(PersistError::BadDirectory(
+                    "directory labels unsorted or duplicated",
+                ));
+            }
+            prev_label = Some(label);
+            // Each list's 28-byte header sits just before its entries;
+            // ranges must tile the body left to right without overlap.
+            let header_start = offset
+                .checked_sub(28)
+                .ok_or(PersistError::BadDirectory("list offset inside the header"))?;
+            if header_start < next_free {
+                return Err(PersistError::BadDirectory(
+                    "list ranges overlap or offsets are unsorted",
+                ));
+            }
+            let end = offset
+                .checked_add(byte_len)
+                .ok_or(PersistError::BadDirectory("list range overflows"))?;
+            if end > dir_offset {
+                return Err(PersistError::BadDirectory("list range out of bounds"));
+            }
+            if count == 0 && byte_len != 0 {
+                return Err(PersistError::BadDirectory("empty list claims bytes"));
+            }
+            if count > 0 && count.checked_mul(8).is_none_or(|min| min > byte_len) {
+                return Err(PersistError::BadDirectory(
+                    "entry count cannot fit its byte range",
+                ));
+            }
+            base_payload += (byte_len - 8 * count) as usize;
+            next_free = end;
+            directory.insert(
+                label,
+                SegmentList {
+                    offset,
+                    byte_len,
+                    count,
+                },
+            );
+        }
+        Ok(SegmentBackend {
+            file: Arc::new(file),
+            path,
+            directory,
+            base_payload,
+            overlay: PostingStore::new(),
+            opse,
+        })
+    }
+
+    fn open_v1(file: File, path: PathBuf) -> Result<Self, PersistError> {
+        let mut r = BufReader::new(&file);
+        r.seek(SeekFrom::Start(8))?;
+        let domain = read_u64(&mut r)?;
+        let range = read_u64(&mut r)?;
+        let opse = OpseParams::new(domain, range)
+            .map_err(|_| PersistError::BadParameters { domain, range })?;
+        let num_lists = read_len(&mut r)?;
+        let mut pos = HEADER_LEN;
+        let mut directory = BTreeMap::new();
+        let mut base_payload = 0usize;
+        for _ in 0..num_lists {
+            let mut label: Label = [0u8; 20];
+            r.read_exact(&mut label)?;
+            let count = read_len(&mut r)?;
+            pos += 28;
+            let offset = pos;
+            for _ in 0..count {
+                let len = read_len(&mut r)?;
+                // Skip the payload; only the directory is kept in memory.
+                let skipped = io::copy(&mut r.by_ref().take(len), &mut io::sink())?;
+                if skipped != len {
+                    return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into());
+                }
+                pos += 8 + len;
+                base_payload += len as usize;
+            }
+            let prior = directory.insert(
+                label,
+                SegmentList {
+                    offset,
+                    byte_len: pos - offset,
+                    count,
+                },
+            );
+            if prior.is_some() {
+                return Err(PersistError::BadDirectory("duplicate label in legacy file"));
+            }
+        }
+        drop(r);
+        Ok(SegmentBackend {
+            file: Arc::new(file),
+            path,
+            directory,
+            base_payload,
+            overlay: PostingStore::new(),
+            opse,
+        })
+    }
+
+    /// The OPSE parameters stored in the segment header.
+    pub fn opse_params(&self) -> &OpseParams {
+        &self.opse
+    }
+
+    /// The path the segment was opened from (and that [`Self::compact`]
+    /// rewrites).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Entries currently parked in the delta overlay (not yet compacted
+    /// into the file).
+    pub fn overlay_entries(&self) -> usize {
+        self.overlay
+            .labels()
+            .filter_map(|l| self.overlay.list_len(l))
+            .sum()
+    }
+
+    /// Reads one posting list's byte range off the file and parses the
+    /// entry bounds, rejecting ranges whose length prefixes do not tile
+    /// the range exactly.
+    fn read_list(&self, meta: &SegmentList) -> io::Result<ListBytes> {
+        let mut buf = vec![0u8; meta.byte_len as usize];
+        read_exact_at(&self.file, &mut buf, meta.offset)?;
+        let mut bounds = Vec::with_capacity(meta.count as usize);
+        let mut pos = 0usize;
+        for _ in 0..meta.count {
+            let body = pos
+                .checked_add(8)
+                .filter(|&b| b <= buf.len())
+                .ok_or_else(|| corrupt("entry prefix past the list range"))?;
+            let len = u64::from_be_bytes(buf[pos..body].try_into().expect("8 bytes"));
+            if len > MAX_LEN {
+                return Err(corrupt("entry length over the sanity cap"));
+            }
+            let end = body
+                .checked_add(len as usize)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| corrupt("entry payload past the list range"))?;
+            bounds.push((body, end));
+            pos = end;
+        }
+        if pos != buf.len() {
+            return Err(corrupt("entry records do not tile the list range"));
+        }
+        Ok(ListBytes { buf, bounds })
+    }
+
+    /// Ranked search over base-file entries merged with the delta overlay
+    /// (see [`crate::RsseIndex::search_with_scratch`] for the contract).
+    ///
+    /// The base list and the overlay list are ranked as two streams and
+    /// merged with [`merge_ranked_streams`]; the module docs argue why
+    /// that is byte-identical to the in-memory single-stream ranking. A
+    /// base list that fails to read (e.g. the file was truncated behind a
+    /// live handle) degrades to serving the overlay alone rather than
+    /// failing the query.
+    pub(crate) fn search(
+        &self,
+        trapdoor: &RsseTrapdoor,
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Vec<RankedResult> {
+        let base_meta = self.directory.get(trapdoor.label());
+        let overlay_list = self.overlay.list(trapdoor.label());
+        if base_meta.is_none() && overlay_list.is_none() {
+            return Vec::new();
+        }
+        let cipher = SemanticCipher::new(trapdoor.list_key());
+        let base = match base_meta.map(|meta| self.read_list(meta)) {
+            Some(Ok(list)) => rank_entries(list.entries(), list.len(), &cipher, top_k, scratch),
+            Some(Err(_)) | None => Vec::new(),
+        };
+        let overlay = match overlay_list {
+            Some(pl) if !pl.is_empty() => {
+                rank_entries(pl.iter(), pl.len(), &cipher, top_k, scratch)
+            }
+            _ => Vec::new(),
+        };
+        match (base.is_empty(), overlay.is_empty()) {
+            (false, true) => base,
+            (true, false) => overlay,
+            (true, true) => Vec::new(),
+            (false, false) => merge_ranked_streams(&[&base, &overlay], top_k),
+        }
+    }
+
+    /// Folds the delta overlay into a fresh segment file and reopens it.
+    ///
+    /// The merged segment is written beside the current one
+    /// (`<path>.compact`), fsynced, then atomically renamed over it — a
+    /// crash mid-compaction leaves the old segment intact. Base entry
+    /// records are copied verbatim (they are already in wire shape);
+    /// overlay entries append after them, preserving exactly the order a
+    /// query would have visited. Returns `false` without touching the
+    /// file when the overlay is empty.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing or renaming, or any [`PersistError`]
+    /// re-validating the freshly written segment.
+    pub fn compact(&mut self) -> Result<bool, PersistError> {
+        if self.overlay.num_lists() == 0 {
+            return Ok(false);
+        }
+        let tmp = self.path.with_extension("compact");
+        {
+            let out = File::create(&tmp)?;
+            let mut labels: Vec<Label> = self.directory.keys().copied().collect();
+            labels.extend(
+                self.overlay
+                    .labels()
+                    .filter(|l| !self.directory.contains_key(*l)),
+            );
+            labels.sort_unstable();
+            let mut w = SegmentWriter::new(BufWriter::new(&out), &self.opse, labels.len() as u64)?;
+            for label in &labels {
+                let base = self.directory.get(label);
+                let overlay = self.overlay.list(label);
+                let total =
+                    base.map_or(0, |m| m.count) + overlay.as_ref().map_or(0, |pl| pl.len() as u64);
+                w.begin_list(*label, total)?;
+                if let Some(meta) = base {
+                    let mut raw = vec![0u8; meta.byte_len as usize];
+                    read_exact_at(&self.file, &mut raw, meta.offset)?;
+                    w.write_raw_entries(&raw)?;
+                }
+                if let Some(pl) = overlay {
+                    for entry in pl.iter() {
+                        w.write_entry(entry)?;
+                    }
+                }
+                w.end_list();
+            }
+            w.finish()?;
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        *self = SegmentBackend::open(&self.path)?;
+        Ok(true)
+    }
+}
+
+impl IndexBackend for SegmentBackend {
+    fn contains_label(&self, label: &Label) -> bool {
+        self.directory.contains_key(label) || self.overlay.contains_label(label)
+    }
+
+    fn num_lists(&self) -> usize {
+        self.directory.len()
+            + self
+                .overlay
+                .labels()
+                .filter(|l| !self.directory.contains_key(*l))
+                .count()
+    }
+
+    fn list_len(&self, label: &Label) -> Option<usize> {
+        let base = self.directory.get(label).map(|m| m.count as usize);
+        let over = self.overlay.list_len(label);
+        if base.is_none() && over.is_none() {
+            return None;
+        }
+        Some(base.unwrap_or(0) + over.unwrap_or(0))
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Labels once per list, payloads from both halves; overlay labels
+        // shared with the base are not double-counted.
+        self.num_lists() * 20
+            + self.base_payload
+            + (self.overlay.size_bytes() - 20 * self.overlay.num_lists())
+    }
+
+    fn labels(&self) -> Vec<Label> {
+        let mut labels: Vec<Label> = self.directory.keys().copied().collect();
+        labels.extend(
+            self.overlay
+                .labels()
+                .filter(|l| !self.directory.contains_key(*l)),
+        );
+        labels
+    }
+
+    fn append(&mut self, label: Label, entries: &[Vec<u8>]) {
+        self.overlay.append(label, entries);
+    }
+
+    fn for_each_entry(&self, label: &Label, visit: &mut dyn FnMut(&[u8])) -> bool {
+        let base = self.directory.get(label);
+        let over = self.overlay.list(label);
+        if base.is_none() && over.is_none() {
+            return false;
+        }
+        if let Some(meta) = base {
+            if let Ok(list) = self.read_list(meta) {
+                for entry in list.entries() {
+                    visit(entry);
+                }
+            }
+        }
+        if let Some(pl) = over {
+            for entry in pl.iter() {
+                visit(entry);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RsseIndex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("rsse_segment_{tag}_{}_{n}.idx", std::process::id()))
+    }
+
+    fn label(b: u8) -> Label {
+        [b; 20]
+    }
+
+    fn sample_parts() -> Vec<(Label, Vec<Vec<u8>>)> {
+        vec![
+            (label(1), vec![vec![0xA1; 6], vec![0xA2; 6]]),
+            (label(2), vec![]),
+            (label(3), vec![vec![0xB1; 3], vec![0xB2; 9], vec![0xB3; 1]]),
+        ]
+    }
+
+    fn saved_segment(tag: &str) -> (PathBuf, RsseIndex) {
+        let index = RsseIndex::from_parts(sample_parts(), OpseParams::default());
+        let path = temp_path(tag);
+        index.save(File::create(&path).unwrap()).unwrap();
+        (path, index)
+    }
+
+    #[test]
+    fn open_serves_the_saved_lists_without_materializing() {
+        let (path, index) = saved_segment("open");
+        let seg = SegmentBackend::open(&path).unwrap();
+        assert_eq!(seg.opse_params(), index.opse_params().unwrap());
+        assert_eq!(seg.num_lists(), 3);
+        assert_eq!(seg.list_len(&label(2)), Some(0));
+        assert_eq!(seg.size_bytes(), index.size_bytes());
+        for (l, entries) in sample_parts() {
+            let mut got = Vec::new();
+            assert!(seg.for_each_entry(&l, &mut |e| got.push(e.to_vec())));
+            assert_eq!(got, entries);
+        }
+        assert!(!seg.for_each_entry(&label(9), &mut |_| panic!("unknown label")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn overlay_appends_are_visible_and_compaction_folds_them_in() {
+        let (path, _) = saved_segment("compact");
+        let mut seg = SegmentBackend::open(&path).unwrap();
+        assert!(!seg.compact().unwrap(), "empty overlay is a no-op");
+        seg.append(label(1), &[vec![0xA3; 6]]);
+        seg.append(label(9), &[vec![0xC1; 2]]);
+        assert_eq!(seg.overlay_entries(), 2);
+        assert_eq!(seg.list_len(&label(1)), Some(3));
+        assert_eq!(seg.num_lists(), 4);
+        let before: Vec<Vec<u8>> = {
+            let mut v = Vec::new();
+            seg.for_each_entry(&label(1), &mut |e| v.push(e.to_vec()));
+            v
+        };
+        let size_before = seg.size_bytes();
+        assert!(seg.compact().unwrap());
+        assert_eq!(seg.overlay_entries(), 0, "overlay drained");
+        assert_eq!(seg.list_len(&label(1)), Some(3));
+        assert_eq!(seg.num_lists(), 4);
+        assert_eq!(seg.size_bytes(), size_before);
+        let mut after = Vec::new();
+        seg.for_each_entry(&label(1), &mut |e| after.push(e.to_vec()));
+        assert_eq!(after, before, "compaction preserves entry order");
+        // The rewritten file reloads through the ordinary loader too.
+        let reloaded = RsseIndex::load(File::open(&path).unwrap()).unwrap();
+        assert_eq!(reloaded.list_len(&label(9)), Some(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_v1_file_opens_and_serves() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&128u64.to_be_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_be_bytes());
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.extend_from_slice(&label(5));
+        buf.extend_from_slice(&2u64.to_be_bytes());
+        for payload in [[0x11u8; 4], [0x22u8; 4]] {
+            buf.extend_from_slice(&4u64.to_be_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        let path = temp_path("v1");
+        std::fs::write(&path, &buf).unwrap();
+        let seg = SegmentBackend::open(&path).unwrap();
+        assert_eq!(seg.num_lists(), 1);
+        let mut got = Vec::new();
+        assert!(seg.for_each_entry(&label(5), &mut |e| got.push(e.to_vec())));
+        assert_eq!(got, vec![vec![0x11; 4], vec![0x22; 4]]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_rejected_at_open() {
+        let (path, _) = saved_segment("trunc");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(SegmentBackend::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

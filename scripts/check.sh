@@ -37,14 +37,21 @@ cargo test -q --test cache_coherence
 echo "==> cargo test -q -p rsse-core --test persist_roundtrip"
 cargo test -q -p rsse-core --test persist_roundtrip
 
+# The storage engine's tentpole guarantee: mem, on-disk segment, and
+# compacted segment return byte-identical rankings under interleaved
+# searches, updates, and compactions — cached, warm-restarted, and
+# sharded deployments included.
+echo "==> cargo test -q --test backend_equivalence"
+cargo test -q --test backend_equivalence
+
 # Smoke the throughput harness end to end (tiny counts, no perf gates):
 # boots every scenario including the Zipf hot_keywords cache pair and the
 # batched cpu path, and checks the functional cache invariants.
 echo "==> throughput --smoke"
 cargo run --release -q -p rsse-bench --bin throughput -- --smoke
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets --release -- -D warnings"
+cargo clippy --workspace --all-targets --release -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,305 @@
+//! Backend-equivalence harness: the storage engine must be *invisible*.
+//!
+//! The index layer dispatches over pluggable containers — the in-memory
+//! `MemBackend` arena, the on-disk `SegmentBackend` (base file + delta
+//! overlay), and the segment after `compact()` folded the overlay back
+//! into a fresh file. All three hold the same OPM ciphertexts, so for
+//! random interleavings of searches, score-dynamics updates, and
+//! compactions they must return rankings **byte-identical** in every
+//! respect: same files, same encrypted scores, same tie order, same
+//! truncation. The cloud layer is held to the same standard — a
+//! `Deployment` warm-restarted from a saved segment must match the
+//! in-memory deployment down to the traffic counters, and a sharded
+//! deployment serving one segment per shard must match the in-memory
+//! shards — caches enabled, exactly as deployed. See DESIGN.md §6.4.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsse::cloud::{
+    CloudServer, Deployment, FileCrypter, Message, PoolOptions, SearchMode, ShardedDeployment,
+};
+use rsse::core::{BackendKind, Rsse, RsseIndex, RsseParams};
+use rsse::ir::{Document, FileId, InvertedIndex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A tiny vocabulary so random interleavings keep hitting the same
+/// posting lists — the regime where overlay merges and compactions
+/// actually interleave with reads. Every word survives the tokenizer.
+const VOCAB: [&str; 5] = ["alpha", "beta", "gamma", "delta", "omega"];
+
+/// Unique temp paths so parallel proptest cases never collide on a
+/// segment file or directory.
+fn temp_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rsse_backend_eq_{tag}_{}_{n}", std::process::id()))
+}
+
+fn corpus(seed: u64, word_ids: &[Vec<usize>]) -> Vec<Document> {
+    word_ids
+        .iter()
+        .enumerate()
+        .map(|(i, ids)| {
+            let text = ids.iter().map(|&w| VOCAB[w]).collect::<Vec<_>>().join(" ");
+            let id = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Document::new(FileId::new(id), text)
+        })
+        .collect()
+}
+
+fn search_ranking(server: &CloudServer, request: Message) -> Vec<(u64, u64)> {
+    match server.handle(request).unwrap() {
+        Message::RsseResponse { ranking, .. } => ranking,
+        other => panic!("expected RsseResponse, got {other:?}"),
+    }
+}
+
+// One step of a random schedule is `(kind, keyword, k)`: `kind % 3 == 0`
+// searches `VOCAB[keyword]` with limit `k` (0 meaning unlimited), `== 1`
+// appends a fresh document mentioning it (landing in the segment's delta
+// overlay), and `== 2` compacts the segment then searches — so reads hit
+// every overlay state: empty, populated, and freshly folded.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Core level: an index reopened from its saved segment, and one that
+    /// keeps compacting, stay byte-identical to the in-memory original
+    /// under interleaved searches and updates.
+    #[test]
+    fn mem_segment_and_compacted_rankings_are_byte_identical(
+        seed in any::<u64>(),
+        word_ids in vec(vec(0usize..5, 1..10), 3..12),
+        steps in vec((0u8..6, 0usize..5, 0u32..8), 1..24),
+    ) {
+        let docs = corpus(seed, &word_ids);
+        let master = seed.to_be_bytes();
+        let params = RsseParams::default();
+        let scheme = Rsse::new(&master, params);
+        let mut mem = scheme.build_index(&docs).unwrap();
+
+        let seg_path = temp_path("core_seg");
+        mem.save(std::fs::File::create(&seg_path).unwrap()).unwrap();
+        let compact_path = temp_path("core_compact");
+        std::fs::copy(&seg_path, &compact_path).unwrap();
+        let mut seg = RsseIndex::open_segment(&seg_path).unwrap();
+        let mut compacting = RsseIndex::open_segment(&compact_path).unwrap();
+        prop_assert_eq!(mem.backend_kind(), BackendKind::Mem);
+        prop_assert_eq!(seg.backend_kind(), BackendKind::Segment);
+
+        let plain_index = InvertedIndex::build(&docs);
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let mut next_id = 1u64 << 40;
+        for &(kind, keyword, k) in &steps {
+            let word = VOCAB[keyword];
+            if kind % 3 == 1 {
+                let doc = Document::new(
+                    FileId::new(next_id),
+                    format!("{word} report number {next_id} about {word}"),
+                );
+                next_id += 1;
+                let update = updater.add_document(&doc).unwrap();
+                update.clone().apply_to(&mut mem);
+                update.clone().apply_to(&mut seg);
+                update.apply_to(&mut compacting);
+                continue;
+            }
+            if kind % 3 == 2 {
+                // Fold the overlay into a fresh file; the merged view must
+                // not move by a byte.
+                compacting.compact().unwrap();
+                prop_assert_eq!(compacting.pending_overlay_entries(), 0);
+            }
+            let top_k = (k > 0).then_some(k as usize);
+            let trapdoor = scheme.trapdoor(word).unwrap();
+            let want = mem.search(&trapdoor, top_k);
+            prop_assert_eq!(
+                seg.search(&trapdoor, top_k), want.clone(),
+                "segment ranking diverged for {} (k={:?})", word, top_k
+            );
+            prop_assert_eq!(
+                compacting.search(&trapdoor, top_k), want,
+                "compacted ranking diverged for {} (k={:?})", word, top_k
+            );
+        }
+
+        // Final sweep: every keyword, unlimited and truncated, plus the
+        // full exported ciphertexts and the re-saved segment bytes.
+        for word in VOCAB {
+            let t = scheme.trapdoor(word).unwrap();
+            for top_k in [None, Some(3)] {
+                let want = mem.search(&t, top_k);
+                prop_assert_eq!(seg.search(&t, top_k), want.clone(), "{}", word);
+                prop_assert_eq!(compacting.search(&t, top_k), want, "{}", word);
+            }
+        }
+        prop_assert_eq!(seg.export_parts(), mem.export_parts());
+        prop_assert_eq!(compacting.export_parts(), mem.export_parts());
+        let mut mem_bytes = Vec::new();
+        mem.save(&mut mem_bytes).unwrap();
+        let mut seg_bytes = Vec::new();
+        seg.save(&mut seg_bytes).unwrap();
+        prop_assert_eq!(seg_bytes, mem_bytes, "re-saved segments must be byte-identical");
+
+        let _ = std::fs::remove_file(&seg_path);
+        let _ = std::fs::remove_file(&compact_path);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cloud level: a deployment warm-restarted from a saved segment
+    /// (and one freshly bootstrapped onto the segment backend) matches
+    /// the in-memory deployment — rankings *and* traffic counters — with
+    /// the ranking cache enabled on all of them, across interleaved
+    /// updates and compactions.
+    #[test]
+    fn segment_deployments_match_mem_deployment_rankings_and_traffic(
+        seed in any::<u64>(),
+        word_ids in vec(vec(0usize..5, 1..10), 3..12),
+        steps in vec((0u8..6, 0usize..5, 0u32..8), 1..16),
+    ) {
+        let docs = corpus(seed, &word_ids);
+        let master = seed.to_be_bytes();
+        let params = RsseParams::default();
+
+        let mem = Deployment::bootstrap(&master, params, &docs).unwrap();
+        // Persist the serving index, then restart warm from the file: no
+        // Outsource message, no index rebuild.
+        let seg_path = temp_path("deploy_seg");
+        mem.save_segment(&seg_path).unwrap();
+        let warm = Deployment::bootstrap_from_segment(
+            &master, params, &docs, &seg_path, CloudServer::DEFAULT_CACHE_BUDGET,
+        ).unwrap();
+        prop_assert_eq!(warm.setup_traffic, Default::default(), "warm restart crosses no wire");
+        // And a deployment that outsourced straight onto the segment
+        // backend (persist-then-serve in one step).
+        let built_path = temp_path("deploy_built");
+        let built = Deployment::bootstrap_segmented(
+            &master, params, &docs, &built_path, CloudServer::DEFAULT_CACHE_BUDGET,
+        ).unwrap();
+
+        let scheme = Rsse::new(&master, params);
+        let plain_index = InvertedIndex::build(&docs);
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let crypter = FileCrypter::new(&master);
+
+        let mut next_id = 1u64 << 42;
+        for &(kind, keyword, k) in &steps {
+            let word = VOCAB[keyword];
+            if kind % 3 == 1 {
+                let doc = Document::new(
+                    FileId::new(next_id),
+                    format!("{word} segment deployment update {next_id}"),
+                );
+                next_id += 1;
+                let update = updater.add_document(&doc).unwrap();
+                let file = crypter.encrypt(&doc);
+                mem.server().apply_update(update.clone(), vec![file.clone()]);
+                warm.server().apply_update(update.clone(), vec![file.clone()]);
+                built.server().apply_update(update, vec![file]);
+                continue;
+            }
+            if kind % 3 == 2 {
+                // Compaction must be invisible to every later search; the
+                // mem server reports it as a no-op.
+                prop_assert!(!mem.server().compact_index().unwrap());
+                warm.server().compact_index().unwrap();
+                built.server().compact_index().unwrap();
+            }
+            let top_k = (k > 0).then_some(k);
+            let want = search_ranking(
+                &mem.server(),
+                mem.user().search_request(word, top_k, SearchMode::Rsse).unwrap(),
+            );
+            for (name, d) in [("warm", &warm), ("built", &built)] {
+                let got = search_ranking(
+                    &d.server(),
+                    d.user().search_request(word, top_k, SearchMode::Rsse).unwrap(),
+                );
+                prop_assert_eq!(&got, &want, "{} ranking diverged for {}", name, word);
+            }
+            // The full metered protocol run agrees down to the byte
+            // counts: identical frames up, identical frames down.
+            let (_, mem_traffic) = mem.rsse_search(word, top_k).unwrap();
+            let (_, warm_traffic) = warm.rsse_search(word, top_k).unwrap();
+            prop_assert_eq!(mem_traffic, warm_traffic, "traffic diverged for {}", word);
+        }
+
+        let _ = std::fs::remove_file(&seg_path);
+        let _ = std::fs::remove_file(&built_path);
+    }
+}
+
+proptest! {
+    // Each case boots two full sharded deployments with worker pools;
+    // keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sharded level: one segment per shard must scatter-gather to the
+    /// same merged rankings as in-memory shards, across lockstep updates
+    /// routed to the owning shard and per-shard compactions.
+    #[test]
+    fn sharded_segment_backends_match_mem_shards(
+        seed in any::<u64>(),
+        word_ids in vec(vec(0usize..5, 1..10), 3..12),
+        num_shards in 1usize..=3,
+        steps in vec((0u8..6, 0usize..5, 0u32..8), 1..10),
+    ) {
+        let docs = corpus(seed, &word_ids);
+        let master = seed.to_be_bytes();
+        let params = RsseParams::default();
+        let options = PoolOptions::new(1, 16);
+
+        let mem = ShardedDeployment::bootstrap(
+            &master, params, &docs, num_shards, options.clone(),
+        ).unwrap();
+        let dir = temp_path("shards");
+        let seg = ShardedDeployment::bootstrap_segmented(
+            &master, params, &docs, num_shards, &dir, options,
+        ).unwrap();
+        let partitioner = mem.partitioner();
+
+        let scheme = Rsse::new(&master, params);
+        let plain_index = InvertedIndex::build(&docs);
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let crypter = FileCrypter::new(&master);
+
+        let mut next_id = 1u64 << 43;
+        for &(kind, keyword, k) in &steps {
+            let word = VOCAB[keyword];
+            if kind % 3 == 1 {
+                let doc = Document::new(
+                    FileId::new(next_id),
+                    format!("{word} shard segment update {next_id}"),
+                );
+                next_id += 1;
+                let update = updater.add_document(&doc).unwrap();
+                let file = crypter.encrypt(&doc);
+                let shard = partitioner.shard_of(doc.id());
+                mem.shard_server(shard).unwrap().apply_update(update.clone(), vec![file.clone()]);
+                seg.shard_server(shard).unwrap().apply_update(update, vec![file]);
+                continue;
+            }
+            if kind % 3 == 2 {
+                for shard in 0..num_shards {
+                    seg.shard_server(shard).unwrap().compact_index().unwrap();
+                }
+            }
+            let top_k = (k > 0).then_some(k);
+            let (_, want) = mem.rsse_search(word, top_k).unwrap();
+            prop_assert!(want.is_complete());
+            let (_, got) = seg.rsse_search(word, top_k).unwrap();
+            prop_assert!(got.is_complete());
+            prop_assert_eq!(&got.ranking, &want.ranking, "sharded ranking diverged for {}", word);
+            // Batched scatter agrees too (the cached path on each shard).
+            let (_, batch) = seg.rsse_search_batch(&[word], top_k).unwrap();
+            prop_assert_eq!(&batch.queries[0].0, &want.ranking, "batched diverged for {}", word);
+        }
+        mem.shutdown();
+        seg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
