@@ -25,11 +25,20 @@
 //!   cache disabled. Cache hit/miss counts land in the JSON next to the
 //!   throughput they bought; the cached leg must sustain at least 3x the
 //!   uncached requests/s at the same worker count (gated below).
-//! * **sharded** — the index is partitioned across 1/2/4/8 single-worker
-//!   shards and every query scatter-gathers across all of them (the
-//!   "workers" column is the shard count). On a single-core host this
-//!   reports the honest coordination overhead of the fan-out; no speedup
-//!   gate applies.
+//! * **sharded** — the index is partitioned across 1/2/4/8 shards (the
+//!   "workers" column is the shard count), each shard served by two
+//!   replica pools, with the tuned router: label-filter pruning, the
+//!   router-level merged-result cache, and power-of-two-choices replica
+//!   reads. The workload is a Zipf query log over the hot vocabulary
+//!   plus a rare-term tail (the prunable keywords), with a document
+//!   update interleaved every few requests per client — the churny
+//!   regime the routing layer is built for. Updates invalidate ranking
+//!   state *shard-locally*, so at 8 shards a refill re-ranks one
+//!   1/8-size posting list where the single shard re-ranks the full
+//!   list; together with pruned legs on the rare tail this must hold
+//!   8 shards at >= 1.0x the 1-shard requests/s even on a single core
+//!   (gated below — the fan-out overhead may no longer swamp the
+//!   routing wins).
 //! * **cpu_segment** — the cpu scenario again, but the server serves
 //!   straight from an on-disk `RSSEIDX2` segment (per-label positional
 //!   reads + delta overlay) instead of the in-memory arena. Steady state
@@ -51,12 +60,14 @@
 //! subprocess equivalence suite, and writes to a scratch path — just
 //! enough to prove the harness end to end in CI.
 
-use rsse_bench::workload::{paper_corpus, top_terms, ZipfSampler, HOT_KEYWORD};
+use rsse_bench::workload::{paper_corpus, rare_terms, top_terms, ZipfSampler, HOT_KEYWORD};
 use rsse_cloud::entities::{CloudServer, DataOwner, Deployment};
 use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
-use rsse_cloud::{CloudError, ErrorKind, Message, SearchMode, ShardedDeployment};
+use rsse_cloud::{
+    CloudError, ErrorKind, FileCrypter, Message, RouterOptions, SearchMode, ShardedDeployment,
+};
 use rsse_core::{Rsse, RsseIndex, RsseParams};
-use rsse_ir::Document;
+use rsse_ir::{Document, FileId, InvertedIndex};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -71,6 +82,17 @@ const CPU_BATCH: usize = 16;
 const ZIPF_S: f64 = 1.1;
 /// Candidate keywords for the Zipf workload.
 const ZIPF_VOCAB: usize = 48;
+/// Rare terms (df <= 2) appended to the sharded vocabulary — the tail
+/// the label filters prune, since a 1-2 file term cannot occupy every
+/// shard of a multi-shard deployment.
+const SHARD_RARE_VOCAB: usize = 16;
+/// Every this-many client iterations in the sharded scenario, the
+/// client publishes a document update instead of a query.
+const SHARD_UPDATE_PERIOD: usize = 8;
+/// Router merged-result cache budget for the sharded scenario.
+const ROUTER_CACHE_BUDGET: usize = 4 << 20;
+/// Replica pools per shard in the sharded scenario.
+const SHARD_REPLICAS: usize = 2;
 
 struct Scenario {
     name: &'static str,
@@ -113,12 +135,21 @@ struct ConfigResult {
     p50_ms: f64,
     p99_ms: f64,
     shed_retries: u64,
-    /// Scatter legs per query (0 for the single-server scenarios).
+    /// Total scatter legs actually sent (0 for the single-server
+    /// scenarios; with pruning, less than queries x shards).
     shard_legs: u64,
+    /// Scatter legs skipped because a label filter proved the shard
+    /// holds no postings for the query.
+    pruned_legs: u64,
+    /// Filter-exchange round trips spent keeping pruning fresh.
+    filter_fetches: u64,
     /// Queries that rode inside `BatchRequest` frames.
     batched_queries: u64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Per-shard, per-replica counts of legs routed by the
+    /// power-of-two-choices picker (empty for single-server scenarios).
+    replica_routed: Vec<Vec<u64>>,
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
@@ -262,6 +293,8 @@ fn run_config(
         p99_ms: percentile_ms(&latencies, 0.99),
         shed_retries,
         shard_legs: 0,
+        pruned_legs: 0,
+        filter_fetches: 0,
         batched_queries: if scenario.batch > 1 {
             requests as u64
         } else {
@@ -269,46 +302,111 @@ fn run_config(
         },
         cache_hits: cache.hits,
         cache_misses: cache.misses,
+        replica_routed: Vec::new(),
     }
 }
 
-/// Scatter-gather throughput over `shards` single-worker shard pools: the
-/// same closed loop as the single-server scenarios, but each query fans
-/// out to every shard and merges the partial rankings (files decrypted end
-/// to end). On a single-core host the fan-out is pure overhead — the row
-/// reports the honest coordination cost; on a multi-core host the shards
-/// serve their legs in parallel.
-fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> ConfigResult {
-    let cloud = ShardedDeployment::bootstrap(
+/// What one sharded client thread hands back: search latencies plus its
+/// share of the scatter traffic counters.
+struct ShardClientTally {
+    lats: Vec<Duration>,
+    shard_legs: u64,
+    pruned_legs: u64,
+    filter_fetches: u64,
+}
+
+/// Scatter-gather throughput over `shards` shards behind the tuned
+/// router (label-filter pruning, merged-result cache, two replica pools
+/// per shard). Each client iterates a Zipf query log over `vocab` —
+/// hot head plus rare prunable tail — and every
+/// [`SHARD_UPDATE_PERIOD`]-th iteration publishes a small document
+/// update to the owning shard instead, churning the caches and filters
+/// the way a live deployment would. Updates invalidate shard-locally:
+/// the single-shard config re-ranks the full posting list on the next
+/// miss where an 8-shard config re-ranks one 1/8-size list, which is
+/// what lets the fan-out pay for itself even on one core.
+fn run_sharded(
+    docs: &[Document],
+    vocab: &[String],
+    iterations_per_client: usize,
+    shards: usize,
+    seed: u64,
+) -> ConfigResult {
+    let params = RsseParams::default();
+    let cloud = ShardedDeployment::bootstrap_tuned(
         b"throughput seed",
-        RsseParams::default(),
+        params,
         docs,
         shards,
         PoolOptions::new(1, BACKLOG),
+        RouterOptions::new()
+            .with_pruning()
+            .with_merged_cache(ROUTER_CACHE_BUDGET)
+            .with_replicas(SHARD_REPLICAS),
     )
     .expect("sharded bootstrap");
+    // Owner-side update machinery, shared by every client thread.
+    let scheme = Rsse::new(b"throughput seed", params);
+    let plain_index = InvertedIndex::build(docs);
+    let crypter = FileCrypter::new(b"throughput seed");
+    let partitioner = cloud.partitioner();
 
     let start = Instant::now();
-    let per_client: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+    let per_client: Vec<ShardClientTally> = std::thread::scope(|scope| {
         let threads: Vec<_> = (0..CLIENTS)
-            .map(|_| {
-                let cloud = &cloud;
+            .map(|client_idx| {
+                let (cloud, scheme, plain_index, crypter) =
+                    (&cloud, &scheme, &plain_index, &crypter);
                 scope.spawn(move || {
-                    let mut lats = Vec::with_capacity(requests_per_client);
-                    for _ in 0..requests_per_client {
+                    // IndexUpdater memoizes OPM state behind a RefCell, so
+                    // each client thread derives its own (same owner key,
+                    // same index -> identical updates).
+                    let updater = scheme.updater_for(plain_index).expect("updater");
+                    let mut sampler =
+                        ZipfSampler::new(vocab.len(), ZIPF_S, seed ^ (client_idx as u64) << 17);
+                    let mut tally = ShardClientTally {
+                        lats: Vec::with_capacity(iterations_per_client),
+                        shard_legs: 0,
+                        pruned_legs: 0,
+                        filter_fetches: 0,
+                    };
+                    for i in 0..iterations_per_client {
+                        if (i + 1) % SHARD_UPDATE_PERIOD == 0 {
+                            // Churn: a fresh few-keyword document lands on
+                            // its owning shard, bumping that shard's filter
+                            // epoch and invalidating its touched rankings.
+                            let id = (1u64 << 40) | ((client_idx as u64) << 32) | i as u64;
+                            let words: Vec<&str> =
+                                (0..4).map(|_| vocab[sampler.sample()].as_str()).collect();
+                            let doc = Document::new(
+                                FileId::new(id),
+                                format!("{} churn{id}", words.join(" ")),
+                            );
+                            let update = updater.add_document(&doc).expect("update");
+                            let file = crypter.encrypt(&doc);
+                            let shard = partitioner.shard_of(doc.id());
+                            cloud
+                                .shard_server(shard)
+                                .expect("shard exists")
+                                .apply_update(update, vec![file]);
+                            continue;
+                        }
+                        let keyword = &vocab[sampler.sample()];
                         let sent = Instant::now();
                         let (docs, outcome) = cloud
-                            .rsse_search(HOT_KEYWORD, Some(10))
+                            .rsse_search(keyword, Some(10))
                             .expect("scatter-gather query");
-                        lats.push(sent.elapsed());
-                        assert_eq!(docs.len(), 10);
+                        tally.lats.push(sent.elapsed());
+                        assert!(docs.len() <= 10, "top-10 query returned {}", docs.len());
                         assert!(
                             outcome.is_complete(),
                             "no shard may degrade on a healthy deployment"
                         );
-                        assert_eq!(outcome.traffic.shard_legs as usize, shards);
+                        tally.shard_legs += outcome.traffic.shard_legs as u64;
+                        tally.pruned_legs += outcome.traffic.pruned_legs as u64;
+                        tally.filter_fetches += outcome.traffic.filter_fetches as u64;
                     }
-                    lats
+                    tally
                 })
             })
             .collect();
@@ -318,18 +416,23 @@ fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> 
             .collect()
     });
     let wall = start.elapsed();
-    let mut latencies: Vec<Duration> = per_client.into_iter().flatten().collect();
 
-    let requests = CLIENTS * requests_per_client;
-    let cache_totals = (0..shards).fold((0u64, 0u64), |acc, s| {
-        let stats = cloud.shard_server(s).expect("shard exists").cache_stats();
-        (acc.0 + stats.hits, acc.1 + stats.misses)
-    });
+    let requests: usize = per_client.iter().map(|t| t.lats.len()).sum();
+    let shard_legs: u64 = per_client.iter().map(|t| t.shard_legs).sum();
+    let pruned_legs: u64 = per_client.iter().map(|t| t.pruned_legs).sum();
+    let filter_fetches: u64 = per_client.iter().map(|t| t.filter_fetches).sum();
+    let mut latencies: Vec<Duration> = per_client.into_iter().flat_map(|t| t.lats).collect();
+
+    // The sharded row's cache columns report the *router's* merged-result
+    // cache — the per-shard ranking caches stay an implementation detail
+    // below the routing layer this scenario measures.
+    let merged = cloud.router().merged_cache_stats();
+    let replica_routed = cloud.router().replica_routing();
     let served = cloud.shutdown();
     assert_eq!(
         served,
-        (requests * shards) as u64,
-        "each query must put exactly one leg on every shard"
+        shard_legs + filter_fetches,
+        "every pool frame is a metered scatter leg or filter fetch"
     );
 
     latencies.sort_unstable();
@@ -342,10 +445,13 @@ fn run_sharded(docs: &[Document], requests_per_client: usize, shards: usize) -> 
         p50_ms: percentile_ms(&latencies, 0.50),
         p99_ms: percentile_ms(&latencies, 0.99),
         shed_retries: 0,
-        shard_legs: shards as u64,
+        shard_legs,
+        pruned_legs,
+        filter_fetches,
         batched_queries: 0,
-        cache_hits: cache_totals.0,
-        cache_misses: cache_totals.1,
+        cache_hits: merged.hits,
+        cache_misses: merged.misses,
+        replica_routed,
     }
 }
 
@@ -437,6 +543,11 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
     ));
     out.push_str(&format!("  \"cpu_batch\": {CPU_BATCH},\n"));
     out.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
+    out.push_str(&format!("  \"shard_rare_vocab\": {SHARD_RARE_VOCAB},\n"));
+    out.push_str(&format!(
+        "  \"shard_update_period\": {SHARD_UPDATE_PERIOD},\n"
+    ));
+    out.push_str(&format!("  \"shard_replicas\": {SHARD_REPLICAS},\n"));
     out.push_str(&format!(
         "  \"cold_start\": {{\"index_full_load_ms\": {:.3}, \
          \"index_segment_open_ms\": {:.3}, \"deploy_rebuild_ms\": {:.3}, \
@@ -452,12 +563,26 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
             .iter()
             .find(|b| b.scenario == r.scenario && b.workers == 1)
             .expect("single-worker baseline present");
+        let replica_routed = r
+            .replica_routed
+            .iter()
+            .map(|shard| {
+                let counts = shard
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("[{counts}]")
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
              \"p99_ms\": {:.3}, \"shed_retries\": {}, \"shard_legs\": {}, \
+             \"pruned_legs\": {}, \"filter_fetches\": {}, \
              \"batched_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"speedup_vs_1_worker\": {:.2}}}{}\n",
+             \"replica_routed\": [{}], \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
             r.requests,
@@ -467,9 +592,12 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
             r.p99_ms,
             r.shed_retries,
             r.shard_legs,
+            r.pruned_legs,
+            r.filter_fetches,
             r.batched_queries,
             r.cache_hits,
             r.cache_misses,
+            replica_routed,
             r.rps / baseline.rps,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -500,6 +628,14 @@ fn main() {
     let (corpus, plain_index) = paper_corpus(seed);
     let vocab = top_terms(&plain_index, ZIPF_VOCAB);
     assert!(vocab.len() >= 2, "paper corpus vocabulary too small");
+    // Sharded workload: the same hot head plus a rare (df <= 2) tail —
+    // the keywords whose scatters the label filters can prune.
+    let mut shard_vocab = vocab.clone();
+    shard_vocab.extend(rare_terms(&plain_index, SHARD_RARE_VOCAB, 2));
+    assert!(
+        shard_vocab.len() > vocab.len(),
+        "paper corpus must have rare terms for the prunable tail"
+    );
     let owner = DataOwner::new(b"throughput seed", RsseParams::default());
     let outsource_frame = owner
         .outsource(corpus.documents())
@@ -595,36 +731,9 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    println!(
-        "scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,\
-         shed_retries,cache_hits,cache_misses"
-    );
-    for scenario in &scenarios {
-        for &workers in scenario.workers {
-            let r = run_config(&outsource_frame, &owner, &vocab, scenario, workers, seed);
-            println!(
-                "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{}",
-                r.scenario,
-                r.workers,
-                r.requests,
-                r.wall_s,
-                r.rps,
-                r.p50_ms,
-                r.p99_ms,
-                r.shed_retries,
-                r.cache_hits,
-                r.cache_misses
-            );
-            results.push(r);
-        }
-    }
-
-    // Scatter-gather scenario: the "workers" column is the shard count
-    // (one worker per shard).
-    for &shards in &WORKER_COUNTS {
-        let r = run_sharded(corpus.documents(), scaled(50), shards);
+    let print_row = |r: &ConfigResult| {
         println!(
-            "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{}",
+            "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{}",
             r.scenario,
             r.workers,
             r.requests,
@@ -633,9 +742,31 @@ fn main() {
             r.p50_ms,
             r.p99_ms,
             r.shed_retries,
+            r.shard_legs,
+            r.pruned_legs,
+            r.filter_fetches,
             r.cache_hits,
             r.cache_misses
         );
+    };
+    println!(
+        "scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,\
+         shed_retries,shard_legs,pruned_legs,filter_fetches,cache_hits,\
+         cache_misses"
+    );
+    for scenario in &scenarios {
+        for &workers in scenario.workers {
+            let r = run_config(&outsource_frame, &owner, &vocab, scenario, workers, seed);
+            print_row(&r);
+            results.push(r);
+        }
+    }
+
+    // Scatter-gather scenario: the "workers" column is the shard count
+    // (two replica pools per shard).
+    for &shards in &WORKER_COUNTS {
+        let r = run_sharded(corpus.documents(), &shard_vocab, scaled(400), shards, seed);
+        print_row(&r);
         results.push(r);
     }
 
@@ -736,7 +867,34 @@ fn main() {
         );
     }
 
-    // Acceptance gate 5: the warm restart actually is warm — opening the
+    // Acceptance gate 5: the tuned router must make the fan-out pay for
+    // itself — on the churny Zipf workload, 8 shards hold at least the
+    // single-shard requests/s even on one core (pruned rare-tail legs,
+    // merged-result hits, and shard-local invalidation versus full-list
+    // re-ranks). A measurement too short to trust is also a failure:
+    // every sharded config must run at least half a second.
+    for &shards in &WORKER_COUNTS {
+        let r = find("sharded", shards);
+        assert!(
+            r.wall_s >= 0.5,
+            "sharded/{shards} ran only {:.3}s; scale the workload up",
+            r.wall_s
+        );
+    }
+    let sharded_speedup = find("sharded", 8).rps / find("sharded", 1).rps;
+    eprintln!("sharded 8-shard throughput vs 1 shard: {sharded_speedup:.2}x");
+    assert!(
+        sharded_speedup >= 1.0,
+        "8 shards must not lose to 1 on the churny Zipf workload, \
+         got {sharded_speedup:.2}x"
+    );
+    let eight = find("sharded", 8);
+    assert!(
+        eight.pruned_legs > 0,
+        "the rare-term tail must exercise label-filter pruning"
+    );
+
+    // Acceptance gate 6: the warm restart actually is warm — opening the
     // segment through the first query beats materializing the full index,
     // and a deployment bootstrapped from the segment beats rebuilding the
     // encrypted index from plaintext.

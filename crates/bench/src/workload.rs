@@ -46,6 +46,22 @@ pub fn top_terms(index: &InvertedIndex, n: usize) -> Vec<String> {
     terms.into_iter().map(|(t, _)| t.to_string()).collect()
 }
 
+/// The `n` rarest index terms with document frequency at most `max_df`
+/// (ascending df, ties broken lexicographically, so the tail is
+/// deterministic). These are the terms a label-filter prunes on: at `k`
+/// shards a term present in fewer than `k` files cannot occupy every
+/// shard, so a query for it provably skips the rest.
+pub fn rare_terms(index: &InvertedIndex, n: usize, max_df: usize) -> Vec<String> {
+    let mut terms: Vec<(&str, usize)> = index
+        .iter()
+        .map(|(t, p)| (t, p.len()))
+        .filter(|&(_, df)| df <= max_df)
+        .collect();
+    terms.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(b.0)));
+    terms.truncate(n);
+    terms.into_iter().map(|(t, _)| t.to_string()).collect()
+}
+
 /// Zipf-distributed rank sampler over `{0..n}`: rank `r` is drawn with
 /// probability proportional to `1/(r+1)^s`. Real query logs are Zipfian —
 /// a few keywords dominate — which is exactly the regime a ranking cache
@@ -116,6 +132,16 @@ mod tests {
         assert_eq!(index.document_frequency(&terms[0]), 1000);
         let dfs: Vec<u64> = terms.iter().map(|t| index.document_frequency(t)).collect();
         assert!(dfs.windows(2).all(|w| w[0] >= w[1]), "{dfs:?}");
+    }
+
+    #[test]
+    fn rare_terms_are_rare_and_sorted() {
+        let (_, index) = paper_corpus(42);
+        let rare = rare_terms(&index, 16, 2);
+        assert_eq!(rare.len(), 16, "paper corpus has a long df<=2 tail");
+        let dfs: Vec<u64> = rare.iter().map(|t| index.document_frequency(t)).collect();
+        assert!(dfs.iter().all(|&d| (1..=2).contains(&d)), "{dfs:?}");
+        assert!(dfs.windows(2).all(|w| w[0] <= w[1]), "{dfs:?}");
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub enum RequestKind {
     Batch,
     /// A §VII score-dynamics update.
     Update,
+    /// A label-filter fetch from the shard router.
+    Filter,
     /// A message the server refused to handle.
     Rejected,
     /// A request whose handler panicked; the panic was contained and the
@@ -64,6 +66,8 @@ pub struct ServingReport {
     pub batches: u64,
     /// Score-dynamics updates applied.
     pub updates: u64,
+    /// Label-filter fetches served to the shard router.
+    pub filter_fetches: u64,
     /// Requests rejected as out-of-protocol.
     pub rejected: u64,
     /// Contained worker panics (each answered with an `Internal` error
@@ -108,6 +112,7 @@ impl AuditLog {
             RequestKind::ShardQuery => self.report.shard_queries += 1,
             RequestKind::Batch => self.report.batches += 1,
             RequestKind::Update => self.report.updates += 1,
+            RequestKind::Filter => self.report.filter_fetches += 1,
             RequestKind::Rejected => self.report.rejected += 1,
             RequestKind::Panicked => self.report.panics += 1,
         }
@@ -151,6 +156,7 @@ pub struct AuditCounters {
     shard_queries: AtomicU64,
     batches: AtomicU64,
     updates: AtomicU64,
+    filter_fetches: AtomicU64,
     rejected: AtomicU64,
     panics: AtomicU64,
     cache_hits: AtomicU64,
@@ -173,6 +179,7 @@ impl AuditCounters {
             RequestKind::ShardQuery => &self.shard_queries,
             RequestKind::Batch => &self.batches,
             RequestKind::Update => &self.updates,
+            RequestKind::Filter => &self.filter_fetches,
             RequestKind::Rejected => &self.rejected,
             RequestKind::Panicked => &self.panics,
         };
@@ -200,6 +207,7 @@ impl AuditCounters {
             shard_queries: self.shard_queries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
+            filter_fetches: self.filter_fetches.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -482,6 +490,7 @@ mod tests {
             RequestKind::Panicked,
             RequestKind::Fetch,
             RequestKind::Conjunctive,
+            RequestKind::Filter,
         ];
         for kind in kinds {
             counters.record(kind);

@@ -1,4 +1,6 @@
-//! Server-side **hot-keyword ranking cache**.
+//! Epoch-guarded result caching: the server-side **hot-keyword ranking
+//! cache** and the generic machinery behind the router-level merged-result
+//! cache.
 //!
 //! The server's headline cost is ranking: `RsseIndex::search` AES-unwraps
 //! the *entire* posting list behind a trapdoor's label on every request,
@@ -15,80 +17,121 @@
 //! Entries are LRU-evicted under a byte budget and invalidated when score
 //! dynamics touch their label.
 //!
+//! The same discipline holds one level up: the shard router caches whole
+//! *merged* scatter results keyed by `(label, top_k)` so a hot keyword
+//! costs zero legs (DESIGN.md §6.5). Both caches are instances of
+//! [`EpochCache`], generic over key and value; the value's budget charge
+//! comes from its [`CacheWeight`] impl.
+//!
 //! # Stale-fill protection
 //!
-//! The expensive miss path (decrypt + sort the whole posting list) must not
-//! run under the cache lock, which opens a race: an update could invalidate
-//! a label *while* a miss is computing that label's soon-to-be-stale
-//! ranking. The cache therefore carries a global **epoch** counter, bumped
-//! by every invalidation. A filler snapshots the epoch *before* reading the
-//! index and hands it back to [`RankingCache::insert_if_current`], which
-//! rejects the fill if any invalidation happened in between. Updates bump
-//! the epoch *after* the index write completes, so a fill that passes the
-//! epoch check is guaranteed to have read post-update (or untouched) state.
+//! The expensive miss path (decrypt + sort the whole posting list, or a
+//! full scatter-gather) must not run under the cache lock, which opens a
+//! race: an update could invalidate a key *while* a miss is computing that
+//! key's soon-to-be-stale value. The cache therefore carries a global
+//! **epoch** counter, bumped by every invalidation. A filler snapshots the
+//! epoch *before* reading the index and hands it back to
+//! [`EpochCache::insert_if_current`], which rejects the fill if any
+//! invalidation happened in between. Updates bump the epoch *after* the
+//! index write completes, so a fill that passes the epoch check is
+//! guaranteed to have read post-update (or untouched) state.
+//!
+//! # Lock split for contended readers
+//!
+//! [`EpochCache::get`] takes `&self`: the LRU clock and the hit/miss
+//! counters are atomics, so concurrent readers can share the cache behind
+//! an `RwLock` read guard and hit in parallel. Only fills, invalidations,
+//! and eviction take `&mut self` (the write guard). This is what lets
+//! `CloudServer` serve cache hits without serializing its worker pool.
 
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rsse_core::{Label, RankedResult};
 
-/// Point-in-time snapshot of the cache's effectiveness counters.
+/// Point-in-time snapshot of a cache's effectiveness counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Searches served straight off a cached ranking.
+    /// Lookups served straight off a cached value.
     pub hits: u64,
-    /// Searches that had to rank from the index.
+    /// Lookups that had to compute from scratch.
     pub misses: u64,
     /// Entries dropped to stay under the byte budget.
     pub evictions: u64,
-    /// Entries dropped because score dynamics touched their label.
+    /// Entries dropped because an update touched their key.
     pub invalidations: u64,
-    /// Fills rejected because an invalidation raced the ranking pass.
+    /// Fills rejected because an invalidation raced the compute pass.
     pub stale_fills: u64,
 }
 
-#[derive(Debug)]
-struct CacheEntry {
-    ranking: Arc<Vec<RankedResult>>,
-    bytes: usize,
-    last_used: u64,
+/// Budget charge of a cached value: the approximate heap bytes it owns
+/// (the fixed per-entry bookkeeping is added by the cache itself).
+pub trait CacheWeight {
+    /// Owned heap bytes of this value.
+    fn weight_bytes(&self) -> usize;
 }
 
-/// Byte-budgeted LRU cache of fully ranked posting lists, keyed by label.
-///
-/// A budget of `0` disables the cache entirely: [`RankingCache::get`]
-/// always misses (without counting a miss) and fills are discarded, so the
-/// serving path degenerates to the direct top-k heap search.
+impl CacheWeight for Vec<RankedResult> {
+    fn weight_bytes(&self) -> usize {
+        std::mem::size_of_val(self.as_slice())
+    }
+}
+
 #[derive(Debug)]
-pub struct RankingCache {
-    entries: HashMap<Label, CacheEntry>,
+struct CacheEntry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    /// LRU stamp, atomic so shared-lock readers can refresh it.
+    last_used: AtomicU64,
+}
+
+/// Byte-budgeted LRU cache of computed values with epoch-guarded fills.
+///
+/// A budget of `0` disables the cache entirely: [`EpochCache::get`] always
+/// misses (without counting a miss) and fills are discarded.
+#[derive(Debug)]
+pub struct EpochCache<K, V> {
+    entries: HashMap<K, CacheEntry<V>>,
     budget_bytes: usize,
     used_bytes: usize,
     /// Monotonic access clock driving LRU eviction.
-    tick: u64,
+    tick: AtomicU64,
     /// Bumped by every invalidation; guards against stale fills.
     epoch: u64,
-    stats: CacheStats,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: u64,
+    invalidations: u64,
+    stale_fills: u64,
 }
 
-/// Approximate heap footprint of one cached ranking.
-fn ranking_bytes(ranking: &[RankedResult]) -> usize {
-    std::mem::size_of::<Arc<Vec<RankedResult>>>()
-        + std::mem::size_of::<Label>()
-        + std::mem::size_of::<CacheEntry>()
-        + std::mem::size_of_val(ranking)
+/// The server-side hot-keyword cache: full rankings keyed by label.
+pub type RankingCache = EpochCache<Label, Vec<RankedResult>>;
+
+/// Approximate budget charge of one cached entry.
+fn entry_bytes<K, V: CacheWeight>(value: &V) -> usize {
+    std::mem::size_of::<Arc<V>>()
+        + std::mem::size_of::<K>()
+        + std::mem::size_of::<CacheEntry<V>>()
+        + value.weight_bytes()
 }
 
-impl RankingCache {
-    /// Creates a cache holding at most `budget_bytes` of ranked entries.
+impl<K: Eq + Hash + Clone, V: CacheWeight> EpochCache<K, V> {
+    /// Creates a cache holding at most `budget_bytes` of entries.
     pub fn new(budget_bytes: usize) -> Self {
         Self {
             entries: HashMap::new(),
             budget_bytes,
             used_bytes: 0,
-            tick: 0,
+            tick: AtomicU64::new(0),
             epoch: 0,
-            stats: CacheStats::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: 0,
+            invalidations: 0,
+            stale_fills: 0,
         }
     }
 
@@ -97,55 +140,53 @@ impl RankingCache {
         self.budget_bytes > 0
     }
 
-    /// The current invalidation epoch. Snapshot this *before* reading the
-    /// index on a miss and pass it to [`Self::insert_if_current`].
+    /// The current invalidation epoch. Snapshot this *before* computing a
+    /// missed value and pass it to [`Self::insert_if_current`].
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// Looks up the full ranking cached for `label`, refreshing its LRU
-    /// position. Counts a hit or a miss; a disabled cache counts neither.
-    pub fn get(&mut self, label: &Label) -> Option<Arc<Vec<RankedResult>>> {
+    /// Looks up the value cached for `key`, refreshing its LRU position.
+    /// Counts a hit or a miss; a disabled cache counts neither.
+    ///
+    /// Takes `&self`: the access clock and the counters are atomic, so any
+    /// number of readers holding a shared lock can hit concurrently.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
         if !self.is_enabled() {
             return None;
         }
-        self.tick += 1;
-        match self.entries.get_mut(label) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.entries.get(key) {
             Some(entry) => {
-                entry.last_used = self.tick;
-                self.stats.hits += 1;
-                Some(Arc::clone(&entry.ranking))
+                entry.last_used.store(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Fills `label` with a ranking computed while the cache was at
+    /// Fills `key` with a value computed while the cache was at
     /// `fill_epoch`. Rejected (and counted as a stale fill) if any
-    /// invalidation has happened since the snapshot; oversized rankings
-    /// that could never fit the budget are silently skipped.
-    pub fn insert_if_current(
-        &mut self,
-        label: Label,
-        ranking: Arc<Vec<RankedResult>>,
-        fill_epoch: u64,
-    ) {
+    /// invalidation has happened since the snapshot; oversized values that
+    /// could never fit the budget are silently skipped.
+    pub fn insert_if_current(&mut self, key: K, value: Arc<V>, fill_epoch: u64) {
         if !self.is_enabled() {
             return;
         }
         if fill_epoch != self.epoch {
-            self.stats.stale_fills += 1;
+            self.stale_fills += 1;
             return;
         }
-        let bytes = ranking_bytes(&ranking);
+        let bytes = entry_bytes::<K, V>(&value);
         if bytes > self.budget_bytes {
             return;
         }
-        self.tick += 1;
-        if let Some(old) = self.entries.remove(&label) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(old) = self.entries.remove(&key) {
             self.used_bytes -= old.bytes;
         }
         while self.used_bytes + bytes > self.budget_bytes {
@@ -153,35 +194,35 @@ impl RankingCache {
         }
         self.used_bytes += bytes;
         self.entries.insert(
-            label,
+            key,
             CacheEntry {
-                ranking,
+                value,
                 bytes,
-                last_used: self.tick,
+                last_used: AtomicU64::new(tick),
             },
         );
     }
 
-    /// Drops the cached ranking for `label` (if any) and bumps the epoch so
-    /// in-flight fills for *any* label are rejected. Call *after* the index
-    /// mutation is visible.
-    pub fn invalidate(&mut self, label: &Label) {
+    /// Drops the cached value for `key` (if any) and bumps the epoch so
+    /// in-flight fills for *any* key are rejected. Call *after* the
+    /// underlying mutation is visible.
+    pub fn invalidate(&mut self, key: &K) {
         self.epoch += 1;
-        if let Some(entry) = self.entries.remove(label) {
+        if let Some(entry) = self.entries.remove(key) {
             self.used_bytes -= entry.bytes;
-            self.stats.invalidations += 1;
+            self.invalidations += 1;
         }
     }
 
     /// Drops everything and bumps the epoch.
     pub fn invalidate_all(&mut self) {
         self.epoch += 1;
-        self.stats.invalidations += self.entries.len() as u64;
+        self.invalidations += self.entries.len() as u64;
         self.used_bytes = 0;
         self.entries.clear();
     }
 
-    /// Number of cached labels.
+    /// Number of cached keys.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -203,23 +244,29 @@ impl RankingCache {
 
     /// Effectiveness counters since construction.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            stale_fills: self.stale_fills,
+        }
     }
 
     fn evict_lru(&mut self) {
         let victim = self
             .entries
             .iter()
-            .min_by_key(|(_, entry)| entry.last_used)
-            .map(|(label, _)| *label);
-        let Some(label) = victim else {
+            .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+            .map(|(key, _)| key.clone());
+        let Some(key) = victim else {
             debug_assert!(false, "evict_lru called on an empty cache");
             self.used_bytes = 0;
             return;
         };
-        let entry = self.entries.remove(&label).expect("victim exists");
+        let entry = self.entries.remove(&key).expect("victim exists");
         self.used_bytes -= entry.bytes;
-        self.stats.evictions += 1;
+        self.evictions += 1;
     }
 }
 
@@ -241,6 +288,10 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    fn ranking_bytes(ranking: &Arc<Vec<RankedResult>>) -> usize {
+        entry_bytes::<Label, Vec<RankedResult>>(ranking)
     }
 
     fn big_budget() -> usize {
@@ -354,5 +405,58 @@ mod tests {
         assert_eq!(cache.stats().invalidations, 2);
         cache.insert_if_current(label(3), ranking(4), epoch);
         assert!(cache.is_empty(), "pre-clear epoch fill rejected");
+    }
+
+    #[test]
+    fn compound_keys_are_cached_independently() {
+        // The router's merged cache keys by (label, top_k): different
+        // truncations of the same label are distinct entries.
+        let mut cache: EpochCache<(Label, Option<usize>), Vec<RankedResult>> =
+            EpochCache::new(big_budget());
+        let epoch = cache.epoch();
+        cache.insert_if_current((label(1), Some(5)), ranking(5), epoch);
+        cache.insert_if_current((label(1), None), ranking(50), epoch);
+        assert_eq!(cache.get(&(label(1), Some(5))).unwrap().len(), 5);
+        assert_eq!(cache.get(&(label(1), None)).unwrap().len(), 50);
+        assert!(cache.get(&(label(1), Some(9))).is_none());
+        cache.invalidate(&(label(1), Some(5)));
+        assert!(cache.get(&(label(1), Some(5))).is_none());
+    }
+
+    #[test]
+    fn contended_readers_hit_in_parallel_through_a_shared_lock() {
+        // The satellite guarantee behind the `Mutex` → `RwLock` switch in
+        // `CloudServer`: `get` takes `&self`, so a read guard is enough to
+        // hit, and the atomic counters stay exact under contention.
+        let cache = {
+            let mut cache = RankingCache::new(big_budget());
+            let epoch = cache.epoch();
+            cache.insert_if_current(label(1), ranking(16), epoch);
+            cache.insert_if_current(label(2), ranking(16), epoch);
+            parking_lot::RwLock::new(cache)
+        };
+        let cache = Arc::new(cache);
+        const THREADS: u64 = 8;
+        const READS: u64 = 1000;
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..READS {
+                        let key = label(1 + ((t + i) % 2) as u8);
+                        // All readers share the lock concurrently; every
+                        // lookup must hit the prefilled entries.
+                        let hit = cache.read().get(&key);
+                        assert!(hit.is_some(), "prefilled entry must hit");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cache.read().stats();
+        assert_eq!(stats.hits, THREADS * READS, "no hit lost under contention");
+        assert_eq!(stats.misses, 0);
     }
 }

@@ -278,6 +278,32 @@ pub enum Message {
         /// Ranked results, one per query, in request order.
         results: Vec<BatchResult>,
     },
+    /// Router → shard: fetch the shard's label filter — the set of
+    /// posting-list labels it holds *real* (non-padding) postings for —
+    /// so the router can prune scatter legs that provably cannot
+    /// contribute to a merged ranking. Carrying the router's last-seen
+    /// epoch lets an up-to-date shard answer with a label-free frame.
+    FilterRequest {
+        /// Which shard is being asked.
+        shard_id: u32,
+        /// The filter epoch the router already holds, if any; the shard
+        /// omits the label set when it matches.
+        known_epoch: Option<u64>,
+    },
+    /// Shard → router: the epoch-tagged label filter. `labels` is `None`
+    /// when the requester's `known_epoch` is current (nothing to resend),
+    /// otherwise the full sorted label set at `epoch`.
+    FilterReply {
+        /// Echo of the queried shard's identity.
+        shard_id: u32,
+        /// Filter epoch; bumped on every update or compaction, so a
+        /// router holding this epoch may prune with the filter until the
+        /// shard's epoch moves.
+        epoch: u64,
+        /// The sorted labels with real postings, or `None` when the
+        /// requester's `known_epoch` is already current.
+        labels: Option<Vec<Label>>,
+    },
     /// Server → client: the request failed. Every request gets an answer
     /// frame — success or this — so failures are representable on a real
     /// transport and their bytes count in the bandwidth accounting.
@@ -360,6 +386,26 @@ fn get_opt_u32(buf: &mut BytesMut) -> Result<Option<u32>, CodecError> {
             }
             Ok(Some(buf.get_u32()))
         }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+fn put_opt_u64(buf: &mut BytesMut, v: &Option<u64>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_u64(*x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Optional-u64 field, same canonical presence-byte rule as
+/// [`get_opt_u32`].
+fn get_opt_u64(buf: &mut BytesMut) -> Result<Option<u64>, CodecError> {
+    match get_array::<1>(buf)?[0] {
+        0 => Ok(None),
+        1 => get_u64(buf).map(Some),
         other => Err(CodecError::BadTag(other)),
     }
 }
@@ -601,6 +647,33 @@ impl Message {
                     put_files(&mut buf, files);
                 }
             }
+            Message::FilterRequest {
+                shard_id,
+                known_epoch,
+            } => {
+                buf.put_u8(17);
+                buf.put_u32(*shard_id);
+                put_opt_u64(&mut buf, known_epoch);
+            }
+            Message::FilterReply {
+                shard_id,
+                epoch,
+                labels,
+            } => {
+                buf.put_u8(18);
+                buf.put_u32(*shard_id);
+                buf.put_u64(*epoch);
+                match labels {
+                    Some(labels) => {
+                        buf.put_u8(1);
+                        buf.put_u64(labels.len() as u64);
+                        for label in labels {
+                            buf.put_slice(label);
+                        }
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
         }
         buf
     }
@@ -765,6 +838,31 @@ impl Message {
                 }
                 Message::BatchReply { shard_id, results }
             }
+            17 => Message::FilterRequest {
+                shard_id: get_u32(&mut buf)?,
+                known_epoch: get_opt_u64(&mut buf)?,
+            },
+            18 => {
+                let shard_id = get_u32(&mut buf)?;
+                let epoch = get_u64(&mut buf)?;
+                let labels = match get_array::<1>(&mut buf)?[0] {
+                    0 => None,
+                    1 => {
+                        let n = get_len(&mut buf)?;
+                        let mut labels = Vec::with_capacity(bounded_cap(n, &buf, 20));
+                        for _ in 0..n {
+                            labels.push(get_array::<20>(&mut buf)?);
+                        }
+                        Some(labels)
+                    }
+                    other => return Err(CodecError::BadTag(other)),
+                };
+                Message::FilterReply {
+                    shard_id,
+                    epoch,
+                    labels,
+                }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -819,6 +917,9 @@ impl Message {
         fn opt_u32_len(v: &Option<u32>) -> usize {
             1 + if v.is_some() { 4 } else { 0 }
         }
+        fn opt_u64_len(v: &Option<u64>) -> usize {
+            1 + if v.is_some() { 8 } else { 0 }
+        }
         1 + match self {
             Message::Outsource {
                 rsse_lists,
@@ -863,6 +964,10 @@ impl Message {
                         .iter()
                         .map(|(ranking, files)| 8 + 16 * ranking.len() + files_len(files))
                         .sum::<usize>()
+            }
+            Message::FilterRequest { known_epoch, .. } => 4 + opt_u64_len(known_epoch),
+            Message::FilterReply { labels, .. } => {
+                4 + 8 + 1 + labels.as_ref().map_or(0, |labels| 8 + 20 * labels.len())
             }
         }
     }
@@ -984,6 +1089,29 @@ mod tests {
             Message::BatchReply {
                 shard_id: None,
                 results: vec![],
+            },
+            Message::FilterRequest {
+                shard_id: 4,
+                known_epoch: Some(9),
+            },
+            Message::FilterRequest {
+                shard_id: 0,
+                known_epoch: None,
+            },
+            Message::FilterReply {
+                shard_id: 4,
+                epoch: 10,
+                labels: Some(vec![[19u8; 20], [20u8; 20]]),
+            },
+            Message::FilterReply {
+                shard_id: 4,
+                epoch: 10,
+                labels: Some(vec![]),
+            },
+            Message::FilterReply {
+                shard_id: 2,
+                epoch: 9,
+                labels: None,
             },
             Message::Error {
                 kind: ErrorKind::Rejected,
@@ -1149,6 +1277,47 @@ mod tests {
         // A large-but-legal count with no payload behind it must hit EOF.
         let mut buf = BytesMut::new();
         buf.put_u8(15);
+        buf.put_u64(1 << 20);
+        assert_eq!(Message::decode(buf), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn filter_frame_presence_bytes_are_strict() {
+        // FilterRequest's has-epoch byte and FilterReply's has-labels byte
+        // must be exactly 0 or 1 (canonical codec).
+        let mut encoded = Message::FilterRequest {
+            shard_id: 1,
+            known_epoch: None,
+        }
+        .encode();
+        encoded[1 + 4] = 2;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(2)));
+        let mut encoded = Message::FilterReply {
+            shard_id: 1,
+            epoch: 7,
+            labels: None,
+        }
+        .encode();
+        encoded[1 + 4 + 8] = 5;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(5)));
+    }
+
+    #[test]
+    fn hostile_filter_label_counts_are_rejected_not_allocated() {
+        // A huge label count in a tiny FilterReply must fail cleanly.
+        let mut buf = BytesMut::new();
+        buf.put_u8(18);
+        buf.put_u32(0); // shard_id
+        buf.put_u64(1); // epoch
+        buf.put_u8(1); // labels present
+        buf.put_u64(u64::MAX); // absurd count
+        assert!(matches!(Message::decode(buf), Err(CodecError::Oversize(_))));
+        // A large-but-legal count with no labels behind it must hit EOF.
+        let mut buf = BytesMut::new();
+        buf.put_u8(18);
+        buf.put_u32(0);
+        buf.put_u64(1);
+        buf.put_u8(1);
         buf.put_u64(1 << 20);
         assert_eq!(Message::decode(buf), Err(CodecError::UnexpectedEof));
     }

@@ -19,13 +19,15 @@ use crate::codec::{BatchResult, Label, Message, SearchMode};
 use crate::error::CloudError;
 use crate::files::{EncryptedFile, FileCrypter, FileStore};
 use crate::network::{MeteredChannel, TrafficReport};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{RwLock, RwLockReadGuard};
 use rsse_core::{ranked_prefix, RankedResult, Rsse, RsseIndex, RsseParams, RsseTrapdoor};
 use rsse_crypto::SecretKey;
 use rsse_ir::{Document, FileId, InvertedIndex};
 use rsse_opse::OpseParams;
 use rsse_sse::scheme::open_entries;
 use rsse_sse::{BasicEncryptedIndex, BasicScheme};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The data owner: holds the master secret, builds both secure indexes,
@@ -114,6 +116,27 @@ impl DataOwner {
         docs: &[Document],
         partitioner: &crate::shard::IndexPartitioner,
     ) -> Result<Vec<Message>, CloudError> {
+        Ok(self.outsource_sharded_with_filters(docs, partitioner)?.0)
+    }
+
+    /// [`DataOwner::outsource_sharded`] plus the per-shard **exact** label
+    /// filters: for each shard, the sorted set of posting-list labels whose
+    /// partition on that shard contains at least one *real* (non-padding)
+    /// entry. Padding-only partitions rank to nothing
+    /// (`RsseIndex::search` drops entries that fail authenticated
+    /// decryption), so a router may skip any shard outside a label's
+    /// filter without changing the merged ranking. Only the owner can
+    /// compute these exactly — [`Rsse::posting_owners`] tells real entries
+    /// from padding, which the server-side conservative filter cannot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn outsource_sharded_with_filters(
+        &self,
+        docs: &[Document],
+        partitioner: &crate::shard::IndexPartitioner,
+    ) -> Result<(Vec<Message>, Vec<Vec<Label>>), CloudError> {
         let plaintext_index = InvertedIndex::build(docs);
         let rsse_index = self.rsse.build_index_from(&plaintext_index)?;
         let opse = *rsse_index
@@ -131,21 +154,33 @@ impl DataOwner {
                 None => pos % n, // padding entry
             }
         });
+        let mut shard_labels: Vec<BTreeSet<Label>> = vec![BTreeSet::new(); n];
+        for (label, files) in &owners {
+            for file in files {
+                shard_labels[partitioner.shard_of(*file)].insert(*label);
+            }
+        }
         let mut shard_files: Vec<Vec<EncryptedFile>> = vec![Vec::new(); n];
         for file in self.files.encrypt_collection(docs) {
             shard_files[partitioner.shard_of(file.id())].push(file);
         }
-        Ok(shard_indexes
-            .into_iter()
-            .zip(shard_files)
-            .map(|(index, files)| Message::Outsource {
-                rsse_lists: index.export_parts(),
-                basic_lists: Vec::new(),
-                opse_domain: opse.domain_size(),
-                opse_range: opse.range_size(),
-                files,
-            })
-            .collect())
+        Ok((
+            shard_indexes
+                .into_iter()
+                .zip(shard_files)
+                .map(|(index, files)| Message::Outsource {
+                    rsse_lists: index.export_parts(),
+                    basic_lists: Vec::new(),
+                    opse_domain: opse.domain_size(),
+                    opse_range: opse.range_size(),
+                    files,
+                })
+                .collect(),
+            shard_labels
+                .into_iter()
+                .map(|labels| labels.into_iter().collect())
+                .collect(),
+        ))
     }
 }
 
@@ -174,12 +209,31 @@ pub struct CloudServer {
     basic_index: BasicEncryptedIndex,
     files: RwLock<FileStore>,
     counters: AuditCounters,
-    /// Hot-keyword ranking cache (DESIGN.md §6.3). A `Mutex` rather than an
-    /// `RwLock` because even lookups mutate LRU/statistics state; the
-    /// critical sections are a hash probe or an insert — the expensive
-    /// ranking work on a miss happens *outside* the lock, guarded by the
-    /// cache epoch.
-    cache: Mutex<RankingCache>,
+    /// Hot-keyword ranking cache (DESIGN.md §6.3). An `RwLock` whose read
+    /// side carries the whole hit path: [`RankingCache::get`] takes
+    /// `&self` (LRU clock and counters are atomics), so concurrent workers
+    /// hit in parallel; only fills, invalidations, and eviction take the
+    /// write side. The expensive ranking work on a miss happens *outside*
+    /// the lock, guarded by the cache epoch.
+    cache: RwLock<RankingCache>,
+    /// The shard-side label filter: which posting-list labels this server
+    /// (treated as one shard of a sharded deployment) may hold real
+    /// postings for, plus the epoch stamped into every `FilterReply`
+    /// (DESIGN.md §6.5). Seeded conservatively from the index directory at
+    /// boot, replaced by the owner's exact set at sharded bootstrap, grown
+    /// by every update.
+    filter: RwLock<LabelFilter>,
+    /// Lock-free mirror of the filter epoch, shared with in-process
+    /// routers so they can detect staleness with one atomic load per
+    /// query instead of a filter-fetch round trip.
+    filter_watch: Arc<AtomicU64>,
+}
+
+/// The label set behind [`Message::FilterReply`], with its epoch.
+#[derive(Debug)]
+struct LabelFilter {
+    labels: BTreeSet<Label>,
+    epoch: u64,
 }
 
 impl CloudServer {
@@ -296,13 +350,39 @@ impl CloudServer {
     ) -> Self {
         let mut store = FileStore::new();
         store.ingest(files);
+        // Conservative filter seed: every label whose list is non-empty.
+        // Padding entries count (the server cannot tell them apart), so
+        // this is a superset of the true posting owners — always safe to
+        // prune against, just weaker than the owner's exact install.
+        let labels: BTreeSet<Label> = index.occupied_labels().into_iter().collect();
         CloudServer {
             rsse_index: RwLock::new(index),
             basic_index: BasicEncryptedIndex::from_parts(basic_lists),
             files: RwLock::new(store),
             counters: AuditCounters::new(),
-            cache: Mutex::new(RankingCache::new(cache_budget_bytes)),
+            cache: RwLock::new(RankingCache::new(cache_budget_bytes)),
+            filter: RwLock::new(LabelFilter { labels, epoch: 0 }),
+            filter_watch: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Replaces the label filter wholesale — the sharded-bootstrap path,
+    /// where the owner supplies the **exact** per-shard label set from
+    /// [`DataOwner::outsource_sharded_with_filters`]. Bumps the filter
+    /// epoch so routers holding the conservative seed re-fetch.
+    pub fn install_label_filter(&self, labels: Vec<Label>) {
+        let mut filter = self.filter.write();
+        filter.labels = labels.into_iter().collect();
+        filter.epoch += 1;
+        self.filter_watch.store(filter.epoch, Ordering::Release);
+    }
+
+    /// The lock-free filter-epoch watch. An in-process router holds a
+    /// clone and compares it against the epoch of its cached filter before
+    /// every pruning decision; a mismatch means "re-fetch over the
+    /// protocol before trusting the filter again".
+    pub fn filter_watch(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.filter_watch)
     }
 
     /// Dispatches one request message to one response message.
@@ -339,7 +419,9 @@ impl CloudServer {
     ) -> Vec<RankedResult> {
         let trapdoor = RsseTrapdoor::from_parts(label, SecretKey::from_bytes(list_key));
         let fill_epoch = {
-            let mut cache = self.cache.lock();
+            // The hot path holds only the read lock: `get` takes `&self`,
+            // so concurrent hits never serialize against each other.
+            let cache = self.cache.read();
             if !cache.is_enabled() {
                 drop(cache);
                 return self.rsse_index.read().search(&trapdoor, top_k);
@@ -357,7 +439,9 @@ impl CloudServer {
         // Rank the full list so every later top-k is a prefix of this fill.
         let full = Arc::new(self.rsse_index.read().search(&trapdoor, None));
         let result = ranked_prefix(&full, top_k);
-        self.cache.lock().insert_if_current(label, full, fill_epoch);
+        self.cache
+            .write()
+            .insert_if_current(label, full, fill_epoch);
         result
     }
 
@@ -490,12 +574,30 @@ impl CloudServer {
                     }),
                 )
             }
+            Message::FilterRequest {
+                shard_id,
+                known_epoch,
+            } => {
+                let filter = self.filter.read();
+                // An up-to-date requester gets the epoch echo only; anyone
+                // else gets the full sorted label set to prune with.
+                let labels = (known_epoch != Some(filter.epoch))
+                    .then(|| filter.labels.iter().copied().collect());
+                (
+                    RequestKind::Filter,
+                    Ok(Message::FilterReply {
+                        shard_id,
+                        epoch: filter.epoch,
+                        labels,
+                    }),
+                )
+            }
             _ => (
                 RequestKind::Rejected,
                 Err(CloudError::UnexpectedMessage {
                     expected:
-                        "SearchRequest, FetchFiles, ConjunctiveRequest, ShardQuery, BatchRequest \
-                         or Update",
+                        "SearchRequest, FetchFiles, ConjunctiveRequest, ShardQuery, BatchRequest, \
+                         FilterRequest or Update",
                 }),
             ),
         }
@@ -520,10 +622,22 @@ impl CloudServer {
         let touched: Vec<Label> = update.labels().copied().collect();
         update.apply_to(&mut self.rsse_index.write());
         self.files.write().ingest(new_files);
-        let mut cache = self.cache.lock();
-        for label in &touched {
-            cache.invalidate(label);
+        {
+            let mut cache = self.cache.write();
+            for label in &touched {
+                cache.invalidate(label);
+            }
         }
+        // Grow the label filter by the touched labels and bump its epoch —
+        // *after* the index write, so a router that observes the new epoch
+        // (and re-fetches) is guaranteed a filter covering this update.
+        // The epoch bumps even when no label is new: routers also key
+        // their merged-result caches off this watch, and those must see
+        // every update.
+        let mut filter = self.filter.write();
+        filter.labels.extend(touched);
+        filter.epoch += 1;
+        self.filter_watch.store(filter.epoch, Ordering::Release);
     }
 
     /// Compacts a segment-backed index: folds the delta overlay into a
@@ -542,7 +656,14 @@ impl CloudServer {
     pub fn compact_index(&self) -> Result<bool, CloudError> {
         let compacted = self.rsse_index.write().compact()?;
         if compacted {
-            self.cache.lock().invalidate_all();
+            self.cache.write().invalidate_all();
+            // Compaction preserves label ownership, but bump the filter
+            // epoch anyway for the same conservative reason the ranking
+            // cache flushes: routers re-validate instead of straddling two
+            // file identities.
+            let mut filter = self.filter.write();
+            filter.epoch += 1;
+            self.filter_watch.store(filter.epoch, Ordering::Release);
         }
         Ok(compacted)
     }
@@ -573,7 +694,7 @@ impl CloudServer {
     /// evictions, invalidations, stale fills — hit/miss totals also appear
     /// in [`CloudServer::serving_report`]).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        self.cache.read().stats()
     }
 }
 

@@ -53,5 +53,6 @@ pub use server_loop::{
     serve_frame, Fault, FaultHook, PendingReply, PoolOptions, ServerClient, ServerHandle,
 };
 pub use shard::{
-    BatchScatterOutcome, IndexPartitioner, ScatterOutcome, ShardRouter, ShardedDeployment,
+    BatchScatterOutcome, IndexPartitioner, RouterOptions, ScatterOutcome, ShardRouter,
+    ShardedDeployment,
 };

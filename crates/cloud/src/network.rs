@@ -70,6 +70,17 @@ pub struct TrafficReport {
     /// adds `n` here while costing just one round trip — the ratio is the
     /// protocol's amortization factor.
     pub batched_queries: u32,
+    /// Scatter legs the router *skipped* because the shard's label filter
+    /// proved it holds no postings for the query label. Pruned legs cost
+    /// zero bytes and zero round trips; this counter is the only place the
+    /// saved fan-out shows up, so it is never folded into `shard_legs`
+    /// (which counts only legs actually sent).
+    pub pruned_legs: u32,
+    /// `FilterRequest`/`FilterReply` round trips spent refreshing shard
+    /// label filters after an epoch bump. Their bytes and round trips are
+    /// metered like any other frame; the count makes the refresh traffic
+    /// attributable.
+    pub filter_fetches: u32,
 }
 
 impl TrafficReport {
@@ -88,6 +99,8 @@ impl TrafficReport {
         self.error_frames += other.error_frames;
         self.shard_legs += other.shard_legs;
         self.batched_queries += other.batched_queries;
+        self.pruned_legs += other.pruned_legs;
+        self.filter_fetches += other.filter_fetches;
     }
 
     /// The traffic of one scatter leg: a query frame up to a shard and one
@@ -99,7 +112,28 @@ impl TrafficReport {
             round_trips: 1,
             error_frames: u32::from(is_error),
             shard_legs: 1,
-            batched_queries: 0,
+            ..TrafficReport::default()
+        }
+    }
+
+    /// The traffic of one filter refresh: a `FilterRequest` up and the
+    /// `FilterReply` back down. One round trip, no scatter leg.
+    pub fn filter_fetch(bytes_up: usize, bytes_down: usize) -> TrafficReport {
+        TrafficReport {
+            bytes_up,
+            bytes_down,
+            round_trips: 1,
+            filter_fetches: 1,
+            ..TrafficReport::default()
+        }
+    }
+
+    /// The non-traffic of one pruned scatter leg: zero bytes, zero round
+    /// trips, one `pruned_legs` tick.
+    pub fn pruned_leg() -> TrafficReport {
+        TrafficReport {
+            pruned_legs: 1,
+            ..TrafficReport::default()
         }
     }
 
@@ -239,5 +273,30 @@ mod tests {
         assert_eq!(total.round_trips, 2);
         assert_eq!(total.shard_legs, 2);
         assert_eq!(total.error_frames, 1, "a dead leg's error frame is metered");
+    }
+
+    #[test]
+    fn pruned_legs_and_filter_fetches_are_metered_and_absorbed() {
+        let pruned = TrafficReport::pruned_leg();
+        assert_eq!(pruned.total_bytes(), 0, "a pruned leg costs no bytes");
+        assert_eq!(pruned.round_trips, 0, "a pruned leg costs no round trip");
+        assert_eq!(pruned.shard_legs, 0, "only sent legs count as shard legs");
+        assert_eq!(pruned.pruned_legs, 1);
+
+        let fetch = TrafficReport::filter_fetch(13, 100);
+        assert_eq!(fetch.round_trips, 1);
+        assert_eq!(fetch.filter_fetches, 1);
+        assert_eq!(fetch.shard_legs, 0, "a filter refresh is not a query leg");
+
+        let mut total = TrafficReport::default();
+        total.absorb(&pruned);
+        total.absorb(&fetch);
+        total.absorb(&TrafficReport::shard_leg(60, 200, false));
+        assert_eq!(total.pruned_legs, 1);
+        assert_eq!(total.filter_fetches, 1);
+        assert_eq!(total.shard_legs, 1);
+        assert_eq!(total.round_trips, 2);
+        assert_eq!(total.bytes_up, 73);
+        assert_eq!(total.bytes_down, 300);
     }
 }

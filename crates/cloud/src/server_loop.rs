@@ -284,7 +284,15 @@ impl ServerHandle {
 
     /// Spawns a pool with full [`PoolOptions`] control.
     pub fn spawn_pool_with(server: CloudServer, options: PoolOptions) -> Self {
-        let server = Arc::new(server);
+        Self::spawn_pool_shared(Arc::new(server), options)
+    }
+
+    /// Spawns a pool over an *already shared* server. Several pools over
+    /// the same `Arc<CloudServer>` act as replicas of one shard: they serve
+    /// from the same index, ranking cache and label filter, but each has
+    /// its own request queue and worker threads — so a router can spread
+    /// read legs across them.
+    pub fn spawn_pool_shared(server: Arc<CloudServer>, options: PoolOptions) -> Self {
         let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = bounded(options.backlog.max(1));
         let workers = (0..options.workers.max(1))
             .map(|_| {

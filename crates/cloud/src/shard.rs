@@ -37,15 +37,45 @@
 //! and is reported in [`ScatterOutcome::degraded`], while the surviving
 //! shards' results still merge. Only when **every** leg fails does the
 //! query itself fail, with [`CloudError::AllShardsFailed`].
+//!
+//! # Routing efficiency: pruning, the merged cache, and replicas
+//!
+//! A naive scatter pays one leg per shard per query even though most
+//! posting lists live on a few shards. Three opt-in features
+//! ([`RouterOptions`], wired by [`ShardedDeployment::bootstrap_tuned`])
+//! cut that fan-out without changing a single result byte — DESIGN.md
+//! §6.5 carries the full protocol and leakage argument:
+//!
+//! * **Label-filter pruning** — each shard publishes an epoch-tagged set
+//!   of the posting-list labels it owns *real* entries for. The router
+//!   skips shards whose filter provably excludes the query label; a
+//!   pruned shard could only have answered with padding entries, which
+//!   ranking drops anyway, so the merge is unchanged. Filters are
+//!   refreshed over the wire ([`Message::FilterRequest`]) whenever a
+//!   shard's epoch watch moves, and a shard whose filter cannot be
+//!   confirmed current is simply not pruned — staleness degrades to the
+//!   full scatter, never to a wrong answer.
+//! * **Merged-result cache** — the router caches whole merged outcomes
+//!   keyed by `(label, top_k)` under the same epoch-guarded fill
+//!   discipline as the per-shard ranking cache, so a hot keyword costs
+//!   zero legs. Any observed epoch movement flushes it.
+//! * **Replica reads** — each shard may be served by several worker pools
+//!   sharing one `Arc<CloudServer>`; the router routes each leg to the
+//!   less-loaded of two pseudo-randomly chosen replicas
+//!   (power-of-two-choices on in-flight counts).
 
+use crate::cache::{CacheStats, CacheWeight, EpochCache};
 use crate::codec::{ErrorKind, Message};
 use crate::entities::{CloudServer, DataOwner, User};
 use crate::error::CloudError;
 use crate::files::EncryptedFile;
 use crate::network::TrafficReport;
 use crate::server_loop::{PendingReply, PoolOptions, ServerClient, ServerHandle};
-use rsse_core::{merge_ranked_streams, RankedResult, RsseParams};
+use parking_lot::{Mutex, RwLock};
+use rsse_core::{merge_ranked_streams, Label, RankedResult, RsseParams};
 use rsse_ir::{Document, FileId};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -85,6 +115,173 @@ impl IndexPartitioner {
     pub fn shard_of(&self, file: FileId) -> usize {
         (splitmix64(file.as_u64()) % self.num_shards as u64) as usize
     }
+}
+
+/// Opt-in shard-routing efficiency knobs (all off by default, so a plain
+/// [`ShardRouter::new`] behaves exactly like the pre-tuning router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Skip scatter legs to shards whose label filter proves they hold no
+    /// postings for the query label.
+    pub pruning: bool,
+    /// Byte budget of the router-level merged-result cache; `0` disables
+    /// it.
+    pub merged_cache_budget: usize,
+    /// Serving pools per shard (clamped to at least 1). Only
+    /// [`ShardedDeployment::bootstrap_tuned`] consumes this — a router
+    /// built directly from clients takes its replica count from the
+    /// client lists it is given.
+    pub replicas: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            pruning: false,
+            merged_cache_budget: 0,
+            replicas: 1,
+        }
+    }
+}
+
+impl RouterOptions {
+    /// All features off: one replica, no pruning, no merged cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables label-filter pruning.
+    #[must_use]
+    pub fn with_pruning(mut self) -> Self {
+        self.pruning = true;
+        self
+    }
+
+    /// Sets the merged-result cache budget in bytes (`0` disables).
+    #[must_use]
+    pub fn with_merged_cache(mut self, budget_bytes: usize) -> Self {
+        self.merged_cache_budget = budget_bytes;
+        self
+    }
+
+    /// Sets the number of serving pools per shard.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+}
+
+/// A complete merged scatter outcome, cached at the router keyed by
+/// `(label, top_k)` — exactly what the scatter returned, so a hit is
+/// byte-identical by construction.
+#[derive(Debug)]
+struct MergedResult {
+    ranking: Vec<RankedResult>,
+    files: Vec<EncryptedFile>,
+}
+
+impl CacheWeight for MergedResult {
+    fn weight_bytes(&self) -> usize {
+        std::mem::size_of_val(self.ranking.as_slice())
+            + self
+                .files
+                .iter()
+                .map(|f| std::mem::size_of::<EncryptedFile>() + f.byte_len())
+                .sum::<usize>()
+    }
+}
+
+type MergedCache = EpochCache<(Label, Option<usize>), MergedResult>;
+
+/// Holds one replica's in-flight count up while a leg is outstanding;
+/// dropping the ticket releases it (error paths included).
+struct LegTicket {
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl LegTicket {
+    fn acquire(in_flight: Arc<AtomicUsize>) -> Self {
+        in_flight.fetch_add(1, Ordering::Relaxed);
+        LegTicket { in_flight }
+    }
+}
+
+impl Drop for LegTicket {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One shard's replica endpoints plus the load-balancing state shared by
+/// every clone of the router.
+#[derive(Debug, Clone)]
+struct ReplicaSet {
+    clients: Vec<ServerClient>,
+    /// Legs currently outstanding per replica.
+    in_flight: Vec<Arc<AtomicUsize>>,
+    /// Total requests ever routed to each replica (bench visibility).
+    routed: Vec<Arc<AtomicU64>>,
+    /// Monotonic pick counter seeding the two pseudo-random choices.
+    picks: Arc<AtomicU64>,
+}
+
+impl ReplicaSet {
+    fn new(clients: Vec<ServerClient>) -> Self {
+        assert!(!clients.is_empty(), "a shard needs at least one replica");
+        let n = clients.len();
+        ReplicaSet {
+            clients,
+            in_flight: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+            routed: (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect(),
+            picks: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Power-of-two-choices: draw two replicas from the pick counter's
+    /// SplitMix64 stream, send to the one with fewer in-flight legs (ties
+    /// toward the lower index). Classic result: the max load stays within
+    /// `O(log log n)` of the mean without any shared queue.
+    fn pick(&self) -> usize {
+        let n = self.clients.len() as u64;
+        if n == 1 {
+            return 0;
+        }
+        let tick = self.picks.fetch_add(1, Ordering::Relaxed);
+        let a = (splitmix64(tick.wrapping_mul(2)) % n) as usize;
+        let b = (splitmix64(tick.wrapping_mul(2).wrapping_add(1)) % n) as usize;
+        let (load_a, load_b) = (
+            self.in_flight[a].load(Ordering::Relaxed),
+            self.in_flight[b].load(Ordering::Relaxed),
+        );
+        match load_a.cmp(&load_b) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => a.min(b),
+        }
+    }
+
+    fn ticket(&self, replica: usize) -> LegTicket {
+        self.routed[replica].fetch_add(1, Ordering::Relaxed);
+        LegTicket::acquire(Arc::clone(&self.in_flight[replica]))
+    }
+}
+
+/// The router's view of one shard's label filter: the shard-side epoch
+/// watch (shared in process; stands in for a cheap epoch side channel)
+/// and the last filter actually fetched over the wire.
+#[derive(Debug)]
+struct FilterState {
+    watch: Arc<AtomicU64>,
+    cached: Mutex<CachedFilter>,
+}
+
+#[derive(Debug, Default)]
+struct CachedFilter {
+    /// Epoch the cached label set was fetched at; `None` until the first
+    /// fetch succeeds. Pruning requires this to match the live watch.
+    epoch: Option<u64>,
+    labels: HashSet<Label>,
 }
 
 /// One failed scatter leg: which shard, and why.
@@ -188,26 +385,95 @@ pub fn merge_shard_replies(
     (merged, out_files)
 }
 
-/// The scatter-gather coordinator: one [`ServerClient`] per shard, a
-/// per-leg deadline, and bounded retry against transient overload.
+/// When every leg is a [`Message::ShardQuery`] for one label whose
+/// `top_k` agrees with the merge's, that label keys the routing features
+/// (pruning, merged cache). Anything else — mixed labels, hand-built
+/// legs, a `top_k` mismatch — falls back to the plain full scatter.
+fn uniform_query_label(legs: &[Message], top_k: Option<usize>) -> Option<Label> {
+    let mut query_label = None;
+    for leg in legs {
+        match leg {
+            Message::ShardQuery {
+                label, top_k: k, ..
+            } if k.map(|k| k as usize) == top_k => match query_label {
+                None => query_label = Some(*label),
+                Some(prev) if prev == *label => {}
+                Some(_) => return None,
+            },
+            _ => return None,
+        }
+    }
+    query_label
+}
+
+/// The scatter-gather coordinator: one replica set per shard, a per-leg
+/// deadline, bounded retry against transient overload, and the opt-in
+/// routing features of [`RouterOptions`]. Clones share all routing state
+/// (load counters, filters, merged cache).
 #[derive(Debug, Clone)]
 pub struct ShardRouter {
-    clients: Vec<ServerClient>,
+    shards: Vec<ReplicaSet>,
     deadline: Duration,
     attempts: u32,
     backoff: Duration,
+    pruning: bool,
+    /// Per-shard filter state; empty when no epoch watches were wired.
+    filters: Vec<Arc<FilterState>>,
+    merged: Arc<RwLock<MergedCache>>,
 }
 
 impl ShardRouter {
     /// A router over `clients` (shard `i` is `clients[i]`) with a 5 s
     /// per-leg deadline and 3 overload-retry attempts at 2 ms base
-    /// backoff.
+    /// backoff. All routing features are off — this router scatters to
+    /// every shard, every query, exactly like the pre-tuning router.
     pub fn new(clients: Vec<ServerClient>) -> Self {
+        Self::tuned(
+            clients.into_iter().map(|c| vec![c]).collect(),
+            Vec::new(),
+            RouterOptions::default(),
+        )
+    }
+
+    /// A router over `replicas` (shard `i` is served by any client in
+    /// `replicas[i]`) with `options`'s features armed. `watches[i]` is
+    /// shard `i`'s filter-epoch watch ([`CloudServer::filter_watch`]);
+    /// the router re-fetches a shard's label filter and flushes its
+    /// merged cache whenever a watch moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when pruning or the merged cache is enabled without exactly
+    /// one watch per shard — those features are only sound when every
+    /// shard's epoch is observable.
+    pub fn tuned(
+        replicas: Vec<Vec<ServerClient>>,
+        watches: Vec<Arc<AtomicU64>>,
+        options: RouterOptions,
+    ) -> Self {
+        if options.pruning || options.merged_cache_budget > 0 {
+            assert_eq!(
+                watches.len(),
+                replicas.len(),
+                "pruning and the merged cache need one filter watch per shard"
+            );
+        }
         ShardRouter {
-            clients,
+            shards: replicas.into_iter().map(ReplicaSet::new).collect(),
             deadline: Duration::from_secs(5),
             attempts: 3,
             backoff: Duration::from_millis(2),
+            pruning: options.pruning,
+            filters: watches
+                .into_iter()
+                .map(|watch| {
+                    Arc::new(FilterState {
+                        watch,
+                        cached: Mutex::new(CachedFilter::default()),
+                    })
+                })
+                .collect(),
+            merged: Arc::new(RwLock::new(MergedCache::new(options.merged_cache_budget))),
         }
     }
 
@@ -229,7 +495,123 @@ impl ShardRouter {
 
     /// Number of shards this router addresses.
     pub fn num_shards(&self) -> usize {
-        self.clients.len()
+        self.shards.len()
+    }
+
+    /// Per-shard, per-replica counts of requests routed (query legs and
+    /// filter fetches) — how a bench shows the replica spread.
+    pub fn replica_routing(&self) -> Vec<Vec<u64>> {
+        self.shards
+            .iter()
+            .map(|set| {
+                set.routed
+                    .iter()
+                    .map(|count| count.load(Ordering::Relaxed))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Snapshot of the merged-result cache counters (all zero when the
+    /// cache is disabled).
+    pub fn merged_cache_stats(&self) -> CacheStats {
+        self.merged.read().stats()
+    }
+
+    /// Compares every shard's cached filter epoch against its live watch;
+    /// refreshes stale filters over the wire (pruning mode) or adopts the
+    /// observed epoch (merged-cache-only mode), and flushes the merged
+    /// cache if anything moved. Serves as this query's linearization
+    /// point: a later cache hit is byte-identical to a full scatter
+    /// executed right here.
+    fn observe_filter_epochs(&self, traffic: &mut TrafficReport) {
+        let mut moved = false;
+        for (shard, state) in self.filters.iter().enumerate() {
+            let current = state.watch.load(Ordering::Acquire);
+            if state.cached.lock().epoch == Some(current) {
+                continue;
+            }
+            moved = true;
+            if self.pruning {
+                self.refresh_filter(shard, state, traffic);
+            } else {
+                // No label set needed — only the epoch, to key the merged
+                // cache's invalidation.
+                state.cached.lock().epoch = Some(current);
+            }
+        }
+        if moved {
+            self.merged.write().invalidate_all();
+        }
+    }
+
+    /// One [`Message::FilterRequest`] round trip to shard `shard`, metered
+    /// as a filter fetch. Any failure leaves the cached epoch stale: the
+    /// shard stays unprunable and the fetch retries on the next query —
+    /// staleness can cost legs, never correctness.
+    fn refresh_filter(&self, shard: usize, state: &FilterState, traffic: &mut TrafficReport) {
+        let known_epoch = state.cached.lock().epoch;
+        let request = Message::FilterRequest {
+            shard_id: shard as u32,
+            known_epoch,
+        };
+        let up = request.wire_len();
+        let set = &self.shards[shard];
+        let replica = set.pick();
+        let _ticket = set.ticket(replica);
+        let reply = set.clients[replica]
+            .call_async(request)
+            .and_then(|pending| pending.wait(Some(self.deadline)));
+        match reply {
+            Ok(Message::FilterReply {
+                shard_id,
+                epoch,
+                labels,
+            }) if shard_id == shard as u32 => {
+                let down = Message::FilterReply {
+                    shard_id,
+                    epoch,
+                    labels: labels.clone(),
+                }
+                .wire_len();
+                traffic.absorb(&TrafficReport::filter_fetch(up, down));
+                if let Some(labels) = labels {
+                    let mut cached = state.cached.lock();
+                    cached.labels = labels.into_iter().collect();
+                    cached.epoch = Some(epoch);
+                }
+                // A `labels: None` reply means "unchanged since
+                // known_epoch" — the cached set already matches that
+                // epoch, so there is nothing to store; any other epoch
+                // keeps the filter stale (and unprunable).
+            }
+            Ok(other) => {
+                traffic.absorb(&TrafficReport::filter_fetch(up, other.wire_len()));
+            }
+            Err(CloudError::Server { kind, detail }) => {
+                let down = Message::Error { kind, detail }.wire_len();
+                traffic.absorb(&TrafficReport::filter_fetch(up, down));
+            }
+            Err(_) => {
+                traffic.absorb(&TrafficReport::filter_fetch(up, 0));
+            }
+        }
+    }
+
+    /// Whether shard `shard` can be skipped for `label`: pruning armed,
+    /// the shard's filter confirmed current against its live watch, and
+    /// the label absent from it. Filters only grow under updates, so a
+    /// *stale* filter could miss a label the shard has since gained —
+    /// which is why a stale filter never prunes.
+    fn can_prune(&self, shard: usize, query_label: Option<Label>) -> bool {
+        if !self.pruning {
+            return false;
+        }
+        let (Some(label), Some(state)) = (query_label, self.filters.get(shard)) else {
+            return false;
+        };
+        let cached = state.cached.lock();
+        cached.epoch == Some(state.watch.load(Ordering::Acquire)) && !cached.labels.contains(&label)
     }
 
     /// Scatters `legs` (leg `i` to shard `i`) and gathers the merged
@@ -245,10 +627,19 @@ impl ShardRouter {
     /// error frames included; a timed-out leg contributes its upstream
     /// bytes and an empty downstream.
     ///
+    /// With [`RouterOptions`] features armed, a leg may instead be
+    /// **pruned** (the shard's current filter excludes the label — zero
+    /// bytes, counted in [`TrafficReport::pruned_legs`] and in
+    /// [`ScatterOutcome::shards_ok`], since an empty contribution is a
+    /// complete answer), or the whole query may be served from the
+    /// merged-result cache (zero legs). Both paths return byte-identical
+    /// results to the full scatter; a query whose every shard is pruned
+    /// succeeds with an empty ranking.
+    ///
     /// # Errors
     ///
     /// [`CloudError::AllShardsFailed`] when no shard produced a usable
-    /// reply.
+    /// reply (pruned shards count as answered).
     ///
     /// # Panics
     ///
@@ -261,17 +652,55 @@ impl ShardRouter {
     ) -> Result<ScatterOutcome, CloudError> {
         assert_eq!(
             legs.len(),
-            self.clients.len(),
+            self.shards.len(),
             "one leg per shard, in shard order"
         );
         let mut traffic = TrafficReport::default();
+        let query_label = uniform_query_label(&legs, top_k);
 
-        // Scatter: queue every leg before waiting on any. Overload sheds
-        // are answered round trips (the front door priced them), so each
-        // attempt meters as its own leg.
-        let mut states = Vec::with_capacity(legs.len());
-        for (client, leg) in self.clients.iter().zip(&legs) {
-            states.push(self.queue_with_retry(client, leg, &mut traffic));
+        // Routing features: observe shard epochs (refreshing any stale
+        // filter), then try the merged cache — a hit costs zero legs.
+        if !self.filters.is_empty() {
+            self.observe_filter_epochs(&mut traffic);
+        }
+        let fill_epoch = {
+            let merged = self.merged.read();
+            match (merged.is_enabled(), query_label) {
+                (true, Some(label)) => {
+                    if let Some(hit) = merged.get(&(label, top_k)) {
+                        return Ok(ScatterOutcome {
+                            ranking: hit.ranking.clone(),
+                            files: hit.files.clone(),
+                            traffic,
+                            shards_ok: self.shards.len() as u32,
+                            degraded: Vec::new(),
+                        });
+                    }
+                    Some(merged.epoch())
+                }
+                _ => None,
+            }
+        };
+
+        // Scatter: prune provably empty shards; queue every remaining leg
+        // (each to its least-loaded replica) before waiting on any.
+        // Overload sheds are answered round trips (the front door priced
+        // them), so each attempt meters as its own leg.
+        let mut pruned = 0u32;
+        let mut states: Vec<Option<(Result<PendingReply, CloudError>, LegTicket)>> =
+            Vec::with_capacity(legs.len());
+        for (shard, leg) in legs.iter().enumerate() {
+            if self.can_prune(shard, query_label) {
+                traffic.absorb(&TrafficReport::pruned_leg());
+                pruned += 1;
+                states.push(None);
+                continue;
+            }
+            let set = &self.shards[shard];
+            let replica = set.pick();
+            let ticket = set.ticket(replica);
+            let state = self.queue_with_retry(&set.clients[replica], leg, &mut traffic);
+            states.push(Some((state, ticket)));
         }
 
         // Gather: collect every pending leg under the per-leg deadline.
@@ -281,6 +710,9 @@ impl ShardRouter {
         for (shard, (state, leg)) in states.into_iter().zip(&legs).enumerate() {
             let shard = shard as u32;
             let up = leg.wire_len();
+            let Some((state, _ticket)) = state else {
+                continue; // pruned — nothing to gather
+            };
             let pending = match state {
                 Ok(p) => p,
                 Err(error) => {
@@ -348,13 +780,31 @@ impl ShardRouter {
             }
         }
 
-        let shards_ok = rankings.len() as u32;
+        // A pruned shard *did* answer — with the empty partial result its
+        // filter proved — so it counts toward coverage; only a query
+        // where every sent leg failed and nothing was pruned has no
+        // usable answer at all.
+        let shards_ok = rankings.len() as u32 + pruned;
         if shards_ok == 0 {
             return Err(CloudError::AllShardsFailed {
-                shards: self.clients.len() as u32,
+                shards: self.shards.len() as u32,
             });
         }
         let (ranking, files) = merge_shard_replies(&rankings, shard_files, top_k);
+        if degraded.is_empty() {
+            if let (Some(fill_epoch), Some(label)) = (fill_epoch, query_label) {
+                // Complete outcomes only: a degraded merge is missing a
+                // partition and must not be replayed from cache.
+                self.merged.write().insert_if_current(
+                    (label, top_k),
+                    Arc::new(MergedResult {
+                        ranking: ranking.clone(),
+                        files: files.clone(),
+                    }),
+                    fill_epoch,
+                );
+            }
+        }
         Ok(ScatterOutcome {
             ranking,
             files,
@@ -435,7 +885,7 @@ impl ShardRouter {
     ) -> Result<BatchScatterOutcome, CloudError> {
         assert_eq!(
             legs.len(),
-            self.clients.len(),
+            self.shards.len(),
             "one leg per shard, in shard order"
         );
         let num_queries = legs
@@ -458,17 +908,20 @@ impl ShardRouter {
         let mut traffic = TrafficReport::default();
 
         let mut states = Vec::with_capacity(legs.len());
-        for (client, leg) in self.clients.iter().zip(&legs) {
-            let state = self.queue_with_retry(client, leg, &mut traffic);
+        for (shard, leg) in legs.iter().enumerate() {
+            let set = &self.shards[shard];
+            let replica = set.pick();
+            let ticket = set.ticket(replica);
+            let state = self.queue_with_retry(&set.clients[replica], leg, &mut traffic);
             if state.is_ok() {
                 traffic.batched_queries += num_queries as u32;
             }
-            states.push(state);
+            states.push((state, ticket));
         }
 
         let mut per_shard: Vec<Vec<crate::BatchResult>> = Vec::with_capacity(states.len());
         let mut degraded = Vec::new();
-        for (shard, (state, leg)) in states.into_iter().zip(&legs).enumerate() {
+        for (shard, ((state, _ticket), leg)) in states.into_iter().zip(&legs).enumerate() {
             let shard = shard as u32;
             let up = leg.wire_len();
             let pending = match state {
@@ -527,7 +980,7 @@ impl ShardRouter {
         let shards_ok = per_shard.len() as u32;
         if shards_ok == 0 {
             return Err(CloudError::AllShardsFailed {
-                shards: self.clients.len() as u32,
+                shards: self.shards.len() as u32,
             });
         }
         // Transpose shard-major replies into query-major merges: query q's
@@ -569,7 +1022,10 @@ pub struct ShardedDeployment {
     owner: DataOwner,
     user: User,
     partitioner: IndexPartitioner,
+    /// Flattened shard-major: replica `r` of shard `s` is
+    /// `handles[s * replicas_per_shard + r]`.
     handles: Vec<ServerHandle>,
+    replicas_per_shard: usize,
     router: ShardRouter,
 }
 
@@ -634,6 +1090,61 @@ impl ShardedDeployment {
             user,
             partitioner,
             handles,
+            replicas_per_shard: 1,
+            router,
+        })
+    }
+
+    /// [`Self::bootstrap`] with the shard-routing efficiency features
+    /// armed: every shard gets an owner-exact label filter installed
+    /// ([`CloudServer::install_label_filter`]),
+    /// `router_options.replicas` serving pools sharing its one
+    /// `Arc<CloudServer>` (index, ranking cache and filter included), and
+    /// the router is wired with each shard's filter watch so pruning and
+    /// the merged-result cache can invalidate on updates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn bootstrap_tuned(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        num_shards: usize,
+        options: PoolOptions,
+        router_options: RouterOptions,
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let partitioner = IndexPartitioner::new(num_shards);
+        let replicas = router_options.replicas.max(1);
+        let (frames, shard_labels) = owner.outsource_sharded_with_filters(docs, &partitioner)?;
+        let mut handles = Vec::with_capacity(frames.len() * replicas);
+        let mut replica_clients = Vec::with_capacity(frames.len());
+        let mut watches = Vec::with_capacity(frames.len());
+        for (outsource, labels) in frames.into_iter().zip(shard_labels) {
+            let frame = outsource.encode();
+            let server = Arc::new(CloudServer::from_outsource(Message::decode(frame)?)?);
+            server.install_label_filter(labels);
+            watches.push(server.filter_watch());
+            let clients: Vec<ServerClient> = (0..replicas)
+                .map(|_| {
+                    let handle =
+                        ServerHandle::spawn_pool_shared(Arc::clone(&server), options.clone());
+                    let client = handle.client();
+                    handles.push(handle);
+                    client
+                })
+                .collect();
+            replica_clients.push(clients);
+        }
+        let router = ShardRouter::tuned(replica_clients, watches, router_options);
+        let user = owner.authorize_user();
+        Ok(ShardedDeployment {
+            owner,
+            user,
+            partitioner,
+            handles,
+            replicas_per_shard: replicas,
             router,
         })
     }
@@ -681,6 +1192,7 @@ impl ShardedDeployment {
             user,
             partitioner,
             handles,
+            replicas_per_shard: 1,
             router,
         })
     }
@@ -706,9 +1218,12 @@ impl ShardedDeployment {
     }
 
     /// Shared handle to shard `i`'s server (audit log, raw index), if it
-    /// exists.
+    /// exists. Under replicas this is the one server every replica pool
+    /// of the shard serves from.
     pub fn shard_server(&self, shard: usize) -> Option<Arc<CloudServer>> {
-        self.handles.get(shard).map(ServerHandle::server)
+        self.handles
+            .get(shard * self.replicas_per_shard)
+            .map(ServerHandle::server)
     }
 
     /// Sharded ranked search: scatter the keyword's trapdoor to every
@@ -1017,6 +1532,212 @@ mod tests {
             "got {err:?}"
         );
         cloud.shutdown();
+    }
+
+    /// Eight filler docs plus exactly one document holding the only
+    /// "quasar" posting — so precisely one shard can answer a "quasar"
+    /// query with real entries, whatever the shard count.
+    fn pruning_corpus() -> Vec<Document> {
+        let mut docs: Vec<Document> = (0..8u64)
+            .map(|i| Document::new(FileId::new(100 + i), format!("alpha beta gamma doc {i}")))
+            .collect();
+        docs.push(Document::new(FileId::new(7), "quasar alpha".to_string()));
+        docs
+    }
+
+    #[test]
+    fn pruning_skips_filtered_shards_and_preserves_the_ranking() {
+        let docs = pruning_corpus();
+        let shards = 4usize;
+        let plain = ShardedDeployment::bootstrap(
+            b"prune seed",
+            RsseParams::default(),
+            &docs,
+            shards,
+            PoolOptions::new(1, 16),
+        )
+        .unwrap();
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            b"prune seed",
+            RsseParams::default(),
+            &docs,
+            shards,
+            PoolOptions::new(1, 16),
+            RouterOptions::new().with_pruning(),
+        )
+        .unwrap();
+
+        let (_, want) = plain.rsse_search("quasar", None).unwrap();
+        let (_, got) = tuned.rsse_search("quasar", None).unwrap();
+        assert_eq!(
+            got.ranking, want.ranking,
+            "pruned scatter must be byte-identical"
+        );
+        assert!(got.is_complete());
+        assert_eq!(
+            got.shards_ok, shards as u32,
+            "pruned shards count as answered"
+        );
+        // Exactly one shard owns the only "quasar" posting; the rest
+        // prove their emptiness and are pruned.
+        assert_eq!(got.traffic.shard_legs, 1);
+        assert_eq!(got.traffic.pruned_legs, shards as u32 - 1);
+        // The first query pays one filter fetch per shard; a repeat,
+        // with every filter current, pays none.
+        assert_eq!(got.traffic.filter_fetches, shards as u32);
+        let (_, again) = tuned.rsse_search("quasar", None).unwrap();
+        assert_eq!(again.ranking, want.ranking);
+        assert_eq!(again.traffic.filter_fetches, 0);
+
+        // A keyword no document contains prunes every shard: an empty,
+        // *complete* result, not an AllShardsFailed error.
+        let (none_docs, all_pruned) = tuned.rsse_search("zyzzyva", None).unwrap();
+        assert!(none_docs.is_empty());
+        assert!(all_pruned.ranking.is_empty());
+        assert!(all_pruned.is_complete());
+        assert_eq!(all_pruned.shards_ok, shards as u32);
+        assert_eq!(all_pruned.traffic.pruned_legs, shards as u32);
+        assert_eq!(all_pruned.traffic.shard_legs, 0);
+        plain.shutdown();
+        tuned.shutdown();
+    }
+
+    #[test]
+    fn merged_cache_hit_costs_zero_legs() {
+        let docs = pruning_corpus();
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            b"merge cache seed",
+            RsseParams::default(),
+            &docs,
+            3,
+            PoolOptions::new(1, 16),
+            RouterOptions::new().with_merged_cache(1 << 20),
+        )
+        .unwrap();
+        let (_, first) = tuned.rsse_search("alpha", Some(5)).unwrap();
+        assert_eq!(first.traffic.shard_legs, 3);
+        let (cached_docs, second) = tuned.rsse_search("alpha", Some(5)).unwrap();
+        assert_eq!(
+            second.ranking, first.ranking,
+            "a cache hit replays the merge"
+        );
+        assert_eq!(second.traffic.shard_legs, 0, "a hit costs zero legs");
+        assert_eq!(second.traffic.round_trips, 0);
+        assert!(second.is_complete());
+        assert_eq!(second.shards_ok, 3);
+        assert_eq!(
+            cached_docs.len(),
+            second.ranking.len(),
+            "cached files decrypt"
+        );
+        let stats = tuned.router().merged_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different top_k is a different cache key — served by a fresh
+        // scatter whose ranking is the longer one's prefix.
+        let (_, other_k) = tuned.rsse_search("alpha", Some(2)).unwrap();
+        assert_eq!(other_k.traffic.shard_legs, 3);
+        assert_eq!(other_k.ranking.len(), 2);
+        assert_eq!(&first.ranking[..2], &other_k.ranking[..]);
+        tuned.shutdown();
+    }
+
+    #[test]
+    fn updates_invalidate_filters_and_merged_cache() {
+        let docs = pruning_corpus();
+        let shards = 4usize;
+        let master = b"router coherence seed";
+        let params = RsseParams::default();
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            master,
+            params,
+            &docs,
+            shards,
+            PoolOptions::new(1, 16),
+            RouterOptions::new()
+                .with_pruning()
+                .with_merged_cache(1 << 20),
+        )
+        .unwrap();
+        let partitioner = tuned.partitioner();
+
+        let (_, first) = tuned.rsse_search("quasar", None).unwrap();
+        assert_eq!(first.ranking.len(), 1);
+        assert_eq!(first.traffic.shard_legs, 1);
+        let quasar_shard = partitioner.shard_of(first.ranking[0].file);
+        // Cached now: a repeat costs neither legs nor pruning decisions.
+        let (_, cached) = tuned.rsse_search("quasar", None).unwrap();
+        assert_eq!(cached.traffic.shard_legs, 0);
+        assert_eq!(cached.traffic.pruned_legs, 0);
+
+        // Grow "quasar" onto a *different* shard via a live update.
+        let scheme = rsse_core::Rsse::new(master, params);
+        let plain_index = rsse_ir::InvertedIndex::build(&docs);
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let crypter = crate::files::FileCrypter::new(master);
+        let new_id = (1_000_000u64..)
+            .find(|&id| partitioner.shard_of(FileId::new(id)) != quasar_shard)
+            .unwrap();
+        let doc = Document::new(FileId::new(new_id), "quasar sighting".to_string());
+        let update = updater.add_document(&doc).unwrap();
+        let shard = partitioner.shard_of(doc.id());
+        tuned
+            .shard_server(shard)
+            .unwrap()
+            .apply_update(update, vec![crypter.encrypt(&doc)]);
+
+        // The touched shard's epoch moved: its filter is re-fetched, the
+        // merged cache is flushed, and that shard is no longer pruned —
+        // the new posting is served, never hidden by stale router state.
+        let (_, after) = tuned.rsse_search("quasar", None).unwrap();
+        assert_eq!(
+            after.traffic.filter_fetches, 1,
+            "only the updated shard re-fetches"
+        );
+        assert_eq!(after.traffic.shard_legs, 2);
+        assert_eq!(after.traffic.pruned_legs, shards as u32 - 2);
+        assert_eq!(after.ranking.len(), 2);
+        assert!(after.ranking.iter().any(|r| r.file == doc.id()));
+        tuned.shutdown();
+    }
+
+    #[test]
+    fn replica_reads_spread_load_and_account_served_requests() {
+        let corpus = small_docs(77);
+        let shards = 2usize;
+        let replicas = 3usize;
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            b"replica seed",
+            RsseParams::default(),
+            corpus.documents(),
+            shards,
+            PoolOptions::new(1, 16),
+            RouterOptions::new().with_replicas(replicas),
+        )
+        .unwrap();
+        let queries = 30u64;
+        let mut want: Option<Vec<RankedResult>> = None;
+        for _ in 0..queries {
+            let (_, outcome) = tuned.rsse_search("network", Some(5)).unwrap();
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.traffic.shard_legs, shards as u32);
+            match &want {
+                None => want = Some(outcome.ranking),
+                Some(w) => assert_eq!(&outcome.ranking, w, "replicas serve identical bytes"),
+            }
+        }
+        let routing = tuned.router().replica_routing();
+        assert_eq!(routing.len(), shards);
+        for (shard, counts) in routing.iter().enumerate() {
+            assert_eq!(counts.len(), replicas);
+            assert_eq!(counts.iter().sum::<u64>(), queries, "shard {shard} total");
+            let used = counts.iter().filter(|&&c| c > 0).count();
+            assert!(
+                used >= 2,
+                "shard {shard} routed everything to one replica: {counts:?}"
+            );
+        }
+        // Every routed leg was served by some replica pool of its shard.
+        assert_eq!(tuned.shutdown(), queries * shards as u64);
     }
 
     #[test]

@@ -64,6 +64,15 @@ fn seed_frames() -> Vec<Vec<u8>> {
                 (vec![], vec![]),
             ],
         },
+        Message::FilterRequest {
+            shard_id: 3,
+            known_epoch: Some(41),
+        },
+        Message::FilterReply {
+            shard_id: 3,
+            epoch: 42,
+            labels: Some(vec![[13u8; 20], [14u8; 20]]),
+        },
     ]
     .into_iter()
     .map(|m| m.encode().to_vec())

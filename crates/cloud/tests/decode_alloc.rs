@@ -147,6 +147,15 @@ fn hostile_frames() -> Vec<(&'static str, Vec<u8>)> {
     b.put_u64(1 << 50); // claimed ciphertext length
     frames.push(("batch_reply_huge_ciphertext", b.to_vec()));
 
+    // FilterReply claiming 2^40 labels (20 bytes each) in a 22-byte frame.
+    let mut b = BytesMut::new();
+    b.put_u8(18);
+    b.put_u32(0); // shard id
+    b.put_u64(9); // epoch
+    b.put_u8(1); // labels present
+    b.put_u64(1 << 40); // claimed label count
+    frames.push(("filter_reply_huge_label_count", b.to_vec()));
+
     frames
 }
 

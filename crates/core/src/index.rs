@@ -286,6 +286,21 @@ impl RsseIndex {
         self.backend().size_bytes()
     }
 
+    /// Labels whose posting lists hold at least one entry, in unspecified
+    /// order. This is the *conservative* label-ownership export behind the
+    /// shard-router label filters: a padding entry counts like a real one
+    /// (the index cannot tell them apart without the per-list key), so the
+    /// returned set is a superset of the labels with real postings — safe
+    /// to prune against, never missing a label that could contribute to a
+    /// ranking. Reads only the backend directory, no entry payloads.
+    pub fn occupied_labels(&self) -> Vec<Label> {
+        self.backend()
+            .labels()
+            .into_iter()
+            .filter(|label| self.backend().list_len(label).is_some_and(|n| n > 0))
+            .collect()
+    }
+
     /// Appends freshly encrypted entries to a (possibly new) posting list —
     /// the *score dynamics* operation of §VII. Existing entries are never
     /// touched; OPM guarantees their order relative to the new ones stays

@@ -23,8 +23,10 @@ cargo test -q -p rsse-cloud --test codec_fuzz --test decode_alloc
 echo "==> cargo test -q --test pool_faults"
 cargo test -q --test pool_faults
 
-# The sharding layer's tentpole guarantee: scatter-gather ranking is
-# byte-identical to the single-server search for shard counts 1-8.
+# The sharding layer's tentpole guarantees: scatter-gather ranking is
+# byte-identical to the single-server search for shard counts 1-8, and
+# tuned routing (label-filter pruning, merged-result cache, replica
+# reads) is byte-identical to the full scatter under interleaved updates.
 echo "==> cargo test -q --test shard_equivalence"
 cargo test -q --test shard_equivalence
 
@@ -45,8 +47,12 @@ echo "==> cargo test -q --test backend_equivalence"
 cargo test -q --test backend_equivalence
 
 # Smoke the throughput harness end to end (tiny counts, no perf gates):
-# boots every scenario including the Zipf hot_keywords cache pair and the
-# batched cpu path, and checks the functional cache invariants.
+# boots every scenario including the Zipf hot_keywords cache pair, the
+# batched cpu path, and the tuned sharded scenario (pruning + merged
+# cache + replicas under churn), and checks the functional cache
+# invariants. The full (non-smoke) run additionally gates sharded
+# 8-shard throughput at >= 1.0x single-shard on the churny Zipf
+# workload, voiding the published numbers on failure.
 echo "==> throughput --smoke"
 cargo run --release -q -p rsse-bench --bin throughput -- --smoke
 

@@ -12,9 +12,9 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rsse::cloud::{PoolOptions, ShardedDeployment};
+use rsse::cloud::{FileCrypter, PoolOptions, RouterOptions, ShardedDeployment};
 use rsse::core::{Rsse, RsseParams};
-use rsse::ir::{Document, FileId};
+use rsse::ir::{Document, FileId, InvertedIndex};
 
 /// A tiny vocabulary, so random corpora collide on keywords and tie on
 /// term frequencies — the regime where merge tie-breaking can actually go
@@ -92,5 +92,101 @@ proptest! {
         prop_assert_eq!(&again.ranking, &reference);
 
         cloud.shutdown();
+    }
+}
+
+proptest! {
+    // Each case boots two real deployments (one with replica pools); keep
+    // the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Routing features on (label-filter pruning, merged-result cache,
+    /// replica reads) == routing features off, byte for byte, across
+    /// random search/update interleavings — including the windows where
+    /// filters and the merged cache go stale mid-run.
+    #[test]
+    fn tuned_routing_is_byte_identical_under_interleaved_updates(
+        seed in any::<u64>(),
+        word_ids in vec(vec(0usize..6, 1..10), 3..12),
+        num_shards in 1usize..=4,
+        steps in vec((0u8..4, 0usize..6, 0u32..8), 1..16),
+    ) {
+        let docs = corpus(seed, &word_ids);
+        let master = seed.to_be_bytes();
+        let params = RsseParams::default();
+
+        // Reference: the same corpus and master seed behind a plain
+        // full-scatter router (all features off).
+        let plain = ShardedDeployment::bootstrap(
+            &master, params, &docs, num_shards, PoolOptions::new(1, 16),
+        ).unwrap();
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            &master, params, &docs, num_shards, PoolOptions::new(1, 16),
+            RouterOptions::new()
+                .with_pruning()
+                .with_merged_cache(1 << 20)
+                .with_replicas(2),
+        ).unwrap();
+        let partitioner = tuned.partitioner();
+
+        // Owner-side update machinery, shared: the same IndexUpdate
+        // (cloned) lands on both deployments' owning shard.
+        let scheme = Rsse::new(&master, params);
+        let plain_index = InvertedIndex::build(&docs);
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let crypter = FileCrypter::new(&master);
+
+        let mut next_id = 1u64 << 42;
+        for &(kind, keyword, k) in &steps {
+            let word = VOCAB[keyword];
+            if kind % 2 == 0 {
+                let top_k = (k > 0).then_some(k);
+                let (_, want) = plain.rsse_search(word, top_k).unwrap();
+                // Twice: the second tuned scatter may be a merged-cache
+                // hit and/or prune differently — same bytes either way.
+                for round in 0..2 {
+                    let (_, got) = tuned.rsse_search(word, top_k).unwrap();
+                    prop_assert!(got.is_complete());
+                    prop_assert_eq!(
+                        &got.ranking, &want.ranking,
+                        "tuned ranking diverged for {} (round {})", word, round
+                    );
+                    // Every shard is accounted for: answered, pruned, or
+                    // served from the merged cache (zero legs).
+                    let legs = got.traffic.shard_legs + got.traffic.pruned_legs;
+                    prop_assert!(
+                        legs as usize == num_shards || legs == 0,
+                        "unaccounted legs: {:?}", got.traffic
+                    );
+                }
+            } else {
+                let doc = Document::new(
+                    FileId::new(next_id),
+                    format!("{word} routed update {next_id}"),
+                );
+                next_id += 1;
+                let update = updater.add_document(&doc).unwrap();
+                let file = crypter.encrypt(&doc);
+                let shard = partitioner.shard_of(doc.id());
+                tuned.shard_server(shard).unwrap()
+                    .apply_update(update.clone(), vec![file.clone()]);
+                plain.shard_server(shard).unwrap()
+                    .apply_update(update, vec![file]);
+            }
+        }
+
+        // Final sweep: every keyword, unlimited — catches stale filter
+        // or cache state the random schedule filled but never re-read.
+        for word in VOCAB {
+            let (_, want) = plain.rsse_search(word, None).unwrap();
+            let (_, got) = tuned.rsse_search(word, None).unwrap();
+            prop_assert_eq!(
+                &got.ranking, &want.ranking,
+                "final tuned ranking diverged for {}", word
+            );
+        }
+
+        plain.shutdown();
+        tuned.shutdown();
     }
 }
