@@ -43,6 +43,15 @@
 //!   straight from an on-disk `RSSEIDX2` segment (per-label positional
 //!   reads + delta overlay) instead of the in-memory arena. Steady state
 //!   must hold at least 0.5x the mem backend's requests/s (gated below).
+//! * **cpu_segment_churn** — the generational store under an
+//!   update-heavy Zipf log: every client keeps appending fresh documents
+//!   between its queries, run twice — once letting the overlay grow
+//!   unflushed (the no-compaction baseline) and once with a background
+//!   compactor thread continuously flushing the overlay into L0 delta
+//!   segments and merging the generations down while the pool serves.
+//!   The compact leg must hold at least 0.8x the baseline requests/s and
+//!   its install pauses (the only instant a query can wait on
+//!   compaction) land in the JSON (gated below).
 //!
 //! Before the closed loops, a **cold-start** pair times warm restarts:
 //! fully loading a saved index into memory versus opening it as a
@@ -69,7 +78,7 @@ use rsse_cloud::{
 use rsse_core::{Rsse, RsseIndex, RsseParams};
 use rsse_ir::{Document, FileId, InvertedIndex};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
@@ -93,6 +102,19 @@ const SHARD_UPDATE_PERIOD: usize = 8;
 const ROUTER_CACHE_BUDGET: usize = 4 << 20;
 /// Replica pools per shard in the sharded scenario.
 const SHARD_REPLICAS: usize = 2;
+/// Every this-many client iterations in the churn scenarios, the client
+/// appends a document to the generational store instead of querying.
+const CHURN_UPDATE_PERIOD: usize = 4;
+/// Cadence of the background compactor's overlay flushes in the
+/// churn-compact leg: each pass turns the pending updates into one L0
+/// delta generation.
+const CHURN_COMPACT_PERIOD: Duration = Duration::from_millis(100);
+/// Rate limit on full generation merges: a merge rewrites the whole
+/// base generation (~0.4 GB here), so an unthrottled compactor would
+/// spend the entire run merging and starve the serving path — the same
+/// reason production LSM stores throttle compaction I/O. Between
+/// merges the compactor only flushes.
+const CHURN_MERGE_PERIOD: Duration = Duration::from_millis(1500);
 
 struct Scenario {
     name: &'static str,
@@ -125,6 +147,16 @@ fn scratch_path(tag: &str) -> PathBuf {
     ))
 }
 
+/// Unique scratch directory for a generational store.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rsse_throughput_{tag}_{}_{n}.gen",
+        std::process::id()
+    ))
+}
+
 struct ConfigResult {
     scenario: &'static str,
     workers: usize,
@@ -150,6 +182,14 @@ struct ConfigResult {
     /// Per-shard, per-replica counts of legs routed by the
     /// power-of-two-choices picker (empty for single-server scenarios).
     replica_routed: Vec<Vec<u64>>,
+    /// Background compaction passes that merged generations down
+    /// (0 for every scenario without a compactor).
+    compactions: u64,
+    /// Longest reader-visible install pause across those passes —
+    /// the only instant a query can wait on compaction at all.
+    compact_max_pause_ms: f64,
+    /// Segment bytes rewritten by the compactor.
+    compact_bytes: u64,
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
@@ -303,6 +343,219 @@ fn run_config(
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         replica_routed: Vec::new(),
+        compactions: 0,
+        compact_max_pause_ms: 0.0,
+        compact_bytes: 0,
+    }
+}
+
+/// What the background compactor thread hands back when the clients are
+/// done.
+#[derive(Default)]
+struct CompactTally {
+    compactions: u64,
+    max_pause: Duration,
+    bytes: u64,
+}
+
+/// The churn pair's per-config knobs (a [`Scenario`] would drag in the
+/// fields `run_config` needs and this runner does not).
+struct ChurnConfig {
+    frames_per_client: usize,
+    workers: usize,
+    /// Run the live compactor thread beside the pool.
+    compact: bool,
+}
+
+/// Update-heavy Zipf serving straight from the generational store:
+/// every [`CHURN_UPDATE_PERIOD`]-th client iteration appends a fresh
+/// few-keyword document instead of querying, so the delta overlay never
+/// stops growing. With `compact` set, a compactor thread rides beside
+/// the worker pool for the whole run, flushing the overlay into L0
+/// delta segments and merging the generations down — queries keep being
+/// served from the pinned old generation set while each merge runs, and
+/// only the pointer flip (microseconds, reported as `install_pause`)
+/// can ever make one wait. The compact leg is gated at >= 0.8x the
+/// no-compaction baseline's requests/s.
+fn run_churn(
+    outsource_frame: &bytes::BytesMut,
+    owner: &DataOwner,
+    docs: &[Document],
+    vocab: &[String],
+    config: &ChurnConfig,
+    seed: u64,
+) -> ConfigResult {
+    let ChurnConfig {
+        frames_per_client,
+        workers,
+        compact,
+    } = *config;
+    let name: &'static str = if compact {
+        "cpu_segment_churn_compact"
+    } else {
+        "cpu_segment_churn"
+    };
+    let msg = Message::decode(outsource_frame.clone()).unwrap();
+    let dir = scratch_dir(name);
+    let server = CloudServer::from_outsource_generational(msg, &dir, 0)
+        .expect("outsource frame persists and boots the generational server");
+    let handle = ServerHandle::spawn_pool_with(server, PoolOptions::new(workers, BACKLOG));
+    let server = handle.server();
+
+    // Owner-side update machinery, shared by every client thread.
+    let params = RsseParams::default();
+    let scheme = Rsse::new(b"throughput seed", params);
+    let plain_index = InvertedIndex::build(docs);
+    let crypter = FileCrypter::new(b"throughput seed");
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    // The wall clock stops when the *clients* are done: the compactor's
+    // final drain pass (merging whatever the last updates left behind)
+    // happens after the measured window, exactly like a real store
+    // quiescing after the traffic stops.
+    let (per_client, wall, compactor): (Vec<(Vec<Duration>, u64)>, Duration, CompactTally) =
+        std::thread::scope(|scope| {
+            let compactor = compact.then(|| {
+                let (server, stop) = (&server, &stop);
+                scope.spawn(move || {
+                    let mut tally = CompactTally::default();
+                    let mut note = |stats: Option<rsse_core::CompactionStats>| {
+                        if let Some(stats) = stats {
+                            tally.compactions += 1;
+                            tally.max_pause = tally.max_pause.max(stats.install_pause);
+                            tally.bytes += stats.bytes_written;
+                        }
+                    };
+                    let mut last_merge = Instant::now();
+                    while !stop.load(Ordering::Acquire) {
+                        if last_merge.elapsed() >= CHURN_MERGE_PERIOD {
+                            note(
+                                server
+                                    .compact_index_live()
+                                    .expect("live compaction beside the pool"),
+                            );
+                            last_merge = Instant::now();
+                        } else {
+                            server.flush_index().expect("overlay flush beside the pool");
+                        }
+                        std::thread::sleep(CHURN_COMPACT_PERIOD);
+                    }
+                    // Quiesce after the measured window: merge whatever the
+                    // last updates left behind, so every run — smoke
+                    // included — measures at least one real compaction.
+                    note(server.compact_index_live().expect("drain compaction"));
+                    tally
+                })
+            });
+            let threads: Vec<_> = (0..CLIENTS)
+                .map(|client_idx| {
+                    let client = handle.client();
+                    let user = owner.authorize_user();
+                    let (server, scheme, plain_index, crypter) =
+                        (&server, &scheme, &plain_index, &crypter);
+                    scope.spawn(move || {
+                        // Same per-thread updater story as the sharded
+                        // scenario: IndexUpdater memoizes OPM state behind a
+                        // RefCell, so each client derives its own.
+                        let updater = scheme.updater_for(plain_index).expect("updater");
+                        let mut sampler =
+                            ZipfSampler::new(vocab.len(), ZIPF_S, seed ^ (client_idx as u64) << 17);
+                        let mut lats = Vec::with_capacity(frames_per_client);
+                        let mut shed = 0u64;
+                        for i in 0..frames_per_client {
+                            if (i + 1) % CHURN_UPDATE_PERIOD == 0 {
+                                // Churn: a fresh few-keyword document lands
+                                // in the overlay; the compactor (if any)
+                                // will flush it into an L0 delta segment.
+                                let id = (1u64 << 41) | ((client_idx as u64) << 32) | i as u64;
+                                let words: Vec<&str> =
+                                    (0..4).map(|_| vocab[sampler.sample()].as_str()).collect();
+                                let doc = Document::new(
+                                    FileId::new(id),
+                                    format!("{} churn{id}", words.join(" ")),
+                                );
+                                let update = updater.add_document(&doc).expect("update");
+                                let file = crypter.encrypt(&doc);
+                                server.apply_update(update, vec![file]);
+                                continue;
+                            }
+                            let keyword = &vocab[sampler.sample()];
+                            let req = user
+                                .search_request(keyword, Some(10), SearchMode::Rsse)
+                                .expect("search request");
+                            let sent = Instant::now();
+                            let mut backoff = Duration::from_micros(100);
+                            let resp = loop {
+                                match client.call(req.clone()) {
+                                    Ok(resp) => break resp,
+                                    Err(CloudError::Server {
+                                        kind: ErrorKind::Overloaded,
+                                        ..
+                                    }) => {
+                                        shed += 1;
+                                        std::thread::sleep(backoff);
+                                        backoff = (backoff * 2).min(Duration::from_millis(5));
+                                    }
+                                    Err(e) => panic!("reply lost: {e}"),
+                                }
+                            };
+                            lats.push(sent.elapsed());
+                            match resp {
+                                Message::RsseResponse { .. } => {}
+                                other => panic!("unexpected reply {other:?}"),
+                            }
+                        }
+                        (lats, shed)
+                    })
+                })
+                .collect();
+            let per_client: Vec<(Vec<Duration>, u64)> = threads
+                .into_iter()
+                .map(|t| t.join().expect("client thread panicked"))
+                .collect();
+            let wall = start.elapsed();
+            stop.store(true, Ordering::Release);
+            let tally = compactor
+                .map(|t| t.join().expect("compactor thread panicked"))
+                .unwrap_or_default();
+            (per_client, wall, tally)
+        });
+    let shed_retries: u64 = per_client.iter().map(|(_, s)| s).sum();
+    let mut latencies: Vec<Duration> = per_client.into_iter().flat_map(|(l, _)| l).collect();
+
+    let frames = latencies.len();
+    let gen = server
+        .generation_stats()
+        .expect("churn server is generational");
+    assert!(
+        !gen.compacting,
+        "no compaction may still be in flight after the final pass"
+    );
+    let served = handle.shutdown();
+    assert_eq!(served, frames as u64, "pool lost or double-counted frames");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_unstable();
+    ConfigResult {
+        scenario: name,
+        workers,
+        requests: frames,
+        wall_s: wall.as_secs_f64(),
+        rps: frames as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        shed_retries,
+        shard_legs: 0,
+        pruned_legs: 0,
+        filter_fetches: 0,
+        batched_queries: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        replica_routed: Vec::new(),
+        compactions: compactor.compactions,
+        compact_max_pause_ms: compactor.max_pause.as_secs_f64() * 1e3,
+        compact_bytes: compactor.bytes,
     }
 }
 
@@ -452,6 +705,9 @@ fn run_sharded(
         cache_hits: merged.hits,
         cache_misses: merged.misses,
         replica_routed,
+        compactions: 0,
+        compact_max_pause_ms: 0.0,
+        compact_bytes: 0,
     }
 }
 
@@ -582,7 +838,9 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
              \"p99_ms\": {:.3}, \"shed_retries\": {}, \"shard_legs\": {}, \
              \"pruned_legs\": {}, \"filter_fetches\": {}, \
              \"batched_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"replica_routed\": [{}], \"speedup_vs_1_worker\": {:.2}}}{}\n",
+             \"replica_routed\": [{}], \"compactions\": {}, \
+             \"compact_max_pause_ms\": {:.3}, \"compact_bytes\": {}, \
+             \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
             r.requests,
@@ -598,6 +856,9 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
             r.cache_hits,
             r.cache_misses,
             replica_routed,
+            r.compactions,
+            r.compact_max_pause_ms,
+            r.compact_bytes,
             r.rps / baseline.rps,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -733,7 +994,7 @@ fn main() {
     let mut results = Vec::new();
     let print_row = |r: &ConfigResult| {
         println!(
-            "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{}",
+            "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{},{}",
             r.scenario,
             r.workers,
             r.requests,
@@ -746,17 +1007,41 @@ fn main() {
             r.pruned_legs,
             r.filter_fetches,
             r.cache_hits,
-            r.cache_misses
+            r.cache_misses,
+            r.compactions
         );
     };
     println!(
         "scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,\
          shed_retries,shard_legs,pruned_legs,filter_fetches,cache_hits,\
-         cache_misses"
+         cache_misses,compactions"
     );
     for scenario in &scenarios {
         for &workers in scenario.workers {
             let r = run_config(&outsource_frame, &owner, &vocab, scenario, workers, seed);
+            print_row(&r);
+            results.push(r);
+        }
+    }
+
+    // Generational-store churn pair: the same Zipf single-query log with
+    // an update stream folded in, without and with the live compactor
+    // riding beside the pool.
+    for compact in [false, true] {
+        for &workers in &[1usize, 4] {
+            let config = ChurnConfig {
+                frames_per_client: scaled(400),
+                workers,
+                compact,
+            };
+            let r = run_churn(
+                &outsource_frame,
+                &owner,
+                corpus.documents(),
+                &vocab,
+                &config,
+                seed,
+            );
             print_row(&r);
             results.push(r);
         }
@@ -864,6 +1149,31 @@ fn main() {
             ratio >= 0.5,
             "segment backend must hold >= 0.5x mem throughput \
              (workers={workers}), got {ratio:.2}x"
+        );
+    }
+
+    // Acceptance gate 4b: live compaction must never eat the serving
+    // path. The churn leg with the compactor riding beside the pool
+    // holds at least 0.8x the no-compaction baseline's requests/s, and
+    // the compactor provably ran — generations merged, bytes rewritten,
+    // install pauses measured.
+    for &workers in &[1usize, 4] {
+        let base = find("cpu_segment_churn", workers);
+        let live = find("cpu_segment_churn_compact", workers);
+        assert!(
+            live.compactions > 0 && live.compact_bytes > 0,
+            "the churn-compact leg must run real compactions (workers={workers})"
+        );
+        let ratio = live.rps / base.rps;
+        eprintln!(
+            "cpu_segment_churn with live compaction at {workers} worker(s): \
+             {ratio:.2}x baseline, {} merges, max install pause {:.3} ms",
+            live.compactions, live.compact_max_pause_ms
+        );
+        assert!(
+            ratio >= 0.8,
+            "live compaction must hold >= 0.8x the no-compaction churn \
+             baseline (workers={workers}), got {ratio:.2}x"
         );
     }
 

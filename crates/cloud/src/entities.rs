@@ -20,7 +20,10 @@ use crate::error::CloudError;
 use crate::files::{EncryptedFile, FileCrypter, FileStore};
 use crate::network::{MeteredChannel, TrafficReport};
 use parking_lot::{RwLock, RwLockReadGuard};
-use rsse_core::{ranked_prefix, RankedResult, Rsse, RsseIndex, RsseParams, RsseTrapdoor};
+use rsse_core::{
+    ranked_prefix, CompactionStats, GenerationStats, RankedResult, Rsse, RsseIndex, RsseParams,
+    RsseTrapdoor,
+};
 use rsse_crypto::SecretKey;
 use rsse_ir::{Document, FileId, InvertedIndex};
 use rsse_opse::OpseParams;
@@ -29,6 +32,7 @@ use rsse_sse::{BasicEncryptedIndex, BasicScheme};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// The data owner: holds the master secret, builds both secure indexes,
 /// encrypts the collection, and authorizes users by sharing the seed
@@ -321,6 +325,53 @@ impl CloudServer {
         cache_budget_bytes: usize,
     ) -> Result<Self, CloudError> {
         let index = RsseIndex::open_segment(segment_path)?;
+        Ok(Self::assemble(index, Vec::new(), files, cache_budget_bytes))
+    }
+
+    /// Boots the server from the owner's `Outsource` message **onto the
+    /// generational store**: the received index is persisted under `dir`
+    /// as a base generation plus manifest and served from disk. Unlike
+    /// the single-segment backend, later updates flush into cheap L0
+    /// delta generations ([`CloudServer::flush_index`]) and fold back
+    /// together with a *live* compaction that never stops serving
+    /// ([`CloudServer::compact_index_live`]) — the boot path for
+    /// update-heavy deployments.
+    ///
+    /// # Errors
+    ///
+    /// As [`CloudServer::from_outsource`], plus [`CloudError::Persist`]
+    /// for failures writing or reopening the store.
+    pub fn from_outsource_generational(
+        msg: Message,
+        dir: impl AsRef<std::path::Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let (rsse_lists, basic_lists, opse, files) = Self::split_outsource(msg)?;
+        let staged = RsseIndex::from_parts(rsse_lists, opse);
+        let index = staged.save_generational(dir)?;
+        Ok(Self::assemble(
+            index,
+            basic_lists,
+            files,
+            cache_budget_bytes,
+        ))
+    }
+
+    /// Warm restart from a generational store directory — the
+    /// generational counterpart of [`CloudServer::from_segment`]: no
+    /// `Outsource` message, no rebuild; the manifest and per-generation
+    /// directories are read and the first query is served from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on a malformed manifest or generation
+    /// file.
+    pub fn from_generation_dir(
+        dir: impl AsRef<std::path::Path>,
+        files: Vec<EncryptedFile>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let index = RsseIndex::open_generational(dir)?;
         Ok(Self::assemble(index, Vec::new(), files, cache_budget_bytes))
     }
 
@@ -656,16 +707,102 @@ impl CloudServer {
     pub fn compact_index(&self) -> Result<bool, CloudError> {
         let compacted = self.rsse_index.write().compact()?;
         if compacted {
-            self.cache.write().invalidate_all();
-            // Compaction preserves label ownership, but bump the filter
-            // epoch anyway for the same conservative reason the ranking
-            // cache flushes: routers re-validate instead of straddling two
-            // file identities.
-            let mut filter = self.filter.write();
-            filter.epoch += 1;
-            self.filter_watch.store(filter.epoch, Ordering::Release);
+            self.note_index_rewrite();
         }
         Ok(compacted)
+    }
+
+    /// Flushes pending overlay updates to durable storage. On a
+    /// generational index this seals the overlay into a new L0 delta
+    /// generation under a brief write lock — cost proportional to the
+    /// *overlay*, never the index; on a single-segment index it is a
+    /// full stop-the-world compaction. Either way the logical content is
+    /// unchanged, so cached rankings stay valid and are kept.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on I/O failures; pending updates stay in
+    /// memory and keep serving.
+    pub fn flush_index(&self) -> Result<bool, CloudError> {
+        Ok(self.rsse_index.write().flush_updates()?)
+    }
+
+    /// Compacts a generational index **live**, on the calling thread:
+    /// flushes the overlay (brief write lock), then merges the whole
+    /// generation stack while searches keep serving from the old stack —
+    /// no index lock is held during the merge; the only serving-path
+    /// pause is the atomic pointer flip, reported as
+    /// [`rsse_core::CompactionStats::install_pause`]. Returns the merge
+    /// statistics, or `None` when there was nothing to merge (fewer than
+    /// two generations, or a non-generational backend — those compact
+    /// stop-the-world via [`CloudServer::compact_index`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on I/O failures, and in particular
+    /// [`rsse_core::PersistError::CompactInProgress`] — immediately,
+    /// never queued — when a live compaction is already running.
+    pub fn compact_index_live(&self) -> Result<Option<CompactionStats>, CloudError> {
+        let flushed = self.rsse_index.write().flush_updates()?;
+        let job = self.rsse_index.read().begin_live_compact()?;
+        let stats = match job {
+            Some(job) => Some(job.run()?),
+            None => None,
+        };
+        if flushed || stats.is_some() {
+            self.note_index_rewrite();
+        }
+        Ok(stats)
+    }
+
+    /// [`CloudServer::compact_index_live`] on a background thread: the
+    /// flush and the merge hand-off happen now (so a `None` return means
+    /// nothing needed merging); the merge itself, the cache flush, and
+    /// the filter-epoch bump run on the returned thread. Joining yields
+    /// the merge statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`CloudServer::compact_index_live`]; errors inside the merge
+    /// surface through the join handle.
+    pub fn compact_index_background(
+        self: &Arc<Self>,
+    ) -> Result<Option<JoinHandle<Result<CompactionStats, CloudError>>>, CloudError> {
+        let flushed = self.rsse_index.write().flush_updates()?;
+        let job = match self.rsse_index.read().begin_live_compact()? {
+            Some(job) => job,
+            None => {
+                if flushed {
+                    self.note_index_rewrite();
+                }
+                return Ok(None);
+            }
+        };
+        let server = Arc::clone(self);
+        Ok(Some(std::thread::spawn(move || {
+            let stats = job.run()?;
+            server.note_index_rewrite();
+            Ok(stats)
+        })))
+    }
+
+    /// Shape of the generational store backing this server, if that is
+    /// the backend in use.
+    pub fn generation_stats(&self) -> Option<GenerationStats> {
+        self.rsse_index.read().generation_stats()
+    }
+
+    /// After any durable index rewrite (segment compaction, generational
+    /// flush + merge): flush the ranking cache and bump the filter epoch.
+    /// Rewrites preserve every ranking and every label owner, but the
+    /// conservative flush keeps the epoch story simple — a fill or a
+    /// router decision racing the rewrite re-validates instead of
+    /// straddling two file identities.
+    fn note_index_rewrite(&self) {
+        self.cache.write().invalidate_all();
+        let mut filter = self.filter.write();
+        filter.epoch += 1;
+        self.filter_watch.store(filter.epoch, Ordering::Release);
     }
 
     /// Number of stored files.
@@ -1010,6 +1147,70 @@ impl Deployment {
         let owner = DataOwner::new(master_seed, params);
         let server =
             CloudServer::from_segment(segment_path, owner.encrypt_files(docs), cache_budget_bytes)?;
+        let user = owner.authorize_user();
+        Ok(Deployment {
+            server: Arc::new(server),
+            user,
+            owner,
+            setup_traffic: TrafficReport::default(),
+        })
+    }
+
+    /// [`Deployment::bootstrap`] onto the generational store: the built
+    /// index is persisted under `dir` (base generation + manifest) and
+    /// served from disk, with updates flushing into L0 deltas and live
+    /// compaction available (see
+    /// [`CloudServer::from_outsource_generational`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction and store I/O failures.
+    pub fn bootstrap_generational(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        dir: impl AsRef<std::path::Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let mut channel = MeteredChannel::new();
+        let outsource = owner.outsource(docs)?;
+        let frame = outsource.encode();
+        channel.send_up(frame.len());
+        let server = CloudServer::from_outsource_generational(
+            Message::decode(frame)?,
+            dir,
+            cache_budget_bytes,
+        )?;
+        let user = owner.authorize_user();
+        Ok(Deployment {
+            server: Arc::new(server),
+            user,
+            owner,
+            setup_traffic: channel.report(),
+        })
+    }
+
+    /// Warm restart from a generational store directory — the
+    /// generational counterpart of [`Deployment::bootstrap_from_segment`]:
+    /// keys are re-derived from the seed, files re-encrypted, and the
+    /// server boots straight off the manifest with no index rebuild.
+    /// `setup_traffic` is zero: nothing crossed the outsourcing wire.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Persist`] on a malformed manifest or generation
+    /// file.
+    pub fn bootstrap_from_generations(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        dir: impl AsRef<std::path::Path>,
+        cache_budget_bytes: usize,
+    ) -> Result<Self, CloudError> {
+        let owner = DataOwner::new(master_seed, params);
+        let server =
+            CloudServer::from_generation_dir(dir, owner.encrypt_files(docs), cache_budget_bytes)?;
         let user = owner.authorize_user();
         Ok(Deployment {
             server: Arc::new(server),

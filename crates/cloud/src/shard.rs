@@ -1197,6 +1197,55 @@ impl ShardedDeployment {
         })
     }
 
+    /// [`Self::bootstrap`] onto the generational store: each shard's
+    /// partition is persisted under `store_dir/shard-<i>/` (base
+    /// generation + manifest) and served from disk via
+    /// [`CloudServer::from_outsource_generational`]. Per-shard update
+    /// streams flush into per-shard L0 deltas and compact live without
+    /// stalling that shard's serving pool — same ciphertexts, so sharded
+    /// rankings stay byte-identical to the in-memory path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures and store I/O failures.
+    pub fn bootstrap_generational(
+        master_seed: &[u8],
+        params: RsseParams,
+        docs: &[Document],
+        num_shards: usize,
+        store_dir: impl AsRef<std::path::Path>,
+        options: PoolOptions,
+    ) -> Result<Self, CloudError> {
+        let store_dir = store_dir.as_ref();
+        std::fs::create_dir_all(store_dir).map_err(rsse_core::PersistError::from)?;
+        let owner = DataOwner::new(master_seed, params);
+        let partitioner = IndexPartitioner::new(num_shards);
+        let handles: Vec<ServerHandle> = owner
+            .outsource_sharded(docs, &partitioner)?
+            .into_iter()
+            .enumerate()
+            .map(|(shard, outsource)| {
+                let frame = outsource.encode();
+                let server = CloudServer::from_outsource_generational(
+                    Message::decode(frame)?,
+                    store_dir.join(format!("shard-{shard}")),
+                    CloudServer::DEFAULT_CACHE_BUDGET,
+                )?;
+                Ok(ServerHandle::spawn_pool_with(server, options.clone()))
+            })
+            .collect::<Result<_, CloudError>>()?;
+        let router = ShardRouter::new(handles.iter().map(ServerHandle::client).collect());
+        let user = owner.authorize_user();
+        Ok(ShardedDeployment {
+            owner,
+            user,
+            partitioner,
+            handles,
+            replicas_per_shard: 1,
+            router,
+        })
+    }
+
     /// The authorized user.
     pub fn user(&self) -> &User {
         &self.user

@@ -65,6 +65,9 @@ pub enum BackendKind {
     Mem,
     /// The on-disk [`crate::segment::SegmentBackend`].
     Segment,
+    /// The on-disk [`crate::generation::GenerationalBackend`]: a stack of
+    /// generation files with L0 delta flushes and live compaction.
+    Generational,
 }
 
 /// The in-memory backend: the flat [`PostingStore`] arena.

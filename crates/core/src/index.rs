@@ -13,7 +13,9 @@
 
 use crate::backend::{BackendKind, IndexBackend, MemBackend};
 use crate::entry::{decode_entry, ENTRY_CT_LEN, ENTRY_PLAIN_LEN};
+use crate::generation::{GenerationPin, GenerationStats, GenerationalBackend, LiveCompaction};
 use crate::persist::PersistError;
+use crate::segio::{SegmentIo, StdIo};
 use crate::segment::SegmentBackend;
 use crate::store::PostingStore;
 use rsse_crypto::{SecretKey, SemanticCipher};
@@ -23,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// A posting-list label `π_x(w)` (160 bits).
 pub type Label = [u8; 20];
@@ -94,6 +97,7 @@ impl Ord for RankedResult {
 enum Backend {
     Mem(MemBackend),
     Segment(SegmentBackend),
+    Generational(GenerationalBackend),
 }
 
 impl Default for Backend {
@@ -153,10 +157,70 @@ impl RsseIndex {
     /// Any [`PersistError`] on malformed, inconsistent, or unreadable
     /// segment files.
     pub fn open_segment(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let segment = SegmentBackend::open(path)?;
+        Self::open_segment_with_io(StdIo::shared(), path)
+    }
+
+    /// [`Self::open_segment`] over an injected io layer — the
+    /// crash-torture seam.
+    pub fn open_segment_with_io(
+        io: Arc<dyn SegmentIo>,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
+        let segment = SegmentBackend::open_with_io(io, path)?;
         let opse = *segment.opse_params();
         Ok(RsseIndex {
             backend: Backend::Segment(segment),
+            opse_params: Some(opse),
+        })
+    }
+
+    /// Opens an index served from a generational store directory (see
+    /// [`crate::generation`]): a stack of generation files merged at
+    /// query time, with L0 delta flushes and live background compaction.
+    /// The warm-restart path for update-heavy deployments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] on a malformed manifest or generation file.
+    pub fn open_generational(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_generational_with_io(StdIo::shared(), dir)
+    }
+
+    /// [`Self::open_generational`] over an injected io layer — the
+    /// crash-torture seam.
+    pub fn open_generational_with_io(
+        io: Arc<dyn SegmentIo>,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
+        let store = GenerationalBackend::open(io, dir)?;
+        let opse = *store.opse_params();
+        Ok(RsseIndex {
+            backend: Backend::Generational(store),
+            opse_params: Some(opse),
+        })
+    }
+
+    /// Writes this index out as a new generational store at `dir` (base
+    /// generation + manifest, durably) and returns the index now serving
+    /// from it — the outsource path for update-heavy deployments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] writing or re-validating the store.
+    pub fn save_generational(&self, dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        self.save_generational_with_io(StdIo::shared(), dir)
+    }
+
+    /// [`Self::save_generational`] over an injected io layer.
+    pub fn save_generational_with_io(
+        &self,
+        io: Arc<dyn SegmentIo>,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
+        let store = GenerationalBackend::create(io, dir, self)?;
+        let opse = *store.opse_params();
+        Ok(RsseIndex {
+            backend: Backend::Generational(store),
             opse_params: Some(opse),
         })
     }
@@ -166,6 +230,7 @@ impl RsseIndex {
         match &self.backend {
             Backend::Mem(_) => BackendKind::Mem,
             Backend::Segment(_) => BackendKind::Segment,
+            Backend::Generational(_) => BackendKind::Generational,
         }
     }
 
@@ -176,24 +241,95 @@ impl RsseIndex {
         match &self.backend {
             Backend::Mem(_) => 0,
             Backend::Segment(s) => s.overlay_entries(),
+            Backend::Generational(g) => g.overlay_entries(),
         }
     }
 
-    /// Folds a segment backend's delta overlay into a freshly written
-    /// segment file (atomic rename) and reopens it; returns `true` when a
-    /// rewrite happened. A no-op returning `false` for the in-memory
-    /// backend or an empty overlay. Callers holding derived state (e.g. a
+    /// Makes pending overlay updates durable without a full rewrite: on a
+    /// generational backend this seals the overlay into an L0 delta
+    /// generation (cost proportional to the overlay); on a single-segment
+    /// backend durability requires the full [`Self::compact`] rewrite, so
+    /// that is what runs. Returns `true` when anything was written.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] writing or fsyncing.
+    pub fn flush_updates(&mut self) -> Result<bool, PersistError> {
+        match &mut self.backend {
+            Backend::Mem(_) => Ok(false),
+            Backend::Segment(s) => s.compact(),
+            Backend::Generational(g) => g.flush(),
+        }
+    }
+
+    /// Starts a live background compaction on a generational backend;
+    /// `Ok(None)` for other backends or when there is nothing to merge.
+    /// The returned job runs entirely off the serving path (see
+    /// [`LiveCompaction::run`]); searches issued meanwhile never block on
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::CompactInProgress`] when a live compaction is
+    /// already running — immediately, never blocking behind it.
+    pub fn begin_live_compact(&self) -> Result<Option<LiveCompaction>, PersistError> {
+        match &self.backend {
+            Backend::Mem(_) | Backend::Segment(_) => Ok(None),
+            Backend::Generational(g) => g.begin_live_compact(),
+        }
+    }
+
+    /// Shape of the generational store, if that is the active backend.
+    pub fn generation_stats(&self) -> Option<GenerationStats> {
+        match &self.backend {
+            Backend::Generational(g) => Some(g.stats()),
+            _ => None,
+        }
+    }
+
+    /// Pins the current generation snapshot of a generational backend,
+    /// exactly like an in-flight query would (reclaim waits for the pin).
+    pub fn pin_generations(&self) -> Option<GenerationPin> {
+        match &self.backend {
+            Backend::Generational(g) => Some(g.pin()),
+            _ => None,
+        }
+    }
+
+    /// Folds pending updates back into compact on-disk form; returns
+    /// `true` when a rewrite happened. On a segment backend the delta
+    /// overlay merges into a freshly written segment file (atomic
+    /// rename and directory fsync) which is then reopened. On a generational
+    /// backend the overlay is flushed and the whole generation stack is
+    /// merged *inline* — the synchronous maintenance path; use
+    /// [`Self::begin_live_compact`] to do the same work off the serving
+    /// path. A no-op returning `false` for the in-memory backend or when
+    /// there is nothing to fold. Callers holding derived state (e.g. a
     /// ranking cache) need no invalidation — compaction preserves every
     /// ranking — but the on-disk file changes identity.
     ///
     /// # Errors
     ///
-    /// Any [`PersistError`] writing, renaming, or re-validating the
-    /// segment.
+    /// [`PersistError::CompactInProgress`] when a live compaction is
+    /// already running on a generational backend; any [`PersistError`]
+    /// writing, renaming, or re-validating otherwise.
     pub fn compact(&mut self) -> Result<bool, PersistError> {
         match &mut self.backend {
             Backend::Mem(_) => Ok(false),
             Backend::Segment(s) => s.compact(),
+            Backend::Generational(g) => {
+                if g.compact_in_progress() {
+                    return Err(PersistError::CompactInProgress);
+                }
+                let flushed = g.flush()?;
+                match g.begin_live_compact()? {
+                    None => Ok(flushed),
+                    Some(job) => {
+                        job.run()?;
+                        Ok(true)
+                    }
+                }
+            }
         }
     }
 
@@ -202,6 +338,7 @@ impl RsseIndex {
         match &self.backend {
             Backend::Mem(m) => m,
             Backend::Segment(s) => s,
+            Backend::Generational(g) => g,
         }
     }
 
@@ -261,6 +398,7 @@ impl RsseIndex {
                 rank_entries(list.iter(), list.len(), &cipher, top_k, scratch)
             }
             Backend::Segment(s) => s.search(trapdoor, top_k, scratch),
+            Backend::Generational(g) => g.search(trapdoor, top_k, scratch),
         }
     }
 
@@ -314,6 +452,7 @@ impl RsseIndex {
         match &mut self.backend {
             Backend::Mem(m) => m.append(label, &entries),
             Backend::Segment(s) => s.append(label, &entries),
+            Backend::Generational(g) => g.append(label, &entries),
         }
     }
 

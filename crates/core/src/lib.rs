@@ -44,16 +44,21 @@
 pub mod backend;
 pub mod entry;
 pub mod error;
+pub mod generation;
 pub mod index;
 pub mod multi;
 pub mod params;
 pub mod persist;
 pub mod scheme;
+pub mod segio;
 pub mod segment;
 pub mod store;
 
 pub use backend::{BackendKind, IndexBackend, MemBackend};
 pub use error::RsseError;
+pub use generation::{
+    CompactionStats, GenerationPin, GenerationStats, GenerationalBackend, LiveCompaction,
+};
 pub use index::{
     merge_ranked_streams, ranked_prefix, Label, RankedResult, RsseIndex, RsseTrapdoor,
 };
@@ -61,5 +66,6 @@ pub use multi::{ConjunctiveResult, MultiTrapdoor};
 pub use params::{Padding, RangePolicy, RsseParams};
 pub use persist::PersistError;
 pub use scheme::{BuildReport, IndexUpdate, IndexUpdater, Rsse, ScoreDecryptor};
+pub use segio::{MemIo, SegmentIo, SegmentRead, SegmentWrite, StdIo};
 pub use segment::SegmentBackend;
 pub use store::{PostingIter, PostingList, PostingStore};

@@ -72,6 +72,15 @@ pub enum PersistError {
     /// out-of-range, overlapping, or unsorted list ranges, counts that
     /// cannot fit their byte ranges, or records that contradict the body.
     BadDirectory(&'static str),
+    /// A generational store's `MANIFEST` is malformed: bad magic, a
+    /// truncated record list, a checksum mismatch, or generation entries
+    /// that contradict each other.
+    BadManifest(&'static str),
+    /// A live compaction is already running on this store. The request is
+    /// rejected immediately — compaction never blocks behind compaction —
+    /// and can simply be retried once the running pass installs its
+    /// generation.
+    CompactInProgress,
 }
 
 impl core::fmt::Display for PersistError {
@@ -84,6 +93,10 @@ impl core::fmt::Display for PersistError {
                 write!(f, "inconsistent OPSE parameters: M={domain}, N={range}")
             }
             PersistError::BadDirectory(why) => write!(f, "corrupt segment directory: {why}"),
+            PersistError::BadManifest(why) => write!(f, "corrupt generation manifest: {why}"),
+            PersistError::CompactInProgress => {
+                write!(f, "a live compaction is already running on this store")
+            }
         }
     }
 }
@@ -180,6 +193,11 @@ impl<W: Write> SegmentWriter<W> {
         self.w.write_all(records)?;
         self.pos += records.len() as u64;
         Ok(())
+    }
+
+    /// Absolute write position: bytes emitted so far.
+    pub fn position(&self) -> u64 {
+        self.pos
     }
 
     /// Ends the current list, recording its directory entry.

@@ -17,8 +17,16 @@
 //! a [`MemBackend`](crate::backend::MemBackend) would hold, the merged
 //! ranking is byte-identical to the single-stream one. [`SegmentBackend::compact`]
 //! folds the overlay back into a fresh segment file (written beside the
-//! old one, atomically renamed over it) and reopens — the overlay drains
-//! to empty and the file is once again the whole index.
+//! old one, atomically renamed over it, parent directory fsynced so the
+//! flip survives power loss) and reopens — the overlay drains to empty
+//! and the file is once again the whole index.
+//!
+//! All file access flows through the injectable [`SegmentIo`] layer (see
+//! [`crate::segio`]), which is what lets the crash-torture suite kill the
+//! writer at every fsync and rename boundary. The shared read-side
+//! machinery — directory parsing, validation, per-list positional reads —
+//! lives in the crate-internal [`SegmentReader`], reused by the
+//! generational store ([`crate::generation`]).
 //!
 //! Serving from disk leaks nothing beyond the in-memory backend: the
 //! server already sees which label each trapdoor touches and how many
@@ -32,117 +40,107 @@ use crate::persist::{
     read_len, read_u64, PersistError, SegmentWriter, DIR_RECORD_LEN, HEADER_LEN, MAGIC, MAGIC_V2,
     MAX_LEN,
 };
+use crate::segio::{SegmentIo, SegmentRead, StdIo};
 use crate::store::PostingStore;
 use rsse_crypto::SemanticCipher;
 use rsse_opse::OpseParams;
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom};
+use std::io::{self, BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Where one posting list's entry records live in the segment file.
 #[derive(Debug, Clone, Copy)]
-struct SegmentList {
+pub(crate) struct SegmentList {
     /// Absolute offset of the first entry record.
-    offset: u64,
+    pub offset: u64,
     /// Total bytes of the entry records (length prefixes included).
-    byte_len: u64,
+    pub byte_len: u64,
     /// Number of entries.
-    count: u64,
-}
-
-/// A posting-list container served from a persisted segment file, with an
-/// in-memory delta overlay for updates (see the module docs).
-///
-/// Cloning is cheap — clones share the read-only file handle; each clone
-/// carries its own copy of the (small) directory and overlay.
-#[derive(Debug, Clone)]
-pub struct SegmentBackend {
-    file: Arc<File>,
-    path: PathBuf,
-    directory: BTreeMap<Label, SegmentList>,
-    /// Entry payload bytes in the base file, net of length prefixes.
-    base_payload: usize,
-    overlay: PostingStore,
-    opse: OpseParams,
+    pub count: u64,
 }
 
 /// One posting list read out of the segment: the raw byte range plus the
 /// parsed entry bounds.
-struct ListBytes {
+pub(crate) struct ListBytes {
     buf: Vec<u8>,
     bounds: Vec<(usize, usize)>,
 }
 
 impl ListBytes {
-    fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.bounds.len()
     }
 
-    fn entries(&self) -> impl Iterator<Item = &[u8]> {
+    pub fn entries(&self) -> impl Iterator<Item = &[u8]> {
         self.bounds.iter().map(|&(s, e)| &self.buf[s..e])
     }
-}
-
-#[cfg(unix)]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
-    use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset)
-}
-
-#[cfg(not(unix))]
-fn read_exact_at(mut file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
-    // Fallback without positional reads: seek the shared handle. Unlike
-    // the unix path this mutates the file cursor, so concurrent readers
-    // of one handle must serialize externally.
-    file.seek(SeekFrom::Start(offset))?;
-    file.read_exact(buf)
 }
 
 fn corrupt(why: &'static str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, why)
 }
 
-impl SegmentBackend {
-    /// Opens a segment file for serving.
-    ///
-    /// An `RSSEIDX2` file opens in O(directory) — three positional reads
-    /// (header, directory, trailer), no posting payload touched — after
-    /// validating the directory against the file: list ranges must be
-    /// in bounds, non-overlapping, sorted, sized consistently with their
-    /// entry counts, and account for the whole body. A legacy `RSSEIDX1`
-    /// file is converted by a single buffered scan that builds the
-    /// directory in memory (payload bytes are skipped, not stored) and is
-    /// then served directly — the v1 body layout is identical.
-    ///
-    /// # Errors
-    ///
-    /// [`PersistError::BadDirectory`] on any directory inconsistency;
-    /// `BadMagic` / `Oversize` / `BadParameters` / `Io` as for
-    /// [`crate::RsseIndex::load`]. Hostile length claims are rejected
-    /// before any allocation larger than the actual file.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let path = path.as_ref().to_path_buf();
-        let file = File::open(&path)?;
+/// Sequential-read adapter over a positional [`SegmentRead`] handle, for
+/// the legacy-v1 scan path.
+struct ReadAtCursor {
+    file: Arc<dyn SegmentRead>,
+    pos: u64,
+    len: u64,
+}
+
+impl Read for ReadAtCursor {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let left = (self.len - self.pos) as usize;
+        let n = buf.len().min(left);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.file.read_exact_at(&mut buf[..n], self.pos)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// The read side of one immutable segment file: its validated directory
+/// plus a shared positional-read handle. Cloning is cheap (the directory
+/// is 44 bytes per list; the handle is shared).
+///
+/// This is the unit both disk backends compose: a [`SegmentBackend`] is
+/// one `SegmentReader` plus an overlay; a generational store is a *stack*
+/// of them plus an overlay.
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentReader {
+    file: Arc<dyn SegmentRead>,
+    directory: BTreeMap<Label, SegmentList>,
+    /// Entry payload bytes in the file, net of length prefixes.
+    base_payload: usize,
+    opse: OpseParams,
+}
+
+impl SegmentReader {
+    /// Opens and validates a segment file through the io layer. See
+    /// [`SegmentBackend::open`] for the format/validation contract.
+    pub fn open(io: &dyn SegmentIo, path: &Path) -> Result<Self, PersistError> {
+        let file = io.open_read(path)?;
         let mut magic = [0u8; 8];
-        read_exact_at(&file, &mut magic, 0)?;
+        file.read_exact_at(&mut magic, 0)?;
         if &magic == MAGIC_V2 {
-            Self::open_v2(file, path)
+            Self::open_v2(file)
         } else if &magic == MAGIC {
-            Self::open_v1(file, path)
+            Self::open_v1(file)
         } else {
             Err(PersistError::BadMagic(magic))
         }
     }
 
-    fn open_v2(file: File, path: PathBuf) -> Result<Self, PersistError> {
-        let file_len = file.metadata()?.len();
+    fn open_v2(file: Arc<dyn SegmentRead>) -> Result<Self, PersistError> {
+        let file_len = file.len()?;
         if file_len < HEADER_LEN + 8 {
             return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into());
         }
         let mut header = [0u8; HEADER_LEN as usize];
-        read_exact_at(&file, &mut header, 0)?;
+        file.read_exact_at(&mut header, 0)?;
         let domain = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
         let range = u64::from_be_bytes(header[16..24].try_into().expect("8 bytes"));
         let opse = OpseParams::new(domain, range)
@@ -152,7 +150,7 @@ impl SegmentBackend {
             return Err(PersistError::Oversize(num_lists));
         }
         let mut trailer = [0u8; 8];
-        read_exact_at(&file, &mut trailer, file_len - 8)?;
+        file.read_exact_at(&mut trailer, file_len - 8)?;
         let dir_offset = u64::from_be_bytes(trailer);
         if dir_offset < HEADER_LEN || dir_offset > file_len - 8 {
             return Err(PersistError::BadDirectory("trailer offset out of range"));
@@ -172,7 +170,7 @@ impl SegmentBackend {
         // Bounded by the actual file length (just verified), so a hostile
         // list count cannot force an over-allocation.
         let mut dir_buf = vec![0u8; dir_size as usize];
-        read_exact_at(&file, &mut dir_buf, dir_offset)?;
+        file.read_exact_at(&mut dir_buf, dir_offset)?;
         let mut directory = BTreeMap::new();
         let mut base_payload = 0usize;
         let mut next_free = HEADER_LEN;
@@ -230,19 +228,21 @@ impl SegmentBackend {
                 },
             );
         }
-        Ok(SegmentBackend {
-            file: Arc::new(file),
-            path,
+        Ok(SegmentReader {
+            file,
             directory,
             base_payload,
-            overlay: PostingStore::new(),
             opse,
         })
     }
 
-    fn open_v1(file: File, path: PathBuf) -> Result<Self, PersistError> {
-        let mut r = BufReader::new(&file);
-        r.seek(SeekFrom::Start(8))?;
+    fn open_v1(file: Arc<dyn SegmentRead>) -> Result<Self, PersistError> {
+        let len = file.len()?;
+        let mut r = BufReader::new(ReadAtCursor {
+            file: Arc::clone(&file),
+            pos: 8,
+            len,
+        });
         let domain = read_u64(&mut r)?;
         let range = read_u64(&mut r)?;
         let opse = OpseParams::new(domain, range)
@@ -258,14 +258,14 @@ impl SegmentBackend {
             pos += 28;
             let offset = pos;
             for _ in 0..count {
-                let len = read_len(&mut r)?;
+                let entry_len = read_len(&mut r)?;
                 // Skip the payload; only the directory is kept in memory.
-                let skipped = io::copy(&mut r.by_ref().take(len), &mut io::sink())?;
-                if skipped != len {
+                let skipped = io::copy(&mut r.by_ref().take(entry_len), &mut io::sink())?;
+                if skipped != entry_len {
                     return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into());
                 }
-                pos += 8 + len;
-                base_payload += len as usize;
+                pos += 8 + entry_len;
+                base_payload += entry_len as usize;
             }
             let prior = directory.insert(
                 label,
@@ -279,43 +279,31 @@ impl SegmentBackend {
                 return Err(PersistError::BadDirectory("duplicate label in legacy file"));
             }
         }
-        drop(r);
-        Ok(SegmentBackend {
-            file: Arc::new(file),
-            path,
+        Ok(SegmentReader {
+            file,
             directory,
             base_payload,
-            overlay: PostingStore::new(),
             opse,
         })
     }
 
-    /// The OPSE parameters stored in the segment header.
-    pub fn opse_params(&self) -> &OpseParams {
+    pub fn opse(&self) -> &OpseParams {
         &self.opse
     }
 
-    /// The path the segment was opened from (and that [`Self::compact`]
-    /// rewrites).
-    pub fn path(&self) -> &Path {
-        &self.path
+    pub fn directory(&self) -> &BTreeMap<Label, SegmentList> {
+        &self.directory
     }
 
-    /// Entries currently parked in the delta overlay (not yet compacted
-    /// into the file).
-    pub fn overlay_entries(&self) -> usize {
-        self.overlay
-            .labels()
-            .filter_map(|l| self.overlay.list_len(l))
-            .sum()
+    pub fn base_payload(&self) -> usize {
+        self.base_payload
     }
 
     /// Reads one posting list's byte range off the file and parses the
     /// entry bounds, rejecting ranges whose length prefixes do not tile
     /// the range exactly.
-    fn read_list(&self, meta: &SegmentList) -> io::Result<ListBytes> {
-        let mut buf = vec![0u8; meta.byte_len as usize];
-        read_exact_at(&self.file, &mut buf, meta.offset)?;
+    pub fn read_list(&self, meta: &SegmentList) -> io::Result<ListBytes> {
+        let buf = self.read_raw(meta)?;
         let mut bounds = Vec::with_capacity(meta.count as usize);
         let mut pos = 0usize;
         for _ in 0..meta.count {
@@ -340,6 +328,123 @@ impl SegmentBackend {
         Ok(ListBytes { buf, bounds })
     }
 
+    /// Reads one list's entry records verbatim (still length-prefixed) —
+    /// the compaction fast path: records are already in wire shape.
+    pub fn read_raw(&self, meta: &SegmentList) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; meta.byte_len as usize];
+        self.file.read_exact_at(&mut buf, meta.offset)?;
+        Ok(buf)
+    }
+
+    /// Ranks this segment's list under `label`, if present. A list that
+    /// fails to read (e.g. the file was truncated behind a live handle)
+    /// degrades to an empty stream rather than failing the query.
+    pub fn rank_label(
+        &self,
+        label: &Label,
+        cipher: &SemanticCipher,
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Option<Vec<RankedResult>> {
+        let meta = self.directory.get(label)?;
+        match self.read_list(meta) {
+            Ok(list) => Some(rank_entries(
+                list.entries(),
+                list.len(),
+                cipher,
+                top_k,
+                scratch,
+            )),
+            Err(_) => Some(Vec::new()),
+        }
+    }
+
+    /// Visits every entry of the list under `label`, in file order.
+    /// Returns `false` when the label is not in this segment; a failed
+    /// read visits nothing (degraded, like the search path).
+    pub fn for_each_entry(&self, label: &Label, visit: &mut dyn FnMut(&[u8])) -> bool {
+        let Some(meta) = self.directory.get(label) else {
+            return false;
+        };
+        if let Ok(list) = self.read_list(meta) {
+            for entry in list.entries() {
+                visit(entry);
+            }
+        }
+        true
+    }
+}
+
+/// A posting-list container served from a persisted segment file, with an
+/// in-memory delta overlay for updates (see the module docs).
+///
+/// Cloning is cheap — clones share the read-only file handle; each clone
+/// carries its own copy of the (small) directory and overlay.
+#[derive(Debug, Clone)]
+pub struct SegmentBackend {
+    io: Arc<dyn SegmentIo>,
+    reader: SegmentReader,
+    path: PathBuf,
+    overlay: PostingStore,
+}
+
+impl SegmentBackend {
+    /// Opens a segment file for serving (production io: `std::fs`).
+    ///
+    /// An `RSSEIDX2` file opens in O(directory) — three positional reads
+    /// (header, directory, trailer), no posting payload touched — after
+    /// validating the directory against the file: list ranges must be
+    /// in bounds, non-overlapping, sorted, sized consistently with their
+    /// entry counts, and account for the whole body. A legacy `RSSEIDX1`
+    /// file is converted by a single buffered scan that builds the
+    /// directory in memory (payload bytes are skipped, not stored) and is
+    /// then served directly — the v1 body layout is identical.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadDirectory`] on any directory inconsistency;
+    /// `BadMagic` / `Oversize` / `BadParameters` / `Io` as for
+    /// [`crate::RsseIndex::load`]. Hostile length claims are rejected
+    /// before any allocation larger than the actual file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_with_io(StdIo::shared(), path)
+    }
+
+    /// [`Self::open`] over an injected io layer — the crash-torture seam.
+    pub fn open_with_io(
+        io: Arc<dyn SegmentIo>,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let reader = SegmentReader::open(io.as_ref(), &path)?;
+        Ok(SegmentBackend {
+            io,
+            reader,
+            path,
+            overlay: PostingStore::new(),
+        })
+    }
+
+    /// The OPSE parameters stored in the segment header.
+    pub fn opse_params(&self) -> &OpseParams {
+        self.reader.opse()
+    }
+
+    /// The path the segment was opened from (and that [`Self::compact`]
+    /// rewrites).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Entries currently parked in the delta overlay (not yet compacted
+    /// into the file).
+    pub fn overlay_entries(&self) -> usize {
+        self.overlay
+            .labels()
+            .filter_map(|l| self.overlay.list_len(l))
+            .sum()
+    }
+
     /// Ranked search over base-file entries merged with the delta overlay
     /// (see [`crate::RsseIndex::search_with_scratch`] for the contract).
     ///
@@ -355,16 +460,16 @@ impl SegmentBackend {
         top_k: Option<usize>,
         scratch: &mut Vec<u8>,
     ) -> Vec<RankedResult> {
-        let base_meta = self.directory.get(trapdoor.label());
+        let in_base = self.reader.directory().contains_key(trapdoor.label());
         let overlay_list = self.overlay.list(trapdoor.label());
-        if base_meta.is_none() && overlay_list.is_none() {
+        if !in_base && overlay_list.is_none() {
             return Vec::new();
         }
         let cipher = SemanticCipher::new(trapdoor.list_key());
-        let base = match base_meta.map(|meta| self.read_list(meta)) {
-            Some(Ok(list)) => rank_entries(list.entries(), list.len(), &cipher, top_k, scratch),
-            Some(Err(_)) | None => Vec::new(),
-        };
+        let base = self
+            .reader
+            .rank_label(trapdoor.label(), &cipher, top_k, scratch)
+            .unwrap_or_default();
         let overlay = match overlay_list {
             Some(pl) if !pl.is_empty() => {
                 rank_entries(pl.iter(), pl.len(), &cipher, top_k, scratch)
@@ -382,42 +487,44 @@ impl SegmentBackend {
     /// Folds the delta overlay into a fresh segment file and reopens it.
     ///
     /// The merged segment is written beside the current one
-    /// (`<path>.compact`), fsynced, then atomically renamed over it — a
-    /// crash mid-compaction leaves the old segment intact. Base entry
-    /// records are copied verbatim (they are already in wire shape);
-    /// overlay entries append after them, preserving exactly the order a
-    /// query would have visited. Returns `false` without touching the
-    /// file when the overlay is empty.
+    /// (`<path>.compact`), fsynced, atomically renamed over it, and the
+    /// parent directory is fsynced so the flip itself survives power loss
+    /// — without the directory fsync a crash after the rename could
+    /// resurrect the old segment (torture-suite regression). A crash
+    /// mid-compaction leaves the old segment intact. Base entry records
+    /// are copied verbatim (they are already in wire shape); overlay
+    /// entries append after them, preserving exactly the order a query
+    /// would have visited. Returns `false` without touching the file when
+    /// the overlay is empty.
     ///
     /// # Errors
     ///
-    /// I/O failures writing or renaming, or any [`PersistError`]
-    /// re-validating the freshly written segment.
+    /// I/O failures writing, renaming, or fsyncing, or any
+    /// [`PersistError`] re-validating the freshly written segment.
     pub fn compact(&mut self) -> Result<bool, PersistError> {
         if self.overlay.num_lists() == 0 {
             return Ok(false);
         }
         let tmp = self.path.with_extension("compact");
         {
-            let out = File::create(&tmp)?;
-            let mut labels: Vec<Label> = self.directory.keys().copied().collect();
+            let directory = self.reader.directory();
+            let mut labels: Vec<Label> = directory.keys().copied().collect();
             labels.extend(
                 self.overlay
                     .labels()
-                    .filter(|l| !self.directory.contains_key(*l)),
+                    .filter(|l| !directory.contains_key(*l)),
             );
             labels.sort_unstable();
-            let mut w = SegmentWriter::new(BufWriter::new(&out), &self.opse, labels.len() as u64)?;
+            let out = self.io.create(&tmp)?;
+            let mut w = SegmentWriter::new(out, self.reader.opse(), labels.len() as u64)?;
             for label in &labels {
-                let base = self.directory.get(label);
+                let base = directory.get(label);
                 let overlay = self.overlay.list(label);
                 let total =
                     base.map_or(0, |m| m.count) + overlay.as_ref().map_or(0, |pl| pl.len() as u64);
                 w.begin_list(*label, total)?;
                 if let Some(meta) = base {
-                    let mut raw = vec![0u8; meta.byte_len as usize];
-                    read_exact_at(&self.file, &mut raw, meta.offset)?;
-                    w.write_raw_entries(&raw)?;
+                    w.write_raw_entries(&self.reader.read_raw(meta)?)?;
                 }
                 if let Some(pl) = overlay {
                     for entry in pl.iter() {
@@ -426,31 +533,35 @@ impl SegmentBackend {
                 }
                 w.end_list();
             }
-            w.finish()?;
-            out.sync_all()?;
+            let mut out = w.finish()?;
+            out.sync()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
-        *self = SegmentBackend::open(&self.path)?;
+        self.io.rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            self.io.fsync_dir(parent)?;
+        }
+        *self = SegmentBackend::open_with_io(Arc::clone(&self.io), &self.path)?;
         Ok(true)
     }
 }
 
 impl IndexBackend for SegmentBackend {
     fn contains_label(&self, label: &Label) -> bool {
-        self.directory.contains_key(label) || self.overlay.contains_label(label)
+        self.reader.directory().contains_key(label) || self.overlay.contains_label(label)
     }
 
     fn num_lists(&self) -> usize {
-        self.directory.len()
+        let directory = self.reader.directory();
+        directory.len()
             + self
                 .overlay
                 .labels()
-                .filter(|l| !self.directory.contains_key(*l))
+                .filter(|l| !directory.contains_key(*l))
                 .count()
     }
 
     fn list_len(&self, label: &Label) -> Option<usize> {
-        let base = self.directory.get(label).map(|m| m.count as usize);
+        let base = self.reader.directory().get(label).map(|m| m.count as usize);
         let over = self.overlay.list_len(label);
         if base.is_none() && over.is_none() {
             return None;
@@ -462,16 +573,17 @@ impl IndexBackend for SegmentBackend {
         // Labels once per list, payloads from both halves; overlay labels
         // shared with the base are not double-counted.
         self.num_lists() * 20
-            + self.base_payload
+            + self.reader.base_payload()
             + (self.overlay.size_bytes() - 20 * self.overlay.num_lists())
     }
 
     fn labels(&self) -> Vec<Label> {
-        let mut labels: Vec<Label> = self.directory.keys().copied().collect();
+        let directory = self.reader.directory();
+        let mut labels: Vec<Label> = directory.keys().copied().collect();
         labels.extend(
             self.overlay
                 .labels()
-                .filter(|l| !self.directory.contains_key(*l)),
+                .filter(|l| !directory.contains_key(*l)),
         );
         labels
     }
@@ -481,17 +593,10 @@ impl IndexBackend for SegmentBackend {
     }
 
     fn for_each_entry(&self, label: &Label, visit: &mut dyn FnMut(&[u8])) -> bool {
-        let base = self.directory.get(label);
+        let in_base = self.reader.for_each_entry(label, visit);
         let over = self.overlay.list(label);
-        if base.is_none() && over.is_none() {
+        if !in_base && over.is_none() {
             return false;
-        }
-        if let Some(meta) = base {
-            if let Ok(list) = self.read_list(meta) {
-                for entry in list.entries() {
-                    visit(entry);
-                }
-            }
         }
         if let Some(pl) = over {
             for entry in pl.iter() {
@@ -505,7 +610,9 @@ impl IndexBackend for SegmentBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segio::MemIo;
     use crate::RsseIndex;
+    use std::fs::File;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -579,6 +686,44 @@ mod tests {
         let reloaded = RsseIndex::load(File::open(&path).unwrap()).unwrap();
         assert_eq!(reloaded.list_len(&label(9)), Some(1));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_fsyncs_the_parent_directory() {
+        // Regression for the durability bug this PR fixes: the rename was
+        // fsynced nowhere, so a completed compaction could vanish on power
+        // loss. On MemIo the whole sequence must be: temp-file fsync, then
+        // rename, then parent-directory fsync — and the post-compaction
+        // state must survive power_loss().
+        let io = MemIo::new();
+        let dir = Path::new("/store");
+        let path = dir.join("seg.idx");
+        let index = RsseIndex::from_parts(sample_parts(), OpseParams::default());
+        let mut bytes = Vec::new();
+        index.save(&mut bytes).unwrap();
+        {
+            use std::io::Write;
+            let mut w = io.create(&path).unwrap();
+            w.write_all(&bytes).unwrap();
+            w.sync().unwrap();
+        }
+        io.fsync_dir(dir).unwrap();
+        let before = io.sync_points();
+        let mut seg = SegmentBackend::open_with_io(io.shared(), &path).unwrap();
+        seg.append(label(9), &[vec![0xC1; 2]]);
+        assert!(seg.compact().unwrap());
+        assert_eq!(
+            io.sync_points() - before,
+            3,
+            "compaction = file fsync + rename + directory fsync"
+        );
+        io.power_loss();
+        let reopened = SegmentBackend::open_with_io(io.shared(), &path).unwrap();
+        assert_eq!(
+            reopened.list_len(&label(9)),
+            Some(1),
+            "the flip is durable across power loss"
+        );
     }
 
     #[test]

@@ -39,20 +39,32 @@ cargo test -q --test cache_coherence
 echo "==> cargo test -q -p rsse-core --test persist_roundtrip"
 cargo test -q -p rsse-core --test persist_roundtrip
 
-# The storage engine's tentpole guarantee: mem, on-disk segment, and
-# compacted segment return byte-identical rankings under interleaved
-# searches, updates, and compactions — cached, warm-restarted, and
-# sharded deployments included.
+# The storage engine's tentpole guarantee: mem, on-disk segment,
+# compacted segment, and the generational store return byte-identical
+# rankings under interleaved searches, updates, flushes, and live
+# compactions — cached, warm-restarted, and sharded deployments included.
 echo "==> cargo test -q --test backend_equivalence"
 cargo test -q --test backend_equivalence
 
+# The storage engine's crash-consistency guarantee: the writer is killed
+# at every fsync/rename boundary of a create/flush/compact plan (24
+# boundaries) plus every boundary of a single-file compaction, and each
+# reopened store must land on exactly the pre-op or post-op rankings —
+# never a torn state — and keep accepting updates. Also pins the typed
+# double-compact error, epoch-based segment reclaim, and that searches
+# keep being served while a live compaction is stalled mid-merge.
+echo "==> cargo test -q -p rsse-core --test crash_torture"
+cargo test -q -p rsse-core --test crash_torture
+
 # Smoke the throughput harness end to end (tiny counts, no perf gates):
 # boots every scenario including the Zipf hot_keywords cache pair, the
-# batched cpu path, and the tuned sharded scenario (pruning + merged
-# cache + replicas under churn), and checks the functional cache
-# invariants. The full (non-smoke) run additionally gates sharded
-# 8-shard throughput at >= 1.0x single-shard on the churny Zipf
-# workload, voiding the published numbers on failure.
+# batched cpu path, the generational churn pair (live compactor beside
+# the pool), and the tuned sharded scenario (pruning + merged cache +
+# replicas under churn), and checks the functional cache invariants.
+# The full (non-smoke) run additionally gates sharded 8-shard
+# throughput at >= 1.0x single-shard on the churny Zipf workload and
+# the churn-compact leg at >= 0.8x the no-compaction baseline, voiding
+# the published numbers on failure.
 echo "==> throughput --smoke"
 cargo run --release -q -p rsse-bench --bin throughput -- --smoke
 

@@ -7,11 +7,15 @@
 //! random interleavings of searches, score-dynamics updates, and
 //! compactions they must return rankings **byte-identical** in every
 //! respect: same files, same encrypted scores, same tie order, same
-//! truncation. The cloud layer is held to the same standard — a
-//! `Deployment` warm-restarted from a saved segment must match the
-//! in-memory deployment down to the traffic counters, and a sharded
-//! deployment serving one segment per shard must match the in-memory
-//! shards — caches enabled, exactly as deployed. See DESIGN.md §6.4.
+//! truncation. The generational store (generation stack + L0 delta
+//! flushes + *live* compaction) is held to the same standard, including
+//! mid-flip: a search issued between `begin_live_compact` and the
+//! install must match the in-memory ranking byte-for-byte. The cloud
+//! layer too — a `Deployment` warm-restarted from a saved segment or a
+//! generation directory must match the in-memory deployment down to the
+//! traffic counters, and a sharded deployment serving one store per
+//! shard must match the in-memory shards — caches enabled, exactly as
+//! deployed. See DESIGN.md §6.4 and §6.6.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -85,8 +89,11 @@ proptest! {
         std::fs::copy(&seg_path, &compact_path).unwrap();
         let mut seg = RsseIndex::open_segment(&seg_path).unwrap();
         let mut compacting = RsseIndex::open_segment(&compact_path).unwrap();
+        let gen_dir = temp_path("core_gen");
+        let mut gen = mem.save_generational(&gen_dir).unwrap();
         prop_assert_eq!(mem.backend_kind(), BackendKind::Mem);
         prop_assert_eq!(seg.backend_kind(), BackendKind::Segment);
+        prop_assert_eq!(gen.backend_kind(), BackendKind::Generational);
 
         let plain_index = InvertedIndex::build(&docs);
         let updater = scheme.updater_for(&plain_index).unwrap();
@@ -102,6 +109,7 @@ proptest! {
                 let update = updater.add_document(&doc).unwrap();
                 update.clone().apply_to(&mut mem);
                 update.clone().apply_to(&mut seg);
+                update.clone().apply_to(&mut gen);
                 update.apply_to(&mut compacting);
                 continue;
             }
@@ -110,6 +118,19 @@ proptest! {
                 // not move by a byte.
                 compacting.compact().unwrap();
                 prop_assert_eq!(compacting.pending_overlay_entries(), 0);
+                // Generational: flush the overlay into an L0 delta, then
+                // run a *live* pass — and search in the window between
+                // begin and install, where the old stack still serves.
+                gen.flush_updates().unwrap();
+                prop_assert_eq!(gen.pending_overlay_entries(), 0);
+                if let Some(job) = gen.begin_live_compact().unwrap() {
+                    let mid = scheme.trapdoor(word).unwrap();
+                    prop_assert_eq!(
+                        gen.search(&mid, None), mem.search(&mid, None),
+                        "mid-compaction ranking diverged for {}", word
+                    );
+                    job.run().unwrap();
+                }
             }
             let top_k = (k > 0).then_some(k as usize);
             let trapdoor = scheme.trapdoor(word).unwrap();
@@ -117,6 +138,10 @@ proptest! {
             prop_assert_eq!(
                 seg.search(&trapdoor, top_k), want.clone(),
                 "segment ranking diverged for {} (k={:?})", word, top_k
+            );
+            prop_assert_eq!(
+                gen.search(&trapdoor, top_k), want.clone(),
+                "generational ranking diverged for {} (k={:?})", word, top_k
             );
             prop_assert_eq!(
                 compacting.search(&trapdoor, top_k), want,
@@ -131,19 +156,28 @@ proptest! {
             for top_k in [None, Some(3)] {
                 let want = mem.search(&t, top_k);
                 prop_assert_eq!(seg.search(&t, top_k), want.clone(), "{}", word);
+                prop_assert_eq!(gen.search(&t, top_k), want.clone(), "{}", word);
                 prop_assert_eq!(compacting.search(&t, top_k), want, "{}", word);
             }
         }
         prop_assert_eq!(seg.export_parts(), mem.export_parts());
+        prop_assert_eq!(gen.export_parts(), mem.export_parts());
         prop_assert_eq!(compacting.export_parts(), mem.export_parts());
         let mut mem_bytes = Vec::new();
         mem.save(&mut mem_bytes).unwrap();
         let mut seg_bytes = Vec::new();
         seg.save(&mut seg_bytes).unwrap();
         prop_assert_eq!(seg_bytes, mem_bytes, "re-saved segments must be byte-identical");
+        // The generation directory is a durable replica of the same
+        // content: flush the tail overlay and reopen cold.
+        gen.flush_updates().unwrap();
+        drop(gen);
+        let reopened = RsseIndex::open_generational(&gen_dir).unwrap();
+        prop_assert_eq!(reopened.export_parts(), mem.export_parts());
 
         let _ = std::fs::remove_file(&seg_path);
         let _ = std::fs::remove_file(&compact_path);
+        let _ = std::fs::remove_dir_all(&gen_dir);
     }
 }
 
@@ -180,6 +214,17 @@ proptest! {
         let built = Deployment::bootstrap_segmented(
             &master, params, &docs, &built_path, CloudServer::DEFAULT_CACHE_BUDGET,
         ).unwrap();
+        // And a generational deployment: outsource onto the generation
+        // store, shut it down, then warm-restart from the directory —
+        // both generational boot paths in one arm.
+        let gen_dir = temp_path("deploy_gen");
+        drop(Deployment::bootstrap_generational(
+            &master, params, &docs, &gen_dir, CloudServer::DEFAULT_CACHE_BUDGET,
+        ).unwrap());
+        let gen = Deployment::bootstrap_from_generations(
+            &master, params, &docs, &gen_dir, CloudServer::DEFAULT_CACHE_BUDGET,
+        ).unwrap();
+        prop_assert_eq!(gen.setup_traffic, Default::default(), "warm restart crosses no wire");
 
         let scheme = Rsse::new(&master, params);
         let plain_index = InvertedIndex::build(&docs);
@@ -199,6 +244,7 @@ proptest! {
                 let file = crypter.encrypt(&doc);
                 mem.server().apply_update(update.clone(), vec![file.clone()]);
                 warm.server().apply_update(update.clone(), vec![file.clone()]);
+                gen.server().apply_update(update.clone(), vec![file.clone()]);
                 built.server().apply_update(update, vec![file]);
                 continue;
             }
@@ -208,13 +254,21 @@ proptest! {
                 prop_assert!(!mem.server().compact_index().unwrap());
                 warm.server().compact_index().unwrap();
                 built.server().compact_index().unwrap();
+                // The generational server compacts *live* — foreground on
+                // even kinds, on a background thread (joined, so the flip
+                // lands before the next comparison) on odd ones.
+                if kind % 2 == 0 {
+                    gen.server().compact_index_live().unwrap();
+                } else if let Some(merge) = gen.server().compact_index_background().unwrap() {
+                    merge.join().unwrap().unwrap();
+                }
             }
             let top_k = (k > 0).then_some(k);
             let want = search_ranking(
                 &mem.server(),
                 mem.user().search_request(word, top_k, SearchMode::Rsse).unwrap(),
             );
-            for (name, d) in [("warm", &warm), ("built", &built)] {
+            for (name, d) in [("warm", &warm), ("built", &built), ("gen", &gen)] {
                 let got = search_ranking(
                     &d.server(),
                     d.user().search_request(word, top_k, SearchMode::Rsse).unwrap(),
@@ -225,11 +279,14 @@ proptest! {
             // counts: identical frames up, identical frames down.
             let (_, mem_traffic) = mem.rsse_search(word, top_k).unwrap();
             let (_, warm_traffic) = warm.rsse_search(word, top_k).unwrap();
+            let (_, gen_traffic) = gen.rsse_search(word, top_k).unwrap();
             prop_assert_eq!(mem_traffic, warm_traffic, "traffic diverged for {}", word);
+            prop_assert_eq!(mem_traffic, gen_traffic, "generational traffic diverged for {}", word);
         }
 
         let _ = std::fs::remove_file(&seg_path);
         let _ = std::fs::remove_file(&built_path);
+        let _ = std::fs::remove_dir_all(&gen_dir);
     }
 }
 
@@ -258,7 +315,11 @@ proptest! {
         ).unwrap();
         let dir = temp_path("shards");
         let seg = ShardedDeployment::bootstrap_segmented(
-            &master, params, &docs, num_shards, &dir, options,
+            &master, params, &docs, num_shards, &dir, options.clone(),
+        ).unwrap();
+        let gen_dir = temp_path("shards_gen");
+        let gens = ShardedDeployment::bootstrap_generational(
+            &master, params, &docs, num_shards, &gen_dir, options,
         ).unwrap();
         let partitioner = mem.partitioner();
 
@@ -280,26 +341,39 @@ proptest! {
                 let file = crypter.encrypt(&doc);
                 let shard = partitioner.shard_of(doc.id());
                 mem.shard_server(shard).unwrap().apply_update(update.clone(), vec![file.clone()]);
-                seg.shard_server(shard).unwrap().apply_update(update, vec![file]);
+                seg.shard_server(shard).unwrap().apply_update(update.clone(), vec![file.clone()]);
+                gens.shard_server(shard).unwrap().apply_update(update, vec![file]);
                 continue;
             }
             if kind % 3 == 2 {
                 for shard in 0..num_shards {
                     seg.shard_server(shard).unwrap().compact_index().unwrap();
+                    // Live per-shard compaction under a serving pool.
+                    gens.shard_server(shard).unwrap().compact_index_live().unwrap();
                 }
             }
             let top_k = (k > 0).then_some(k);
             let (_, want) = mem.rsse_search(word, top_k).unwrap();
             prop_assert!(want.is_complete());
-            let (_, got) = seg.rsse_search(word, top_k).unwrap();
-            prop_assert!(got.is_complete());
-            prop_assert_eq!(&got.ranking, &want.ranking, "sharded ranking diverged for {}", word);
-            // Batched scatter agrees too (the cached path on each shard).
-            let (_, batch) = seg.rsse_search_batch(&[word], top_k).unwrap();
-            prop_assert_eq!(&batch.queries[0].0, &want.ranking, "batched diverged for {}", word);
+            for (name, d) in [("segment", &seg), ("generational", &gens)] {
+                let (_, got) = d.rsse_search(word, top_k).unwrap();
+                prop_assert!(got.is_complete());
+                prop_assert_eq!(
+                    &got.ranking, &want.ranking,
+                    "sharded {} ranking diverged for {}", name, word
+                );
+                // Batched scatter agrees too (the cached path per shard).
+                let (_, batch) = d.rsse_search_batch(&[word], top_k).unwrap();
+                prop_assert_eq!(
+                    &batch.queries[0].0, &want.ranking,
+                    "batched {} diverged for {}", name, word
+                );
+            }
         }
         mem.shutdown();
         seg.shutdown();
+        gens.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&gen_dir);
     }
 }
