@@ -43,6 +43,12 @@
 //!   straight from an on-disk `RSSEIDX2` segment (per-label positional
 //!   reads + delta overlay) instead of the in-memory arena. Steady state
 //!   must hold at least 0.5x the mem backend's requests/s (gated below).
+//! * **transport** — the connections-vs-workers axis: the compute-bound
+//!   hot-keyword workload pipelined 4-deep over 8/64 client connections,
+//!   once through the simulated channel transport (the baseline row) and
+//!   once through real loopback TCP and the non-blocking event loop.
+//!   TCP at 64 pipelined connections must hold at least 0.7x the channel
+//!   transport's requests/s (gated below).
 //! * **cpu_segment_churn** — the generational store under an
 //!   update-heavy Zipf log: every client keeps appending fresh documents
 //!   between its queries, run twice — once letting the overlay grow
@@ -73,12 +79,15 @@ use rsse_bench::workload::{paper_corpus, rare_terms, top_terms, ZipfSampler, HOT
 use rsse_cloud::entities::{CloudServer, DataOwner, Deployment};
 use rsse_cloud::server_loop::{PoolOptions, ServerHandle};
 use rsse_cloud::{
-    CloudError, ErrorKind, FileCrypter, Message, RouterOptions, SearchMode, ShardedDeployment,
+    ChannelTransport, CloudError, Connection, ErrorKind, FileCrypter, Message, RouterOptions,
+    SearchMode, ShardedDeployment, TcpServer, TcpServerOptions, TcpTransport, Transport,
 };
 use rsse_core::{Rsse, RsseIndex, RsseParams};
 use rsse_ir::{Document, FileId, InvertedIndex};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
@@ -115,6 +124,12 @@ const CHURN_COMPACT_PERIOD: Duration = Duration::from_millis(100);
 /// reason production LSM stores throttle compaction I/O. Between
 /// merges the compactor only flushes.
 const CHURN_MERGE_PERIOD: Duration = Duration::from_millis(1500);
+/// Pipelining window per connection in the transport scenario.
+const TRANSPORT_INFLIGHT: usize = 4;
+/// Client threads driving the transport scenario's connections.
+const TRANSPORT_CLIENT_THREADS: usize = 8;
+/// Per-reply deadline in the transport scenario.
+const TRANSPORT_TIMEOUT: Duration = Duration::from_secs(60);
 
 struct Scenario {
     name: &'static str,
@@ -160,6 +175,15 @@ fn scratch_dir(tag: &str) -> PathBuf {
 struct ConfigResult {
     scenario: &'static str,
     workers: usize,
+    /// How request frames reach the server: `inproc` (direct pool
+    /// client), `channel` (simulated byte transport), or `tcp` (real
+    /// loopback sockets through the event loop).
+    transport: &'static str,
+    /// Pipelined client connections (0 for the in-process scenarios,
+    /// whose clients call the pool directly).
+    connections: usize,
+    /// Requests each connection keeps in flight (0 for in-process).
+    inflight_per_conn: usize,
     /// Individual queries served (frames x batch).
     requests: usize,
     wall_s: f64,
@@ -326,6 +350,9 @@ fn run_config(
     ConfigResult {
         scenario: scenario.name,
         workers,
+        transport: "inproc",
+        connections: 0,
+        inflight_per_conn: 0,
         requests,
         wall_s: wall.as_secs_f64(),
         rps: requests as f64 / wall.as_secs_f64(),
@@ -342,6 +369,180 @@ fn run_config(
         },
         cache_hits: cache.hits,
         cache_misses: cache.misses,
+        replica_routed: Vec::new(),
+        compactions: 0,
+        compact_max_pause_ms: 0.0,
+        compact_bytes: 0,
+    }
+}
+
+/// The server end of one transport config — kept only so the run can
+/// shut it down and collect the served-frame count.
+enum TransportServer {
+    Channel(ServerHandle),
+    Tcp(TcpServer),
+}
+
+/// One transport config: `connections` pipelined client connections,
+/// each keeping [`TRANSPORT_INFLIGHT`] hot-keyword top-10 searches in
+/// flight against a `workers`-worker pool, over either the simulated
+/// channel transport or real loopback TCP through the event loop. The
+/// workload is compute-bound (ranking cache disabled, every query
+/// re-ranks the full hot posting list) so the syscall and framing costs
+/// are measured against real work, not against an idle server. Rows
+/// share the `"transport"` scenario name; the channel row is pushed
+/// first so the JSON speedup column reads as TCP's fraction of the
+/// in-process channel baseline.
+fn run_transport(
+    outsource_frame: &bytes::BytesMut,
+    owner: &DataOwner,
+    tcp: bool,
+    workers: usize,
+    connections: usize,
+    requests_per_conn: usize,
+) -> ConfigResult {
+    let msg = Message::decode(outsource_frame.clone()).unwrap();
+    // Admission must outsize the aggregate pipeline window: this config
+    // measures transport cost, not overload shedding (the overload path
+    // has its own scenario and tests).
+    let backlog = (connections * TRANSPORT_INFLIGHT).max(BACKLOG);
+    let server = CloudServer::from_outsource_with_cache(msg, 0).expect("outsource boots server");
+    let (transport, server): (Box<dyn Transport>, TransportServer) = if tcp {
+        let srv = TcpServer::spawn(Arc::new(server), TcpServerOptions::new(workers, backlog))
+            .expect("tcp server binds loopback");
+        let t = TcpTransport::new(srv.addr());
+        (Box::new(t), TransportServer::Tcp(srv))
+    } else {
+        let handle = ServerHandle::spawn_pool_with(server, PoolOptions::new(workers, backlog));
+        let t = ChannelTransport::new(handle.client());
+        (Box::new(t), TransportServer::Channel(handle))
+    };
+    let req = owner
+        .authorize_user()
+        .search_request(HOT_KEYWORD, Some(10), SearchMode::Rsse)
+        .expect("search request");
+
+    // Dial every connection up front, then deal them round-robin to the
+    // client threads — the measured window is steady-state pipelining,
+    // not connection setup.
+    let threads_n = TRANSPORT_CLIENT_THREADS.min(connections);
+    let mut groups: Vec<Vec<Box<dyn Connection>>> = (0..threads_n).map(|_| Vec::new()).collect();
+    for i in 0..connections {
+        groups[i % threads_n].push(transport.connect().expect("connect"));
+    }
+
+    struct ConnState {
+        conn: Box<dyn Connection>,
+        sent_at: HashMap<u64, Instant>,
+        to_send: usize,
+        to_recv: usize,
+    }
+
+    let start = Instant::now();
+    let per_thread: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let threads: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let req = req.clone();
+                scope.spawn(move || {
+                    let mut states: Vec<ConnState> = group
+                        .into_iter()
+                        .map(|conn| ConnState {
+                            conn,
+                            sent_at: HashMap::new(),
+                            to_send: requests_per_conn,
+                            to_recv: requests_per_conn,
+                        })
+                        .collect();
+                    // Prime every window, then slide: one reply in, one
+                    // request out, round-robin across this thread's
+                    // connections.
+                    for s in &mut states {
+                        for _ in 0..TRANSPORT_INFLIGHT.min(s.to_send) {
+                            let seq = s.conn.send(req.clone()).expect("send");
+                            s.sent_at.insert(seq, Instant::now());
+                        }
+                        s.to_send -= TRANSPORT_INFLIGHT.min(s.to_send);
+                    }
+                    let mut lats = Vec::with_capacity(states.len() * requests_per_conn);
+                    loop {
+                        let mut live = false;
+                        for s in &mut states {
+                            if s.to_recv == 0 {
+                                continue;
+                            }
+                            live = true;
+                            let (seq, body) =
+                                s.conn.recv_any(TRANSPORT_TIMEOUT).expect("pipelined reply");
+                            let sent = s.sent_at.remove(&seq).expect("unknown sequence id");
+                            lats.push(sent.elapsed());
+                            s.to_recv -= 1;
+                            let reply = Message::decode(bytes::BytesMut::from(&body[..]))
+                                .expect("reply decodes");
+                            assert!(
+                                matches!(reply, Message::RsseResponse { .. }),
+                                "unexpected reply {reply:?}"
+                            );
+                            if s.to_send > 0 {
+                                let seq = s.conn.send(req.clone()).expect("send");
+                                s.sent_at.insert(seq, Instant::now());
+                                s.to_send -= 1;
+                            }
+                        }
+                        if !live {
+                            break;
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("transport client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut latencies: Vec<Duration> = per_thread.into_iter().flatten().collect();
+    let requests = connections * requests_per_conn;
+    assert!(
+        transport.traffic().bytes_down > 0,
+        "traffic must be metered"
+    );
+
+    let served = match server {
+        TransportServer::Channel(handle) => handle.shutdown(),
+        TransportServer::Tcp(srv) => {
+            let stats = srv.stats();
+            assert_eq!(stats.garbled, 0, "no reply may arrive garbled");
+            assert_eq!(stats.overloaded, 0, "backlog was sized to never shed");
+            srv.shutdown()
+        }
+    };
+    assert_eq!(
+        served, requests as u64,
+        "transport lost or duplicated frames"
+    );
+
+    latencies.sort_unstable();
+    ConfigResult {
+        scenario: "transport",
+        workers,
+        transport: if tcp { "tcp" } else { "channel" },
+        connections,
+        inflight_per_conn: TRANSPORT_INFLIGHT,
+        requests,
+        wall_s: wall.as_secs_f64(),
+        rps: requests as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        shed_retries: 0,
+        shard_legs: 0,
+        pruned_legs: 0,
+        filter_fetches: 0,
+        batched_queries: 0,
+        cache_hits: 0,
+        cache_misses: 0,
         replica_routed: Vec::new(),
         compactions: 0,
         compact_max_pause_ms: 0.0,
@@ -540,6 +741,9 @@ fn run_churn(
     ConfigResult {
         scenario: name,
         workers,
+        transport: "inproc",
+        connections: 0,
+        inflight_per_conn: 0,
         requests: frames,
         wall_s: wall.as_secs_f64(),
         rps: frames as f64 / wall.as_secs_f64(),
@@ -692,6 +896,9 @@ fn run_sharded(
     ConfigResult {
         scenario: "sharded",
         workers: shards,
+        transport: "inproc",
+        connections: 0,
+        inflight_per_conn: 0,
         requests,
         wall_s: wall.as_secs_f64(),
         rps: requests as f64 / wall.as_secs_f64(),
@@ -805,6 +1012,9 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
     ));
     out.push_str(&format!("  \"shard_replicas\": {SHARD_REPLICAS},\n"));
     out.push_str(&format!(
+        "  \"transport_inflight\": {TRANSPORT_INFLIGHT},\n"
+    ));
+    out.push_str(&format!(
         "  \"cold_start\": {{\"index_full_load_ms\": {:.3}, \
          \"index_segment_open_ms\": {:.3}, \"deploy_rebuild_ms\": {:.3}, \
          \"deploy_from_segment_ms\": {:.3}}},\n",
@@ -833,7 +1043,8 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
             .collect::<Vec<_>>()
             .join(", ");
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
+            "    {{\"scenario\": \"{}\", \"workers\": {}, \"transport\": \"{}\", \
+             \"connections\": {}, \"inflight_per_conn\": {}, \"requests\": {}, \
              \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
              \"p99_ms\": {:.3}, \"shed_retries\": {}, \"shard_legs\": {}, \
              \"pruned_legs\": {}, \"filter_fetches\": {}, \
@@ -843,6 +1054,9 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
              \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
+            r.transport,
+            r.connections,
+            r.inflight_per_conn,
             r.requests,
             r.wall_s,
             r.rps,
@@ -994,9 +1208,12 @@ fn main() {
     let mut results = Vec::new();
     let print_row = |r: &ConfigResult| {
         println!(
-            "{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{},{}",
             r.scenario,
             r.workers,
+            r.transport,
+            r.connections,
+            r.inflight_per_conn,
             r.requests,
             r.wall_s,
             r.rps,
@@ -1012,9 +1229,9 @@ fn main() {
         );
     };
     println!(
-        "scenario,workers,requests,wall_s,requests_per_s,p50_ms,p99_ms,\
-         shed_retries,shard_legs,pruned_legs,filter_fetches,cache_hits,\
-         cache_misses,compactions"
+        "scenario,workers,transport,connections,inflight_per_conn,requests,\
+         wall_s,requests_per_s,p50_ms,p99_ms,shed_retries,shard_legs,\
+         pruned_legs,filter_fetches,cache_hits,cache_misses,compactions"
     );
     for scenario in &scenarios {
         for &workers in scenario.workers {
@@ -1051,6 +1268,30 @@ fn main() {
     // (two replica pools per shard).
     for &shards in &WORKER_COUNTS {
         let r = run_sharded(corpus.documents(), &shard_vocab, scaled(400), shards, seed);
+        print_row(&r);
+        results.push(r);
+    }
+
+    // Transport axis: the same compute-bound hot-keyword workload over
+    // the simulated channel transport (the baseline row, pushed first so
+    // the JSON speedup column divides by it) and over real loopback TCP
+    // at increasing connection counts and a deeper pool. All rows move
+    // identical frames; only the wire differs.
+    let transport_rows: [(bool, usize, usize); 4] = [
+        (false, 1, 64), // channel baseline
+        (true, 1, 8),
+        (true, 1, 64), // gated against the channel row below
+        (true, 2, 64),
+    ];
+    for &(tcp, workers, connections) in &transport_rows {
+        let r = run_transport(
+            &outsource_frame,
+            &owner,
+            tcp,
+            workers,
+            connections,
+            scaled(40),
+        );
         print_row(&r);
         results.push(r);
     }
@@ -1219,5 +1460,28 @@ fn main() {
         "from-segment bootstrap ({:.1} ms) must beat a rebuild ({:.1} ms)",
         cold.deploy_from_segment_s * 1e3,
         cold.deploy_rebuild_s * 1e3,
+    );
+
+    // Acceptance gate 7: real sockets must not eat the serving layer.
+    // At 64 pipelined loopback connections the TCP event loop holds at
+    // least 0.7x the in-process channel transport's requests/s on the
+    // identical compute-bound workload.
+    let transport_row = |kind: &str, workers: usize, connections: usize| {
+        results
+            .iter()
+            .find(|r| {
+                r.scenario == "transport"
+                    && r.transport == kind
+                    && r.workers == workers
+                    && r.connections == connections
+            })
+            .unwrap_or_else(|| panic!("missing transport row {kind}/{workers}/{connections}"))
+    };
+    let tcp_ratio = transport_row("tcp", 1, 64).rps / transport_row("channel", 1, 64).rps;
+    eprintln!("tcp vs channel at 64 pipelined connections: {tcp_ratio:.2}x");
+    assert!(
+        tcp_ratio >= 0.7,
+        "loopback TCP at 64 pipelined connections must hold >= 0.7x the \
+         channel transport, got {tcp_ratio:.2}x"
     );
 }

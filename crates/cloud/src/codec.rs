@@ -37,6 +37,9 @@ pub enum CodecError {
     TrailingBytes(usize),
     /// A string field was not valid UTF-8.
     BadString,
+    /// A transport envelope header was malformed (its declared length
+    /// cannot even cover the sequence id).
+    BadEnvelope(u32),
 }
 
 impl core::fmt::Display for CodecError {
@@ -47,6 +50,9 @@ impl core::fmt::Display for CodecError {
             CodecError::Oversize(n) => write!(f, "length prefix {n} exceeds frame cap"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             CodecError::BadString => write!(f, "string field is not valid UTF-8"),
+            CodecError::BadEnvelope(n) => {
+                write!(f, "envelope length {n} cannot cover the sequence id")
+            }
         }
     }
 }
@@ -973,6 +979,123 @@ impl Message {
     }
 }
 
+/// Wire tag of [`Message::Error`] frames — exposed crate-internally so
+/// the transport layer can classify reply bodies for traffic metering
+/// (one byte peek) without a full decode.
+pub(crate) const ERROR_FRAME_TAG: u8 = 12;
+
+/// Bytes of the transport envelope prepended to every message body on a
+/// byte stream: a big-endian `u32` length (covering the sequence id and
+/// the body) followed by the big-endian `u64` pipelining sequence id.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Builds one length-delimited wire frame: `u32 len | u64 seq | body`,
+/// where `len = 8 + body.len()`. This is the *only* place frame bytes are
+/// assembled, so both transports put byte-identical frames on their wire
+/// and the traffic meters count the very same lengths.
+///
+/// # Panics
+///
+/// If `body` exceeds [`MAX_FRAME_LEN`] — encoded messages are produced by
+/// [`Message::encode`], which cannot exceed the cap without the encoder
+/// itself being out of protocol.
+pub fn frame_message(seq: u64, body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_FRAME_LEN, "frame body over the wire cap");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32 + 8).to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Reassembles length-delimited frames from an arbitrarily split byte
+/// stream — the read side of [`frame_message`].
+///
+/// Feed whatever chunk the socket produced with [`Self::feed`], then
+/// drain complete frames with [`Self::next_frame`]. The declared length
+/// is validated as soon as the four length bytes are visible: a frame
+/// announcing more than [`MAX_FRAME_LEN`] (or less than the sequence id
+/// it must carry) is rejected *before* its payload is buffered, so a
+/// hostile peer cannot make the assembler allocate the lie. After an
+/// error the stream is unsynchronized and the caller must drop the
+/// connection; the assembler keeps returning the same error.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` — compacted away once it grows past a
+    /// threshold or the buffer fully drains, so a long-lived connection
+    /// does not accrete its history.
+    pos: usize,
+}
+
+/// Consumed-prefix size past which [`FrameAssembler`] compacts its buffer.
+const ASSEMBLER_COMPACT_THRESHOLD: usize = 64 << 10;
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends raw stream bytes (any split, including single bytes).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame as `(seq, body)`, or `None` when the
+    /// stream has not yet delivered one.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Oversize`] when a header declares a body over
+    /// [`MAX_FRAME_LEN`]; [`CodecError::BadEnvelope`] when it declares a
+    /// length too short to carry the sequence id. Both fire before any
+    /// payload bytes are required (or kept).
+    pub fn next_frame(&mut self) -> Result<Option<(u64, Vec<u8>)>, CodecError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_be_bytes(len_bytes);
+        if (len as usize) < 8 {
+            return Err(CodecError::BadEnvelope(len));
+        }
+        let body_len = len as usize - 8;
+        if body_len > MAX_FRAME_LEN {
+            return Err(CodecError::Oversize(u64::from(len)));
+        }
+        if avail < 4 + len as usize {
+            self.compact();
+            return Ok(None);
+        }
+        let seq_at = self.pos + 4;
+        let seq = u64::from_be_bytes(self.buf[seq_at..seq_at + 8].try_into().expect("8 bytes"));
+        let body = self.buf[seq_at + 8..seq_at + 8 + body_len].to_vec();
+        self.pos += 4 + len as usize;
+        self.compact();
+        Ok(Some((seq, body)))
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > ASSEMBLER_COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1336,5 +1459,76 @@ mod tests {
         let has_k_offset = 1 + 20 + 32;
         encoded[has_k_offset] = 7;
         assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(7)));
+    }
+
+    #[test]
+    fn frame_roundtrips_through_the_assembler() {
+        let mut stream = Vec::new();
+        let msgs = sample_messages();
+        for (i, msg) in msgs.iter().enumerate() {
+            stream.extend_from_slice(&frame_message(i as u64, &msg.encode()));
+        }
+        let mut asm = FrameAssembler::new();
+        asm.feed(&stream);
+        for (i, msg) in msgs.iter().enumerate() {
+            let (seq, body) = asm.next_frame().unwrap().expect("frame complete");
+            assert_eq!(seq, i as u64);
+            assert_eq!(body, msg.encode().to_vec());
+        }
+        assert_eq!(asm.next_frame().unwrap(), None);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_reassembles_from_single_byte_feeds() {
+        let body = Message::FetchFiles { ids: vec![7, 9] }.encode();
+        let frame = frame_message(0xDEAD_BEEF, &body);
+        let mut asm = FrameAssembler::new();
+        for (i, b) in frame.iter().enumerate() {
+            assert_eq!(asm.next_frame().unwrap(), None, "complete at byte {i}?");
+            asm.feed(std::slice::from_ref(b));
+        }
+        let (seq, got) = asm.next_frame().unwrap().expect("complete");
+        assert_eq!(seq, 0xDEAD_BEEF);
+        assert_eq!(got, body.to_vec());
+    }
+
+    #[test]
+    fn oversize_header_is_rejected_before_the_payload_arrives() {
+        let mut asm = FrameAssembler::new();
+        // Only the four length bytes: a declared body over the cap must
+        // already fail, with nothing buffered beyond the header.
+        asm.feed(&(MAX_FRAME_LEN as u32 + 8 + 1).to_be_bytes());
+        assert!(matches!(asm.next_frame(), Err(CodecError::Oversize(_))));
+        // The error is sticky: the stream cannot resynchronize.
+        assert!(matches!(asm.next_frame(), Err(CodecError::Oversize(_))));
+    }
+
+    #[test]
+    fn envelope_too_short_for_the_sequence_id_is_rejected() {
+        for len in [0u32, 1, 7] {
+            let mut asm = FrameAssembler::new();
+            asm.feed(&len.to_be_bytes());
+            assert_eq!(asm.next_frame().unwrap_err(), CodecError::BadEnvelope(len));
+        }
+        // len == 8 is the smallest legal frame: an empty body.
+        let mut asm = FrameAssembler::new();
+        asm.feed(&frame_message(3, &[]));
+        assert_eq!(asm.next_frame().unwrap(), Some((3, Vec::new())));
+    }
+
+    #[test]
+    fn assembler_compacts_its_consumed_prefix() {
+        let body = vec![0xABu8; 32 << 10];
+        let frame = frame_message(1, &body);
+        let mut asm = FrameAssembler::new();
+        for i in 0..4 {
+            asm.feed(&frame);
+            let (_, got) = asm.next_frame().unwrap().expect("complete");
+            assert_eq!(got, body, "iteration {i}");
+            assert_eq!(asm.buffered(), 0);
+        }
+        // Internal buffer must not have accreted all four frames.
+        assert!(asm.buf.capacity() < 4 * frame.len());
     }
 }

@@ -21,15 +21,15 @@ use crate::files::{EncryptedFile, FileCrypter, FileStore};
 use crate::network::{MeteredChannel, TrafficReport};
 use parking_lot::{RwLock, RwLockReadGuard};
 use rsse_core::{
-    ranked_prefix, CompactionStats, GenerationStats, RankedResult, Rsse, RsseIndex, RsseParams,
-    RsseTrapdoor,
+    ranked_prefix, BatchReadStats, CompactionStats, GenerationStats, RankedResult, Rsse, RsseIndex,
+    RsseParams, RsseTrapdoor,
 };
 use rsse_crypto::SecretKey;
 use rsse_ir::{Document, FileId, InvertedIndex};
 use rsse_opse::OpseParams;
 use rsse_sse::scheme::open_entries;
 use rsse_sse::{BasicEncryptedIndex, BasicScheme};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -515,6 +515,107 @@ impl CloudServer {
         )
     }
 
+    /// Serves every query of one batch frame together, so the index can
+    /// fetch all touched posting lists in file-offset order
+    /// ([`RsseIndex::search_batch`]; [`CloudServer::batch_read_stats`]
+    /// counts the seeks saved) instead of seeking per query.
+    ///
+    /// Per-query replies stay byte-identical to serial
+    /// [`Self::ranked_search_with_files`] calls: cache hits take the same
+    /// prefix copy; misses are full-list rankings (`top_k = None`) that
+    /// answer via [`ranked_prefix`] — which equals the direct heap top-k
+    /// by the sort-then-truncate property — and are offered back under
+    /// one epoch snapshot taken before the index read, exactly like the
+    /// single-query fill. Cache hit/miss counters follow serial order: a
+    /// label missing at batch start counts one miss, its duplicates count
+    /// hits (they would have hit the just-filled entry).
+    fn ranked_search_batch(
+        &self,
+        queries: Vec<(Label, [u8; 32], Option<u32>)>,
+    ) -> Vec<BatchResult> {
+        /// How one query of the batch resolves: a cached full ranking, or
+        /// an index into the batched miss-fill rankings.
+        enum Plan {
+            Cached(Arc<Vec<RankedResult>>),
+            Miss(usize),
+        }
+        let mut plans: Vec<Plan> = Vec::with_capacity(queries.len());
+        let mut miss_trapdoors: Vec<RsseTrapdoor> = Vec::new();
+        let mut miss_slot: HashMap<Label, usize> = HashMap::new();
+        let cache_enabled;
+        let fill_epoch;
+        {
+            let cache = self.cache.read();
+            cache_enabled = cache.is_enabled();
+            fill_epoch = cache.epoch();
+            for (label, key, _) in &queries {
+                if cache_enabled {
+                    if let Some(ranking) = cache.get(label) {
+                        plans.push(Plan::Cached(ranking));
+                        continue;
+                    }
+                }
+                let slot = *miss_slot.entry(*label).or_insert_with(|| {
+                    miss_trapdoors.push(RsseTrapdoor::from_parts(
+                        *label,
+                        SecretKey::from_bytes(*key),
+                    ));
+                    miss_trapdoors.len() - 1
+                });
+                plans.push(Plan::Miss(slot));
+            }
+        }
+        let full: Vec<Arc<Vec<RankedResult>>> = self
+            .rsse_index
+            .read()
+            .search_batch(&miss_trapdoors, None)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        if cache_enabled && !full.is_empty() {
+            let mut cache = self.cache.write();
+            for (trapdoor, ranking) in miss_trapdoors.iter().zip(&full) {
+                cache.insert_if_current(*trapdoor.label(), Arc::clone(ranking), fill_epoch);
+            }
+        }
+        let mut filled: HashSet<Label> = HashSet::new();
+        queries
+            .iter()
+            .zip(&plans)
+            .map(|((label, _, top_k), plan)| {
+                let ranking: &[RankedResult] = match plan {
+                    Plan::Cached(ranking) => {
+                        self.counters.record_cache(true);
+                        ranking
+                    }
+                    Plan::Miss(slot) => {
+                        if cache_enabled {
+                            // First sight of the label is the miss; its
+                            // duplicates would have hit the fresh fill.
+                            self.counters.record_cache(!filled.insert(*label));
+                        }
+                        &full[*slot]
+                    }
+                };
+                let results = ranked_prefix(ranking, top_k.map(|k| k as usize));
+                let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+                (
+                    results
+                        .iter()
+                        .map(|r| (r.file.as_u64(), r.encrypted_score))
+                        .collect(),
+                    self.files.read().fetch_many(&ids),
+                )
+            })
+            .collect()
+    }
+
+    /// Counters of the index's batched sorted-read path (zero on the
+    /// in-memory backend).
+    pub fn batch_read_stats(&self) -> BatchReadStats {
+        self.rsse_index.read().batch_read_stats()
+    }
+
     fn dispatch(&self, msg: Message) -> (RequestKind, Result<Message, CloudError>) {
         match msg {
             Message::SearchRequest {
@@ -604,10 +705,7 @@ impl CloudServer {
                 )
             }
             Message::BatchRequest { queries, shard_id } => {
-                let results: Vec<BatchResult> = queries
-                    .into_iter()
-                    .map(|(label, key, top_k)| self.ranked_search_with_files(label, key, top_k))
-                    .collect();
+                let results = self.ranked_search_batch(queries);
                 (
                     RequestKind::Batch,
                     Ok(Message::BatchReply { shard_id, results }),
@@ -1253,6 +1351,21 @@ impl Deployment {
     /// locking is interior to [`CloudServer`].
     pub fn server(&self) -> Arc<CloudServer> {
         Arc::clone(&self.server)
+    }
+
+    /// Puts this deployment's server behind a real loopback TCP listener
+    /// (see [`crate::tcp::TcpServer`]): same shared [`CloudServer`], same
+    /// frames, but reached over sockets by any number of pipelined
+    /// connections instead of the in-process channel.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] binding the listener.
+    pub fn serve_tcp(
+        &self,
+        options: crate::tcp::TcpServerOptions,
+    ) -> std::io::Result<crate::tcp::TcpServer> {
+        crate::tcp::TcpServer::spawn(self.server(), options)
     }
 
     /// One metered request/response round over the wire: encodes the

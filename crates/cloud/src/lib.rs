@@ -8,7 +8,11 @@
 //!   RSSE protocol against the basic scheme's naive and two-round variants;
 //! * [`files`] — encrypted file storage;
 //! * [`adversary`] — the statistical keyword-fingerprinting attack the
-//!   one-to-many mapping defends against (Fig. 4 vs Fig. 6).
+//!   one-to-many mapping defends against (Fig. 4 vs Fig. 6);
+//! * [`transport`] / [`tcp`] — the byte-stream serving seam: one
+//!   `Transport` trait over the deterministic in-process channel harness
+//!   and a real non-blocking TCP event loop with pipelining and
+//!   backpressure.
 //!
 //! # Example
 //!
@@ -41,10 +45,15 @@ pub mod keydist;
 pub mod network;
 pub mod server_loop;
 pub mod shard;
+pub mod tcp;
+pub mod transport;
 
 pub use audit::{AuditCounters, AuditLog, RequestKind, ServingReport};
 pub use cache::{CacheStats, RankingCache};
-pub use codec::{BatchResult, CodecError, ErrorKind, Message, SearchMode};
+pub use codec::{
+    frame_message, BatchResult, CodecError, ErrorKind, FrameAssembler, Message, SearchMode,
+    FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
 pub use entities::{CloudServer, DataOwner, Deployment, User};
 pub use error::CloudError;
 pub use files::{EncryptedFile, FileCrypter, FileStore};
@@ -56,3 +65,5 @@ pub use shard::{
     BatchScatterOutcome, IndexPartitioner, RouterOptions, ScatterOutcome, ShardRouter,
     ShardedDeployment,
 };
+pub use tcp::{TcpConnection, TcpServer, TcpServerOptions, TcpServerStats, TcpTransport};
+pub use transport::{ChannelTransport, Connection, FrameMeter, Transport};

@@ -149,6 +149,12 @@ impl PoolOptions {
     }
 }
 
+/// Detail string of the `Overloaded` frame a full backlog sheds with.
+/// Shared by the in-process admission path ([`ServerClient`]) and the TCP
+/// event loop (`crate::tcp`), so the shed frame is byte-identical no
+/// matter which transport carried the request.
+pub(crate) const OVERLOAD_DETAIL: &str = "request backlog is full";
+
 /// Serves one encoded request frame to one encoded response frame — the
 /// single serving path shared by the pool workers and the in-process
 /// [`Deployment`](crate::entities::Deployment) rounds.
@@ -494,8 +500,7 @@ impl ServerClient {
                 // Shed: the bounded backlog is the server's admission
                 // control, so a full queue answers like the front door
                 // would — with a decodable Overloaded frame, not a block.
-                let shed =
-                    Message::error(ErrorKind::Overloaded, "request backlog is full").encode();
+                let shed = Message::error(ErrorKind::Overloaded, OVERLOAD_DETAIL).encode();
                 let Message::Error { kind, detail } = Message::decode(shed)? else {
                     unreachable!("an encoded error frame decodes to an error frame");
                 };
@@ -556,20 +561,34 @@ impl PendingReply {
     ///   replying;
     /// * a codec error when the reply frame does not decode.
     pub fn wait(self, deadline: Option<Duration>) -> Result<Message, CloudError> {
-        let frame = match deadline {
+        let frame = self.wait_frame(deadline)?;
+        match Message::decode(BytesMut::from(&frame[..]))? {
+            Message::Error { kind, detail } => Err(CloudError::Server { kind, detail }),
+            msg => Ok(msg),
+        }
+    }
+
+    /// Waits for the raw reply frame without decoding it — the byte-level
+    /// hook the transport layer uses, so error frames stay comparable
+    /// bytes instead of being lifted into [`CloudError`] on the way out.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Timeout`] when `deadline` expires first, or
+    /// [`CloudError::Transport`] when the serving worker died before
+    /// replying. A timeout consumes nothing: the reply can still be
+    /// collected by a later call once the worker answers.
+    pub fn wait_frame(&self, deadline: Option<Duration>) -> Result<Vec<u8>, CloudError> {
+        match deadline {
             Some(limit) => self.reply_rx.recv_timeout(limit).map_err(|e| match e {
                 RecvTimeoutError::Timeout => CloudError::Timeout { after: limit },
                 RecvTimeoutError::Disconnected => CloudError::Transport {
                     context: "worker died before replying",
                 },
-            })?,
+            }),
             None => self.reply_rx.recv().map_err(|_| CloudError::Transport {
                 context: "worker died before replying",
-            })?,
-        };
-        match Message::decode(BytesMut::from(&frame[..]))? {
-            Message::Error { kind, detail } => Err(CloudError::Server { kind, detail }),
-            msg => Ok(msg),
+            }),
         }
     }
 }

@@ -9,7 +9,9 @@
 use bytes::BytesMut;
 use proptest::collection::vec;
 use proptest::prelude::*;
-use rsse_cloud::{ErrorKind, Message};
+use rsse_cloud::{
+    frame_message, CodecError, ErrorKind, FrameAssembler, Message, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
 
 /// Encoded frames of every protocol variant, used as mutation seeds.
 fn seed_frames() -> Vec<Vec<u8>> {
@@ -132,4 +134,126 @@ proptest! {
         frame.truncate(cut as usize % (frame.len() + 1));
         assert_decode_is_total_and_canonical(&frame);
     }
+
+    /// Streaming fuzz: a wire stream of corrupted frame *bodies* (valid
+    /// envelopes, hostile payloads) fed to the assembler in arbitrary
+    /// chunk sizes must reassemble to exactly the bodies that were
+    /// framed, and the recovered bodies must survive the same
+    /// total-decode property as direct decoding.
+    #[test]
+    fn streaming_reassembly_of_corrupted_bodies_never_panics(
+        frame_choice in any::<u8>(),
+        corrupt_at in any::<u16>(),
+        corrupt_with in any::<u8>(),
+        chunk in 1usize..97,
+    ) {
+        let seeds = seed_frames();
+        let mut body = seeds[frame_choice as usize % seeds.len()].clone();
+        let at = corrupt_at as usize % body.len();
+        body[at] ^= corrupt_with;
+        let stream = frame_message(7, &body);
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            asm.feed(piece);
+            while let Some((seq, body)) = asm.next_frame().unwrap() {
+                got.push((seq, body));
+            }
+        }
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(got[0].0, 7);
+        prop_assert_eq!(&got[0].1, &body);
+        assert_decode_is_total_and_canonical(&got[0].1);
+    }
+}
+
+/// Every fuzz seed, framed and replayed through the streaming assembler
+/// split at **every** byte boundary: for each split point the stream is
+/// delivered as two reads, and the reassembled `(seq, body)` must equal
+/// what was framed regardless of where the socket cut the bytes. The
+/// whole concatenated log is also fed one byte at a time, exercising
+/// every intra-frame boundary of every seed in one pass.
+#[test]
+fn every_seed_reassembles_at_every_split_boundary() {
+    let seeds = seed_frames();
+
+    // Two-read splits of each individual frame.
+    for (i, body) in seeds.iter().enumerate() {
+        let frame = frame_message(i as u64, body);
+        for cut in 0..=frame.len() {
+            let mut asm = FrameAssembler::new();
+            asm.feed(&frame[..cut]);
+            if cut < frame.len() {
+                // An incomplete frame yields nothing yet — the partial
+                // read must never surface a short or garbled frame.
+                if cut < FRAME_HEADER_LEN {
+                    assert!(asm.next_frame().unwrap().is_none());
+                }
+                asm.feed(&frame[cut..]);
+            }
+            let (seq, got) = asm.next_frame().unwrap().expect("one whole frame fed");
+            assert_eq!(seq, i as u64, "split at {cut}");
+            assert_eq!(&got, body, "split at {cut}");
+            assert!(asm.next_frame().unwrap().is_none());
+            assert_eq!(asm.buffered(), 0);
+        }
+    }
+
+    // The full pipelined log, one byte per read.
+    let stream: Vec<u8> = seeds
+        .iter()
+        .enumerate()
+        .flat_map(|(i, body)| frame_message(i as u64, body))
+        .collect();
+    let mut asm = FrameAssembler::new();
+    let mut got = Vec::new();
+    for byte in &stream {
+        asm.feed(std::slice::from_ref(byte));
+        while let Some(frame) = asm.next_frame().unwrap() {
+            got.push(frame);
+        }
+    }
+    assert_eq!(got.len(), seeds.len());
+    for (i, (seq, body)) in got.iter().enumerate() {
+        assert_eq!(*seq, i as u64);
+        assert_eq!(body, &seeds[i]);
+    }
+}
+
+/// Hostile declared lengths are rejected from the four length bytes
+/// alone — before any payload is buffered — and the error is sticky.
+#[test]
+fn hostile_declared_lengths_are_rejected_before_buffering() {
+    // Over the bounded-decode cap: u32::MAX and exactly one past the cap.
+    for hostile in [u32::MAX, (MAX_FRAME_LEN as u32) + 8 + 1] {
+        let mut asm = FrameAssembler::new();
+        asm.feed(&hostile.to_be_bytes());
+        let err = asm.next_frame().unwrap_err();
+        assert!(
+            matches!(err, CodecError::Oversize(n) if n == u64::from(hostile)),
+            "declared {hostile}: got {err:?}"
+        );
+        // Rejected without the payload: only the 4 header bytes were
+        // ever retained, and the assembler refuses to resynchronize.
+        assert_eq!(asm.buffered(), 4);
+        asm.feed(&[0u8; 64]);
+        assert!(asm.next_frame().is_err(), "error must be sticky");
+    }
+
+    // Too short to carry the sequence id the envelope promises.
+    for hostile in 0u32..8 {
+        let mut asm = FrameAssembler::new();
+        asm.feed(&hostile.to_be_bytes());
+        let err = asm.next_frame().unwrap_err();
+        assert!(
+            matches!(err, CodecError::BadEnvelope(n) if n == hostile),
+            "declared {hostile}: got {err:?}"
+        );
+    }
+
+    // The largest in-cap length is *not* rejected early: the assembler
+    // waits for the payload instead, so the cap is exact.
+    let mut asm = FrameAssembler::new();
+    asm.feed(&((MAX_FRAME_LEN as u32) + 8).to_be_bytes());
+    assert!(asm.next_frame().unwrap().is_none());
 }

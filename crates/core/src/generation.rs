@@ -67,12 +67,12 @@ use crate::backend::IndexBackend;
 use crate::index::{merge_ranked_streams, rank_entries, Label, RankedResult, RsseTrapdoor};
 use crate::persist::{PersistError, SegmentWriter, DIR_RECORD_LEN};
 use crate::segio::{read_file, SegmentIo};
-use crate::segment::SegmentReader;
+use crate::segment::{BatchReadCounters, BatchReadStats, ListBytes, SegmentReader};
 use crate::store::PostingStore;
 use crate::RsseIndex;
 use rsse_crypto::SemanticCipher;
 use rsse_opse::OpseParams;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -309,6 +309,7 @@ pub struct GenerationalBackend {
     opse: OpseParams,
     shared: Arc<GenShared>,
     overlay: PostingStore,
+    batch: Arc<BatchReadCounters>,
 }
 
 impl GenerationalBackend {
@@ -410,6 +411,7 @@ impl GenerationalBackend {
                 reclaimed,
             }),
             overlay: PostingStore::new(),
+            batch: Arc::new(BatchReadCounters::default()),
         })
     }
 
@@ -591,6 +593,78 @@ impl GenerationalBackend {
                 merge_ranked_streams(&refs, top_k)
             }
         }
+    }
+
+    /// Batched [`Self::search`]: every generation file reads the posting
+    /// lists the batch touches in file-offset order (one sorted pass per
+    /// generation — see [`SegmentReader::read_lists_sorted`]), then each
+    /// query ranks against the prefetched bytes. One generation snapshot
+    /// covers the whole batch, and per-query results are byte-identical
+    /// to serial [`Self::search`] calls against that snapshot: the bytes
+    /// fetched and the rank/merge code are the same.
+    pub(crate) fn search_batch(
+        &self,
+        trapdoors: &[RsseTrapdoor],
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Vec<Vec<RankedResult>> {
+        let set = self.shared.current_set();
+        let mut per_segment: Vec<HashMap<Label, ListBytes>> =
+            Vec::with_capacity(set.segments.len());
+        let mut lists_read = 0u64;
+        let mut seeks_saved = 0u64;
+        for seg in &set.segments {
+            let (lists, seeks) = seg
+                .reader
+                .read_lists_sorted(trapdoors.iter().map(RsseTrapdoor::label));
+            lists_read += lists.len() as u64;
+            seeks_saved += seeks;
+            per_segment.push(lists);
+        }
+        self.batch.note(lists_read, seeks_saved);
+        trapdoors
+            .iter()
+            .map(|trapdoor| {
+                let overlay_list = self.overlay.list(trapdoor.label());
+                let in_base = per_segment.iter().any(|m| m.contains_key(trapdoor.label()));
+                if !in_base && overlay_list.is_none() {
+                    return Vec::new();
+                }
+                let cipher = SemanticCipher::new(trapdoor.list_key());
+                let mut streams: Vec<Vec<RankedResult>> = Vec::new();
+                for lists in &per_segment {
+                    if let Some(list) = lists.get(trapdoor.label()) {
+                        let ranked =
+                            rank_entries(list.entries(), list.len(), &cipher, top_k, scratch);
+                        if !ranked.is_empty() {
+                            streams.push(ranked);
+                        }
+                    }
+                }
+                if let Some(pl) = overlay_list {
+                    if !pl.is_empty() {
+                        let ranked = rank_entries(pl.iter(), pl.len(), &cipher, top_k, scratch);
+                        if !ranked.is_empty() {
+                            streams.push(ranked);
+                        }
+                    }
+                }
+                match streams.len() {
+                    0 => Vec::new(),
+                    1 => streams.pop().expect("one stream"),
+                    _ => {
+                        let refs: Vec<&[RankedResult]> =
+                            streams.iter().map(Vec::as_slice).collect();
+                        merge_ranked_streams(&refs, top_k)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Counters of the batched-read path since open.
+    pub fn batch_read_stats(&self) -> BatchReadStats {
+        self.batch.snapshot()
     }
 
     fn union_labels(&self) -> BTreeSet<Label> {

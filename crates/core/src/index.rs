@@ -16,7 +16,7 @@ use crate::entry::{decode_entry, ENTRY_CT_LEN, ENTRY_PLAIN_LEN};
 use crate::generation::{GenerationPin, GenerationStats, GenerationalBackend, LiveCompaction};
 use crate::persist::PersistError;
 use crate::segio::{SegmentIo, StdIo};
-use crate::segment::SegmentBackend;
+use crate::segment::{BatchReadStats, SegmentBackend};
 use crate::store::PostingStore;
 use rsse_crypto::{SecretKey, SemanticCipher};
 use rsse_ir::FileId;
@@ -399,6 +399,53 @@ impl RsseIndex {
             }
             Backend::Segment(s) => s.search(trapdoor, top_k, scratch),
             Backend::Generational(g) => g.search(trapdoor, top_k, scratch),
+        }
+    }
+
+    /// Serves a whole batch frame's queries in one call. On the disk
+    /// backends every posting list the batch touches is fetched up front
+    /// with the reads sorted into file-offset order (per segment file),
+    /// so a batch that hops around the keyword space no longer drags the
+    /// file cursor backwards between queries; [`Self::batch_read_stats`]
+    /// counts the seeks this saves. Per-query results are byte-identical
+    /// to calling [`Self::search`] per trapdoor — same bytes read, same
+    /// ranking code — which is what keeps batch replies equal across the
+    /// in-memory and disk backends.
+    pub fn search_batch(
+        &self,
+        trapdoors: &[RsseTrapdoor],
+        top_k: Option<usize>,
+    ) -> Vec<Vec<RankedResult>> {
+        let mut scratch = Vec::with_capacity(ENTRY_PLAIN_LEN);
+        self.search_batch_with_scratch(trapdoors, top_k, &mut scratch)
+    }
+
+    /// [`Self::search_batch`] decrypting into a caller-owned scratch
+    /// buffer, like [`Self::search_with_scratch`].
+    pub fn search_batch_with_scratch(
+        &self,
+        trapdoors: &[RsseTrapdoor],
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Vec<Vec<RankedResult>> {
+        match &self.backend {
+            // The arena has no seeks to save: per-query dispatch.
+            Backend::Mem(_) => trapdoors
+                .iter()
+                .map(|t| self.search_with_scratch(t, top_k, scratch))
+                .collect(),
+            Backend::Segment(s) => s.search_batch(trapdoors, top_k, scratch),
+            Backend::Generational(g) => g.search_batch(trapdoors, top_k, scratch),
+        }
+    }
+
+    /// Counters of the batched sorted-read path (always zero for the
+    /// in-memory backend, which has no file cursor to schedule).
+    pub fn batch_read_stats(&self) -> BatchReadStats {
+        match &self.backend {
+            Backend::Mem(_) => BatchReadStats::default(),
+            Backend::Segment(s) => s.batch_read_stats(),
+            Backend::Generational(g) => g.batch_read_stats(),
         }
     }
 

@@ -44,10 +44,52 @@ use crate::segio::{SegmentIo, SegmentRead, StdIo};
 use crate::store::PostingStore;
 use rsse_crypto::SemanticCipher;
 use rsse_opse::OpseParams;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, BufReader, Read};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Counters of the batched posting-read path: how many query frames took
+/// it, how many base lists it fetched, and how many backward file seeks
+/// the offset-sort eliminated. Snapshot via
+/// [`crate::RsseIndex::batch_read_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReadStats {
+    /// Batch frames served through the sorted-read path.
+    pub batches: u64,
+    /// Base posting lists fetched by those batches (one read each).
+    pub lists_read: u64,
+    /// Backward seeks the in-file-order read schedule eliminated: for
+    /// each batch, the number of consecutive unique-label pairs whose
+    /// request order would have moved the file cursor backwards.
+    pub seeks_saved: u64,
+}
+
+/// Shared mutable home of [`BatchReadStats`] — lives in an `Arc` so
+/// backend clones (and the compaction reopen) keep one counter set.
+#[derive(Debug, Default)]
+pub(crate) struct BatchReadCounters {
+    batches: AtomicU64,
+    lists_read: AtomicU64,
+    seeks_saved: AtomicU64,
+}
+
+impl BatchReadCounters {
+    pub fn note(&self, lists_read: u64, seeks_saved: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.lists_read.fetch_add(lists_read, Ordering::Relaxed);
+        self.seeks_saved.fetch_add(seeks_saved, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> BatchReadStats {
+        BatchReadStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            lists_read: self.lists_read.load(Ordering::Relaxed),
+            seeks_saved: self.seeks_saved.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Where one posting list's entry records live in the segment file.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +110,15 @@ pub(crate) struct ListBytes {
 }
 
 impl ListBytes {
+    /// The degraded stand-in for a list that failed to read — ranks to
+    /// nothing, exactly like [`SegmentReader::rank_label`]'s `Some(empty)`.
+    fn empty() -> Self {
+        ListBytes {
+            buf: Vec::new(),
+            bounds: Vec::new(),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.bounds.len()
     }
@@ -359,6 +410,40 @@ impl SegmentReader {
         }
     }
 
+    /// Reads every base list a batch of labels touches, **in file order**:
+    /// unique present labels are collected in request order (to count the
+    /// backward seeks that order would have cost), then sorted by their
+    /// file offset before the reads are issued, so the disk cursor only
+    /// ever moves forward within the segment. Returns the lists keyed by
+    /// label plus the number of backward seeks eliminated; a list that
+    /// fails to read degrades to an empty one, exactly like
+    /// [`Self::rank_label`].
+    pub fn read_lists_sorted<'a>(
+        &self,
+        labels: impl Iterator<Item = &'a Label>,
+    ) -> (HashMap<Label, ListBytes>, u64) {
+        let mut seen: HashSet<Label> = HashSet::new();
+        let mut metas: Vec<(Label, SegmentList)> = Vec::new();
+        for label in labels {
+            if seen.insert(*label) {
+                if let Some(meta) = self.directory.get(label) {
+                    metas.push((*label, *meta));
+                }
+            }
+        }
+        let seeks_saved = metas
+            .windows(2)
+            .filter(|w| w[1].1.offset < w[0].1.offset)
+            .count() as u64;
+        metas.sort_unstable_by_key(|(_, meta)| meta.offset);
+        let mut lists = HashMap::with_capacity(metas.len());
+        for (label, meta) in metas {
+            let list = self.read_list(&meta).unwrap_or_else(|_| ListBytes::empty());
+            lists.insert(label, list);
+        }
+        (lists, seeks_saved)
+    }
+
     /// Visits every entry of the list under `label`, in file order.
     /// Returns `false` when the label is not in this segment; a failed
     /// read visits nothing (degraded, like the search path).
@@ -386,6 +471,7 @@ pub struct SegmentBackend {
     reader: SegmentReader,
     path: PathBuf,
     overlay: PostingStore,
+    batch: Arc<BatchReadCounters>,
 }
 
 impl SegmentBackend {
@@ -422,6 +508,7 @@ impl SegmentBackend {
             reader,
             path,
             overlay: PostingStore::new(),
+            batch: Arc::new(BatchReadCounters::default()),
         })
     }
 
@@ -484,6 +571,57 @@ impl SegmentBackend {
         }
     }
 
+    /// Batched [`Self::search`]: all base posting lists the batch touches
+    /// are fetched up front through [`SegmentReader::read_lists_sorted`]
+    /// — one read per unique list, issued in file-offset order — and each
+    /// query then ranks against the prefetched bytes. Per-query results
+    /// are byte-identical to calling [`Self::search`] one at a time: the
+    /// fetched bytes are the same, and ranking/merging is the same code.
+    pub(crate) fn search_batch(
+        &self,
+        trapdoors: &[RsseTrapdoor],
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Vec<Vec<RankedResult>> {
+        let (lists, seeks_saved) = self
+            .reader
+            .read_lists_sorted(trapdoors.iter().map(RsseTrapdoor::label));
+        self.batch.note(lists.len() as u64, seeks_saved);
+        trapdoors
+            .iter()
+            .map(|trapdoor| {
+                let in_base = lists.contains_key(trapdoor.label());
+                let overlay_list = self.overlay.list(trapdoor.label());
+                if !in_base && overlay_list.is_none() {
+                    return Vec::new();
+                }
+                let cipher = SemanticCipher::new(trapdoor.list_key());
+                let base = lists
+                    .get(trapdoor.label())
+                    .map(|list| rank_entries(list.entries(), list.len(), &cipher, top_k, scratch))
+                    .unwrap_or_default();
+                let overlay = match overlay_list {
+                    Some(pl) if !pl.is_empty() => {
+                        rank_entries(pl.iter(), pl.len(), &cipher, top_k, scratch)
+                    }
+                    _ => Vec::new(),
+                };
+                match (base.is_empty(), overlay.is_empty()) {
+                    (false, true) => base,
+                    (true, false) => overlay,
+                    (true, true) => Vec::new(),
+                    (false, false) => merge_ranked_streams(&[&base, &overlay], top_k),
+                }
+            })
+            .collect()
+    }
+
+    /// Counters of the batched-read path since open (survives
+    /// [`Self::compact`]'s reopen).
+    pub fn batch_read_stats(&self) -> BatchReadStats {
+        self.batch.snapshot()
+    }
+
     /// Folds the delta overlay into a fresh segment file and reopens it.
     ///
     /// The merged segment is written beside the current one
@@ -540,7 +678,9 @@ impl SegmentBackend {
         if let Some(parent) = self.path.parent() {
             self.io.fsync_dir(parent)?;
         }
+        let batch = Arc::clone(&self.batch);
         *self = SegmentBackend::open_with_io(Arc::clone(&self.io), &self.path)?;
+        self.batch = batch;
         Ok(true)
     }
 }
@@ -747,6 +887,33 @@ mod tests {
         assert!(seg.for_each_entry(&label(5), &mut |e| got.push(e.to_vec())));
         assert_eq!(got, vec![vec![0x11; 4], vec![0x22; 4]]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_reads_match_serial_and_count_saved_seeks() {
+        let (path, _) = saved_segment("batch");
+        let mut seg = SegmentBackend::open(&path).unwrap();
+        seg.append(label(1), &[vec![0xA9; 6]]);
+        let key = rsse_crypto::SecretKey::derive(b"k", "t");
+        // Labels are written in sorted order, so offsets ascend with the
+        // label: querying 3, 2, 1 (with a duplicate) makes every unique
+        // hop a backward seek the sorted schedule eliminates.
+        let trapdoors: Vec<RsseTrapdoor> = [3u8, 2, 3, 1]
+            .iter()
+            .map(|b| RsseTrapdoor::from_parts(label(*b), key.clone()))
+            .collect();
+        let mut scratch = Vec::new();
+        let batched = seg.search_batch(&trapdoors, None, &mut scratch);
+        for (t, got) in trapdoors.iter().zip(&batched) {
+            assert_eq!(*got, seg.search(t, None, &mut scratch));
+        }
+        let stats = seg.batch_read_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.lists_read, 3, "unique lists read once each");
+        assert_eq!(stats.seeks_saved, 2, "3→2 and 2→1 were both backward");
+        // The counters survive compaction's reopen.
+        assert!(seg.compact().unwrap());
+        assert_eq!(seg.batch_read_stats(), stats);
     }
 
     #[test]

@@ -56,15 +56,31 @@ cargo test -q --test backend_equivalence
 echo "==> cargo test -q -p rsse-core --test crash_torture"
 cargo test -q -p rsse-core --test crash_torture
 
+# The transport layer's tentpole guarantees: the real TCP event loop and
+# the simulated channel transport produce byte-identical reply frames,
+# rankings, and traffic reports for the same pipelined request log; out-
+# of-order completions re-pair by sequence id; a slow reader stalls only
+# its own connection; overload sheds the canonical frame over TCP too.
+echo "==> cargo test -q -p rsse-cloud --test transport_equivalence --test tcp_transport"
+cargo test -q -p rsse-cloud --test transport_equivalence --test tcp_transport
+
+# 512-connection loopback soak: 16 client threads, 4-deep pipelines of
+# mixed search/fetch frames per connection, every reply re-paired by
+# sequence id and type-checked — exits nonzero on any dropped, garbled,
+# or misrouted frame. The full (non-smoke) soak runs more rounds.
+echo "==> tcp_soak --smoke"
+cargo run --release -q -p rsse-bench --bin tcp_soak -- --smoke
+
 # Smoke the throughput harness end to end (tiny counts, no perf gates):
 # boots every scenario including the Zipf hot_keywords cache pair, the
 # batched cpu path, the generational churn pair (live compactor beside
 # the pool), and the tuned sharded scenario (pruning + merged cache +
 # replicas under churn), and checks the functional cache invariants.
 # The full (non-smoke) run additionally gates sharded 8-shard
-# throughput at >= 1.0x single-shard on the churny Zipf workload and
-# the churn-compact leg at >= 0.8x the no-compaction baseline, voiding
-# the published numbers on failure.
+# throughput at >= 1.0x single-shard on the churny Zipf workload, the
+# churn-compact leg at >= 0.8x the no-compaction baseline, and loopback
+# TCP at 64 pipelined connections at >= 0.7x the channel transport,
+# voiding the published numbers on failure.
 echo "==> throughput --smoke"
 cargo run --release -q -p rsse-bench --bin throughput -- --smoke
 
