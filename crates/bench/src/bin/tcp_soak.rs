@@ -7,9 +7,9 @@
 //! Sixteen client threads drive 32 connections each (512 total — far
 //! past the point where thread-per-connection would thrash a small
 //! host), every connection keeping a 4-deep window of *mixed* requests
-//! in flight: ranked searches and file fetches interleaved, so replies
-//! of different sizes and types cross on the wire. Every reply is
-//! checked three ways:
+//! in flight: ranked searches, conjunctive (multi-keyword) searches,
+//! and file fetches interleaved, so replies of different sizes and
+//! types cross on the wire. Every reply is checked three ways:
 //!
 //! 1. its sequence id matches a request this connection actually sent
 //!    and has not yet seen answered (no drops, no duplicates, no
@@ -46,6 +46,7 @@ const TIMEOUT: Duration = Duration::from_secs(60);
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum Expect {
     Search,
+    Conjunctive,
     Fetch,
 }
 
@@ -81,20 +82,28 @@ fn main() {
     let search = user
         .search_request("network", Some(5), SearchMode::Rsse)
         .expect("search request");
+    // Conjunctive frame in the same pipelines: `multi_trapdoor` keeps
+    // whichever of the two words the corpus actually knows, so the frame
+    // stays valid on any seed.
+    let conjunctive = user
+        .conjunctive_request("network data", Some(5))
+        .expect("conjunctive request");
     let fetch = Message::FetchFiles { ids: vec![1, 2, 3] };
 
     let start = Instant::now();
     let total: u64 = std::thread::scope(|scope| {
         let threads: Vec<_> = (0..CLIENT_THREADS)
             .map(|t| {
-                let (transport, search, fetch) = (&transport, &search, &fetch);
+                let (transport, search, conjunctive, fetch) =
+                    (&transport, &search, &conjunctive, &fetch);
                 scope.spawn(move || {
                     let per_thread = CONNECTIONS / CLIENT_THREADS;
                     let mut conns = Vec::with_capacity(per_thread);
                     for c in 0..per_thread {
-                        // Mixed phase per connection so searches and
-                        // fetches interleave differently on every wire.
-                        let phase = (t * per_thread + c) % 2;
+                        // Mixed phase per connection so searches,
+                        // conjunctions, and fetches interleave
+                        // differently on every wire.
+                        let phase = (t * per_thread + c) % 3;
                         conns.push((
                             transport.dial().expect("dial"),
                             HashMap::<u64, Expect>::new(),
@@ -107,10 +116,10 @@ fn main() {
                                      pending: &mut HashMap<u64, Expect>,
                                      phase: usize,
                                      i: usize| {
-                        let (msg, expect) = if (i + phase).is_multiple_of(2) {
-                            (search.clone(), Expect::Search)
-                        } else {
-                            (fetch.clone(), Expect::Fetch)
+                        let (msg, expect) = match (i + phase) % 3 {
+                            0 => (search.clone(), Expect::Search),
+                            1 => (conjunctive.clone(), Expect::Conjunctive),
+                            _ => (fetch.clone(), Expect::Fetch),
                         };
                         let seq = conn.send(msg).expect("send");
                         assert!(
@@ -142,6 +151,13 @@ fn main() {
                             match (expect, &reply) {
                                 (Expect::Search, Message::RsseResponse { ranking, .. }) => {
                                     assert_eq!(ranking.len(), 5, "truncated ranking");
+                                }
+                                (
+                                    Expect::Conjunctive,
+                                    Message::ConjunctiveResponse { ranking, files },
+                                ) => {
+                                    assert!(ranking.len() <= 5, "top-5 conjunction overflowed");
+                                    assert_eq!(ranking.len(), files.len(), "misaligned files");
                                 }
                                 (Expect::Fetch, Message::FilesResponse { files }) => {
                                     assert_eq!(files.len(), 3, "truncated fetch");

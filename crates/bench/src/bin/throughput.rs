@@ -43,6 +43,17 @@
 //!   straight from an on-disk `RSSEIDX2` segment (per-label positional
 //!   reads + delta overlay) instead of the in-memory arena. Steady state
 //!   must hold at least 0.5x the mem backend's requests/s (gated below).
+//! * **conjunctive** — multi-keyword intersection serving: single-frame
+//!   `ConjunctiveRequest`s drawn Zipf from a small pool of two-keyword
+//!   queries, run with the conjunctive result cache at its default
+//!   budget and disabled (the cached leg must sustain at least 2x the
+//!   uncached requests/s, gated below), plus a sharded arm over the
+//!   tuned router (conjunctive scatter legs, merged-result cache,
+//!   rare-pair pruning, churny updates). Every conjunctive row also
+//!   carries NDCG@10 of the server's `score_sum` ranking heuristic
+//!   against the owner's exact IDF re-rank
+//!   (`Rsse::rerank_conjunctive`) over the same query pool — the rank
+//!   quality the wire order actually delivers.
 //! * **transport** — the connections-vs-workers axis: the compute-bound
 //!   hot-keyword workload pipelined 4-deep over 8/64 client connections,
 //!   once through the simulated channel transport (the baseline row) and
@@ -107,6 +118,12 @@ const SHARD_RARE_VOCAB: usize = 16;
 /// Every this-many client iterations in the sharded scenario, the
 /// client publishes a document update instead of a query.
 const SHARD_UPDATE_PERIOD: usize = 8;
+/// Distinct two-keyword query sets in the conjunctive pool — small
+/// enough that the Zipf log revisits them and the conjunctive caches
+/// have something to earn.
+const CONJ_POOL: usize = 16;
+/// Rank cutoff for the conjunctive NDCG column.
+const NDCG_K: usize = 10;
 /// Router merged-result cache budget for the sharded scenario.
 const ROUTER_CACHE_BUDGET: usize = 4 << 20;
 /// Replica pools per shard in the sharded scenario.
@@ -199,6 +216,9 @@ struct ConfigResult {
     pruned_legs: u64,
     /// Filter-exchange round trips spent keeping pruning fresh.
     filter_fetches: u64,
+    /// Conjunctive scatter legs actually sent (0 outside the sharded
+    /// conjunctive arm; metered apart from `shard_legs`).
+    conjunctive_legs: u64,
     /// Queries that rode inside `BatchRequest` frames.
     batched_queries: u64,
     cache_hits: u64,
@@ -214,6 +234,10 @@ struct ConfigResult {
     compact_max_pause_ms: f64,
     /// Segment bytes rewritten by the compactor.
     compact_bytes: u64,
+    /// NDCG@10 of the server's `score_sum` conjunctive heuristic against
+    /// the owner's exact IDF re-rank, averaged over the query pool
+    /// (0 for non-conjunctive scenarios).
+    ndcg_at_10: f64,
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
@@ -362,6 +386,7 @@ fn run_config(
         shard_legs: 0,
         pruned_legs: 0,
         filter_fetches: 0,
+        conjunctive_legs: 0,
         batched_queries: if scenario.batch > 1 {
             requests as u64
         } else {
@@ -373,6 +398,7 @@ fn run_config(
         compactions: 0,
         compact_max_pause_ms: 0.0,
         compact_bytes: 0,
+        ndcg_at_10: 0.0,
     }
 }
 
@@ -540,6 +566,7 @@ fn run_transport(
         shard_legs: 0,
         pruned_legs: 0,
         filter_fetches: 0,
+        conjunctive_legs: 0,
         batched_queries: 0,
         cache_hits: 0,
         cache_misses: 0,
@@ -547,6 +574,7 @@ fn run_transport(
         compactions: 0,
         compact_max_pause_ms: 0.0,
         compact_bytes: 0,
+        ndcg_at_10: 0.0,
     }
 }
 
@@ -753,6 +781,7 @@ fn run_churn(
         shard_legs: 0,
         pruned_legs: 0,
         filter_fetches: 0,
+        conjunctive_legs: 0,
         batched_queries: 0,
         cache_hits: 0,
         cache_misses: 0,
@@ -760,6 +789,7 @@ fn run_churn(
         compactions: compactor.compactions,
         compact_max_pause_ms: compactor.max_pause.as_secs_f64() * 1e3,
         compact_bytes: compactor.bytes,
+        ndcg_at_10: 0.0,
     }
 }
 
@@ -908,6 +938,7 @@ fn run_sharded(
         shard_legs,
         pruned_legs,
         filter_fetches,
+        conjunctive_legs: 0,
         batched_queries: 0,
         cache_hits: merged.hits,
         cache_misses: merged.misses,
@@ -915,6 +946,365 @@ fn run_sharded(
         compactions: 0,
         compact_max_pause_ms: 0.0,
         compact_bytes: 0,
+        ndcg_at_10: 0.0,
+    }
+}
+
+/// [`CONJ_POOL`] two-keyword conjunctive queries over the hot
+/// vocabulary, every pair a distinct keyword *set* (the stride-5 walk
+/// below never revisits an unordered pair within the pool).
+fn conjunctive_pool(vocab: &[String]) -> Vec<String> {
+    let span = vocab.len().min(24);
+    (0..CONJ_POOL.min(span))
+        .map(|i| {
+            let mut j = (i * 5 + 1) % span;
+            if j == i {
+                j = (j + 1) % span;
+            }
+            format!("{} {}", vocab[i], vocab[j])
+        })
+        .collect()
+}
+
+/// NDCG@[`NDCG_K`] of the server-side `score_sum` order against the
+/// owner's exact IDF re-rank ([`Rsse::rerank_conjunctive`]), averaged
+/// over the query pool. Gains are the exact IDF scores, so a perfect
+/// heuristic scores 1.0 and any inversion inside the top k costs in
+/// proportion to the relevance it misplaced.
+fn measure_conjunctive_ndcg(
+    scheme: &Rsse,
+    index: &RsseIndex,
+    plain_index: &InvertedIndex,
+    pool: &[String],
+) -> f64 {
+    let opse = *index.opse_params().expect("index carries OPSE params");
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for query in pool {
+        let words: Vec<&str> = query.split_whitespace().collect();
+        let trapdoor = scheme.multi_trapdoor(query).expect("conjunctive trapdoor");
+        let hits = index.search_conjunctive(&trapdoor, None);
+        if hits.is_empty() {
+            continue;
+        }
+        let dfs: Vec<u64> = words
+            .iter()
+            .map(|w| plain_index.document_frequency(w))
+            .collect();
+        let exact = scheme
+            .rerank_conjunctive(&words, &hits, opse, &dfs, plain_index.num_docs())
+            .expect("exact re-rank");
+        let gain: HashMap<u64, f64> = exact.iter().map(|(f, s)| (f.as_u64(), *s)).collect();
+        let dcg: f64 = hits
+            .iter()
+            .take(NDCG_K)
+            .enumerate()
+            .map(|(i, h)| gain[&h.file.as_u64()] / (i as f64 + 2.0).log2())
+            .sum();
+        let idcg: f64 = exact
+            .iter()
+            .take(NDCG_K)
+            .enumerate()
+            .map(|(i, (_, s))| s / (i as f64 + 2.0).log2())
+            .sum();
+        if idcg > 0.0 {
+            total += dcg / idcg;
+            counted += 1;
+        }
+    }
+    assert!(
+        counted > 0,
+        "conjunctive pool produced no non-empty intersections"
+    );
+    total / counted as f64
+}
+
+/// The conjunctive pair's per-config knobs (same story as
+/// [`ChurnConfig`]: a [`Scenario`] would drag in fields this runner
+/// does not use).
+struct ConjConfig {
+    /// Conjunctive result cache byte budget (0 disables it).
+    cache_budget: usize,
+    workers: usize,
+    frames_per_client: usize,
+}
+
+/// The conjunctive serving pair: single-frame `ConjunctiveRequest`s
+/// drawn Zipf(s = 1.1) from the two-keyword pool, served by the
+/// in-process pool with the conjunctive result cache at its configured
+/// budget. Same closed loop and overload-retry story as
+/// `hot_keywords`, but every frame is a full multi-list intersection,
+/// and the cache columns report the *conjunctive* cache — keyed by the
+/// canonical (sorted) label set, so both keyword orders of a pair share
+/// one entry.
+fn run_conjunctive(
+    outsource_frame: &bytes::BytesMut,
+    owner: &DataOwner,
+    pool: &[String],
+    config: &ConjConfig,
+    seed: u64,
+    ndcg_at_10: f64,
+) -> ConfigResult {
+    let ConjConfig {
+        cache_budget,
+        workers,
+        frames_per_client,
+    } = *config;
+    let name: &'static str = if cache_budget == 0 {
+        "conjunctive_nocache"
+    } else {
+        "conjunctive"
+    };
+    let msg = Message::decode(outsource_frame.clone()).unwrap();
+    let server = CloudServer::from_outsource_with_cache(msg, cache_budget)
+        .expect("outsource frame boots the server");
+    let handle = ServerHandle::spawn_pool_with(server, PoolOptions::new(workers, BACKLOG));
+
+    let start = Instant::now();
+    let per_client: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|client_idx| {
+                let client = handle.client();
+                let user = owner.authorize_user();
+                scope.spawn(move || {
+                    let mut sampler =
+                        ZipfSampler::new(pool.len(), ZIPF_S, seed ^ (client_idx as u64) << 17);
+                    let mut lats = Vec::with_capacity(frames_per_client);
+                    let mut shed = 0u64;
+                    for _ in 0..frames_per_client {
+                        let query = &pool[sampler.sample()];
+                        let req = user
+                            .conjunctive_request(query, Some(10))
+                            .expect("conjunctive request");
+                        let sent = Instant::now();
+                        let mut backoff = Duration::from_micros(100);
+                        let resp = loop {
+                            match client.call(req.clone()) {
+                                Ok(resp) => break resp,
+                                Err(CloudError::Server {
+                                    kind: ErrorKind::Overloaded,
+                                    ..
+                                }) => {
+                                    shed += 1;
+                                    std::thread::sleep(backoff);
+                                    backoff = (backoff * 2).min(Duration::from_millis(5));
+                                }
+                                Err(e) => panic!("reply lost: {e}"),
+                            }
+                        };
+                        lats.push(sent.elapsed());
+                        match resp {
+                            Message::ConjunctiveResponse { .. } => {}
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                    (lats, shed)
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let shed_retries: u64 = per_client.iter().map(|(_, s)| s).sum();
+    let mut latencies: Vec<Duration> = per_client.into_iter().flat_map(|(l, _)| l).collect();
+
+    let frames = CLIENTS * frames_per_client;
+    let cache = handle.server().conjunctive_cache_stats();
+    let served = handle.shutdown();
+    assert_eq!(served, frames as u64, "pool lost or double-counted frames");
+    if cache_budget == 0 {
+        assert_eq!(
+            cache.hits + cache.misses,
+            0,
+            "disabled conjunctive cache must not count"
+        );
+    }
+
+    latencies.sort_unstable();
+    ConfigResult {
+        scenario: name,
+        workers,
+        transport: "inproc",
+        connections: 0,
+        inflight_per_conn: 0,
+        requests: frames,
+        wall_s: wall.as_secs_f64(),
+        rps: frames as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        shed_retries,
+        shard_legs: 0,
+        pruned_legs: 0,
+        filter_fetches: 0,
+        conjunctive_legs: 0,
+        batched_queries: 0,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        replica_routed: Vec::new(),
+        compactions: 0,
+        compact_max_pause_ms: 0.0,
+        compact_bytes: 0,
+        ndcg_at_10,
+    }
+}
+
+/// What one conjunctive sharded client hands back: latencies plus its
+/// share of the conjunctive scatter counters.
+struct ConjShardTally {
+    lats: Vec<Duration>,
+    conjunctive_legs: u64,
+    pruned_legs: u64,
+    filter_fetches: u64,
+}
+
+/// The sharded conjunctive arm: the same tuned router as `sharded`
+/// (pruning, merged-result cache, two replica pools per shard), but
+/// every query is a conjunctive scatter — one `ConjunctiveShardQuery`
+/// leg per unpruned shard, partial intersections merged by `score_sum`
+/// at the router, the merged ranking cached under the canonical label
+/// set. The pool carries a rare-pair tail (a df <= 2 keyword in a
+/// conjunction cannot intersect on every shard), and every
+/// [`SHARD_UPDATE_PERIOD`]-th iteration publishes a document update,
+/// churning filters and both cache layers.
+fn run_conjunctive_sharded(
+    docs: &[Document],
+    pool: &[String],
+    update_vocab: &[String],
+    iterations_per_client: usize,
+    shards: usize,
+    seed: u64,
+    ndcg_at_10: f64,
+) -> ConfigResult {
+    let params = RsseParams::default();
+    let cloud = ShardedDeployment::bootstrap_tuned(
+        b"throughput seed",
+        params,
+        docs,
+        shards,
+        PoolOptions::new(1, BACKLOG),
+        RouterOptions::new()
+            .with_pruning()
+            .with_merged_cache(ROUTER_CACHE_BUDGET)
+            .with_replicas(SHARD_REPLICAS),
+    )
+    .expect("sharded bootstrap");
+    let scheme = Rsse::new(b"throughput seed", params);
+    let plain_index = InvertedIndex::build(docs);
+    let crypter = FileCrypter::new(b"throughput seed");
+    let partitioner = cloud.partitioner();
+
+    let start = Instant::now();
+    let per_client: Vec<ConjShardTally> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|client_idx| {
+                let (cloud, scheme, plain_index, crypter) =
+                    (&cloud, &scheme, &plain_index, &crypter);
+                scope.spawn(move || {
+                    let updater = scheme.updater_for(plain_index).expect("updater");
+                    let mut query_sampler =
+                        ZipfSampler::new(pool.len(), ZIPF_S, seed ^ (client_idx as u64) << 17);
+                    let mut word_sampler = ZipfSampler::new(
+                        update_vocab.len(),
+                        ZIPF_S,
+                        seed ^ (client_idx as u64) << 23,
+                    );
+                    let mut tally = ConjShardTally {
+                        lats: Vec::with_capacity(iterations_per_client),
+                        conjunctive_legs: 0,
+                        pruned_legs: 0,
+                        filter_fetches: 0,
+                    };
+                    for i in 0..iterations_per_client {
+                        if (i + 1) % SHARD_UPDATE_PERIOD == 0 {
+                            let id = (1u64 << 39) | ((client_idx as u64) << 32) | i as u64;
+                            let words: Vec<&str> = (0..4)
+                                .map(|_| update_vocab[word_sampler.sample()].as_str())
+                                .collect();
+                            let doc = Document::new(
+                                FileId::new(id),
+                                format!("{} churn{id}", words.join(" ")),
+                            );
+                            let update = updater.add_document(&doc).expect("update");
+                            let file = crypter.encrypt(&doc);
+                            let shard = partitioner.shard_of(doc.id());
+                            cloud
+                                .shard_server(shard)
+                                .expect("shard exists")
+                                .apply_update(update, vec![file]);
+                            continue;
+                        }
+                        let query = &pool[query_sampler.sample()];
+                        let sent = Instant::now();
+                        let (docs, outcome) = cloud
+                            .conjunctive_search(query, Some(10))
+                            .expect("conjunctive scatter-gather query");
+                        tally.lats.push(sent.elapsed());
+                        assert!(docs.len() <= 10, "top-10 query returned {}", docs.len());
+                        assert!(
+                            outcome.is_complete(),
+                            "no shard may degrade on a healthy deployment"
+                        );
+                        tally.conjunctive_legs += outcome.traffic.conjunctive_legs as u64;
+                        tally.pruned_legs += outcome.traffic.pruned_legs as u64;
+                        tally.filter_fetches += outcome.traffic.filter_fetches as u64;
+                    }
+                    tally
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let requests: usize = per_client.iter().map(|t| t.lats.len()).sum();
+    let conjunctive_legs: u64 = per_client.iter().map(|t| t.conjunctive_legs).sum();
+    let pruned_legs: u64 = per_client.iter().map(|t| t.pruned_legs).sum();
+    let filter_fetches: u64 = per_client.iter().map(|t| t.filter_fetches).sum();
+    let mut latencies: Vec<Duration> = per_client.into_iter().flat_map(|t| t.lats).collect();
+
+    // The cache columns report the router's *conjunctive* merged-result
+    // cache; the per-shard conjunctive caches stay below the routing
+    // layer this arm measures.
+    let merged = cloud.router().conjunctive_merged_cache_stats();
+    let replica_routed = cloud.router().replica_routing();
+    let served = cloud.shutdown();
+    assert_eq!(
+        served,
+        conjunctive_legs + filter_fetches,
+        "every pool frame is a metered conjunctive leg or filter fetch"
+    );
+
+    latencies.sort_unstable();
+    ConfigResult {
+        scenario: "conjunctive_sharded",
+        workers: shards,
+        transport: "inproc",
+        connections: 0,
+        inflight_per_conn: 0,
+        requests,
+        wall_s: wall.as_secs_f64(),
+        rps: requests as f64 / wall.as_secs_f64(),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        shed_retries: 0,
+        shard_legs: 0,
+        pruned_legs,
+        filter_fetches,
+        conjunctive_legs,
+        batched_queries: 0,
+        cache_hits: merged.hits,
+        cache_misses: merged.misses,
+        replica_routed,
+        compactions: 0,
+        compact_max_pause_ms: 0.0,
+        compact_bytes: 0,
+        ndcg_at_10,
     }
 }
 
@@ -1048,9 +1438,11 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
              \"wall_s\": {:.4}, \"requests_per_s\": {:.1}, \"p50_ms\": {:.3}, \
              \"p99_ms\": {:.3}, \"shed_retries\": {}, \"shard_legs\": {}, \
              \"pruned_legs\": {}, \"filter_fetches\": {}, \
+             \"conjunctive_legs\": {}, \
              \"batched_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"replica_routed\": [{}], \"compactions\": {}, \
              \"compact_max_pause_ms\": {:.3}, \"compact_bytes\": {}, \
+             \"ndcg_at_10\": {:.4}, \
              \"speedup_vs_1_worker\": {:.2}}}{}\n",
             r.scenario,
             r.workers,
@@ -1066,6 +1458,7 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
             r.shard_legs,
             r.pruned_legs,
             r.filter_fetches,
+            r.conjunctive_legs,
             r.batched_queries,
             r.cache_hits,
             r.cache_misses,
@@ -1073,6 +1466,7 @@ fn write_json(path: &str, seed: u64, cold: &ColdStart, results: &[ConfigResult])
             r.compactions,
             r.compact_max_pause_ms,
             r.compact_bytes,
+            r.ndcg_at_10,
             r.rps / baseline.rps,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -1111,11 +1505,34 @@ fn main() {
         shard_vocab.len() > vocab.len(),
         "paper corpus must have rare terms for the prunable tail"
     );
+    // Conjunctive query pools: a hot pool of two-keyword sets for the
+    // serving pair, plus a rare-pair tail for the sharded arm (a
+    // conjunction containing a df <= 2 keyword cannot intersect on every
+    // shard, so its scatter legs are prunable).
+    let conj_pool = conjunctive_pool(&vocab);
+    let mut conj_shard_pool = conj_pool.clone();
+    for (i, rare) in shard_vocab[vocab.len()..].iter().take(4).enumerate() {
+        conj_shard_pool.push(format!("{rare} {}", vocab[i]));
+    }
     let owner = DataOwner::new(b"throughput seed", RsseParams::default());
     let outsource_frame = owner
         .outsource(corpus.documents())
         .expect("outsource")
         .encode();
+
+    eprintln!("measuring conjunctive rank quality (NDCG@{NDCG_K} vs exact re-rank)...");
+    let ndcg = {
+        let scheme = Rsse::new(b"throughput seed", RsseParams::default());
+        let enc_index = scheme
+            .build_index(corpus.documents())
+            .expect("index build for NDCG");
+        measure_conjunctive_ndcg(&scheme, &enc_index, &plain_index, &conj_pool)
+    };
+    eprintln!("conjunctive NDCG@{NDCG_K} (score_sum heuristic vs exact IDF re-rank): {ndcg:.4}");
+    assert!(
+        ndcg.is_finite() && ndcg > 0.0 && ndcg <= 1.0 + 1e-9,
+        "NDCG@{NDCG_K} must land in (0, 1], got {ndcg}"
+    );
 
     let scenarios = [
         Scenario {
@@ -1208,7 +1625,7 @@ fn main() {
     let mut results = Vec::new();
     let print_row = |r: &ConfigResult| {
         println!(
-            "{},{},{},{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{:.4},{:.1},{:.3},{:.3},{},{},{},{},{},{},{},{},{:.4}",
             r.scenario,
             r.workers,
             r.transport,
@@ -1223,19 +1640,39 @@ fn main() {
             r.shard_legs,
             r.pruned_legs,
             r.filter_fetches,
+            r.conjunctive_legs,
             r.cache_hits,
             r.cache_misses,
-            r.compactions
+            r.compactions,
+            r.ndcg_at_10
         );
     };
     println!(
         "scenario,workers,transport,connections,inflight_per_conn,requests,\
          wall_s,requests_per_s,p50_ms,p99_ms,shed_retries,shard_legs,\
-         pruned_legs,filter_fetches,cache_hits,cache_misses,compactions"
+         pruned_legs,filter_fetches,conjunctive_legs,cache_hits,\
+         cache_misses,compactions,ndcg_at_10"
     );
     for scenario in &scenarios {
         for &workers in scenario.workers {
             let r = run_config(&outsource_frame, &owner, &vocab, scenario, workers, seed);
+            print_row(&r);
+            results.push(r);
+        }
+    }
+
+    // Conjunctive serving pair: the Zipf two-keyword log with the
+    // conjunctive result cache at its default budget and disabled —
+    // pushed cached-leg-first so the JSON speedup column divides by the
+    // cached single-worker baseline.
+    for cache_budget in [CloudServer::DEFAULT_CACHE_BUDGET, 0] {
+        for &workers in &[1usize, 4] {
+            let config = ConjConfig {
+                cache_budget,
+                workers,
+                frames_per_client: scaled(100),
+            };
+            let r = run_conjunctive(&outsource_frame, &owner, &conj_pool, &config, seed, ndcg);
             print_row(&r);
             results.push(r);
         }
@@ -1268,6 +1705,22 @@ fn main() {
     // (two replica pools per shard).
     for &shards in &WORKER_COUNTS {
         let r = run_sharded(corpus.documents(), &shard_vocab, scaled(400), shards, seed);
+        print_row(&r);
+        results.push(r);
+    }
+
+    // Sharded conjunctive arm: the same tuned router serving the
+    // two-keyword log as conjunctive scatters, rare-pair tail included.
+    for &shards in &[1usize, 4] {
+        let r = run_conjunctive_sharded(
+            corpus.documents(),
+            &conj_shard_pool,
+            &vocab,
+            scaled(200),
+            shards,
+            seed,
+            ndcg,
+        );
         print_row(&r);
         results.push(r);
     }
@@ -1327,6 +1780,35 @@ fn main() {
         let uncached = find("hot_keywords_nocache", workers);
         assert_eq!(uncached.cache_hits + uncached.cache_misses, 0);
     }
+    // Same invariants for the conjunctive pair: the cache is keyed by
+    // the canonical label set, so misses are bounded by the pool's
+    // distinct sets plus the same cold-fill concurrency slack.
+    for &workers in &[1usize, 4] {
+        let cached = find("conjunctive", workers);
+        assert!(
+            cached.cache_hits > 0,
+            "conjunctive Zipf workload must hit the cache (workers={workers})"
+        );
+        let miss_bound = conj_pool.len() + workers;
+        assert!(
+            cached.cache_misses as usize <= miss_bound,
+            "conjunctive misses are bounded by pool + workers: {} > {miss_bound}",
+            cached.cache_misses
+        );
+        let uncached = find("conjunctive_nocache", workers);
+        assert_eq!(uncached.cache_hits + uncached.cache_misses, 0);
+    }
+    // The sharded conjunctive arm's accounting must close: every pool
+    // frame it paid for is a metered conjunctive leg or filter fetch
+    // (asserted inside the run), and every scatter sent at most one leg
+    // per shard.
+    for &shards in &[1usize, 4] {
+        let r = find("conjunctive_sharded", shards);
+        assert!(
+            r.conjunctive_legs + r.pruned_legs <= (r.requests * shards) as u64,
+            "conjunctive scatters may not exceed one leg per shard per query"
+        );
+    }
 
     if smoke {
         eprintln!("smoke mode: skipping perf gates and equivalence suite");
@@ -1377,6 +1859,19 @@ fn main() {
             gain >= 3.0,
             "ranking cache must buy >= 3x on the Zipf workload \
              (workers={workers}), got {gain:.2}x"
+        );
+    }
+
+    // Acceptance gate 3b: the conjunctive result cache buys at least 2x
+    // on the Zipf two-keyword log at the same worker count — a hit skips
+    // the whole multi-list intersection, not just one ranking pass.
+    for &workers in &[1usize, 4] {
+        let gain = find("conjunctive", workers).rps / find("conjunctive_nocache", workers).rps;
+        eprintln!("conjunctive cache gain at {workers} worker(s): {gain:.2}x");
+        assert!(
+            gain >= 2.0,
+            "conjunctive cache must buy >= 2x on the Zipf two-keyword \
+             workload (workers={workers}), got {gain:.2}x"
         );
     }
 
@@ -1443,6 +1938,14 @@ fn main() {
     assert!(
         eight.pruned_legs > 0,
         "the rare-term tail must exercise label-filter pruning"
+    );
+    // Gate 5b: conjunctive pruning must fire too — a rare-pair query's
+    // legs are provably empty on every shard missing the rare keyword,
+    // so the 4-shard conjunctive arm must have skipped some.
+    let conj_four = find("conjunctive_sharded", 4);
+    assert!(
+        conj_four.pruned_legs > 0,
+        "the rare-pair tail must exercise conjunctive label-filter pruning"
     );
 
     // Acceptance gate 6: the warm restart actually is warm — opening the

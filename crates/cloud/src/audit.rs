@@ -36,6 +36,9 @@ pub enum RequestKind {
     Conjunctive,
     /// One scatter leg of a sharded search served by this shard.
     ShardQuery,
+    /// One scatter leg of a sharded *conjunctive* search served by this
+    /// shard.
+    ConjunctiveShard,
     /// A batched frame carrying several searches in one round trip.
     Batch,
     /// A §VII score-dynamics update.
@@ -62,6 +65,8 @@ pub struct ServingReport {
     pub conjunctive: u64,
     /// Sharded-search scatter legs served by this shard.
     pub shard_queries: u64,
+    /// Sharded-conjunctive scatter legs served by this shard.
+    pub conjunctive_shard_queries: u64,
     /// Batched frames handled (each may carry many searches).
     pub batches: u64,
     /// Score-dynamics updates applied.
@@ -110,6 +115,7 @@ impl AuditLog {
             RequestKind::Fetch => self.report.fetches += 1,
             RequestKind::Conjunctive => self.report.conjunctive += 1,
             RequestKind::ShardQuery => self.report.shard_queries += 1,
+            RequestKind::ConjunctiveShard => self.report.conjunctive_shard_queries += 1,
             RequestKind::Batch => self.report.batches += 1,
             RequestKind::Update => self.report.updates += 1,
             RequestKind::Filter => self.report.filter_fetches += 1,
@@ -154,6 +160,7 @@ pub struct AuditCounters {
     fetches: AtomicU64,
     conjunctive: AtomicU64,
     shard_queries: AtomicU64,
+    conjunctive_shard_queries: AtomicU64,
     batches: AtomicU64,
     updates: AtomicU64,
     filter_fetches: AtomicU64,
@@ -177,6 +184,7 @@ impl AuditCounters {
             RequestKind::Fetch => &self.fetches,
             RequestKind::Conjunctive => &self.conjunctive,
             RequestKind::ShardQuery => &self.shard_queries,
+            RequestKind::ConjunctiveShard => &self.conjunctive_shard_queries,
             RequestKind::Batch => &self.batches,
             RequestKind::Update => &self.updates,
             RequestKind::Filter => &self.filter_fetches,
@@ -205,6 +213,7 @@ impl AuditCounters {
             fetches: self.fetches.load(Ordering::Relaxed),
             conjunctive: self.conjunctive.load(Ordering::Relaxed),
             shard_queries: self.shard_queries.load(Ordering::Relaxed),
+            conjunctive_shard_queries: self.conjunctive_shard_queries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
             filter_fetches: self.filter_fetches.load(Ordering::Relaxed),
@@ -450,6 +459,7 @@ mod tests {
         assert_eq!(report.fetches, 1);
         assert_eq!(report.conjunctive, 0);
         assert_eq!(report.shard_queries, 0);
+        assert_eq!(report.conjunctive_shard_queries, 0);
         assert_eq!(report.panics, 0);
         // Only the 4 most recent records survive.
         let recent: Vec<RequestKind> = log.recent().collect();
@@ -490,6 +500,7 @@ mod tests {
             RequestKind::Panicked,
             RequestKind::Fetch,
             RequestKind::Conjunctive,
+            RequestKind::ConjunctiveShard,
             RequestKind::Filter,
         ];
         for kind in kinds {

@@ -79,6 +79,17 @@ impl CacheWeight for Vec<RankedResult> {
     }
 }
 
+impl CacheWeight for Vec<rsse_core::ConjunctiveResult> {
+    fn weight_bytes(&self) -> usize {
+        // Each result owns its per-keyword mapped-scores vector.
+        std::mem::size_of_val(self.as_slice())
+            + self
+                .iter()
+                .map(|r| std::mem::size_of_val(r.mapped_scores.as_slice()))
+                .sum::<usize>()
+    }
+}
+
 #[derive(Debug)]
 struct CacheEntry<V> {
     value: Arc<V>,
@@ -109,6 +120,14 @@ pub struct EpochCache<K, V> {
 
 /// The server-side hot-keyword cache: full rankings keyed by label.
 pub type RankingCache = EpochCache<Label, Vec<RankedResult>>;
+
+/// The server-side conjunctive-result cache: full intersected rankings
+/// keyed by the **sorted** label set (plus nothing else — any `top_k` is a
+/// prefix of the full ranking, and the sorted key makes every keyword
+/// ordering of the same query share one entry). Values hold mapped scores
+/// in canonical (label-sorted) part order; the serving path permutes them
+/// back to the query's order (see `rsse_core::canonical_label_order`).
+pub type ConjunctiveCache = EpochCache<Vec<Label>, Vec<rsse_core::ConjunctiveResult>>;
 
 /// Approximate budget charge of one cached entry.
 fn entry_bytes<K, V: CacheWeight>(value: &V) -> usize {

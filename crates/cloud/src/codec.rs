@@ -310,6 +310,34 @@ pub enum Message {
         /// requester's `known_epoch` is already current.
         labels: Option<Vec<Label>>,
     },
+    /// Router → shard: one scatter leg of a sharded conjunctive search.
+    /// Carries the same trapdoor set as a [`Message::ConjunctiveRequest`]
+    /// plus the shard's identity, echoed back in the reply so legs can be
+    /// correlated (like [`Message::ShardQuery`]). Under a disjoint file
+    /// partition each shard intersects locally and the global conjunction
+    /// is exactly the union of the per-shard ones.
+    ConjunctiveShardQuery {
+        /// Per-keyword trapdoor components, in query order.
+        trapdoors: Vec<(Label, [u8; 32])>,
+        /// `Some(k)` requests only the shard's local top-k (the global
+        /// top-k is a subset of the per-shard top-k union under a disjoint
+        /// file partition).
+        top_k: Option<u32>,
+        /// Which shard this leg addresses.
+        shard_id: u32,
+    },
+    /// Shard → router: the shard's locally intersected and ranked partial
+    /// conjunctive result, files included. A failing shard answers
+    /// [`Message::Error`] instead, exactly like [`Message::ShardReply`].
+    ConjunctiveShardReply {
+        /// Echo of the queried shard's identity.
+        shard_id: u32,
+        /// `(file id, per-keyword mapped scores)` in the shard's local
+        /// rank order (mapped-score sum descending, file id ascending).
+        ranking: Vec<(u64, Vec<u64>)>,
+        /// The ranked encrypted files, same order.
+        files: Vec<EncryptedFile>,
+    },
     /// Server → client: the request failed. Every request gets an answer
     /// frame — success or this — so failures are representable on a real
     /// transport and their bytes count in the bandwidth accounting.
@@ -661,6 +689,37 @@ impl Message {
                 buf.put_u32(*shard_id);
                 put_opt_u64(&mut buf, known_epoch);
             }
+            Message::ConjunctiveShardQuery {
+                trapdoors,
+                top_k,
+                shard_id,
+            } => {
+                buf.put_u8(19);
+                buf.put_u64(trapdoors.len() as u64);
+                for (label, key) in trapdoors {
+                    buf.put_slice(label);
+                    buf.put_slice(key);
+                }
+                put_opt_u32(&mut buf, top_k);
+                buf.put_u32(*shard_id);
+            }
+            Message::ConjunctiveShardReply {
+                shard_id,
+                ranking,
+                files,
+            } => {
+                buf.put_u8(20);
+                buf.put_u32(*shard_id);
+                buf.put_u64(ranking.len() as u64);
+                for (id, scores) in ranking {
+                    buf.put_u64(*id);
+                    buf.put_u64(scores.len() as u64);
+                    for s in scores {
+                        buf.put_u64(*s);
+                    }
+                }
+                put_files(&mut buf, files);
+            }
             Message::FilterReply {
                 shard_id,
                 epoch,
@@ -869,6 +928,41 @@ impl Message {
                     labels,
                 }
             }
+            19 => {
+                let n = get_len(&mut buf)?;
+                let mut trapdoors = Vec::with_capacity(bounded_cap(n, &buf, 52));
+                for _ in 0..n {
+                    let label: Label = get_array(&mut buf)?;
+                    let key: [u8; 32] = get_array(&mut buf)?;
+                    trapdoors.push((label, key));
+                }
+                let top_k = get_opt_u32(&mut buf)?;
+                let shard_id = get_u32(&mut buf)?;
+                Message::ConjunctiveShardQuery {
+                    trapdoors,
+                    top_k,
+                    shard_id,
+                }
+            }
+            20 => {
+                let shard_id = get_u32(&mut buf)?;
+                let n = get_len(&mut buf)?;
+                let mut ranking = Vec::with_capacity(bounded_cap(n, &buf, 16));
+                for _ in 0..n {
+                    let id = get_u64(&mut buf)?;
+                    let m = get_len(&mut buf)?;
+                    let mut scores = Vec::with_capacity(bounded_cap(m, &buf, 8));
+                    for _ in 0..m {
+                        scores.push(get_u64(&mut buf)?);
+                    }
+                    ranking.push((id, scores));
+                }
+                Message::ConjunctiveShardReply {
+                    shard_id,
+                    ranking,
+                    files: get_files(&mut buf)?,
+                }
+            }
             other => return Err(CodecError::BadTag(other)),
         };
         if buf.remaining() > 0 {
@@ -974,6 +1068,17 @@ impl Message {
             Message::FilterRequest { known_epoch, .. } => 4 + opt_u64_len(known_epoch),
             Message::FilterReply { labels, .. } => {
                 4 + 8 + 1 + labels.as_ref().map_or(0, |labels| 8 + 20 * labels.len())
+            }
+            Message::ConjunctiveShardQuery {
+                trapdoors, top_k, ..
+            } => 8 + 52 * trapdoors.len() + opt_u32_len(top_k) + 4,
+            Message::ConjunctiveShardReply { ranking, files, .. } => {
+                4 + 8
+                    + ranking
+                        .iter()
+                        .map(|(_, scores)| 8 + 8 + 8 * scores.len())
+                        .sum::<usize>()
+                    + files_len(files)
             }
         }
     }
@@ -1236,6 +1341,26 @@ mod tests {
                 epoch: 9,
                 labels: None,
             },
+            Message::ConjunctiveShardQuery {
+                trapdoors: vec![([21u8; 20], [22u8; 32]), ([23u8; 20], [24u8; 32])],
+                top_k: Some(5),
+                shard_id: 3,
+            },
+            Message::ConjunctiveShardQuery {
+                trapdoors: vec![([25u8; 20], [26u8; 32])],
+                top_k: None,
+                shard_id: 0,
+            },
+            Message::ConjunctiveShardReply {
+                shard_id: 3,
+                ranking: vec![(4, vec![700, 80]), (9, vec![300, 20])],
+                files: vec![EncryptedFile::new(FileId::new(4), vec![0xcd; 18])],
+            },
+            Message::ConjunctiveShardReply {
+                shard_id: 1,
+                ranking: vec![],
+                files: vec![],
+            },
             Message::Error {
                 kind: ErrorKind::Rejected,
                 detail: "expected a request".to_string(),
@@ -1441,6 +1566,41 @@ mod tests {
         buf.put_u32(0);
         buf.put_u64(1);
         buf.put_u8(1);
+        buf.put_u64(1 << 20);
+        assert_eq!(Message::decode(buf), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn conjunctive_shard_query_presence_byte_is_strict() {
+        // The has-top-k byte sits after the trapdoor vector; it must be
+        // exactly 0 or 1 (canonical codec).
+        let mut encoded = Message::ConjunctiveShardQuery {
+            trapdoors: vec![([1u8; 20], [2u8; 32])],
+            top_k: None,
+            shard_id: 5,
+        }
+        .encode();
+        encoded[1 + 8 + 52] = 2;
+        assert_eq!(Message::decode(encoded), Err(CodecError::BadTag(2)));
+    }
+
+    #[test]
+    fn hostile_conjunctive_shard_counts_are_rejected_not_allocated() {
+        // A huge trapdoor count in a tiny leg frame must fail cleanly.
+        let mut buf = BytesMut::new();
+        buf.put_u8(19);
+        buf.put_u64(u64::MAX);
+        assert!(matches!(Message::decode(buf), Err(CodecError::Oversize(_))));
+        // A huge ranking count in a tiny reply must fail cleanly too.
+        let mut buf = BytesMut::new();
+        buf.put_u8(20);
+        buf.put_u32(0); // shard_id
+        buf.put_u64(u64::MAX);
+        assert!(matches!(Message::decode(buf), Err(CodecError::Oversize(_))));
+        // A large-but-legal count with no payload behind it must hit EOF.
+        let mut buf = BytesMut::new();
+        buf.put_u8(20);
+        buf.put_u32(0);
         buf.put_u64(1 << 20);
         assert_eq!(Message::decode(buf), Err(CodecError::UnexpectedEof));
     }

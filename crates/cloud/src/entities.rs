@@ -14,15 +14,15 @@
 //!    round two — saving bandwidth, paying an extra round trip.
 
 use crate::audit::{AuditCounters, RequestKind, ServingReport};
-use crate::cache::{CacheStats, RankingCache};
+use crate::cache::{CacheStats, ConjunctiveCache, RankingCache};
 use crate::codec::{BatchResult, Label, Message, SearchMode};
 use crate::error::CloudError;
 use crate::files::{EncryptedFile, FileCrypter, FileStore};
 use crate::network::{MeteredChannel, TrafficReport};
 use parking_lot::{RwLock, RwLockReadGuard};
 use rsse_core::{
-    ranked_prefix, BatchReadStats, CompactionStats, GenerationStats, RankedResult, Rsse, RsseIndex,
-    RsseParams, RsseTrapdoor,
+    canonical_label_order, ranked_prefix, BatchReadStats, CompactionStats, ConjunctiveResult,
+    GenerationStats, MultiTrapdoor, RankedResult, Rsse, RsseIndex, RsseParams, RsseTrapdoor,
 };
 use rsse_crypto::SecretKey;
 use rsse_ir::{Document, FileId, InvertedIndex};
@@ -220,6 +220,14 @@ pub struct CloudServer {
     /// write side. The expensive ranking work on a miss happens *outside*
     /// the lock, guarded by the cache epoch.
     cache: RwLock<RankingCache>,
+    /// Conjunctive-result cache, same epoch discipline as `cache`: full
+    /// intersected rankings keyed by the **sorted** label set, with mapped
+    /// scores stored in canonical (label-sorted) part order so every
+    /// keyword ordering of one query shares one entry (DESIGN.md §6.8).
+    /// Invalidated wholesale on updates and compactions — a conjunction
+    /// touches several lists, so per-label surgical invalidation would
+    /// need a reverse map for a path that is rebuilt in one batched read.
+    conjunctive_cache: RwLock<ConjunctiveCache>,
     /// The shard-side label filter: which posting-list labels this server
     /// (treated as one shard of a sharded deployment) may hold real
     /// postings for, plus the epoch stamped into every `FilterReply`
@@ -412,6 +420,7 @@ impl CloudServer {
             files: RwLock::new(store),
             counters: AuditCounters::new(),
             cache: RwLock::new(RankingCache::new(cache_budget_bytes)),
+            conjunctive_cache: RwLock::new(ConjunctiveCache::new(cache_budget_bytes)),
             filter: RwLock::new(LabelFilter { labels, epoch: 0 }),
             filter_watch: Arc::new(AtomicU64::new(0)),
         }
@@ -616,6 +625,111 @@ impl CloudServer {
         self.rsse_index.read().batch_read_stats()
     }
 
+    /// Counters of the index's conjunctive pushdown path (zero until the
+    /// first conjunctive query).
+    pub fn conjunctive_stats(&self) -> rsse_core::ConjunctiveStats {
+        self.rsse_index.read().conjunctive_stats()
+    }
+
+    /// One conjunctive search against the RSSE index, served from the
+    /// conjunctive cache when possible.
+    ///
+    /// The cache key is the **sorted** label set, so every keyword
+    /// ordering of one query shares a single entry; cached values keep
+    /// their per-keyword scores in canonical (label-sorted) part order and
+    /// the hit path permutes them back to the query's keyword order. Any
+    /// `top_k` is a prefix of the cached full ranking — results are
+    /// totally ordered by (score sum, file id), which is independent of
+    /// keyword order. Same epoch discipline as [`Self::ranked_search`]:
+    /// the intersection runs outside the cache lock and the fill is
+    /// rejected if any invalidation happened in between.
+    fn conjunctive_ranked_search(
+        &self,
+        trapdoors: Vec<(Label, [u8; 32])>,
+        top_k: Option<usize>,
+    ) -> Vec<ConjunctiveResult> {
+        let labels: Vec<Label> = trapdoors.iter().map(|(label, _)| *label).collect();
+        let parts: Vec<RsseTrapdoor> = trapdoors
+            .into_iter()
+            .map(|(label, key)| RsseTrapdoor::from_parts(label, SecretKey::from_bytes(key)))
+            .collect();
+        let multi = MultiTrapdoor::from_parts(parts);
+        if labels.is_empty() {
+            return Vec::new();
+        }
+        let order = canonical_label_order(&labels);
+        let key: Vec<Label> = order.iter().map(|&i| labels[i]).collect();
+        let fill_epoch = {
+            let cache = self.conjunctive_cache.read();
+            if !cache.is_enabled() {
+                drop(cache);
+                return self.rsse_index.read().search_conjunctive(&multi, top_k);
+            }
+            match cache.get(&key) {
+                Some(canonical) => {
+                    drop(cache);
+                    self.counters.record_cache(true);
+                    // Canonical slot k holds query part order[k]; invert so
+                    // query part i reads from canonical slot inv[i].
+                    let mut inv = vec![0usize; order.len()];
+                    for (k, &i) in order.iter().enumerate() {
+                        inv[i] = k;
+                    }
+                    let take = top_k.unwrap_or(canonical.len()).min(canonical.len());
+                    return canonical[..take]
+                        .iter()
+                        .map(|r| ConjunctiveResult {
+                            file: r.file,
+                            mapped_scores: inv.iter().map(|&k| r.mapped_scores[k]).collect(),
+                            score_sum: r.score_sum,
+                        })
+                        .collect();
+                }
+                None => cache.epoch(),
+            }
+        };
+        self.counters.record_cache(false);
+        // Intersect the full ranking so every later top-k is a prefix of
+        // this fill.
+        let full = self.rsse_index.read().search_conjunctive(&multi, None);
+        let canonical: Vec<ConjunctiveResult> = full
+            .iter()
+            .map(|r| ConjunctiveResult {
+                file: r.file,
+                mapped_scores: order.iter().map(|&i| r.mapped_scores[i]).collect(),
+                score_sum: r.score_sum,
+            })
+            .collect();
+        self.conjunctive_cache
+            .write()
+            .insert_if_current(key, Arc::new(canonical), fill_epoch);
+        let mut result = full;
+        if let Some(k) = top_k {
+            result.truncate(k);
+        }
+        result
+    }
+
+    /// Ranked `(id, per-keyword scores)` pairs + the matching encrypted
+    /// files for one conjunctive query — the body shared by the single and
+    /// sharded conjunctive arms.
+    fn conjunctive_search_with_files(
+        &self,
+        trapdoors: Vec<(Label, [u8; 32])>,
+        top_k: Option<u32>,
+    ) -> (Vec<(u64, Vec<u64>)>, Vec<EncryptedFile>) {
+        let results = self.conjunctive_ranked_search(trapdoors, top_k.map(|k| k as usize));
+        let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+        let files = self.files.read().fetch_many(&ids);
+        (
+            results
+                .into_iter()
+                .map(|r| (r.file.as_u64(), r.mapped_scores))
+                .collect(),
+            files,
+        )
+    }
+
     fn dispatch(&self, msg: Message) -> (RequestKind, Result<Message, CloudError>) {
         match msg {
             Message::SearchRequest {
@@ -660,24 +774,31 @@ impl CloudServer {
                 )
             }
             Message::ConjunctiveRequest { trapdoors, top_k } => {
-                let parts: Vec<RsseTrapdoor> = trapdoors
-                    .into_iter()
-                    .map(|(label, key)| RsseTrapdoor::from_parts(label, SecretKey::from_bytes(key)))
-                    .collect();
-                let multi = rsse_core::multi::MultiTrapdoor::from_parts(parts);
-                let results = self
-                    .rsse_index
-                    .read()
-                    .search_conjunctive(&multi, top_k.map(|k| k as usize));
-                let ids: Vec<FileId> = results.iter().map(|r| r.file).collect();
+                let (ranking, files) = self.conjunctive_search_with_files(trapdoors, top_k);
                 (
                     RequestKind::Conjunctive,
-                    Ok(Message::ConjunctiveResponse {
-                        ranking: results
-                            .into_iter()
-                            .map(|r| (r.file.as_u64(), r.mapped_scores))
-                            .collect(),
-                        files: self.files.read().fetch_many(&ids),
+                    Ok(Message::ConjunctiveResponse { ranking, files }),
+                )
+            }
+            Message::ConjunctiveShardQuery {
+                trapdoors,
+                top_k,
+                shard_id,
+            } => {
+                // One conjunctive scatter leg: the disjoint file partition
+                // makes this shard's local intersection exactly the global
+                // intersection restricted to its files, so intersecting
+                // locally and echoing the shard identity suffices — the
+                // router k-way merges the per-shard rankings. Served
+                // through the conjunctive cache like the direct arm, so
+                // sharded conjunctions stay byte-identical with caching on.
+                let (ranking, files) = self.conjunctive_search_with_files(trapdoors, top_k);
+                (
+                    RequestKind::ConjunctiveShard,
+                    Ok(Message::ConjunctiveShardReply {
+                        shard_id,
+                        ranking,
+                        files,
                     }),
                 )
             }
@@ -745,8 +866,8 @@ impl CloudServer {
                 RequestKind::Rejected,
                 Err(CloudError::UnexpectedMessage {
                     expected:
-                        "SearchRequest, FetchFiles, ConjunctiveRequest, ShardQuery, BatchRequest, \
-                         FilterRequest or Update",
+                        "SearchRequest, FetchFiles, ConjunctiveRequest, ConjunctiveShardQuery, \
+                         ShardQuery, BatchRequest, FilterRequest or Update",
                 }),
             ),
         }
@@ -777,6 +898,10 @@ impl CloudServer {
                 cache.invalidate(label);
             }
         }
+        // A conjunction may span any label set including a touched one;
+        // the cache stores no reverse map, so flush it wholesale (the
+        // epoch bump also rejects in-flight fills that read pre-update).
+        self.conjunctive_cache.write().invalidate_all();
         // Grow the label filter by the touched labels and bump its epoch —
         // *after* the index write, so a router that observes the new epoch
         // (and re-fetches) is guaranteed a filter covering this update.
@@ -898,6 +1023,7 @@ impl CloudServer {
     /// straddling two file identities.
     fn note_index_rewrite(&self) {
         self.cache.write().invalidate_all();
+        self.conjunctive_cache.write().invalidate_all();
         let mut filter = self.filter.write();
         filter.epoch += 1;
         self.filter_watch.store(filter.epoch, Ordering::Release);
@@ -930,6 +1056,12 @@ impl CloudServer {
     /// in [`CloudServer::serving_report`]).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.read().stats()
+    }
+
+    /// Point-in-time conjunctive-cache statistics, the multi-keyword
+    /// counterpart of [`CloudServer::cache_stats`].
+    pub fn conjunctive_cache_stats(&self) -> CacheStats {
+        self.conjunctive_cache.read().stats()
     }
 }
 
@@ -1129,6 +1261,36 @@ impl User {
                 .collect(),
             top_k,
         })
+    }
+
+    /// Builds the scatter legs of a sharded conjunctive search: one
+    /// [`Message::ConjunctiveShardQuery`] per shard, all carrying the same
+    /// trapdoor set, each addressed to its shard id. Files are partitioned
+    /// across shards, so each shard intersects locally and the router
+    /// merges by `score_sum`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures (all-stop-word queries).
+    pub fn conjunctive_shard_query(
+        &self,
+        query: &str,
+        top_k: Option<u32>,
+        num_shards: u32,
+    ) -> Result<Vec<Message>, CloudError> {
+        let multi = self.rsse.multi_trapdoor(query)?;
+        let trapdoors: Vec<(Label, [u8; 32])> = multi
+            .parts()
+            .iter()
+            .map(|t| (*t.label(), *t.list_key().as_bytes()))
+            .collect();
+        Ok((0..num_shards)
+            .map(|shard_id| Message::ConjunctiveShardQuery {
+                trapdoors: trapdoors.clone(),
+                top_k,
+                shard_id,
+            })
+            .collect())
     }
 }
 
@@ -1389,6 +1551,9 @@ impl Deployment {
         if let Message::BatchRequest { queries, .. } = &request {
             channel.note_batch(queries.len());
         }
+        if matches!(&request, Message::ConjunctiveRequest { .. }) {
+            channel.note_conjunctive();
+        }
         let up = request.encode();
         channel.send_up(up.len());
         let down = crate::server_loop::serve_frame(&self.server, &up, None);
@@ -1467,6 +1632,30 @@ impl Deployment {
             });
         };
         Ok((self.user.decrypt_files(&files)?, channel.report()))
+    }
+
+    /// Extension — conjunctive search returning the server's wire ranking
+    /// `(file id, per-keyword mapped scores)` alongside the decrypted
+    /// documents, for equivalence tests and client-side exact re-ranking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor/protocol failures.
+    #[allow(clippy::type_complexity)] // (wire ranking, documents, traffic) triple
+    pub fn conjunctive_search_ranked(
+        &self,
+        query: &str,
+        top_k: Option<u32>,
+    ) -> Result<(Vec<(u64, Vec<u64>)>, Vec<Document>, TrafficReport), CloudError> {
+        let mut channel = MeteredChannel::new();
+        let request = self.user.conjunctive_request(query, top_k)?;
+        let response = self.round_trip(&mut channel, request)?;
+        let Message::ConjunctiveResponse { ranking, files } = response else {
+            return Err(CloudError::UnexpectedMessage {
+                expected: "ConjunctiveResponse",
+            });
+        };
+        Ok((ranking, self.user.decrypt_files(&files)?, channel.report()))
     }
 
     /// Protocol 2 — basic scheme, naive: all matching files in one round,

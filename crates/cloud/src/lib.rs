@@ -49,7 +49,7 @@ pub mod tcp;
 pub mod transport;
 
 pub use audit::{AuditCounters, AuditLog, RequestKind, ServingReport};
-pub use cache::{CacheStats, RankingCache};
+pub use cache::{CacheStats, ConjunctiveCache, RankingCache};
 pub use codec::{
     frame_message, BatchResult, CodecError, ErrorKind, FrameAssembler, Message, SearchMode,
     FRAME_HEADER_LEN, MAX_FRAME_LEN,
@@ -62,8 +62,8 @@ pub use server_loop::{
     serve_frame, Fault, FaultHook, PendingReply, PoolOptions, ServerClient, ServerHandle,
 };
 pub use shard::{
-    BatchScatterOutcome, IndexPartitioner, RouterOptions, ScatterOutcome, ShardRouter,
-    ShardedDeployment,
+    merge_conjunctive_replies, BatchScatterOutcome, ConjunctiveScatterOutcome, IndexPartitioner,
+    RouterOptions, ScatterOutcome, ShardRouter, ShardedDeployment,
 };
 pub use tcp::{TcpConnection, TcpServer, TcpServerOptions, TcpServerStats, TcpTransport};
 pub use transport::{ChannelTransport, Connection, FrameMeter, Transport};

@@ -81,6 +81,14 @@ pub struct TrafficReport {
     /// metered like any other frame; the count makes the refresh traffic
     /// attributable.
     pub filter_fetches: u32,
+    /// Conjunctive (multi-keyword) queries issued by this run — one tick
+    /// per query regardless of how many shards it scattered to.
+    pub conjunctive_queries: u32,
+    /// Scatter legs carrying `ConjunctiveShardQuery` frames. Counted here
+    /// and *not* in `shard_legs`, so single-keyword and conjunctive
+    /// fan-out stay separately attributable; the bench's `served == legs`
+    /// accounting sums whichever kinds a workload sends.
+    pub conjunctive_legs: u32,
 }
 
 impl TrafficReport {
@@ -101,6 +109,8 @@ impl TrafficReport {
         self.batched_queries += other.batched_queries;
         self.pruned_legs += other.pruned_legs;
         self.filter_fetches += other.filter_fetches;
+        self.conjunctive_queries += other.conjunctive_queries;
+        self.conjunctive_legs += other.conjunctive_legs;
     }
 
     /// The traffic of one scatter leg: a query frame up to a shard and one
@@ -133,6 +143,20 @@ impl TrafficReport {
     pub fn pruned_leg() -> TrafficReport {
         TrafficReport {
             pruned_legs: 1,
+            ..TrafficReport::default()
+        }
+    }
+
+    /// The traffic of one conjunctive scatter leg: a
+    /// `ConjunctiveShardQuery` up and one reply frame (success or error)
+    /// back down.
+    pub fn conjunctive_leg(bytes_up: usize, bytes_down: usize, is_error: bool) -> TrafficReport {
+        TrafficReport {
+            bytes_up,
+            bytes_down,
+            round_trips: 1,
+            error_frames: u32::from(is_error),
+            conjunctive_legs: 1,
             ..TrafficReport::default()
         }
     }
@@ -178,6 +202,11 @@ impl MeteredChannel {
     /// Records that the next upstream frame batches `queries` searches.
     pub fn note_batch(&mut self, queries: usize) {
         self.report.batched_queries += queries as u32;
+    }
+
+    /// Records that the next upstream frame is a conjunctive query.
+    pub fn note_conjunctive(&mut self) {
+        self.report.conjunctive_queries += 1;
     }
 
     /// The accumulated report.
@@ -246,6 +275,36 @@ mod tests {
         assert_eq!(r.total_bytes(), 40);
         assert_eq!(r.shard_legs, 0, "a plain channel run has no shard legs");
         assert_eq!(r.batched_queries, 0, "no batch frames were sent");
+        assert_eq!(r.conjunctive_queries, 0, "no conjunctive frames were sent");
+        assert_eq!(r.conjunctive_legs, 0);
+    }
+
+    #[test]
+    fn conjunctive_traffic_is_tallied_and_absorbed() {
+        let mut ch = MeteredChannel::new();
+        ch.note_conjunctive();
+        ch.send_up(120);
+        ch.send_down(800);
+        let query = ch.report();
+        assert_eq!(query.conjunctive_queries, 1);
+        assert_eq!(query.conjunctive_legs, 0, "a single-node query has no legs");
+
+        let leg = TrafficReport::conjunctive_leg(120, 300, false);
+        assert_eq!(leg.round_trips, 1);
+        assert_eq!(leg.conjunctive_legs, 1);
+        assert_eq!(leg.shard_legs, 0, "conjunctive legs are tallied apart");
+        let dead = TrafficReport::conjunctive_leg(120, 35, true);
+        assert_eq!(dead.error_frames, 1, "a dead leg's error frame is metered");
+
+        let mut total = TrafficReport::default();
+        total.absorb(&query);
+        total.absorb(&leg);
+        total.absorb(&dead);
+        assert_eq!(total.conjunctive_queries, 1);
+        assert_eq!(total.conjunctive_legs, 2);
+        assert_eq!(total.round_trips, 3);
+        assert_eq!(total.bytes_up, 360);
+        assert_eq!(total.bytes_down, 1135);
     }
 
     #[test]

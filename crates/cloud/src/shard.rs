@@ -72,7 +72,7 @@ use crate::files::EncryptedFile;
 use crate::network::TrafficReport;
 use crate::server_loop::{PendingReply, PoolOptions, ServerClient, ServerHandle};
 use parking_lot::{Mutex, RwLock};
-use rsse_core::{merge_ranked_streams, Label, RankedResult, RsseParams};
+use rsse_core::{canonical_label_order, merge_ranked_streams, Label, RankedResult, RsseParams};
 use rsse_ir::{Document, FileId};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -193,6 +193,39 @@ impl CacheWeight for MergedResult {
 }
 
 type MergedCache = EpochCache<(Label, Option<usize>), MergedResult>;
+
+/// A complete merged *conjunctive* scatter outcome, cached keyed by
+/// `(sorted label set, top_k)`. Per-keyword mapped scores are stored in
+/// canonical (sorted-label) order so that any keyword ordering of the
+/// same query shares one entry; a hit permutes them back to the asking
+/// query's trapdoor order. `score_sum` is order-independent, so the
+/// cached ranking itself is reused as-is.
+#[derive(Debug)]
+struct ConjunctiveMerged {
+    /// Wire pairs `(file id, mapped scores in canonical label order)`,
+    /// globally ranked by `score_sum` descending (file id ascending on
+    /// ties).
+    ranking: Vec<(u64, Vec<u64>)>,
+    files: Vec<EncryptedFile>,
+}
+
+impl CacheWeight for ConjunctiveMerged {
+    fn weight_bytes(&self) -> usize {
+        std::mem::size_of_val(self.ranking.as_slice())
+            + self
+                .ranking
+                .iter()
+                .map(|(_, scores)| std::mem::size_of_val(scores.as_slice()))
+                .sum::<usize>()
+            + self
+                .files
+                .iter()
+                .map(|f| std::mem::size_of::<EncryptedFile>() + f.byte_len())
+                .sum::<usize>()
+    }
+}
+
+type ConjunctiveMergedCache = EpochCache<(Vec<Label>, Option<usize>), ConjunctiveMerged>;
 
 /// Holds one replica's in-flight count up while a leg is outstanding;
 /// dropping the ticket releases it (error paths included).
@@ -345,6 +378,85 @@ impl BatchScatterOutcome {
     }
 }
 
+/// The outcome of one conjunctive scatter-gather
+/// ([`ShardRouter::scatter_conjunctive`]): every shard intersects its own
+/// disjoint file partition locally, and the router k-way merges the
+/// partial rankings by `score_sum`.
+#[derive(Debug)]
+pub struct ConjunctiveScatterOutcome {
+    /// Globally ranked wire pairs `(file id, per-keyword mapped scores in
+    /// trapdoor order)`, best `score_sum` first (file id ascending on
+    /// ties) — byte-identical to the unsharded server's conjunctive
+    /// ranking *if no leg degraded*.
+    pub ranking: Vec<(u64, Vec<u64>)>,
+    /// The ranked encrypted files, same order as `ranking`.
+    pub files: Vec<EncryptedFile>,
+    /// Aggregated traffic of every leg
+    /// ([`TrafficReport::conjunctive_legs`] counts the legs).
+    pub traffic: TrafficReport,
+    /// Shards that answered with a usable reply (pruned shards included).
+    pub shards_ok: u32,
+    /// Legs that failed — degraded coverage, reported, never silent.
+    pub degraded: Vec<DegradedLeg>,
+}
+
+impl ConjunctiveScatterOutcome {
+    /// Whether every shard contributed (no degraded coverage).
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
+/// Sum of one wire entry's per-keyword mapped scores — the conjunctive
+/// rank key, widened so it cannot overflow.
+fn conjunctive_sum(entry: &(u64, Vec<u64>)) -> u128 {
+    entry.1.iter().map(|&s| u128::from(s)).sum()
+}
+
+/// Merges per-shard conjunctive replies into one globally ranked list
+/// with the files aligned to it.
+///
+/// `rankings[s]` and `files[s]` are shard `s`'s reply, each already in
+/// its local `(score_sum desc, file asc)` order. Files partition
+/// disjointly across shards and the order is total (file id breaks every
+/// tie), so repeatedly taking the best shard head reproduces the
+/// single-server sort exactly. Files are *moved* out of the replies; a
+/// file that does not match its claimed entry — a misbehaving shard — is
+/// dropped rather than misattributed.
+pub fn merge_conjunctive_replies(
+    rankings: Vec<Vec<(u64, Vec<u64>)>>,
+    files: Vec<Vec<EncryptedFile>>,
+    top_k: Option<usize>,
+) -> (Vec<(u64, Vec<u64>)>, Vec<EncryptedFile>) {
+    let total: usize = rankings.iter().map(Vec::len).sum();
+    let take = top_k.unwrap_or(total).min(total);
+    let mut entry_iters: Vec<std::vec::IntoIter<(u64, Vec<u64>)>> =
+        rankings.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<(u64, Vec<u64>)>> =
+        entry_iters.iter_mut().map(Iterator::next).collect();
+    let mut file_iters: Vec<std::vec::IntoIter<EncryptedFile>> =
+        files.into_iter().map(Vec::into_iter).collect();
+    let mut out = Vec::with_capacity(take);
+    let mut out_files = Vec::with_capacity(take);
+    while out.len() < take {
+        let best = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(s, head)| head.as_ref().map(|h| (s, conjunctive_sum(h), h.0)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+            .map(|(s, _, _)| s);
+        let Some(source) = best else { break };
+        let entry = heads[source].take().expect("picked a live head");
+        heads[source] = entry_iters[source].next();
+        match file_iters[source].next() {
+            Some(file) if file.id().as_u64() == entry.0 => out_files.push(file),
+            _ => {} // shard sent fewer/misaligned files; drop, don't misattribute
+        }
+        out.push(entry);
+    }
+    (out, out_files)
+}
+
 /// Merges per-shard replies into one globally ranked result list with the
 /// files aligned to it.
 ///
@@ -406,6 +518,32 @@ fn uniform_query_label(legs: &[Message], top_k: Option<usize>) -> Option<Label> 
     query_label
 }
 
+/// When every leg is a [`Message::ConjunctiveShardQuery`] carrying the
+/// same trapdoor sequence and a `top_k` that agrees with the merge's,
+/// the query's label sequence (trapdoor order) keys the routing features.
+/// Anything else falls back to the plain full scatter.
+fn uniform_conjunctive_labels(legs: &[Message], top_k: Option<usize>) -> Option<Vec<Label>> {
+    let mut query_labels: Option<Vec<Label>> = None;
+    for leg in legs {
+        match leg {
+            Message::ConjunctiveShardQuery {
+                trapdoors,
+                top_k: k,
+                ..
+            } if k.map(|k| k as usize) == top_k => {
+                let labels: Vec<Label> = trapdoors.iter().map(|(label, _)| *label).collect();
+                match &query_labels {
+                    None => query_labels = Some(labels),
+                    Some(prev) if *prev == labels => {}
+                    Some(_) => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    query_labels.filter(|labels| !labels.is_empty())
+}
+
 /// The scatter-gather coordinator: one replica set per shard, a per-leg
 /// deadline, bounded retry against transient overload, and the opt-in
 /// routing features of [`RouterOptions`]. Clones share all routing state
@@ -420,6 +558,7 @@ pub struct ShardRouter {
     /// Per-shard filter state; empty when no epoch watches were wired.
     filters: Vec<Arc<FilterState>>,
     merged: Arc<RwLock<MergedCache>>,
+    conjunctive_merged: Arc<RwLock<ConjunctiveMergedCache>>,
 }
 
 impl ShardRouter {
@@ -474,6 +613,9 @@ impl ShardRouter {
                 })
                 .collect(),
             merged: Arc::new(RwLock::new(MergedCache::new(options.merged_cache_budget))),
+            conjunctive_merged: Arc::new(RwLock::new(ConjunctiveMergedCache::new(
+                options.merged_cache_budget,
+            ))),
         }
     }
 
@@ -518,6 +660,12 @@ impl ShardRouter {
         self.merged.read().stats()
     }
 
+    /// Snapshot of the conjunctive merged-result cache counters (all zero
+    /// when the cache is disabled).
+    pub fn conjunctive_merged_cache_stats(&self) -> CacheStats {
+        self.conjunctive_merged.read().stats()
+    }
+
     /// Compares every shard's cached filter epoch against its live watch;
     /// refreshes stale filters over the wire (pruning mode) or adopts the
     /// observed epoch (merged-cache-only mode), and flushes the merged
@@ -542,6 +690,7 @@ impl ShardRouter {
         }
         if moved {
             self.merged.write().invalidate_all();
+            self.conjunctive_merged.write().invalidate_all();
         }
     }
 
@@ -612,6 +761,22 @@ impl ShardRouter {
         };
         let cached = state.cached.lock();
         cached.epoch == Some(state.watch.load(Ordering::Acquire)) && !cached.labels.contains(&label)
+    }
+
+    /// Whether shard `shard` can be skipped for a conjunctive query over
+    /// `labels`: pruning armed, the shard's filter confirmed current, and
+    /// *any* queried label absent from it — a shard missing even one
+    /// posting list provably contributes an empty intersection.
+    fn can_prune_conjunctive(&self, shard: usize, query_labels: Option<&[Label]>) -> bool {
+        if !self.pruning {
+            return false;
+        }
+        let (Some(labels), Some(state)) = (query_labels, self.filters.get(shard)) else {
+            return false;
+        };
+        let cached = state.cached.lock();
+        cached.epoch == Some(state.watch.load(Ordering::Acquire))
+            && labels.iter().any(|label| !cached.labels.contains(label))
     }
 
     /// Scatters `legs` (leg `i` to shard `i`) and gathers the merged
@@ -814,6 +979,215 @@ impl ShardRouter {
         })
     }
 
+    /// Conjunctive scatter-gather: `legs[i]` is a
+    /// [`Message::ConjunctiveShardQuery`] addressed to shard `i`, every
+    /// leg carrying the same trapdoor set. Files partition disjointly, so
+    /// each shard intersects its own partition locally and the merged
+    /// `(score_sum desc, file asc)` ranking is byte-identical to the
+    /// unsharded server's — a shard can neither add nor lose an
+    /// intersection member another shard owns.
+    ///
+    /// With [`RouterOptions`] features armed, a shard whose current
+    /// filter lacks *any* queried label is pruned (its local intersection
+    /// is provably empty), and whole merged outcomes are cached keyed by
+    /// `(sorted label set, top_k)` — the cached per-keyword scores live
+    /// in canonical label order and are permuted back to the asking
+    /// query's trapdoor order on a hit, so every keyword ordering of one
+    /// conjunction shares one entry. Legs are metered as
+    /// [`TrafficReport::conjunctive_legs`], never mixed into the
+    /// single-keyword leg counters.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::AllShardsFailed`] when no shard produced a usable
+    /// reply (pruned shards count as answered).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `legs.len()` differs from the router's shard count —
+    /// a misassembled scatter is a programming error, not a wire fault.
+    pub fn scatter_conjunctive(
+        &self,
+        legs: Vec<Message>,
+        top_k: Option<usize>,
+    ) -> Result<ConjunctiveScatterOutcome, CloudError> {
+        assert_eq!(
+            legs.len(),
+            self.shards.len(),
+            "one leg per shard, in shard order"
+        );
+        let mut traffic = TrafficReport {
+            conjunctive_queries: 1,
+            ..TrafficReport::default()
+        };
+        let query_labels = uniform_conjunctive_labels(&legs, top_k);
+
+        if !self.filters.is_empty() {
+            self.observe_filter_epochs(&mut traffic);
+        }
+        // Cache key: the label multiset, order-erased. The stored scores
+        // are canonical-ordered; `order`/`inv` translate between the
+        // asking query's trapdoor order and the canonical one.
+        let canonical = query_labels.as_ref().map(|labels| {
+            let order = canonical_label_order(labels);
+            let key: Vec<Label> = order.iter().map(|&i| labels[i]).collect();
+            (order, key)
+        });
+        let fill_epoch = {
+            let cache = self.conjunctive_merged.read();
+            match (cache.is_enabled(), &canonical) {
+                (true, Some((order, key))) => {
+                    if let Some(hit) = cache.get(&(key.clone(), top_k)) {
+                        let mut inv = vec![0usize; order.len()];
+                        for (k, &i) in order.iter().enumerate() {
+                            inv[i] = k;
+                        }
+                        let ranking = hit
+                            .ranking
+                            .iter()
+                            .map(|(id, scores)| (*id, inv.iter().map(|&k| scores[k]).collect()))
+                            .collect();
+                        return Ok(ConjunctiveScatterOutcome {
+                            ranking,
+                            files: hit.files.clone(),
+                            traffic,
+                            shards_ok: self.shards.len() as u32,
+                            degraded: Vec::new(),
+                        });
+                    }
+                    Some(cache.epoch())
+                }
+                _ => None,
+            }
+        };
+
+        // Scatter: prune shards whose filter proves an empty local
+        // intersection; queue every remaining leg before waiting on any.
+        let mut pruned = 0u32;
+        let mut states: Vec<Option<(Result<PendingReply, CloudError>, LegTicket)>> =
+            Vec::with_capacity(legs.len());
+        for (shard, leg) in legs.iter().enumerate() {
+            if self.can_prune_conjunctive(shard, query_labels.as_deref()) {
+                traffic.absorb(&TrafficReport::pruned_leg());
+                pruned += 1;
+                states.push(None);
+                continue;
+            }
+            let set = &self.shards[shard];
+            let replica = set.pick();
+            let ticket = set.ticket(replica);
+            let state = self.queue_with_retry_metered(
+                &set.clients[replica],
+                leg,
+                &mut traffic,
+                TrafficReport::conjunctive_leg,
+            );
+            states.push(Some((state, ticket)));
+        }
+
+        // Gather: collect every pending leg under the per-leg deadline.
+        let mut rankings: Vec<Vec<(u64, Vec<u64>)>> = Vec::with_capacity(states.len());
+        let mut shard_files: Vec<Vec<EncryptedFile>> = Vec::with_capacity(states.len());
+        let mut degraded = Vec::new();
+        for (shard, (state, leg)) in states.into_iter().zip(&legs).enumerate() {
+            let shard = shard as u32;
+            let up = leg.wire_len();
+            let Some((state, _ticket)) = state else {
+                continue; // pruned — nothing to gather
+            };
+            let pending = match state {
+                Ok(p) => p,
+                Err(error) => {
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error,
+                    });
+                    continue;
+                }
+            };
+            match pending.wait(Some(self.deadline)) {
+                Ok(Message::ConjunctiveShardReply {
+                    shard_id,
+                    ranking,
+                    files,
+                }) if shard_id == shard => {
+                    let reply_len = Message::ConjunctiveShardReply {
+                        shard_id,
+                        ranking: ranking.clone(),
+                        files: files.clone(),
+                    }
+                    .wire_len();
+                    traffic.absorb(&TrafficReport::conjunctive_leg(up, reply_len, false));
+                    rankings.push(ranking);
+                    shard_files.push(files);
+                }
+                Ok(other) => {
+                    traffic.absorb(&TrafficReport::conjunctive_leg(up, other.wire_len(), false));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error: CloudError::UnexpectedMessage {
+                            expected: "ConjunctiveShardReply addressed to this shard",
+                        },
+                    });
+                }
+                Err(CloudError::Server { kind, detail }) => {
+                    let frame_len = Message::Error {
+                        kind,
+                        detail: detail.clone(),
+                    }
+                    .wire_len();
+                    traffic.absorb(&TrafficReport::conjunctive_leg(up, frame_len, true));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error: CloudError::Server { kind, detail },
+                    });
+                }
+                Err(error) => {
+                    traffic.absorb(&TrafficReport::conjunctive_leg(up, 0, false));
+                    degraded.push(DegradedLeg {
+                        shard_id: shard,
+                        error,
+                    });
+                }
+            }
+        }
+
+        let shards_ok = rankings.len() as u32 + pruned;
+        if shards_ok == 0 {
+            return Err(CloudError::AllShardsFailed {
+                shards: self.shards.len() as u32,
+            });
+        }
+        let (ranking, files) = merge_conjunctive_replies(rankings, shard_files, top_k);
+        if degraded.is_empty() {
+            if let (Some(fill_epoch), Some((order, key))) = (fill_epoch, canonical) {
+                // Complete outcomes only, scores permuted to canonical
+                // label order so any keyword ordering can serve the entry.
+                let canonical_ranking = ranking
+                    .iter()
+                    .map(|(id, scores)| {
+                        (*id, order.iter().map(|&i| scores[i]).collect::<Vec<u64>>())
+                    })
+                    .collect();
+                self.conjunctive_merged.write().insert_if_current(
+                    (key, top_k),
+                    Arc::new(ConjunctiveMerged {
+                        ranking: canonical_ranking,
+                        files: files.clone(),
+                    }),
+                    fill_epoch,
+                );
+            }
+        }
+        Ok(ConjunctiveScatterOutcome {
+            ranking,
+            files,
+            traffic,
+            shards_ok,
+            degraded,
+        })
+    }
+
     /// Queues one leg under the router's overload-retry budget, metering
     /// every shed attempt; `Err` is a leg that never got queued.
     fn queue_with_retry(
@@ -821,6 +1195,20 @@ impl ShardRouter {
         client: &ServerClient,
         leg: &Message,
         traffic: &mut TrafficReport,
+    ) -> Result<PendingReply, CloudError> {
+        self.queue_with_retry_metered(client, leg, traffic, TrafficReport::shard_leg)
+    }
+
+    /// [`Self::queue_with_retry`] with the per-attempt meter chosen by the
+    /// caller — conjunctive scatters price their legs as
+    /// [`TrafficReport::conjunctive_leg`]s, everything else as
+    /// [`TrafficReport::shard_leg`]s.
+    fn queue_with_retry_metered(
+        &self,
+        client: &ServerClient,
+        leg: &Message,
+        traffic: &mut TrafficReport,
+        meter: impl Fn(usize, usize, bool) -> TrafficReport,
     ) -> Result<PendingReply, CloudError> {
         let shed_frame_len =
             Message::error(ErrorKind::Overloaded, "request backlog is full").wire_len();
@@ -837,7 +1225,7 @@ impl ShardRouter {
                         ..
                     },
                 ) => {
-                    traffic.absorb(&TrafficReport::shard_leg(up, shed_frame_len, true));
+                    traffic.absorb(&meter(up, shed_frame_len, true));
                     if attempt >= self.attempts {
                         return Err(e);
                     }
@@ -847,7 +1235,7 @@ impl ShardRouter {
                 Err(e) => {
                     // Dead transport: the request never left; meter the
                     // attempted upstream bytes only.
-                    traffic.absorb(&TrafficReport::shard_leg(up, 0, false));
+                    traffic.absorb(&meter(up, 0, false));
                     return Err(e);
                 }
             }
@@ -1322,6 +1710,32 @@ impl ShardedDeployment {
         Ok((docs, outcome))
     }
 
+    /// Sharded conjunctive ranked search: scatter the query's trapdoor
+    /// set to every shard ([`User::conjunctive_shard_query`]), merge the
+    /// per-shard local intersections by `score_sum`, and decrypt the
+    /// top-k files. Byte-identical to the unsharded
+    /// [`Deployment::conjunctive_search`](crate::entities::Deployment::conjunctive_search)
+    /// when no leg degrades.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trapdoor failures, and [`CloudError::AllShardsFailed`]
+    /// when no shard replied.
+    pub fn conjunctive_search(
+        &self,
+        query: &str,
+        top_k: Option<u32>,
+    ) -> Result<(Vec<Document>, ConjunctiveScatterOutcome), CloudError> {
+        let legs =
+            self.user
+                .conjunctive_shard_query(query, top_k, self.router.num_shards() as u32)?;
+        let outcome = self
+            .router
+            .scatter_conjunctive(legs, top_k.map(|k| k as usize))?;
+        let docs = self.user.decrypt_files(&outcome.files)?;
+        Ok((docs, outcome))
+    }
+
     /// Shuts every shard pool down, returning the total requests served
     /// across all shards.
     pub fn shutdown(self) -> u64 {
@@ -1787,6 +2201,174 @@ mod tests {
         }
         // Every routed leg was served by some replica pool of its shard.
         assert_eq!(tuned.shutdown(), queries * shards as u64);
+    }
+
+    #[test]
+    fn sharded_conjunction_matches_the_unsharded_server() {
+        let corpus = small_docs(78);
+        let single = crate::entities::Deployment::bootstrap(
+            b"conj shard seed",
+            RsseParams::default(),
+            corpus.documents(),
+        )
+        .unwrap();
+        let sharded = ShardedDeployment::bootstrap(
+            b"conj shard seed",
+            RsseParams::default(),
+            corpus.documents(),
+            3,
+            PoolOptions::new(1, 8),
+        )
+        .unwrap();
+        for top_k in [None, Some(1), Some(5), Some(100)] {
+            let (want, want_docs, _) = single
+                .conjunctive_search_ranked("network data", top_k)
+                .unwrap();
+            let (docs, outcome) = sharded.conjunctive_search("network data", top_k).unwrap();
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.shards_ok, 3);
+            assert_eq!(
+                outcome.ranking, want,
+                "sharded conjunctive merge must be byte-identical (top_k {top_k:?})"
+            );
+            let got_ids: Vec<_> = docs.iter().map(Document::id).collect();
+            let want_ids: Vec<_> = want_docs.iter().map(Document::id).collect();
+            assert_eq!(got_ids, want_ids);
+        }
+        // Legs are metered as conjunctive legs, never as shard legs.
+        let (_, outcome) = sharded.conjunctive_search("network data", Some(5)).unwrap();
+        assert_eq!(outcome.traffic.conjunctive_legs, 3);
+        assert_eq!(outcome.traffic.conjunctive_queries, 1);
+        assert_eq!(outcome.traffic.shard_legs, 0);
+        assert_eq!(outcome.traffic.round_trips, 3);
+        // Each shard audited its conjunctive scatter legs.
+        let audited: u64 = (0..3)
+            .map(|s| {
+                sharded
+                    .shard_server(s)
+                    .unwrap()
+                    .serving_report()
+                    .conjunctive_shard_queries
+            })
+            .sum();
+        assert_eq!(audited, 5 * 3);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn conjunctive_pruning_skips_shards_missing_any_label() {
+        let docs = pruning_corpus();
+        let shards = 4usize;
+        let plain = ShardedDeployment::bootstrap(
+            b"conj prune seed",
+            RsseParams::default(),
+            &docs,
+            shards,
+            PoolOptions::new(1, 16),
+        )
+        .unwrap();
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            b"conj prune seed",
+            RsseParams::default(),
+            &docs,
+            shards,
+            PoolOptions::new(1, 16),
+            RouterOptions::new().with_pruning(),
+        )
+        .unwrap();
+
+        // Only one document holds "quasar", so only its shard can hold
+        // both labels; every other shard's filter proves an empty
+        // intersection and is pruned.
+        let (_, want) = plain.conjunctive_search("quasar alpha", None).unwrap();
+        let (_, got) = tuned.conjunctive_search("quasar alpha", None).unwrap();
+        assert_eq!(
+            got.ranking, want.ranking,
+            "pruned conjunctive scatter must be byte-identical"
+        );
+        assert_eq!(got.ranking.len(), 1);
+        assert!(got.is_complete());
+        assert_eq!(got.shards_ok, shards as u32);
+        assert_eq!(got.traffic.conjunctive_legs, 1);
+        assert_eq!(got.traffic.pruned_legs, shards as u32 - 1);
+
+        // A conjunction with an unknown keyword prunes every shard: an
+        // empty, complete result, not an error.
+        let (none_docs, all_pruned) = tuned.conjunctive_search("alpha zyzzyva", None).unwrap();
+        assert!(none_docs.is_empty());
+        assert!(all_pruned.ranking.is_empty());
+        assert!(all_pruned.is_complete());
+        assert_eq!(all_pruned.traffic.pruned_legs, shards as u32);
+        assert_eq!(all_pruned.traffic.conjunctive_legs, 0);
+        plain.shutdown();
+        tuned.shutdown();
+    }
+
+    #[test]
+    fn conjunctive_merged_cache_hits_share_keyword_orderings_and_invalidate_on_update() {
+        let docs = pruning_corpus();
+        let shards = 3usize;
+        let master = b"conj cache seed";
+        let params = RsseParams::default();
+        let tuned = ShardedDeployment::bootstrap_tuned(
+            master,
+            params,
+            &docs,
+            shards,
+            PoolOptions::new(1, 16),
+            RouterOptions::new().with_merged_cache(1 << 20),
+        )
+        .unwrap();
+
+        let (_, first) = tuned.conjunctive_search("alpha beta", Some(5)).unwrap();
+        assert_eq!(first.traffic.conjunctive_legs, shards as u32);
+        let (cached_docs, second) = tuned.conjunctive_search("alpha beta", Some(5)).unwrap();
+        assert_eq!(
+            second.ranking, first.ranking,
+            "a cache hit replays the merge"
+        );
+        assert_eq!(second.traffic.conjunctive_legs, 0, "a hit costs zero legs");
+        assert_eq!(second.traffic.round_trips, 0);
+        assert_eq!(cached_docs.len(), second.ranking.len());
+
+        // The reversed keyword order shares the entry: same files, same
+        // sums, per-keyword scores swapped back to the asking order.
+        let (_, swapped) = tuned.conjunctive_search("beta alpha", Some(5)).unwrap();
+        assert_eq!(
+            swapped.traffic.conjunctive_legs, 0,
+            "order-erased key shares the entry"
+        );
+        let unswapped: Vec<(u64, Vec<u64>)> = swapped
+            .ranking
+            .iter()
+            .map(|(id, scores)| (*id, scores.iter().copied().rev().collect()))
+            .collect();
+        assert_eq!(unswapped, first.ranking);
+        let stats = tuned.router().conjunctive_merged_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+
+        // A live update moves the shard's epoch: the cache flushes and
+        // the new posting is served, never hidden by stale router state.
+        let partitioner = tuned.partitioner();
+        let scheme = rsse_core::Rsse::new(master, params);
+        let plain_index = rsse_ir::InvertedIndex::build(&docs);
+        let updater = scheme.updater_for(&plain_index).unwrap();
+        let crypter = crate::files::FileCrypter::new(master);
+        let doc = Document::new(FileId::new(2_000_000), "alpha beta reborn".to_string());
+        let update = updater.add_document(&doc).unwrap();
+        let shard = partitioner.shard_of(doc.id());
+        tuned
+            .shard_server(shard)
+            .unwrap()
+            .apply_update(update, vec![crypter.encrypt(&doc)]);
+
+        let (_, after) = tuned.conjunctive_search("alpha beta", Some(20)).unwrap();
+        assert_eq!(
+            after.traffic.conjunctive_legs, shards as u32,
+            "flushed: full scatter again"
+        );
+        assert!(after.ranking.iter().any(|(id, _)| *id == doc.id().as_u64()));
+        tuned.shutdown();
     }
 
     #[test]

@@ -33,6 +33,24 @@ fn seed_frames() -> Vec<Vec<u8>> {
             trapdoors: vec![([7u8; 20], [8u8; 32])],
             top_k: None,
         },
+        Message::ConjunctiveRequest {
+            trapdoors: vec![([15u8; 20], [16u8; 32]), ([17u8; 20], [18u8; 32])],
+            top_k: Some(8),
+        },
+        Message::ConjunctiveResponse {
+            ranking: vec![(1, vec![900, 40]), (2, vec![500, 30])],
+            files: vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
+        },
+        Message::ConjunctiveShardQuery {
+            trapdoors: vec![([19u8; 20], [20u8; 32]), ([21u8; 20], [22u8; 32])],
+            top_k: Some(10),
+            shard_id: 2,
+        },
+        Message::ConjunctiveShardReply {
+            shard_id: 2,
+            ranking: vec![(1, vec![999, 70]), (2, vec![500, 60])],
+            files: vec![EncryptedFile::new(FileId::new(1), vec![1, 2])],
+        },
         Message::UpdateAck {
             lists_touched: 3,
             files_added: 1,

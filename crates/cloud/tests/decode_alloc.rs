@@ -81,6 +81,51 @@ fn hostile_frames() -> Vec<(&'static str, Vec<u8>)> {
     b.put_u64(1 << 30);
     frames.push(("conjunctive_huge_trapdoor_count", b.to_vec()));
 
+    // ConjunctiveResponse claiming 2^40 ranking entries in a 9-byte frame.
+    let mut b = BytesMut::new();
+    b.put_u8(9);
+    b.put_u64(1 << 40); // claimed ranking entries
+    frames.push(("conjunctive_response_huge_ranking", b.to_vec()));
+
+    // ConjunctiveResponse whose single entry claims 2^40 mapped scores.
+    let mut b = BytesMut::new();
+    b.put_u8(9);
+    b.put_u64(1); // one ranking entry
+    b.put_u64(4); // file id
+    b.put_u64(1 << 40); // claimed per-keyword score count
+    frames.push(("conjunctive_response_huge_score_count", b.to_vec()));
+
+    // ConjunctiveResponse whose files claim a 2^50-byte ciphertext.
+    let mut b = BytesMut::new();
+    b.put_u8(9);
+    b.put_u64(0); // empty ranking
+    b.put_u64(1); // one file
+    b.put_u64(4); // file id
+    b.put_u64(1 << 50); // claimed ciphertext length
+    frames.push(("conjunctive_response_huge_ciphertext", b.to_vec()));
+
+    // ConjunctiveShardQuery claiming 2^30 trapdoors.
+    let mut b = BytesMut::new();
+    b.put_u8(19);
+    b.put_u64(1 << 30);
+    frames.push(("conjunctive_shard_query_huge_trapdoor_count", b.to_vec()));
+
+    // ConjunctiveShardReply claiming 2^40 ranking entries.
+    let mut b = BytesMut::new();
+    b.put_u8(20);
+    b.put_u32(1); // shard id
+    b.put_u64(1 << 40); // claimed ranking entries
+    frames.push(("conjunctive_shard_reply_huge_ranking", b.to_vec()));
+
+    // ConjunctiveShardReply whose single entry claims 2^40 mapped scores.
+    let mut b = BytesMut::new();
+    b.put_u8(20);
+    b.put_u32(1); // shard id
+    b.put_u64(1); // one ranking entry
+    b.put_u64(4); // file id
+    b.put_u64(1 << 40); // claimed per-keyword score count
+    frames.push(("conjunctive_shard_reply_huge_score_count", b.to_vec()));
+
     // RsseResponse whose files section claims a 2^50-byte ciphertext.
     let mut b = BytesMut::new();
     b.put_u8(3);

@@ -118,6 +118,9 @@ impl Default for Backend {
 pub struct RsseIndex {
     backend: Backend,
     opse_params: Option<OpseParams>,
+    // Conjunctive-pushdown counters (see `crate::multi`); Arc-shared so
+    // clones of the same logical index report one combined tally.
+    pub(crate) conjunctive: crate::multi::ConjunctiveCounters,
 }
 
 impl RsseIndex {
@@ -129,6 +132,7 @@ impl RsseIndex {
         RsseIndex {
             backend: Backend::Mem(backend),
             opse_params: Some(opse),
+            conjunctive: Default::default(),
         }
     }
 
@@ -142,6 +146,7 @@ impl RsseIndex {
         RsseIndex {
             backend: Backend::Mem(backend),
             opse_params: Some(opse),
+            conjunctive: Default::default(),
         }
     }
 
@@ -171,6 +176,7 @@ impl RsseIndex {
         Ok(RsseIndex {
             backend: Backend::Segment(segment),
             opse_params: Some(opse),
+            conjunctive: Default::default(),
         })
     }
 
@@ -197,6 +203,7 @@ impl RsseIndex {
         Ok(RsseIndex {
             backend: Backend::Generational(store),
             opse_params: Some(opse),
+            conjunctive: Default::default(),
         })
     }
 
@@ -222,6 +229,7 @@ impl RsseIndex {
         Ok(RsseIndex {
             backend: Backend::Generational(store),
             opse_params: Some(opse),
+            conjunctive: Default::default(),
         })
     }
 
@@ -551,6 +559,7 @@ impl RsseIndex {
             .map(|store| RsseIndex {
                 backend: Backend::Mem(MemBackend::from_store(store)),
                 opse_params: self.opse_params,
+                conjunctive: Default::default(),
             })
             .collect()
     }

@@ -14,12 +14,15 @@
 //!   candidate set by recovering quantized levels and applying the eq. (1)
 //!   IDF weighting ([`Rsse::rerank_conjunctive`]).
 
+use crate::entry::ENTRY_PLAIN_LEN;
 use crate::error::RsseError;
-use crate::index::{RsseIndex, RsseTrapdoor};
+use crate::index::{Label, RsseIndex, RsseTrapdoor};
 use crate::scheme::Rsse;
 use rsse_ir::FileId;
 use rsse_opse::OpseParams;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A trapdoor per conjunctive query keyword.
 #[derive(Debug, Clone)]
@@ -43,6 +46,63 @@ impl MultiTrapdoor {
     pub fn arity(&self) -> usize {
         self.parts.len()
     }
+}
+
+/// Counters of the conjunctive intersection-pushdown path (see
+/// [`RsseIndex::search_conjunctive`]): how often the length probes ended a
+/// query before any entry was decrypted, and how much smaller the driving
+/// list was than the work the old materialize-everything path would have
+/// done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConjunctiveStats {
+    /// Conjunctive queries served.
+    pub queries: u64,
+    /// Posting-list length probes issued (up to the query arity each).
+    pub lists_probed: u64,
+    /// Queries answered empty straight from a length probe — a queried
+    /// label had no list, so nothing was read or decrypted.
+    pub probe_shortcuts: u64,
+    /// Entries of the driving (smallest) posting lists walked.
+    pub driver_entries: u64,
+    /// Intersection members ranked.
+    pub candidates: u64,
+}
+
+/// Shared mutable home of [`ConjunctiveStats`] — lives in an `Arc` so
+/// index clones keep one counter set (cf. the batched-read counters in
+/// [`crate::segment`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ConjunctiveCounters(Arc<ConjunctiveCountersInner>);
+
+#[derive(Debug, Default)]
+struct ConjunctiveCountersInner {
+    queries: AtomicU64,
+    lists_probed: AtomicU64,
+    probe_shortcuts: AtomicU64,
+    driver_entries: AtomicU64,
+    candidates: AtomicU64,
+}
+
+impl ConjunctiveCounters {
+    fn snapshot(&self) -> ConjunctiveStats {
+        ConjunctiveStats {
+            queries: self.0.queries.load(Ordering::Relaxed),
+            lists_probed: self.0.lists_probed.load(Ordering::Relaxed),
+            probe_shortcuts: self.0.probe_shortcuts.load(Ordering::Relaxed),
+            driver_entries: self.0.driver_entries.load(Ordering::Relaxed),
+            candidates: self.0.candidates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Stable index order that sorts `labels` ascending — the canonical
+/// keyword order the conjunctive caches key by. Shared here so every
+/// layer (server cache, router merged cache) canonicalizes identically
+/// and permuted queries for the same keyword set share one cache entry.
+pub fn canonical_label_order(labels: &[Label]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    order.sort_by_key(|&i| labels[i]);
+    order
 }
 
 /// One conjunctive search result as the server sees it.
@@ -125,52 +185,118 @@ impl RsseIndex {
     ///
     /// Returns an empty vector when any keyword matches nothing (empty
     /// intersection) or the trapdoor set is empty.
+    ///
+    /// The evaluation is **intersection pushdown** through the backend,
+    /// not per-keyword materialization: every label's list length is
+    /// probed first (a label with no list answers the query empty with
+    /// zero decryption work), all surviving lists are fetched in **one**
+    /// [`RsseIndex::search_batch`] pass — on the disk backends a single
+    /// forward-only read schedule in file-offset order — and then the
+    /// *smallest* list drives the intersection while the others are
+    /// hash-probed. [`RsseIndex::conjunctive_stats`] counts what this
+    /// saves.
     pub fn search_conjunctive(
         &self,
         trapdoor: &MultiTrapdoor,
         top_k: Option<usize>,
     ) -> Vec<ConjunctiveResult> {
-        let Some((first, rest)) = trapdoor.parts().split_first() else {
+        let mut scratch = Vec::with_capacity(ENTRY_PLAIN_LEN);
+        self.search_conjunctive_with_scratch(trapdoor, top_k, &mut scratch)
+    }
+
+    /// [`Self::search_conjunctive`] decrypting into a caller-owned scratch
+    /// buffer, like [`RsseIndex::search_with_scratch`]: after warm-up the
+    /// hot path's allocation count depends only on the query arity and the
+    /// intersection size, never on posting-list length (pinned by the
+    /// `alloc_count` suite).
+    pub fn search_conjunctive_with_scratch(
+        &self,
+        trapdoor: &MultiTrapdoor,
+        top_k: Option<usize>,
+        scratch: &mut Vec<u8>,
+    ) -> Vec<ConjunctiveResult> {
+        let parts = trapdoor.parts();
+        if parts.is_empty() {
             return Vec::new();
-        };
-        // Seed with the first keyword's matches.
-        let mut acc: HashMap<FileId, Vec<u64>> = self
-            .search(first, None)
-            .into_iter()
-            .map(|r| (r.file, vec![r.encrypted_score]))
-            .collect();
-        // Intersect with each further keyword.
-        for t in rest {
-            let matches: HashMap<FileId, u64> = self
-                .search(t, None)
-                .into_iter()
-                .map(|r| (r.file, r.encrypted_score))
-                .collect();
-            acc.retain(|file, scores| {
-                if let Some(&s) = matches.get(file) {
-                    scores.push(s);
-                    true
-                } else {
-                    false
-                }
-            });
-            if acc.is_empty() {
+        }
+        let counters = &self.conjunctive.0;
+        counters.queries.fetch_add(1, Ordering::Relaxed);
+        // Length probes: a conjunction is empty as soon as one label has
+        // no posting list, and the probe costs a directory lookup, not a
+        // list read.
+        for part in parts {
+            counters.lists_probed.fetch_add(1, Ordering::Relaxed);
+            if self.list_len(part.label()).is_none_or(|n| n == 0) {
+                counters.probe_shortcuts.fetch_add(1, Ordering::Relaxed);
                 return Vec::new();
             }
         }
-        let mut results: Vec<ConjunctiveResult> = acc
-            .into_iter()
-            .map(|(file, mapped_scores)| ConjunctiveResult {
-                score_sum: mapped_scores.iter().map(|&s| s as u128).sum(),
-                file,
-                mapped_scores,
+        // One batched pass over every surviving list: the disk backends
+        // sort the reads into file-offset order, so an n-keyword query
+        // costs one forward sweep instead of n independent seeks.
+        let rankings = self.search_batch_with_scratch(parts, None, scratch);
+        let driver = (0..rankings.len())
+            .min_by_key(|&i| rankings[i].len())
+            .expect("non-empty parts");
+        counters
+            .driver_entries
+            .fetch_add(rankings[driver].len() as u64, Ordering::Relaxed);
+        if rankings[driver].is_empty() {
+            return Vec::new();
+        }
+        // Hash-probe tables for the non-driver lists, sized up front so
+        // the allocation count stays flat in list length.
+        let probes: Vec<HashMap<FileId, u64>> = rankings
+            .iter()
+            .enumerate()
+            .map(|(i, ranking)| {
+                if i == driver {
+                    return HashMap::new();
+                }
+                let mut map = HashMap::with_capacity(ranking.len());
+                map.extend(ranking.iter().map(|r| (r.file, r.encrypted_score)));
+                map
             })
             .collect();
-        results.sort_by(|a, b| b.score_sum.cmp(&a.score_sum).then(a.file.cmp(&b.file)));
+        let mut results: Vec<ConjunctiveResult> = Vec::with_capacity(rankings[driver].len());
+        'candidates: for entry in &rankings[driver] {
+            // Membership first: a miss in any list must not cost a
+            // mapped-scores allocation.
+            for (i, probe) in probes.iter().enumerate() {
+                if i != driver && !probe.contains_key(&entry.file) {
+                    continue 'candidates;
+                }
+            }
+            let mut mapped_scores = Vec::with_capacity(parts.len());
+            for (i, probe) in probes.iter().enumerate() {
+                mapped_scores.push(if i == driver {
+                    entry.encrypted_score
+                } else {
+                    probe[&entry.file]
+                });
+            }
+            results.push(ConjunctiveResult {
+                score_sum: mapped_scores.iter().map(|&s| s as u128).sum(),
+                file: entry.file,
+                mapped_scores,
+            });
+        }
+        counters
+            .candidates
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
+        // (score_sum, file) is a total order over distinct files, so the
+        // unstable sort is deterministic — and allocation-free.
+        results.sort_unstable_by(|a, b| b.score_sum.cmp(&a.score_sum).then(a.file.cmp(&b.file)));
         if let Some(k) = top_k {
             results.truncate(k);
         }
         results
+    }
+
+    /// Counters of the conjunctive pushdown path (zero until the first
+    /// conjunctive query; shared across clones of this index).
+    pub fn conjunctive_stats(&self) -> ConjunctiveStats {
+        self.conjunctive.snapshot()
     }
 }
 
@@ -307,5 +433,127 @@ mod tests {
             pos(1) < pos(4),
             "dominated file ranked above dominating one"
         );
+    }
+
+    /// Reference implementation: per-keyword full materialization, the
+    /// shape the pushdown replaced. The pushdown must stay byte-identical.
+    fn reference_conjunctive(
+        index: &RsseIndex,
+        trapdoor: &MultiTrapdoor,
+        top_k: Option<usize>,
+    ) -> Vec<ConjunctiveResult> {
+        let Some((first, rest)) = trapdoor.parts().split_first() else {
+            return Vec::new();
+        };
+        let mut acc: HashMap<FileId, Vec<u64>> = index
+            .search(first, None)
+            .into_iter()
+            .map(|r| (r.file, vec![r.encrypted_score]))
+            .collect();
+        for t in rest {
+            let matches: HashMap<FileId, u64> = index
+                .search(t, None)
+                .into_iter()
+                .map(|r| (r.file, r.encrypted_score))
+                .collect();
+            acc.retain(|file, scores| {
+                if let Some(&s) = matches.get(file) {
+                    scores.push(s);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        let mut results: Vec<ConjunctiveResult> = acc
+            .into_iter()
+            .map(|(file, mapped_scores)| ConjunctiveResult {
+                score_sum: mapped_scores.iter().map(|&s| s as u128).sum(),
+                file,
+                mapped_scores,
+            })
+            .collect();
+        results.sort_by(|a, b| b.score_sum.cmp(&a.score_sum).then(a.file.cmp(&b.file)));
+        if let Some(k) = top_k {
+            results.truncate(k);
+        }
+        results
+    }
+
+    #[test]
+    fn pushdown_matches_reference_materialization() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        for query in [
+            "network",
+            "network storage",
+            "storage network",
+            "network filler",
+            "network storage balanced",
+        ] {
+            let t = s.multi_trapdoor(query).unwrap();
+            for top_k in [None, Some(0), Some(1), Some(10)] {
+                assert_eq!(
+                    enc.search_conjunctive(&t, top_k),
+                    reference_conjunctive(&enc, &t, top_k),
+                    "query {query:?} top_k {top_k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_stats_count_the_pushdown() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        assert_eq!(enc.conjunctive_stats(), ConjunctiveStats::default());
+
+        let t = s.multi_trapdoor("network storage").unwrap();
+        let plain = enc.search_conjunctive(&t, None);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            enc.search_conjunctive_with_scratch(&t, None, &mut scratch),
+            plain
+        );
+
+        let stats = enc.conjunctive_stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.lists_probed, 4);
+        assert_eq!(stats.probe_shortcuts, 0);
+        // "storage" (3 files) drives over "network" (4 files), both times.
+        assert_eq!(stats.driver_entries, 6);
+        assert_eq!(stats.candidates, 4);
+
+        // Clones share the tally (one logical index, one report).
+        assert_eq!(enc.clone().conjunctive_stats(), stats);
+    }
+
+    #[test]
+    fn unknown_label_takes_the_probe_shortcut() {
+        let s = scheme();
+        let enc = s.build_index(&docs()).unwrap();
+        let t = s.multi_trapdoor("network zebra").unwrap();
+        assert!(enc.search_conjunctive(&t, None).is_empty());
+        let stats = enc.conjunctive_stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.probe_shortcuts, 1);
+        // The shortcut fires before any list is read.
+        assert_eq!(stats.driver_entries, 0);
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn canonical_label_order_sorts_and_inverts() {
+        let labels: Vec<Label> = vec![[9u8; 20], [1u8; 20], [5u8; 20]];
+        let order = canonical_label_order(&labels);
+        assert_eq!(order, vec![1, 2, 0]);
+        // Applying the permutation yields the sorted label vector.
+        let sorted: Vec<Label> = order.iter().map(|&i| labels[i]).collect();
+        let mut expect = labels.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        // Duplicates keep first-appearance order (stable sort).
+        let dup: Vec<Label> = vec![[3u8; 20], [3u8; 20], [0u8; 20]];
+        assert_eq!(canonical_label_order(&dup), vec![2, 0, 1]);
     }
 }

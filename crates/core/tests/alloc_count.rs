@@ -176,6 +176,52 @@ fn search_allocations_are_constant_in_list_length() {
         hit_empty <= 1,
         "an empty prefix must not allocate per entry, got {hit_empty}"
     );
+
+    // Conjunctive pushdown: with the intersection size and arity held
+    // fixed, the per-query allocation count must not scale with the length
+    // of the hash-probed list. The probe table is sized up front and a
+    // driver miss never costs a mapped-scores vector, so growing the
+    // "network" list 32x changes the table's *capacity*, not the number of
+    // heap allocations.
+    let conj = scheme.multi_trapdoor("network storage").unwrap();
+    let conj_small = scheme.build_index(&conjunctive_corpus(16)).unwrap();
+    let conj_large = scheme.build_index(&conjunctive_corpus(512)).unwrap();
+    let warm = conj_large.search_conjunctive_with_scratch(&conj, None, &mut scratch);
+    assert_eq!(warm.len(), 8);
+    let (conj_allocs_small, conj_hits_small) = allocations_during(|| {
+        conj_small.search_conjunctive_with_scratch(&conj, None, &mut scratch)
+    });
+    let (conj_allocs_large, conj_hits_large) = allocations_during(|| {
+        conj_large.search_conjunctive_with_scratch(&conj, None, &mut scratch)
+    });
+    assert_eq!(conj_hits_small.len(), 8);
+    assert_eq!(conj_hits_large.len(), 8);
+    assert_eq!(
+        conj_allocs_small, conj_allocs_large,
+        "conjunctive pushdown allocations must not scale with probed list \
+         length ({conj_allocs_small} for 16 entries vs {conj_allocs_large} \
+         for 512)"
+    );
+    assert!(
+        conj_allocs_large <= 40,
+        "conjunctive pushdown budget exceeded: {conj_allocs_large}"
+    );
+}
+
+/// `n` documents all containing "network", of which exactly the first 8
+/// also contain "storage" — the intersection stays fixed while the probed
+/// list grows with `n`.
+fn conjunctive_corpus(n: u64) -> Vec<Document> {
+    (0..n)
+        .map(|i| {
+            let text = if i < 8 {
+                format!("network storage payload{}", i % 4)
+            } else {
+                format!("network filler{} payload", i % 4)
+            };
+            Document::new(FileId::new(i + 1), text)
+        })
+        .collect()
 }
 
 /// `shards` disjoint per-shard rankings of `len` results each, sorted

@@ -36,6 +36,13 @@ cargo test -q --test shard_equivalence
 echo "==> cargo test -q --test cache_coherence"
 cargo test -q --test cache_coherence
 
+# The conjunctive serving path's tentpole guarantee: the intersection
+# pushdown returns byte-identical rankings across mem/segment/
+# generational backends, cache on vs off, and sharded vs single-node,
+# under random search/update interleavings and both keyword orders.
+echo "==> cargo test -q --test conjunctive"
+cargo test -q --test conjunctive
+
 echo "==> cargo test -q -p rsse-core --test persist_roundtrip"
 cargo test -q -p rsse-core --test persist_roundtrip
 
